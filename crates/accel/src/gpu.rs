@@ -1,0 +1,169 @@
+//! GPU devices with explicit memory remanence (paper Sec. IV-F).
+//!
+//! "GPUs do not clear their memory before reassignment to another job/user
+//! ... the data of the previous user's job will remain in GPU memory and
+//! registers." The model keeps device memory as a persistent byte store that
+//! survives assignment changes; only an explicit [`Gpu::scrub`] (the
+//! vendor-provided clear the paper runs in the scheduler epilog) zeroes it.
+
+use eus_simcore::SimDuration;
+use eus_simos::{DeviceId, NodeId, Uid};
+use std::fmt;
+
+/// GPU access errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// Access beyond the device memory.
+    OutOfBounds {
+        /// Memory size.
+        len: usize,
+        /// Attempted end offset.
+        end: usize,
+    },
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfBounds { len, end } => {
+                write!(f, "gpu access out of bounds: end {end} > len {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+/// Result of a scrub pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// The device scrubbed.
+    pub device: DeviceId,
+    /// Bytes cleared.
+    pub bytes: usize,
+    /// Modeled wall time of the clear.
+    pub duration: SimDuration,
+}
+
+/// Scrub throughput: modeled 4 GiB/s (one `cudaMemset`-style pass).
+pub const SCRUB_BYTES_PER_US: usize = 4 * 1024;
+
+/// One GPU.
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    /// Device identity (as exposed in `/dev`).
+    pub device: DeviceId,
+    /// Node hosting the device.
+    pub node: NodeId,
+    /// Current assignee, if any. Enforcement happens at the device-file
+    /// layer ([`crate::devfile`]); this field is bookkeeping for the pool.
+    pub assigned_to: Option<Uid>,
+    mem: Vec<u8>,
+}
+
+impl Gpu {
+    /// A GPU with `mem_bytes` of device memory, initially zeroed.
+    pub fn new(node: NodeId, index: u16, mem_bytes: usize) -> Self {
+        Gpu {
+            device: DeviceId::gpu(index),
+            node,
+            assigned_to: None,
+            mem: vec![0u8; mem_bytes],
+        }
+    }
+
+    /// Device memory size.
+    pub fn mem_len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Write into device memory. NOTE: deliberately no credential check —
+    /// the hardware has "no concept of data ownership"; gating is done by
+    /// whether the caller could open the device file at all.
+    pub fn write(&mut self, offset: usize, bytes: &[u8]) -> Result<(), GpuError> {
+        let end = offset + bytes.len();
+        if end > self.mem.len() {
+            return Err(GpuError::OutOfBounds {
+                len: self.mem.len(),
+                end,
+            });
+        }
+        self.mem[offset..end].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Read from device memory (same non-check as write).
+    pub fn read(&self, offset: usize, len: usize) -> Result<Vec<u8>, GpuError> {
+        let end = offset + len;
+        if end > self.mem.len() {
+            return Err(GpuError::OutOfBounds {
+                len: self.mem.len(),
+                end,
+            });
+        }
+        Ok(self.mem[offset..end].to_vec())
+    }
+
+    /// Any non-zero byte in device memory (remanent data present)?
+    pub fn is_dirty(&self) -> bool {
+        self.mem.iter().any(|b| *b != 0)
+    }
+
+    /// Vendor-style clear: zero all device memory; returns the modeled cost.
+    pub fn scrub(&mut self) -> ScrubReport {
+        let bytes = self.mem.len();
+        self.mem.fill(0);
+        ScrubReport {
+            device: self.device,
+            bytes,
+            duration: SimDuration::from_micros(bytes.div_ceil(SCRUB_BYTES_PER_US) as u64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut g = Gpu::new(NodeId(1), 0, 4096);
+        g.write(100, b"weights").unwrap();
+        assert_eq!(g.read(100, 7).unwrap(), b"weights");
+        assert!(g.is_dirty());
+    }
+
+    #[test]
+    fn remanence_survives_reassignment() {
+        let mut g = Gpu::new(NodeId(1), 0, 4096);
+        g.assigned_to = Some(Uid(100));
+        g.write(0, b"victim secret").unwrap();
+        // Reassignment does nothing to memory — that's the vulnerability.
+        g.assigned_to = Some(Uid(200));
+        assert_eq!(g.read(0, 13).unwrap(), b"victim secret");
+    }
+
+    #[test]
+    fn scrub_clears_and_costs_time() {
+        let mut g = Gpu::new(NodeId(1), 0, 1 << 20);
+        g.write(12345, &[0xAB; 100]).unwrap();
+        let report = g.scrub();
+        assert!(!g.is_dirty());
+        assert_eq!(report.bytes, 1 << 20);
+        assert_eq!(
+            report.duration,
+            SimDuration::from_micros(((1usize << 20) / SCRUB_BYTES_PER_US) as u64)
+        );
+        assert_eq!(g.read(12345, 100).unwrap(), vec![0u8; 100]);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut g = Gpu::new(NodeId(1), 0, 16);
+        assert_eq!(
+            g.write(10, &[0; 10]).unwrap_err(),
+            GpuError::OutOfBounds { len: 16, end: 20 }
+        );
+        assert!(g.read(0, 17).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! # eus-accel — accelerators with remanent memory
+//!
+//! Models the GPU story of paper Sec. IV-F: devices have "no concept of data
+//! ownership" and "do not clear their memory before reassignment", so the
+//! cluster must (a) gate access by flipping `/dev` node permissions to the
+//! allocated user's private group, and (b) run a vendor-style scrub in the
+//! scheduler epilog.
+//!
+//! * [`gpu`] — device memory with explicit remanence and the scrub cost
+//!   model.
+//! * [`devfile`] — the prolog/epilog `/dev` permission flips.
+//! * [`pool`] — the cluster-wide pool: install → assign → release(scrub).
+
+#![warn(missing_docs)]
+
+pub mod devfile;
+pub mod gpu;
+pub mod pool;
+
+pub use devfile::{
+    assign_device, create_device_node, revoke_device, set_device_world_open, ASSIGNED_MODE,
+    UNASSIGNED_MODE,
+};
+pub use gpu::{Gpu, GpuError, ScrubReport, SCRUB_BYTES_PER_US};
+pub use pool::GpuPool;

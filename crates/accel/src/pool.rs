@@ -1,0 +1,199 @@
+//! The per-cluster GPU pool: ties device state ([`crate::gpu::Gpu`]) to the
+//! `/dev` permission lifecycle ([`crate::devfile`]) and the scheduler epilog.
+
+use crate::devfile::{assign_device, create_device_node, revoke_device};
+use crate::gpu::{Gpu, ScrubReport};
+use eus_simos::node::FsHandle;
+use eus_simos::vfs::FsResult;
+use eus_simos::{DeviceId, Gid, NodeId, Uid};
+use std::collections::BTreeMap;
+
+/// All GPUs in the cluster, keyed by (node, index).
+#[derive(Debug, Default)]
+pub struct GpuPool {
+    gpus: BTreeMap<(NodeId, u16), Gpu>,
+}
+
+impl GpuPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install `count` GPUs on a node, creating their device files in the
+    /// node's local filesystem (unassigned, invisible).
+    pub fn install(
+        &mut self,
+        node: NodeId,
+        count: u16,
+        mem_bytes: usize,
+        fs: &FsHandle,
+    ) -> FsResult<()> {
+        for i in 0..count {
+            let gpu = Gpu::new(node, i, mem_bytes);
+            create_device_node(fs, gpu.device)?;
+            self.gpus.insert((node, i), gpu);
+        }
+        Ok(())
+    }
+
+    /// GPUs on a node.
+    pub fn on_node(&self, node: NodeId) -> Vec<&Gpu> {
+        self.gpus
+            .range((node, 0)..=(node, u16::MAX))
+            .map(|(_, g)| g)
+            .collect()
+    }
+
+    /// Borrow one GPU.
+    pub fn get(&self, node: NodeId, index: u16) -> Option<&Gpu> {
+        self.gpus.get(&(node, index))
+    }
+
+    /// Mutably borrow one GPU (jobs write/read device memory through this).
+    pub fn get_mut(&mut self, node: NodeId, index: u16) -> Option<&mut Gpu> {
+        self.gpus.get_mut(&(node, index))
+    }
+
+    /// Assign the first `count` free GPUs on `node` to a user (prolog):
+    /// records the assignee and flips the device-file group to their UPG.
+    /// Returns the device ids assigned.
+    pub fn assign(
+        &mut self,
+        node: NodeId,
+        count: u16,
+        user: Uid,
+        upg: Gid,
+        fs: &FsHandle,
+    ) -> FsResult<Vec<DeviceId>> {
+        let free: Vec<u16> = self
+            .gpus
+            .range((node, 0)..=(node, u16::MAX))
+            .filter(|(_, g)| g.assigned_to.is_none())
+            .map(|((_, i), _)| *i)
+            .take(count as usize)
+            .collect();
+        let mut out = Vec::with_capacity(free.len());
+        for i in free {
+            let gpu = self.gpus.get_mut(&(node, i)).expect("listed above");
+            gpu.assigned_to = Some(user);
+            assign_device(fs, gpu.device, upg)?;
+            out.push(gpu.device);
+        }
+        Ok(out)
+    }
+
+    /// Release a user's GPUs on a node (epilog): revoke `/dev` access and,
+    /// when `scrub` is set (the paper's configuration), clear device memory.
+    /// Returns one report per GPU (empty duration reports when not scrubbed).
+    pub fn release_user(
+        &mut self,
+        node: NodeId,
+        user: Uid,
+        scrub: bool,
+        fs: &FsHandle,
+    ) -> FsResult<Vec<ScrubReport>> {
+        let mine: Vec<u16> = self
+            .gpus
+            .range((node, 0)..=(node, u16::MAX))
+            .filter(|(_, g)| g.assigned_to == Some(user))
+            .map(|((_, i), _)| *i)
+            .collect();
+        let mut reports = Vec::with_capacity(mine.len());
+        for i in mine {
+            let gpu = self.gpus.get_mut(&(node, i)).expect("listed above");
+            gpu.assigned_to = None;
+            revoke_device(fs, gpu.device)?;
+            if scrub {
+                reports.push(gpu.scrub());
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Total GPUs in the pool.
+    pub fn len(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// True when no GPUs are installed.
+    pub fn is_empty(&self) -> bool {
+        self.gpus.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eus_simos::node::fs_handle;
+    use eus_simos::Vfs;
+
+    fn setup() -> (GpuPool, FsHandle) {
+        let fs = fs_handle(Vfs::standard_node_layout("gpu-node"));
+        let mut pool = GpuPool::new();
+        pool.install(NodeId(1), 2, 4096, &fs).unwrap();
+        (pool, fs)
+    }
+
+    #[test]
+    fn install_creates_device_files() {
+        let (pool, fs) = setup();
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.on_node(NodeId(1)).len(), 2);
+        let root = eus_simos::FsCtx::root();
+        assert!(fs.read().stat(&root, "/dev/gpu0").is_ok());
+        assert!(fs.read().stat(&root, "/dev/gpu1").is_ok());
+    }
+
+    #[test]
+    fn assign_takes_free_gpus_only() {
+        let (mut pool, fs) = setup();
+        let a = pool.assign(NodeId(1), 1, Uid(100), Gid(100), &fs).unwrap();
+        assert_eq!(a.len(), 1);
+        let b = pool.assign(NodeId(1), 2, Uid(101), Gid(101), &fs).unwrap();
+        assert_eq!(b.len(), 1, "only one GPU left");
+        assert_ne!(a[0], b[0]);
+        let none = pool.assign(NodeId(1), 1, Uid(102), Gid(102), &fs).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn remanence_attack_without_scrub_and_defense_with() {
+        let (mut pool, fs) = setup();
+        // Victim writes a secret, job ends WITHOUT scrub.
+        pool.assign(NodeId(1), 1, Uid(100), Gid(100), &fs).unwrap();
+        pool.get_mut(NodeId(1), 0)
+            .unwrap()
+            .write(0, b"victim model weights")
+            .unwrap();
+        pool.release_user(NodeId(1), Uid(100), false, &fs).unwrap();
+
+        // Attacker allocates next and reads the residue.
+        pool.assign(NodeId(1), 1, Uid(200), Gid(200), &fs).unwrap();
+        let stolen = pool.get(NodeId(1), 0).unwrap().read(0, 20).unwrap();
+        assert_eq!(stolen, b"victim model weights", "remanence leaks");
+        pool.release_user(NodeId(1), Uid(200), false, &fs).unwrap();
+
+        // Same flow with epilog scrub: the attacker reads zeros.
+        pool.assign(NodeId(1), 1, Uid(100), Gid(100), &fs).unwrap();
+        pool.get_mut(NodeId(1), 0).unwrap().write(0, b"secret2").unwrap();
+        let reports = pool.release_user(NodeId(1), Uid(100), true, &fs).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].duration > eus_simcore::SimDuration::ZERO);
+        pool.assign(NodeId(1), 1, Uid(200), Gid(200), &fs).unwrap();
+        assert_eq!(
+            pool.get(NodeId(1), 0).unwrap().read(0, 7).unwrap(),
+            vec![0u8; 7]
+        );
+    }
+
+    #[test]
+    fn release_only_touches_that_users_gpus() {
+        let (mut pool, fs) = setup();
+        pool.assign(NodeId(1), 1, Uid(100), Gid(100), &fs).unwrap();
+        pool.assign(NodeId(1), 1, Uid(101), Gid(101), &fs).unwrap();
+        pool.release_user(NodeId(1), Uid(100), true, &fs).unwrap();
+        assert_eq!(pool.get(NodeId(1), 0).unwrap().assigned_to, None);
+        assert_eq!(pool.get(NodeId(1), 1).unwrap().assigned_to, Some(Uid(101)));
+    }
+}

@@ -1,0 +1,40 @@
+//! Full separation-audit cost (experiment E12's performance face): a
+//! complete 18-channel sweep — 18 cluster constructions plus probes —
+//! per configuration. This is the "how long does it take to re-verify the
+//! whole deployment" number an operator cares about.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eus_core::{audit, ClusterSpec, SeparationConfig};
+use std::hint::black_box;
+
+fn bench_audit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("audit/full_sweep");
+    g.sample_size(10);
+    for (label, cfg) in [
+        ("baseline", SeparationConfig::baseline()),
+        ("llsc", SeparationConfig::llsc()),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(audit::run_audit(&cfg, &ClusterSpec::tiny())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cluster_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("audit/cluster_construction");
+    for (label, spec) in [("tiny", ClusterSpec::tiny()), ("default", ClusterSpec::default())] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(eus_core::SecureCluster::new(
+                    SeparationConfig::llsc(),
+                    spec.clone(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_audit, bench_cluster_construction);
+criterion_main!(benches);

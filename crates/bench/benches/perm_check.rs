@@ -1,0 +1,91 @@
+//! Microbenchmarks of the VFS permission machinery — the code on every I/O
+//! hot path once the File Permission Handler is deployed. Verifies the
+//! smask/ACL checks add only constant, nanosecond-scale work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eus_simos::vfs::{check_access, FsCtx, Mode, Perm, PermMeta, PosixAcl, Vfs};
+use eus_simos::{Credentials, Gid, Uid};
+use std::hint::black_box;
+
+fn bench_check_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perm_check/access_decision");
+    let owner = Credentials::new(Uid(100), Gid(100));
+    let member = Credentials::with_groups(Uid(101), Gid(101), [Gid(100), Gid(200), Gid(300)]);
+    let stranger = Credentials::new(Uid(102), Gid(102));
+
+    let plain = PermMeta {
+        uid: Uid(100),
+        gid: Gid(100),
+        mode: Mode::new(0o640),
+        acl: None,
+        is_dir: false,
+    };
+    g.bench_function("owner_plain", |b| {
+        b.iter(|| check_access(black_box(&owner), black_box(&plain), Perm::RW))
+    });
+    g.bench_function("group_member_plain", |b| {
+        b.iter(|| check_access(black_box(&member), black_box(&plain), Perm::R))
+    });
+    g.bench_function("stranger_plain", |b| {
+        b.iter(|| check_access(black_box(&stranger), black_box(&plain), Perm::R))
+    });
+
+    let mut acl = PosixAcl::new(Perm::RX);
+    for i in 0..16 {
+        acl = acl.with_user(Uid(500 + i), Perm::R).with_group(Gid(600 + i), Perm::R);
+    }
+    let with_acl = PermMeta {
+        acl: Some(&acl),
+        ..plain.clone()
+    };
+    g.bench_function("stranger_16_entry_acl", |b| {
+        b.iter(|| check_access(black_box(&stranger), black_box(&with_acl), Perm::R))
+    });
+    g.finish();
+}
+
+fn bench_path_resolution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perm_check/path_resolution");
+    for depth in [2usize, 8, 32] {
+        let mut fs = Vfs::new("bench");
+        let root = FsCtx::root().with_umask(Mode::new(0));
+        let mut path = String::new();
+        for i in 0..depth {
+            path.push_str(&format!("/d{i}"));
+            fs.mkdir(&root, &path, Mode::new(0o755)).unwrap();
+        }
+        path.push_str("/file");
+        fs.write_file(&root, &path, Mode::new(0o644), b"x").unwrap();
+        let user = FsCtx::user(Credentials::new(Uid(1), Gid(1)));
+        g.bench_with_input(BenchmarkId::new("read", depth), &path, |b, p| {
+            b.iter(|| fs.read(black_box(&user), black_box(p)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_create_with_masks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perm_check/create");
+    for (name, smask_on) in [("vanilla", false), ("smask_patched", true)] {
+        let mut fs = Vfs::standard_node_layout("bench");
+        fs.enforce_smask = smask_on;
+        let ctx = FsCtx::user(Credentials::new(Uid(1), Gid(1)))
+            .with_smask(Mode::new(0o007));
+        let mut i = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                i += 1;
+                fs.create(&ctx, &format!("/tmp/f{i}"), Mode::new(0o666)).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_check_access,
+    bench_path_resolution,
+    bench_create_with_masks
+);
+criterion_main!(benches);

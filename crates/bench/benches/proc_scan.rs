@@ -1,0 +1,44 @@
+//! `/proc` scan cost vs hidepid level and process count (experiment E1's
+//! performance face): hiding must not make `ps` slower for legitimate use.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eus_simcore::SimTime;
+use eus_simos::procfs::{HidePid, ProcFs, ProcMountOpts};
+use eus_simos::{Credentials, Gid, ProcessTable, Uid};
+use std::hint::black_box;
+
+fn bench_proc_listing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("proc_scan/list");
+    for n in [64usize, 512, 4096] {
+        let mut table = ProcessTable::new();
+        for i in 0..n {
+            let uid = 1000 + (i % 50) as u32;
+            table.spawn(
+                Credentials::new(Uid(uid), Gid(uid)),
+                ["python", "job.py"],
+                SimTime::ZERO,
+            );
+        }
+        let viewer = Credentials::new(Uid(1000), Gid(1000));
+        for (label, level) in [("hidepid0", HidePid::Off), ("hidepid2", HidePid::Invisible)] {
+            let opts = ProcMountOpts {
+                hidepid: level,
+                exempt_gid: None,
+            };
+            g.bench_with_input(
+                BenchmarkId::new(label, n),
+                &table,
+                |b, t| {
+                    b.iter(|| {
+                        let fs = ProcFs::new(black_box(t), opts);
+                        black_box(fs.list(&viewer).len())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_proc_listing);
+criterion_main!(benches);

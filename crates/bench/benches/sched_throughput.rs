@@ -1,0 +1,60 @@
+//! Scheduler engine throughput per policy (experiment E4's performance
+//! face): events processed per second of wall time while replaying the
+//! LLSC-like trace, plus the backfill on/off cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eus_bench::standard_trace;
+use eus_sched::{NodeSharing, SchedConfig, Scheduler};
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched/replay_1h_trace");
+    g.sample_size(10);
+    let trace = standard_trace(20, 1, 99);
+    for policy in NodeSharing::all() {
+        g.bench_with_input(
+            BenchmarkId::new("policy", policy),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut s = Scheduler::new(SchedConfig {
+                        policy,
+                        ..SchedConfig::default()
+                    });
+                    for _ in 0..16 {
+                        s.add_node(16, 65_536, 0);
+                    }
+                    trace.submit_all(&mut s);
+                    black_box(s.run_to_completion())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_backfill_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched/backfill");
+    g.sample_size(10);
+    let trace = standard_trace(20, 1, 99);
+    for (label, backfill) in [("fcfs_only", false), ("easy_backfill", true)] {
+        g.bench_with_input(BenchmarkId::new("mode", label), &trace, |b, trace| {
+            b.iter(|| {
+                let mut s = Scheduler::new(SchedConfig {
+                    policy: NodeSharing::WholeNodeUser,
+                    backfill,
+                    ..SchedConfig::default()
+                });
+                for _ in 0..16 {
+                    s.add_node(16, 65_536, 0);
+                }
+                trace.submit_all(&mut s);
+                black_box(s.run_to_completion())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_backfill_cost);
+criterion_main!(benches);

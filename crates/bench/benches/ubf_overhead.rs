@@ -1,0 +1,99 @@
+//! UBF decision-path cost (experiment E9): wall-clock cost of the daemon's
+//! judge path (cache hit vs miss), full connection establishment with and
+//! without the UBF, and established-flow sends. The paper's structural
+//! claim — cost confined to setup — shows up as `send` being unaffected by
+//! the firewall's presence.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use eus_simnet::{Fabric, PeerInfo, Proto, SocketAddr};
+use eus_simos::{NodeId, UserDb};
+use eus_ubf::{deploy_ubf, shared_user_db, SharedUserDb, UbfConfig};
+use std::hint::black_box;
+
+fn fabric_pair(ubf: bool, cache: bool) -> (Fabric, SharedUserDb, PeerInfo) {
+    let mut db = UserDb::new();
+    let alice = db.create_user("alice").unwrap();
+    let shared = shared_user_db(db);
+    let mut f = Fabric::new();
+    f.add_host(NodeId(1));
+    f.add_host(NodeId(2));
+    if ubf {
+        let cfg = UbfConfig {
+            cache_capacity: if cache { 4096 } else { 0 },
+            ..UbfConfig::default()
+        };
+        for n in [NodeId(1), NodeId(2)] {
+            deploy_ubf(f.host_mut(n).unwrap(), shared.clone(), cfg.clone());
+        }
+    }
+    let peer = PeerInfo::from_cred(&shared.read().credentials(alice).unwrap());
+    f.listen(NodeId(2), Proto::Tcp, 9000, peer).unwrap();
+    (f, shared, peer)
+}
+
+fn bench_connect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ubf/connect");
+    for (label, ubf, cache) in [
+        ("no_ubf", false, false),
+        ("ubf_no_cache", true, false),
+        ("ubf_cached", true, true),
+    ] {
+        let (mut f, _db, peer) = fabric_pair(ubf, cache);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let (conn, lat) = f
+                    .connect(NodeId(1), peer, SocketAddr::new(NodeId(2), 9000), Proto::Tcp)
+                    .unwrap();
+                f.close(conn);
+                black_box(lat)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_established_send(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ubf/established_send");
+    for (label, ubf) in [("no_ubf", false), ("with_ubf", true)] {
+        let (mut f, _db, peer) = fabric_pair(ubf, true);
+        let (conn, _) = f
+            .connect(NodeId(1), peer, SocketAddr::new(NodeId(2), 9000), Proto::Tcp)
+            .unwrap();
+        let payload = Bytes::from_static(&[0u8; 4096]);
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(f.send(conn, &payload).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_denied_connect(c: &mut Criterion) {
+    // Denials must also be cheap (a scan shouldn't melt the daemon).
+    let mut g = c.benchmark_group("ubf/denied_connect");
+    let mut db = UserDb::new();
+    let alice = db.create_user("alice").unwrap();
+    let bob = db.create_user("bob").unwrap();
+    let shared = shared_user_db(db);
+    let mut f = Fabric::new();
+    f.add_host(NodeId(1));
+    f.add_host(NodeId(2));
+    for n in [NodeId(1), NodeId(2)] {
+        deploy_ubf(f.host_mut(n).unwrap(), shared.clone(), UbfConfig::default());
+    }
+    let a = PeerInfo::from_cred(&shared.read().credentials(alice).unwrap());
+    let b_peer = PeerInfo::from_cred(&shared.read().credentials(bob).unwrap());
+    f.listen(NodeId(2), Proto::Tcp, 9000, a).unwrap();
+    g.bench_function("stranger_denied", |bch| {
+        bch.iter(|| {
+            black_box(
+                f.connect(NodeId(1), b_peer, SocketAddr::new(NodeId(2), 9000), Proto::Tcp)
+                    .is_err(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_connect, bench_established_send, bench_denied_connect);
+criterion_main!(benches);

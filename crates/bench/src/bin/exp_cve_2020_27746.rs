@@ -1,0 +1,67 @@
+//! E2 — CVE-2020-27746 pre-mitigation (paper Sec. IV-A).
+//!
+//! A vulnerable `srun --x11` places an X11 magic cookie on a task command
+//! line. An attacker sweeps `/proc` on the compute node. The table shows
+//! how many secrets the sweep harvests per configuration.
+
+use eus_bench::table::TextTable;
+use eus_core::{ClusterSpec, SecureCluster, SeparationConfig};
+use eus_sched::JobSpec;
+use eus_simcore::{SimDuration, SimTime};
+use eus_simos::Pid;
+
+const COOKIE: &str = "MIT-MAGIC-COOKIE-1:deadbeef";
+
+fn harvest(config: SeparationConfig, victims: usize) -> usize {
+    let mut c = SecureCluster::new(config, ClusterSpec::default());
+    let attacker = c.add_user("attacker").unwrap();
+    for i in 0..victims {
+        let v = c.add_user(&format!("victim{i}")).unwrap();
+        c.submit(
+            JobSpec::new(v, "x11-job", SimDuration::from_secs(600))
+                .with_cmdline(["srun", "--x11", &format!("--xauth={COOKIE}-{i}")]),
+        );
+    }
+    c.advance_to(SimTime::from_secs(1));
+    let a_cred = c.credentials(attacker);
+    let mut stolen = 0;
+    for &node in &c.compute_ids {
+        let node_os = c.node(node);
+        let procfs = node_os.procfs();
+        for pid in 1..=128u32 {
+            if let Ok(cmdline) = procfs.read_cmdline(&a_cred, Pid(pid)) {
+                stolen += cmdline
+                    .iter()
+                    .filter(|a| a.contains("MIT-MAGIC-COOKIE"))
+                    .count();
+            }
+        }
+    }
+    stolen
+}
+
+fn main() {
+    println!("E2: CVE-2020-27746 cookie harvest (Sec. IV-A)\n");
+    let mut table = TextTable::new(&["config", "victims", "cookies stolen"]);
+
+    let mut hidepid_only = SeparationConfig::baseline();
+    hidepid_only.hidepid = true;
+
+    for victims in [1usize, 4, 8] {
+        for (label, cfg) in [
+            ("baseline", SeparationConfig::baseline()),
+            ("hidepid-only", hidepid_only.clone()),
+            ("llsc", SeparationConfig::llsc()),
+        ] {
+            table.row(&[
+                label.to_string(),
+                victims.to_string(),
+                harvest(cfg, victims).to_string(),
+            ]);
+        }
+    }
+
+    print!("{}", table.render());
+    println!("\nclaim check: any configuration with hidepid=2 steals zero cookies —");
+    println!("the vulnerability was mitigated before it was announced (defense in depth).");
+}

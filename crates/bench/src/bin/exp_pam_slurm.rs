@@ -1,0 +1,51 @@
+//! E6 — `pam_slurm` ssh gating (paper Sec. IV-B).
+//!
+//! The access matrix: (has a job on the node?, is an operator?) × (pam_slurm
+//! on/off) → ssh outcome, plus revocation when the job ends.
+
+use eus_bench::table::TextTable;
+use eus_core::{ClusterSpec, SecureCluster, SeparationConfig};
+use eus_sched::JobSpec;
+use eus_simcore::{SimDuration, SimTime};
+
+fn main() {
+    println!("E6: pam_slurm ssh admission (Sec. IV-B)\n");
+    let mut table = TextTable::new(&["config", "scenario", "ssh result"]);
+
+    for pam_on in [false, true] {
+        let mut cfg = SeparationConfig::llsc();
+        cfg.pam_slurm = pam_on;
+        let mut c = SecureCluster::new(cfg, ClusterSpec::default());
+        let alice = c.add_user("alice").unwrap();
+        let bob = c.add_user("bob").unwrap();
+        let operator = c.add_user("operator").unwrap();
+        c.sched.write().add_admin(operator);
+
+        c.submit(JobSpec::new(alice, "run", SimDuration::from_secs(100)));
+        c.advance_to(SimTime::from_secs(1));
+        let job_node = c.compute_ids[0];
+        let other_node = c.compute_ids[1];
+        let label = if pam_on { "pam_slurm on" } else { "pam_slurm off" };
+
+        let mut attempt = |c: &mut SecureCluster, who, node, desc: &str| {
+            let result = match c.ssh(who, node) {
+                Ok(_) => "allowed".to_string(),
+                Err(e) => format!("denied ({e})"),
+            };
+            table.row(&[label.to_string(), desc.to_string(), result]);
+        };
+
+        attempt(&mut c, alice, job_node, "owner -> node running her job");
+        attempt(&mut c, alice, other_node, "owner -> idle node (no job)");
+        attempt(&mut c, bob, job_node, "other user -> victim's node");
+        attempt(&mut c, operator, job_node, "operator -> any node");
+
+        // Revocation: after the job ends, the owner loses access too.
+        c.run_to_completion();
+        attempt(&mut c, alice, job_node, "owner -> same node, job finished");
+    }
+
+    print!("{}", table.render());
+    println!("\nclaim check: with pam_slurm, compute-node ssh tracks live allocations");
+    println!("exactly; without it, anyone walks onto any node.");
+}

@@ -1,0 +1,88 @@
+//! E1 — process visibility under `hidepid` (paper Sec. IV-A).
+//!
+//! A login node runs `n` foreign processes plus 3 of the viewer's own. The
+//! table reports what a `ps`-sweep sees at each hidepid level, and what a
+//! whitelisted facilitator sees after `seepid`.
+
+use eus_bench::table::TextTable;
+use eus_fsperm::{seepid, FilePermissionHandler};
+use eus_simcore::SimTime;
+use eus_simos::procfs::{HidePid, ProcMountOpts};
+use eus_simos::{NodeId, NodeOs, UserDb};
+
+fn main() {
+    println!("E1: /proc visibility (Sec. IV-A)\n");
+    let mut table = TextTable::new(&[
+        "foreign procs",
+        "hidepid=0",
+        "hidepid=1 list",
+        "hidepid=1 cmdline",
+        "hidepid=2",
+        "hidepid=2 + seepid",
+    ]);
+
+    for n in [1usize, 8, 64, 256] {
+        let mut db = UserDb::new();
+        let viewer = db.create_user("viewer").unwrap();
+        let staff = db.create_user("staff").unwrap();
+        let others: Vec<_> = (0..8)
+            .map(|i| db.create_user(&format!("other{i}")).unwrap())
+            .collect();
+        let seepid_gid = db.create_system_group("proc-exempt").unwrap();
+        let handler = FilePermissionHandler::new(seepid_gid).allow_seepid(staff);
+
+        let mut node = NodeOs::new(NodeId(1), "login1");
+        let v_sid = node.login(&db, viewer, "sshd").unwrap();
+        for _ in 0..3 {
+            node.spawn(v_sid, ["my-own-shell"], SimTime::ZERO);
+        }
+        for i in 0..n {
+            let owner = others[i % others.len()];
+            node.procs.spawn(
+                db.credentials(owner).unwrap(),
+                ["python", "job.py"],
+                SimTime::ZERO,
+            );
+        }
+        let v_cred = db.credentials(viewer).unwrap();
+
+        let count_at = |node: &mut NodeOs, level: HidePid| -> (usize, usize) {
+            node.proc_opts = ProcMountOpts {
+                hidepid: level,
+                exempt_gid: Some(seepid_gid),
+            };
+            let procfs = node.procfs();
+            let listed = procfs.foreign_visible_count(&v_cred);
+            let readable = procfs
+                .list(&v_cred)
+                .iter()
+                .filter(|e| e.uid != viewer)
+                .filter(|e| procfs.read_cmdline(&v_cred, e.pid).is_ok())
+                .count();
+            (listed, readable)
+        };
+
+        let (l0, _) = count_at(&mut node, HidePid::Off);
+        let (l1, r1) = count_at(&mut node, HidePid::NoAccess);
+        let (l2, _) = count_at(&mut node, HidePid::Invisible);
+
+        // Facilitator view with seepid at hidepid=2.
+        let s_sid = node.login(&db, staff, "sshd").unwrap();
+        seepid(&handler, node.session_mut(s_sid).unwrap()).unwrap();
+        let s_cred = node.session(s_sid).unwrap().cred.clone();
+        let staff_sees = node.procfs().foreign_visible_count(&s_cred);
+
+        table.row(&[
+            n.to_string(),
+            l0.to_string(),
+            l1.to_string(),
+            r1.to_string(),
+            l2.to_string(),
+            staff_sees.to_string(),
+        ]);
+    }
+
+    print!("{}", table.render());
+    println!("\ncsv:\n{}", table.to_csv());
+    println!("claim check: hidepid=2 column must be 0 at every scale; seepid restores the full view.");
+}

@@ -1,0 +1,57 @@
+//! E8 — User-Based Firewall decision matrix (paper Sec. IV-D + Appendix).
+//!
+//! Connection attempts across every relationship (same user, project-group
+//! member with and without the listener's `newgrp` opt-in, stranger, system
+//! service) for both TCP and UDP, with the UBF on and off.
+
+use eus_bench::table::TextTable;
+use eus_core::{ClusterSpec, SecureCluster, SeparationConfig};
+use eus_simnet::{Proto, SocketAddr};
+
+fn main() {
+    println!("E8: UBF decision matrix (Sec. IV-D)\n");
+    let mut table = TextTable::new(&["firewall", "proto", "relationship", "outcome"]);
+
+    for ubf in [false, true] {
+        let mut cfg = SeparationConfig::llsc();
+        cfg.ubf = ubf;
+        let mut c = SecureCluster::new(cfg, ClusterSpec::default());
+        let alice = c.add_user("alice").unwrap();
+        let bob = c.add_user("bob").unwrap();
+        let eve = c.add_user("eve").unwrap();
+        let proj = c.create_project("proj", alice).unwrap();
+        c.add_project_member(alice, proj, bob).unwrap();
+        let n1 = c.compute_ids[0];
+        let n2 = c.compute_ids[1];
+        let fw = if ubf { "UBF" } else { "none" };
+
+        for proto in [Proto::Tcp, Proto::Udp] {
+            let base = if proto == Proto::Tcp { 9000u16 } else { 9500 };
+            // Listener with default egid (alice's UPG).
+            c.listen(alice, n2, proto, base, None).unwrap();
+            // Listener opted into the project group.
+            c.listen(alice, n2, proto, base + 1, Some(proj)).unwrap();
+
+            let mut attempt = |c: &mut SecureCluster, who, port, rel: &str| {
+                let res = match c.connect(who, n1, SocketAddr::new(n2, port), proto) {
+                    Ok((conn, setup)) => {
+                        c.fabric.close(conn);
+                        format!("allowed ({setup})")
+                    }
+                    Err(e) => format!("denied ({e})"),
+                };
+                table.row(&[fw.to_string(), proto.to_string(), rel.to_string(), res]);
+            };
+
+            attempt(&mut c, alice, base, "same user");
+            attempt(&mut c, bob, base, "groupmate, no opt-in");
+            attempt(&mut c, bob, base + 1, "groupmate, newgrp opt-in");
+            attempt(&mut c, eve, base + 1, "stranger vs opted listener");
+            attempt(&mut c, eve, base, "stranger");
+        }
+    }
+
+    print!("{}", table.render());
+    println!("\nclaim check: with the UBF only same-user and explicit group-opt-in rows");
+    println!("connect; sharing requires BOTH membership and the listener's consent (egid).");
+}

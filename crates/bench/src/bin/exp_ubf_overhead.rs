@@ -1,0 +1,77 @@
+//! E9a — where the UBF's cost lands (paper Sec. IV-D / V).
+//!
+//! Modeled latency of: connection setup without UBF, with UBF (cold cache),
+//! with UBF (warm cache), and per-packet cost on the established flow — then
+//! amortization across flow lengths. The paper's claim: the UBF touches only
+//! connection setup; established traffic is conntrack-accepted.
+
+use bytes::Bytes;
+use eus_bench::table::{f, TextTable};
+use eus_bench::two_user_cluster;
+use eus_core::SeparationConfig;
+use eus_simcore::SimDuration;
+use eus_simnet::{Proto, SocketAddr};
+
+fn main() {
+    println!("E9a: UBF overhead structure (Sec. IV-D)\n");
+
+    // -- setup latency table ------------------------------------------------
+    let mut table = TextTable::new(&["path", "setup latency (us)"]);
+
+    let (mut base, alice_b, _) = two_user_cluster(SeparationConfig::baseline());
+    let n1 = base.compute_ids[0];
+    let n2 = base.compute_ids[1];
+    base.listen(alice_b, n2, Proto::Tcp, 9000, None).unwrap();
+    let (_, no_ubf) = base
+        .connect(alice_b, n1, SocketAddr::new(n2, 9000), Proto::Tcp)
+        .unwrap();
+    table.row(&["no UBF".into(), no_ubf.as_micros().to_string()]);
+
+    let (mut hard, alice, _) = two_user_cluster(SeparationConfig::llsc());
+    let n1 = hard.compute_ids[0];
+    let n2 = hard.compute_ids[1];
+    hard.listen(alice, n2, Proto::Tcp, 9000, None).unwrap();
+    let (c1, cold) = hard
+        .connect(alice, n1, SocketAddr::new(n2, 9000), Proto::Tcp)
+        .unwrap();
+    table.row(&["UBF, cold cache (ident RTT)".into(), cold.as_micros().to_string()]);
+    let (c2, warm) = hard
+        .connect(alice, n1, SocketAddr::new(n2, 9000), Proto::Tcp)
+        .unwrap();
+    table.row(&["UBF, warm cache".into(), warm.as_micros().to_string()]);
+
+    // Established per-packet cost (identical with and without UBF).
+    let pkt = Bytes::from_static(&[0u8; 1024]);
+    let mut total = SimDuration::ZERO;
+    for _ in 0..1000 {
+        total += hard.fabric.send(c1, &pkt).unwrap();
+    }
+    let per_packet = total / 1000;
+    table.row(&["established, per 1 KiB packet".into(), per_packet.as_micros().to_string()]);
+    hard.fabric.close(c1);
+    hard.fabric.close(c2);
+    print!("{}", table.render());
+
+    // -- amortization over flow length ---------------------------------------
+    println!("\namortized overhead vs flow length (1 KiB packets):");
+    let mut amort = TextTable::new(&["packets in flow", "no-UBF total us", "UBF total us", "overhead"]);
+    for n in [1u64, 10, 100, 1000, 10000] {
+        let base_total = no_ubf.as_micros() + per_packet.as_micros() * n;
+        let ubf_total = cold.as_micros() + per_packet.as_micros() * n;
+        let overhead = (ubf_total as f64 / base_total as f64) - 1.0;
+        amort.row(&[
+            n.to_string(),
+            base_total.to_string(),
+            ubf_total.to_string(),
+            format!("{}%", f(100.0 * overhead, 2)),
+        ]);
+    }
+    print!("{}", amort.render());
+
+    let queued = hard.fabric.metrics.queued_packets.get();
+    let established = hard.fabric.metrics.established_packets.get();
+    println!("\npackets queued to the daemon: {queued} (the two setups only)");
+    println!("established packets (never queued): {established}");
+    println!("\nclaim check: overhead decays toward 0% as flows lengthen — an MPI job");
+    println!("pays one ident RTT per peer pair at wire-up and nothing afterwards.");
+}

@@ -1,0 +1,25 @@
+//! # eus-containers — HPC containers with host security passthrough
+//!
+//! Models paper Sec. IV-G: software-encapsulation containers
+//! (Apptainer/Singularity-style) as *heavyweight environment modules* — not
+//! enterprise service containers. The properties that matter for user
+//! separation:
+//!
+//! * containerized processes keep the invoking user's credentials and live
+//!   in the host process table, so **every host control (hidepid, UBF,
+//!   smask) keeps applying inside containers**,
+//! * image *builds* require privilege and are refused on the cluster,
+//! * enterprise runtimes (root daemon) are rejected outright for users,
+//! * image content goes stale: [`image`] models vulnerability accrual and
+//!   [`registry`] models the clone-and-forget sprawl across the shared
+//!   filesystem the paper warns about.
+
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod registry;
+pub mod runtime;
+
+pub use image::{Image, Package};
+pub use registry::{ContainerRegistry, StoredImage};
+pub use runtime::{ContainerError, ContainerProc, EnterpriseRuntime, HpcRuntime};

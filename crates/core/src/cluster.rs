@@ -1,0 +1,746 @@
+//! `SecureCluster`: a whole simulated HPC system assembled from the
+//! substrates according to a [`SeparationConfig`].
+//!
+//! This is the deployable artifact the paper describes: login + compute
+//! nodes with shared `/home` and `/proj` filesystems, a Slurm-like scheduler
+//! with the chosen node-sharing policy, per-node `/proc` options and PAM
+//! stacks, the User-Based Firewall on every host, scheduler-managed GPUs,
+//! and the web portal. The audit engine and every experiment run against
+//! this type.
+
+use crate::config::SeparationConfig;
+use eus_accel::GpuPool;
+use eus_containers::{ContainerRegistry, HpcRuntime};
+use eus_fsperm::{
+    apply_kernel_patches_handle, FilePermissionHandler, PamSmask, LLSC_SMASK,
+};
+use eus_portal::{PortalGateway, RouteKey, WebAppRegistry};
+use eus_sched::{
+    shared_scheduler, EpilogEvent, JobId, JobSpec, JobState, PamSlurm, SchedConfig, Scheduler,
+    SharedScheduler,
+};
+use eus_simcore::{SimDuration, SimTime};
+use eus_simnet::{ConnId, ConnectError, Fabric, PeerInfo, Port, Proto, SocketAddr};
+use eus_simos::node::{fs_handle, FsHandle, LoginError};
+use eus_simos::procfs::ProcMountOpts;
+use eus_simos::{
+    Credentials, FsCtx, FsError, FsResult, Gid, Mode, NodeId, NodeOs, Pid, SessionId, Uid, UserDb,
+    UserDbError, Vfs,
+};
+use eus_ubf::{deploy_ubf, shared_user_db, SharedUserDb, UbfConfig, UbfStats};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Hardware shape of the cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of compute nodes.
+    pub compute_nodes: u32,
+    /// Cores per compute node.
+    pub cores_per_node: u32,
+    /// Memory per compute node (MiB).
+    pub mem_per_node_mib: u64,
+    /// GPUs per compute node.
+    pub gpus_per_node: u16,
+    /// Device memory per GPU (bytes; kept small — remanence is the modeled
+    /// property, not capacity).
+    pub gpu_mem_bytes: usize,
+    /// Number of login nodes (always ≥ 1; these stay multi-user, which is
+    /// why hidepid matters even under whole-node scheduling).
+    pub login_nodes: u32,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            compute_nodes: 8,
+            cores_per_node: 16,
+            mem_per_node_mib: 65_536,
+            gpus_per_node: 2,
+            gpu_mem_bytes: 4096,
+            login_nodes: 1,
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// A small spec for fast tests.
+    pub fn tiny() -> Self {
+        ClusterSpec {
+            compute_nodes: 2,
+            cores_per_node: 8,
+            mem_per_node_mib: 16_384,
+            gpus_per_node: 1,
+            gpu_mem_bytes: 1024,
+            login_nodes: 1,
+        }
+    }
+}
+
+/// The assembled system.
+pub struct SecureCluster {
+    /// Deployed mechanisms.
+    pub config: SeparationConfig,
+    /// Hardware shape.
+    pub spec: ClusterSpec,
+    /// Shared account database.
+    pub db: SharedUserDb,
+    /// The scheduler (shared: PAM stacks hold handles).
+    pub sched: SharedScheduler,
+    /// The network.
+    pub fabric: Fabric,
+    nodes: BTreeMap<NodeId, NodeOs>,
+    /// Compute node ids (scheduler-managed).
+    pub compute_ids: Vec<NodeId>,
+    /// Login node ids (multi-user).
+    pub login_ids: Vec<NodeId>,
+    /// Cluster-wide `/home`.
+    pub shared_home: FsHandle,
+    /// Cluster-wide `/proj`.
+    pub shared_proj: FsHandle,
+    /// All accelerators.
+    pub gpus: GpuPool,
+    /// The web portal.
+    pub portal: PortalGateway,
+    /// Running web apps.
+    pub apps: WebAppRegistry,
+    /// File Permission Handler site policy (whitelists, smask default).
+    pub fsperm_policy: FilePermissionHandler,
+    /// Container runtime.
+    pub runtime: HpcRuntime,
+    /// Shared-filesystem container copies.
+    pub containers: ContainerRegistry,
+    /// Per-host UBF statistics handles (empty when UBF off).
+    pub ubf_stats: Vec<UbfStats>,
+    seepid_gid: Gid,
+    materialized: BTreeSet<JobId>,
+    job_procs: BTreeMap<JobId, Vec<(NodeId, Pid)>>,
+}
+
+impl SecureCluster {
+    /// Assemble a cluster.
+    pub fn new(config: SeparationConfig, spec: ClusterSpec) -> Self {
+        let mut udb = UserDb::new();
+        let seepid_gid = udb
+            .create_system_group("proc-exempt")
+            .expect("fresh db has no such group");
+        let db = shared_user_db(udb);
+
+        // Scheduler with the configured policy.
+        let mut scheduler = Scheduler::new(SchedConfig {
+            policy: config.node_policy,
+            private_data: config.private_data_flags(),
+            ..SchedConfig::default()
+        });
+        let compute_ids: Vec<NodeId> = (0..spec.compute_nodes)
+            .map(|_| {
+                scheduler.add_node(
+                    spec.cores_per_node,
+                    spec.mem_per_node_mib,
+                    spec.gpus_per_node as u32,
+                )
+            })
+            .collect();
+        let sched = shared_scheduler(scheduler);
+
+        // Shared filesystems.
+        let shared_home = fs_handle(Vfs::new("shared-home"));
+        let shared_proj = fs_handle(Vfs::new("shared-proj"));
+        if config.fsperm {
+            apply_kernel_patches_handle(&shared_home);
+            apply_kernel_patches_handle(&shared_proj);
+        }
+
+        let fsperm_policy = FilePermissionHandler::new(seepid_gid);
+
+        // Nodes: compute then login.
+        let mut nodes = BTreeMap::new();
+        let login_ids: Vec<NodeId> = (0..spec.login_nodes)
+            .map(|i| NodeId(spec.compute_nodes + 1 + i))
+            .collect();
+        let mut fabric = Fabric::new();
+        let mut ubf_stats = Vec::new();
+        let mut gpus = GpuPool::new();
+
+        for (idx, id) in compute_ids
+            .iter()
+            .chain(login_ids.iter())
+            .copied()
+            .enumerate()
+        {
+            let is_compute = idx < compute_ids.len();
+            let name = if is_compute {
+                format!("compute{}", id.0)
+            } else {
+                format!("login{}", id.0)
+            };
+            let mut node = NodeOs::new(id, name);
+            node.mount("/home", shared_home.clone());
+            node.mount("/proj", shared_proj.clone());
+            if config.hidepid {
+                node.proc_opts = ProcMountOpts::llsc(seepid_gid);
+            }
+            if config.fsperm {
+                apply_kernel_patches_handle(&node.local_fs);
+                node.pam
+                    .push(Box::new(PamSmask::from_handler(&fsperm_policy)));
+            }
+            if config.pam_slurm && is_compute {
+                node.pam.push(Box::new(PamSlurm::new(sched.clone())));
+            }
+            let host = fabric.add_host(id);
+            if config.ubf {
+                ubf_stats.push(deploy_ubf(host, db.clone(), UbfConfig::default()));
+            }
+            if is_compute && spec.gpus_per_node > 0 {
+                gpus.install(id, spec.gpus_per_node, spec.gpu_mem_bytes, &node.local_fs)
+                    .expect("fresh /dev");
+                if !config.gpu_dev_perms {
+                    for g in gpus.on_node(id) {
+                        eus_accel::set_device_world_open(&node.local_fs, g.device)
+                            .expect("device exists");
+                    }
+                }
+            }
+            nodes.insert(id, node);
+        }
+
+        let portal_host = login_ids[0];
+        let mut portal = PortalGateway::new(portal_host, db.clone());
+        if !config.portal_authz {
+            portal = portal.naive_proxy();
+        }
+
+        SecureCluster {
+            config,
+            spec,
+            db,
+            sched,
+            fabric,
+            nodes,
+            compute_ids,
+            login_ids,
+            shared_home,
+            shared_proj,
+            gpus,
+            portal,
+            apps: WebAppRegistry::new(),
+            fsperm_policy,
+            runtime: HpcRuntime,
+            containers: ContainerRegistry::new(),
+            ubf_stats,
+            seepid_gid,
+            materialized: BTreeSet::new(),
+            job_procs: BTreeMap::new(),
+        }
+    }
+
+    /// The hidepid exemption group.
+    pub fn seepid_gid(&self) -> Gid {
+        self.seepid_gid
+    }
+
+    /// The first login node (where the portal runs).
+    pub fn login_node(&self) -> NodeId {
+        self.login_ids[0]
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &NodeOs {
+        &self.nodes[&id]
+    }
+
+    /// Mutably borrow a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeOs {
+        self.nodes.get_mut(&id).expect("known node")
+    }
+
+    // ------------------------------------------------------------------
+    // Accounts and filesystems
+    // ------------------------------------------------------------------
+
+    /// Create a user. With the File Permission Handler deployment
+    /// (`config.fsperm`) homes follow the paper's layout: `/home/<name>`
+    /// owned by root, group = the user's private group, mode 0770 — the user
+    /// works freely inside but cannot chmod the top level open (Sec. IV-C).
+    /// Without it, the traditional layout applies: user-owned, mode 0755,
+    /// world-traversable — the baseline the audit contrasts.
+    pub fn add_user(&mut self, name: &str) -> Result<Uid, UserDbError> {
+        let uid = self.db.write().create_user(name)?;
+        let upg = self.db.read().user(uid).expect("just created").private_group;
+        let root = FsCtx::root().with_umask(Mode::new(0));
+        let mut home = self.shared_home.write();
+        if self.config.fsperm {
+            home.mkdir(&root, &format!("/{name}"), Mode::new(0o770))
+                .expect("fresh home dir");
+            home.set_meta_as_root(&format!("/{name}"), |m| m.gid = upg)
+                .expect("just created");
+        } else {
+            home.mkdir(&root, &format!("/{name}"), Mode::new(0o755))
+                .expect("fresh home dir");
+            home.set_meta_as_root(&format!("/{name}"), |m| {
+                m.uid = uid;
+                m.gid = upg;
+            })
+            .expect("just created");
+        }
+        Ok(uid)
+    }
+
+    /// Create an approved project group plus its `/proj/<name>` area:
+    /// setgid 2770, root-owned, group-owned by the project (Sec. IV-C).
+    pub fn create_project(&mut self, name: &str, steward: Uid) -> Result<Gid, UserDbError> {
+        let gid = self.db.write().create_project_group(name, steward)?;
+        let root = FsCtx::root().with_umask(Mode::new(0));
+        let mut proj = self.shared_proj.write();
+        proj.mkdir(&root, &format!("/{name}"), Mode::new(0o2770))
+            .expect("fresh proj dir");
+        proj.set_meta_as_root(&format!("/{name}"), |m| m.gid = gid)
+            .expect("just created");
+        Ok(gid)
+    }
+
+    /// Steward adds a member (the data-steward approval workflow).
+    pub fn add_project_member(
+        &mut self,
+        steward: Uid,
+        project: Gid,
+        user: Uid,
+    ) -> Result<(), UserDbError> {
+        self.db.write().add_to_group(steward, project, user)
+    }
+
+    /// The filesystem context a PAM login session would give this user:
+    /// credentials from the database, smask 007 when the File Permission
+    /// Handler is deployed.
+    pub fn user_fs_ctx(&self, user: Uid) -> FsCtx {
+        let cred = self
+            .db
+            .read()
+            .credentials(user)
+            .expect("known user");
+        let ctx = FsCtx::user(cred);
+        if self.config.fsperm {
+            ctx.with_smask(LLSC_SMASK)
+        } else {
+            ctx
+        }
+    }
+
+    /// Credentials straight from the account database.
+    pub fn credentials(&self, user: Uid) -> Credentials {
+        self.db.read().credentials(user).expect("known user")
+    }
+
+    /// Write a file as `user` on `node` (through that node's mounts).
+    pub fn fs_write(
+        &self,
+        user: Uid,
+        node: NodeId,
+        path: &str,
+        mode: Mode,
+        data: &[u8],
+    ) -> FsResult<()> {
+        let ctx = self.user_fs_ctx(user);
+        self.nodes[&node].fs_write(&ctx, path, mode, data)
+    }
+
+    /// Read a file as `user` on `node`.
+    pub fn fs_read(&self, user: Uid, node: NodeId, path: &str) -> FsResult<Vec<u8>> {
+        let ctx = self.user_fs_ctx(user);
+        self.nodes[&node].fs_read(&ctx, path)
+    }
+
+    /// chmod as `user` on `node` (smask-filtered when deployed).
+    pub fn fs_chmod(&self, user: Uid, node: NodeId, path: &str, mode: Mode) -> FsResult<Mode> {
+        let ctx = self.user_fs_ctx(user);
+        self.nodes[&node].with_fs(path, |fs, p| fs.chmod(&ctx, p, mode))
+    }
+
+    /// setfacl as `user` on `node` (restriction-patch-filtered when deployed).
+    pub fn fs_setfacl(
+        &self,
+        user: Uid,
+        node: NodeId,
+        path: &str,
+        acl: eus_simos::PosixAcl,
+    ) -> Result<(), FsError> {
+        let ctx = self.user_fs_ctx(user);
+        let db = self.db.read();
+        self.nodes[&node].with_fs(path, |fs, p| fs.setfacl(&ctx, p, acl, &db))
+    }
+
+    // ------------------------------------------------------------------
+    // Login / processes
+    // ------------------------------------------------------------------
+
+    /// ssh to a node through its PAM stack.
+    pub fn ssh(&mut self, user: Uid, node: NodeId) -> Result<SessionId, LoginError> {
+        let db = self.db.read().clone();
+        self.nodes
+            .get_mut(&node)
+            .expect("known node")
+            .login(&db, user, "sshd")
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduler
+    // ------------------------------------------------------------------
+
+    /// Submit a job arriving at the scheduler's current time.
+    pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        self.sched.write().submit(spec)
+    }
+
+    /// Submit a job arriving at `at`.
+    pub fn submit_at(&mut self, at: SimTime, spec: JobSpec) -> JobId {
+        self.sched.write().submit_at(at, spec)
+    }
+
+    /// Advance the scheduler clock and reconcile OS state (spawn processes
+    /// and assign GPUs for newly started jobs; run epilogs for ended ones).
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.sched.write().run_until(t);
+        self.reconcile();
+    }
+
+    /// Run everything to completion and reconcile.
+    pub fn run_to_completion(&mut self) -> SimTime {
+        let end = self.sched.write().run_to_completion();
+        self.reconcile();
+        end
+    }
+
+    fn reconcile(&mut self) {
+        // Snapshot what we need from the scheduler, then drop the guard.
+        struct Started {
+            job: JobId,
+            user: Uid,
+            cmdline: Vec<String>,
+            environ: BTreeMap<String, String>,
+            started: SimTime,
+            allocs: Vec<(NodeId, u32 /*gpus*/)>,
+        }
+        let (started, epilogs): (Vec<Started>, Vec<EpilogEvent>) = {
+            let mut sched = self.sched.write();
+            let started = sched
+                .jobs
+                .values()
+                .filter(|j| j.state == JobState::Running && !self.materialized.contains(&j.id))
+                .map(|j| Started {
+                    job: j.id,
+                    user: j.spec.user,
+                    cmdline: if j.spec.cmdline.is_empty() {
+                        vec![j.spec.name.clone()]
+                    } else {
+                        j.spec.cmdline.clone()
+                    },
+                    environ: j.spec.environ.clone(),
+                    started: j.started.expect("running"),
+                    allocs: j
+                        .allocations
+                        .iter()
+                        .map(|(n, a)| (*n, a.gpus))
+                        .collect(),
+                })
+                .collect();
+            (started, sched.drain_epilogs())
+        };
+
+        // Prolog work: processes + GPU assignment.
+        for s in started {
+            self.materialized.insert(s.job);
+            let cred = self.credentials(s.user);
+            let upg = self.db.read().user(s.user).expect("known").private_group;
+            let mut pids = Vec::new();
+            for (nid, gpu_count) in &s.allocs {
+                let node = self.nodes.get_mut(nid).expect("allocated node exists");
+                let pid = node.procs.spawn_with_env(
+                    cred.clone(),
+                    s.cmdline.clone(),
+                    s.environ.clone(),
+                    None,
+                    s.started,
+                );
+                pids.push((*nid, pid));
+                if *gpu_count > 0 && self.config.gpu_dev_perms {
+                    self.gpus
+                        .assign(*nid, *gpu_count as u16, s.user, upg, &node.local_fs)
+                        .expect("device files exist");
+                }
+            }
+            self.job_procs.insert(s.job, pids);
+        }
+
+        // Epilog work.
+        for e in epilogs {
+            // Web-app routes die with their job.
+            self.portal.routes.remove_job(e.job);
+            // Kill the job's own processes.
+            if let Some(pids) = self.job_procs.remove(&e.job) {
+                for (nid, pid) in pids {
+                    if let Some(node) = self.nodes.get_mut(&nid) {
+                        node.procs.remove(pid);
+                    }
+                }
+            }
+            if !e.user_still_active_on_node {
+                // pam_slurm_adopt-style: the user has no jobs left on the
+                // node, so stray processes, sockets, and abstract sockets go.
+                let local_fs = if let Some(node) = self.nodes.get_mut(&e.node) {
+                    node.procs.kill_all_of(e.user);
+                    node.abstract_sockets.cleanup_user(e.user);
+                    Some(node.local_fs.clone())
+                } else {
+                    None
+                };
+                if let Some(host) = self.fabric.host_mut(e.node) {
+                    host.sockets.close_all_of(e.user);
+                }
+                // Device permissions are revoked only when they were managed
+                // (Sec. IV-F); the epilog scrub is an independent step that
+                // clears every GPU the job touched, per config.
+                if let Some(fs) = local_fs {
+                    if self.config.gpu_dev_perms {
+                        self.gpus
+                            .release_user(e.node, e.user, false, &fs)
+                            .expect("device files exist");
+                    }
+                    if self.config.gpu_scrub && e.gpus > 0 {
+                        for idx in 0..self.spec.gpus_per_node {
+                            if let Some(gpu) = self.gpus.get_mut(e.node, idx) {
+                                gpu.scrub();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Network
+    // ------------------------------------------------------------------
+
+    /// Bind a listener as `user` on a node, optionally after `newgrp` to a
+    /// project group (the UBF opt-in).
+    pub fn listen(
+        &mut self,
+        user: Uid,
+        node: NodeId,
+        proto: Proto,
+        port: Port,
+        newgrp: Option<Gid>,
+    ) -> Result<(), ConnectError> {
+        let cred = self.credentials(user);
+        let cred = match newgrp {
+            Some(g) => self
+                .db
+                .read()
+                .newgrp(&cred, g)
+                .map_err(|_| ConnectError::NoSuchHost(node))?,
+            None => cred,
+        };
+        self.fabric
+            .listen(node, proto, port, PeerInfo::from_cred(&cred))
+    }
+
+    /// Connect as `user` from one node to an endpoint.
+    pub fn connect(
+        &mut self,
+        user: Uid,
+        from: NodeId,
+        to: SocketAddr,
+        proto: Proto,
+    ) -> Result<(ConnId, SimDuration), ConnectError> {
+        let peer = PeerInfo::from_cred(&self.credentials(user));
+        self.fabric.connect(from, peer, to, proto)
+    }
+
+    // ------------------------------------------------------------------
+    // Portal / web apps
+    // ------------------------------------------------------------------
+
+    /// Launch a web app for a user's job on a compute node and register its
+    /// portal route. Returns the route key.
+    #[allow(clippy::too_many_arguments)] // mirrors the launch command line
+    pub fn launch_webapp(
+        &mut self,
+        user: Uid,
+        job: JobId,
+        name: &str,
+        node: NodeId,
+        port: Port,
+        content: &str,
+        newgrp: Option<Gid>,
+    ) -> Result<RouteKey, ConnectError> {
+        let cred = self.credentials(user);
+        let cred = match newgrp {
+            Some(g) => self
+                .db
+                .read()
+                .newgrp(&cred, g)
+                .map_err(|_| ConnectError::NoSuchHost(node))?,
+            None => cred,
+        };
+        let endpoint = self
+            .apps
+            .launch(&mut self.fabric, node, &cred, port, content)?;
+        let key = RouteKey {
+            user,
+            job,
+            name: name.to_string(),
+        };
+        self.portal.routes.register(eus_portal::Route {
+            key: key.clone(),
+            target: endpoint,
+            listener: PeerInfo::from_cred(&cred),
+        });
+        Ok(key)
+    }
+
+    /// Authenticate a user to the portal.
+    pub fn portal_login(&mut self, user: Uid) -> Result<eus_portal::Token, eus_portal::AuthError> {
+        let db = self.db.read().clone();
+        self.portal.auth.login(&db, user)
+    }
+
+    /// Fetch a route through the portal.
+    pub fn portal_fetch(
+        &mut self,
+        token: eus_portal::Token,
+        key: &RouteKey,
+    ) -> Result<eus_portal::Response, eus_portal::PortalError> {
+        self.portal.fetch(&mut self.fabric, &self.apps, token, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eus_sched::JobSpec;
+
+    fn llsc_tiny() -> SecureCluster {
+        SecureCluster::new(SeparationConfig::llsc(), ClusterSpec::tiny())
+    }
+
+    #[test]
+    fn construction_shapes() {
+        let c = llsc_tiny();
+        assert_eq!(c.compute_ids.len(), 2);
+        assert_eq!(c.login_ids.len(), 1);
+        assert_eq!(c.gpus.len(), 2);
+        assert!(!c.ubf_stats.is_empty());
+        assert_eq!(c.login_node(), NodeId(3));
+    }
+
+    #[test]
+    fn add_user_builds_paper_home_layout() {
+        let mut c = llsc_tiny();
+        let alice = c.add_user("alice").unwrap();
+        let login = c.login_node();
+        // Alice can work in her home.
+        c.fs_write(alice, login, "/home/alice/notes", Mode::new(0o600), b"hi")
+            .unwrap();
+        assert_eq!(c.fs_read(alice, login, "/home/alice/notes").unwrap(), b"hi");
+        // But cannot chmod the top level (root owns it).
+        let err = c
+            .fs_chmod(alice, login, "/home/alice", Mode::new(0o777))
+            .unwrap_err();
+        assert!(matches!(err, FsError::PermissionDenied { .. }));
+        // And a stranger cannot enter.
+        let bob = c.add_user("bob").unwrap();
+        assert!(c.fs_read(bob, login, "/home/alice/notes").is_err());
+    }
+
+    #[test]
+    fn project_dir_shares_via_setgid() {
+        let mut c = llsc_tiny();
+        let alice = c.add_user("alice").unwrap();
+        let bob = c.add_user("bob").unwrap();
+        let proj = c.create_project("fusion", alice).unwrap();
+        c.add_project_member(alice, proj, bob).unwrap();
+        let login = c.login_node();
+        c.fs_write(alice, login, "/proj/fusion/data", Mode::new(0o660), b"shared")
+            .unwrap();
+        // File inherited the project group via setgid, so bob reads it.
+        assert_eq!(
+            c.fs_read(bob, login, "/proj/fusion/data").unwrap(),
+            b"shared"
+        );
+        // An outsider cannot.
+        let eve = c.add_user("eve").unwrap();
+        assert!(c.fs_read(eve, login, "/proj/fusion/data").is_err());
+    }
+
+    #[test]
+    fn job_lifecycle_materializes_processes_and_gpus() {
+        let mut c = llsc_tiny();
+        let alice = c.add_user("alice").unwrap();
+        let spec = JobSpec::new(alice, "train", SimDuration::from_secs(100))
+            .with_gpus_per_task(1)
+            .with_cmdline(["python", "train.py"]);
+        c.submit(spec);
+        c.advance_to(SimTime::from_secs(1));
+
+        // Process exists on the allocated node.
+        let node = c.compute_ids[0];
+        assert_eq!(c.node(node).procs.count_for(alice), 1);
+        // GPU assigned to alice.
+        let gpu = c.gpus.get(node, 0).unwrap();
+        assert_eq!(gpu.assigned_to, Some(alice));
+
+        // After completion: process gone, GPU released + scrubbed.
+        c.run_to_completion();
+        assert_eq!(c.node(node).procs.count_for(alice), 0);
+        assert_eq!(c.gpus.get(node, 0).unwrap().assigned_to, None);
+    }
+
+    #[test]
+    fn ssh_gated_by_pam_slurm_on_compute_only() {
+        let mut c = llsc_tiny();
+        let alice = c.add_user("alice").unwrap();
+        let compute = c.compute_ids[0];
+        let login = c.login_node();
+        // No job: compute denied, login fine.
+        assert!(c.ssh(alice, compute).is_err());
+        assert!(c.ssh(alice, login).is_ok());
+        // With a running job on that node: allowed.
+        c.submit(JobSpec::new(alice, "j", SimDuration::from_secs(100)));
+        c.advance_to(SimTime::from_secs(1));
+        assert!(c.ssh(alice, compute).is_ok());
+    }
+
+    #[test]
+    fn ubf_enforced_between_nodes() {
+        let mut c = llsc_tiny();
+        let alice = c.add_user("alice").unwrap();
+        let bob = c.add_user("bob").unwrap();
+        let n1 = c.compute_ids[0];
+        let n2 = c.compute_ids[1];
+        c.listen(alice, n2, Proto::Tcp, 8888, None).unwrap();
+        assert!(c
+            .connect(alice, n1, SocketAddr::new(n2, 8888), Proto::Tcp)
+            .is_ok());
+        assert!(matches!(
+            c.connect(bob, n1, SocketAddr::new(n2, 8888), Proto::Tcp)
+                .unwrap_err(),
+            ConnectError::DeniedByDaemon { .. }
+        ));
+    }
+
+    #[test]
+    fn baseline_cluster_is_permissive() {
+        let mut c = SecureCluster::new(SeparationConfig::baseline(), ClusterSpec::tiny());
+        let alice = c.add_user("alice").unwrap();
+        let bob = c.add_user("bob").unwrap();
+        let n1 = c.compute_ids[0];
+        let n2 = c.compute_ids[1];
+        // No UBF: cross-user connect succeeds.
+        c.listen(alice, n2, Proto::Tcp, 8888, None).unwrap();
+        assert!(c
+            .connect(bob, n1, SocketAddr::new(n2, 8888), Proto::Tcp)
+            .is_ok());
+        // No pam_slurm: ssh anywhere.
+        assert!(c.ssh(bob, n1).is_ok());
+    }
+}

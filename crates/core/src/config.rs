@@ -1,0 +1,244 @@
+//! The separation configuration: one toggle per mechanism the paper deploys.
+//!
+//! [`SeparationConfig::baseline`] is a stock Linux + Slurm cluster (every
+//! control off, shared nodes); [`SeparationConfig::llsc`] is the paper's full
+//! deployment. Individual toggles support the ablation sweep in experiment
+//! E12, which shows which cross-user channels each control closes — the
+//! paper's defense-in-depth argument (e.g. whole-node scheduling does *not*
+//! make `hidepid` redundant, Sec. IV-B).
+
+use eus_sched::{NodeSharing, PrivateData};
+use std::fmt;
+
+/// Which mechanisms are deployed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeparationConfig {
+    /// `hidepid=2` on `/proc` plus the `seepid` exemption group (Sec. IV-A).
+    pub hidepid: bool,
+    /// Slurm `PrivateData` for jobs and usage (Sec. IV-B).
+    pub private_data: bool,
+    /// Node-sharing policy (Sec. IV-B).
+    pub node_policy: NodeSharing,
+    /// `pam_slurm`: ssh only where your job runs (Sec. IV-B).
+    pub pam_slurm: bool,
+    /// File Permission Handler: smask kernel patches + PAM session module +
+    /// ACL restrictions (Sec. IV-C).
+    pub fsperm: bool,
+    /// User-Based Firewall rules + daemons on every node (Sec. IV-D).
+    pub ubf: bool,
+    /// Portal authorizes routes and forwards with the user's identity
+    /// (Sec. IV-E); off = naive authenticated reverse proxy.
+    pub portal_authz: bool,
+    /// Scheduler-managed `/dev` permissions for accelerators (Sec. IV-F);
+    /// off = world-accessible device nodes (the udev default).
+    pub gpu_dev_perms: bool,
+    /// Vendor GPU-memory scrub in the epilog (Sec. IV-F).
+    pub gpu_scrub: bool,
+}
+
+impl SeparationConfig {
+    /// Stock Linux + Slurm: everything off, shared nodes.
+    pub fn baseline() -> Self {
+        SeparationConfig {
+            hidepid: false,
+            private_data: false,
+            node_policy: NodeSharing::Shared,
+            pam_slurm: false,
+            fsperm: false,
+            ubf: false,
+            portal_authz: false,
+            gpu_dev_perms: false,
+            gpu_scrub: false,
+        }
+    }
+
+    /// The paper's full deployment.
+    pub fn llsc() -> Self {
+        SeparationConfig {
+            hidepid: true,
+            private_data: true,
+            node_policy: NodeSharing::WholeNodeUser,
+            pam_slurm: true,
+            fsperm: true,
+            ubf: true,
+            portal_authz: true,
+            gpu_dev_perms: true,
+            gpu_scrub: true,
+        }
+    }
+
+    /// The Slurm `PrivateData` flags implied by this config.
+    pub fn private_data_flags(&self) -> PrivateData {
+        if self.private_data {
+            PrivateData::llsc()
+        } else {
+            PrivateData::open()
+        }
+    }
+
+    /// A short label for experiment tables.
+    pub fn label(&self) -> String {
+        if *self == Self::llsc() {
+            return "llsc".to_string();
+        }
+        if *self == Self::baseline() {
+            return "baseline".to_string();
+        }
+        let mut on = Vec::new();
+        if self.hidepid {
+            on.push("hidepid");
+        }
+        if self.private_data {
+            on.push("privdata");
+        }
+        match self.node_policy {
+            NodeSharing::Shared => {}
+            NodeSharing::Exclusive => on.push("exclusive"),
+            NodeSharing::WholeNodeUser => on.push("whole-node"),
+        }
+        if self.pam_slurm {
+            on.push("pam_slurm");
+        }
+        if self.fsperm {
+            on.push("fsperm");
+        }
+        if self.ubf {
+            on.push("ubf");
+        }
+        if self.portal_authz {
+            on.push("portal");
+        }
+        if self.gpu_dev_perms {
+            on.push("gpuperm");
+        }
+        if self.gpu_scrub {
+            on.push("gpuscrub");
+        }
+        if on.is_empty() {
+            "baseline".to_string()
+        } else {
+            format!("custom[{}]", on.join("+"))
+        }
+    }
+
+    /// Every single-mechanism ablation: start from `llsc()` and turn one
+    /// control off at a time. Returns (description, config) pairs.
+    pub fn ablations() -> Vec<(&'static str, SeparationConfig)> {
+        let full = Self::llsc();
+        let mut out: Vec<(&'static str, SeparationConfig)> = vec![(
+            "-hidepid",
+            SeparationConfig {
+                hidepid: false,
+                ..full.clone()
+            },
+        )];
+        out.push((
+            "-privdata",
+            SeparationConfig {
+                private_data: false,
+                ..full.clone()
+            },
+        ));
+        out.push((
+            "-wholenode",
+            SeparationConfig {
+                node_policy: NodeSharing::Shared,
+                ..full.clone()
+            },
+        ));
+        out.push((
+            "-pam_slurm",
+            SeparationConfig {
+                pam_slurm: false,
+                ..full.clone()
+            },
+        ));
+        out.push((
+            "-fsperm",
+            SeparationConfig {
+                fsperm: false,
+                ..full.clone()
+            },
+        ));
+        out.push((
+            "-ubf",
+            SeparationConfig {
+                ubf: false,
+                ..full.clone()
+            },
+        ));
+        out.push((
+            "-portal",
+            SeparationConfig {
+                portal_authz: false,
+                ..full.clone()
+            },
+        ));
+        out.push((
+            "-gpuperm",
+            SeparationConfig {
+                gpu_dev_perms: false,
+                ..full.clone()
+            },
+        ));
+        out.push((
+            "-gpuscrub",
+            SeparationConfig {
+                gpu_scrub: false,
+                ..full.clone()
+            },
+        ));
+        out
+    }
+}
+
+impl Default for SeparationConfig {
+    fn default() -> Self {
+        Self::llsc()
+    }
+}
+
+impl fmt::Display for SeparationConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_labels() {
+        assert_eq!(SeparationConfig::baseline().label(), "baseline");
+        assert_eq!(SeparationConfig::llsc().label(), "llsc");
+        let mut c = SeparationConfig::baseline();
+        c.ubf = true;
+        assert_eq!(c.label(), "custom[ubf]");
+    }
+
+    #[test]
+    fn private_data_mapping() {
+        assert!(SeparationConfig::llsc().private_data_flags().jobs);
+        assert!(!SeparationConfig::baseline().private_data_flags().jobs);
+    }
+
+    #[test]
+    fn ablations_each_differ_from_full_in_one_knob() {
+        let abl = SeparationConfig::ablations();
+        assert_eq!(abl.len(), 9);
+        for (name, cfg) in &abl {
+            assert_ne!(*cfg, SeparationConfig::llsc(), "{name} must change something");
+        }
+        // Names are unique.
+        let mut names: Vec<&str> = abl.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn default_is_llsc() {
+        assert_eq!(SeparationConfig::default(), SeparationConfig::llsc());
+    }
+}

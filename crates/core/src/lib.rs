@@ -1,0 +1,48 @@
+//! # eus-core — Enhanced User Separation for HPC
+//!
+//! The paper's primary contribution as a deployable library: assemble a
+//! multi-tenant HPC cluster whose users "cannot observe or interact with
+//! each other" across processes, the scheduler, filesystems, the network,
+//! the web portal, accelerators, and containers — so that "for users, it
+//! looks like they're the only one on the HPC system" (Sec. V).
+//!
+//! * [`config::SeparationConfig`] — one toggle per mechanism; presets
+//!   [`config::SeparationConfig::baseline`] (stock Linux+Slurm) and
+//!   [`config::SeparationConfig::llsc`] (the paper's deployment), plus the
+//!   single-mechanism ablations.
+//! * [`cluster::SecureCluster`] — the assembled system: nodes, shared
+//!   filesystems, scheduler, firewall daemons, GPUs, portal.
+//! * [`audit`] — the channel sweep that *measures* separation: which of the
+//!   18 cross-user channels are open under a given configuration, and
+//!   whether only the paper's three residual paths remain.
+//!
+//! ```
+//! use eus_core::{audit, ClusterSpec, SeparationConfig};
+//!
+//! let report = audit::run_audit(&SeparationConfig::llsc(), &ClusterSpec::tiny());
+//! assert!(report.only_expected_residuals());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod cluster;
+pub mod config;
+pub mod support;
+
+pub use audit::{expected_residuals, run_audit, AuditReport, Channel, Outcome};
+pub use cluster::{ClusterSpec, SecureCluster};
+pub use config::SeparationConfig;
+pub use support::{attribute_load, LoadReport};
+
+// Re-export the substrate crates so downstream users need one dependency.
+pub use eus_accel as accel;
+pub use eus_containers as containers;
+pub use eus_fsperm as fsperm;
+pub use eus_portal as portal;
+pub use eus_sched as sched;
+pub use eus_simcore as simcore;
+pub use eus_simnet as simnet;
+pub use eus_simos as simos;
+pub use eus_ubf as ubf;
+pub use eus_workloads as workloads;

@@ -1,0 +1,113 @@
+//! Portal authentication: the "user authentication is required to connect to
+//! the HPC Portal" half of Sec. IV-E. Credential verification itself is
+//! abstracted (the real portal fronts the site SSO); what matters to the
+//! separation model is the binding of a bearer token to a uid.
+
+use eus_simos::{Uid, UserDb};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An opaque session token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub u64);
+
+/// Authentication errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthError {
+    /// Unknown user at login.
+    NoSuchUser(Uid),
+    /// Token absent or revoked.
+    InvalidToken,
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::NoSuchUser(u) => write!(f, "no such user {u}"),
+            AuthError::InvalidToken => f.write_str("invalid or expired token"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// Token store.
+#[derive(Debug, Default)]
+pub struct PortalAuth {
+    sessions: BTreeMap<Token, Uid>,
+    next: u64,
+}
+
+impl PortalAuth {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Authenticate a user (site SSO assumed) and mint a token.
+    pub fn login(&mut self, db: &UserDb, user: Uid) -> Result<Token, AuthError> {
+        if db.user(user).is_none() {
+            return Err(AuthError::NoSuchUser(user));
+        }
+        self.next += 1;
+        let t = Token(self.next);
+        self.sessions.insert(t, user);
+        Ok(t)
+    }
+
+    /// Resolve a token to its uid.
+    pub fn whoami(&self, token: Token) -> Result<Uid, AuthError> {
+        self.sessions
+            .get(&token)
+            .copied()
+            .ok_or(AuthError::InvalidToken)
+    }
+
+    /// Revoke a token.
+    pub fn logout(&mut self, token: Token) -> bool {
+        self.sessions.remove(&token).is_some()
+    }
+
+    /// Number of live sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn login_whoami_logout() {
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let mut auth = PortalAuth::new();
+        let t = auth.login(&db, alice).unwrap();
+        assert_eq!(auth.whoami(t).unwrap(), alice);
+        assert!(auth.logout(t));
+        assert_eq!(auth.whoami(t), Err(AuthError::InvalidToken));
+        assert!(!auth.logout(t));
+    }
+
+    #[test]
+    fn unknown_user_rejected() {
+        let db = UserDb::new();
+        let mut auth = PortalAuth::new();
+        assert_eq!(
+            auth.login(&db, Uid(999)),
+            Err(AuthError::NoSuchUser(Uid(999)))
+        );
+    }
+
+    #[test]
+    fn tokens_are_unique_per_login() {
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let mut auth = PortalAuth::new();
+        let t1 = auth.login(&db, alice).unwrap();
+        let t2 = auth.login(&db, alice).unwrap();
+        assert_ne!(t1, t2);
+        assert_eq!(auth.live_sessions(), 2);
+    }
+}

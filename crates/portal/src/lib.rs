@@ -1,0 +1,25 @@
+//! # eus-portal — the HPC web portal/gateway
+//!
+//! Reproduction of the MIT SuperCloud portal workspace as used in Sec. IV-E:
+//! authenticated forwarding of web-application connections (Jupyter,
+//! TensorBoard, …) from any compute node to the user, with the User-Based
+//! Firewall's authorization enforced on both the portal hop (the httpd
+//! plug-in) and the forwarded network hop (the per-user forwarder connects
+//! with the requesting user's identity).
+//!
+//! * [`auth`] — token sessions.
+//! * [`routes`] — (user, job, app) → endpoint registry.
+//! * [`apps`] — web apps as fabric listeners with served content.
+//! * [`gateway`] — the authenticated, authorized fetch path.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod auth;
+pub mod gateway;
+pub mod routes;
+
+pub use apps::{WebApp, WebAppRegistry};
+pub use auth::{AuthError, PortalAuth, Token};
+pub use gateway::{PortalError, PortalGateway, Response};
+pub use routes::{Route, RouteKey, RouteTable};

@@ -1,0 +1,977 @@
+//! The scheduler engine: FCFS dispatch with EASY backfill over pluggable
+//! node-sharing policies, driven by an internal discrete-event clock.
+//!
+//! The engine is deliberately policy-parameterized so experiment E4 can run
+//! the identical workload under `shared` / `exclusive` / `whole-node` and
+//! compare utilization, wait, and throughput — the trade-off Sec. IV-B
+//! describes qualitatively.
+
+use crate::job::{Job, JobId, JobSpec, JobState, TaskAlloc};
+use crate::node::{NodeState, SchedNode};
+use crate::partition::{PartitionError, PartitionTable};
+use crate::policy::{tasks_that_fit, NodeSharing};
+use crate::privatedata::{may_view, JobView, PrivateData};
+use eus_simcore::{Counter, Histogram, SimDuration, SimTime, TimeWeighted};
+use eus_simos::{Credentials, NodeId, Uid};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Node-sharing policy.
+    pub policy: NodeSharing,
+    /// Enable EASY backfill.
+    pub backfill: bool,
+    /// How many queued jobs behind the head backfill may consider.
+    pub backfill_depth: usize,
+    /// View filtering.
+    pub private_data: PrivateData,
+    /// How long a crashed node stays down before rejoining.
+    pub repair_time: SimDuration,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            policy: NodeSharing::Shared,
+            backfill: true,
+            backfill_depth: 64,
+            private_data: PrivateData::open(),
+            repair_time: SimDuration::from_secs(600),
+        }
+    }
+}
+
+/// Internal event kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Submit(JobId),
+    JobEnd(JobId),
+    NodeFail(NodeId),
+    NodeRepair(NodeId),
+}
+
+/// Work the epilog must do after a job leaves a node; consumed by the
+/// cluster layer (GPU scrub, process cleanup, device perms — Sec. IV-F).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpilogEvent {
+    /// The job that ended.
+    pub job: JobId,
+    /// Its owner.
+    pub user: Uid,
+    /// The node it ran on.
+    pub node: NodeId,
+    /// GPUs it held on that node (each needs a scrub).
+    pub gpus: u32,
+    /// When it ended.
+    pub at: SimTime,
+    /// False once the user holds nothing else on that node — the epilog may
+    /// then kill stray processes and revoke device access.
+    pub user_still_active_on_node: bool,
+}
+
+/// A node-failure record for blast-radius accounting (experiment E5).
+#[derive(Debug, Clone)]
+pub struct FailureRecord {
+    /// The node that went down.
+    pub node: NodeId,
+    /// When.
+    pub at: SimTime,
+    /// Jobs killed, with their owners.
+    pub failed_jobs: Vec<(JobId, Uid)>,
+}
+
+impl FailureRecord {
+    /// Distinct users whose jobs died — the paper's "blast radius".
+    pub fn affected_users(&self) -> BTreeSet<Uid> {
+        self.failed_jobs.iter().map(|(_, u)| *u).collect()
+    }
+}
+
+/// Aggregate scheduler measurements.
+#[derive(Debug, Clone)]
+pub struct SchedMetrics {
+    /// Cores *claimed* by allocations, integrated over time (an exclusive
+    /// job claims whole nodes).
+    pub busy_cores: TimeWeighted,
+    /// Cores actually *used* by tasks (tasks × cpus-per-task), integrated
+    /// over time — the quantity behind the paper's "poor utilization" claim
+    /// for exclusive allocation.
+    pub used_cores: TimeWeighted,
+    /// Queue-wait times, in seconds.
+    pub wait_times: Histogram,
+    /// Jobs completed normally.
+    pub completed: Counter,
+    /// Jobs killed by failures.
+    pub failed: Counter,
+    /// Jobs killed at their wall-time limit.
+    pub timed_out: Counter,
+}
+
+/// The scheduler.
+#[derive(Debug)]
+pub struct Scheduler {
+    /// Configuration (immutable per run for clean experiments).
+    pub config: SchedConfig,
+    /// Compute nodes.
+    pub nodes: BTreeMap<NodeId, SchedNode>,
+    /// Every job ever submitted.
+    pub jobs: BTreeMap<JobId, Job>,
+    queue: Vec<JobId>,
+    events: BinaryHeap<Reverse<(SimTime, u64, Ev)>>,
+    next_job: u64,
+    next_node: u32,
+    seq: u64,
+    now: SimTime,
+    /// Metrics.
+    pub metrics: SchedMetrics,
+    epilogs: Vec<EpilogEvent>,
+    /// Node-failure history.
+    pub failures: Vec<FailureRecord>,
+    /// Partition table (empty = partitioning disabled, all nodes eligible).
+    pub partitions: PartitionTable,
+    admins: BTreeSet<Uid>,
+}
+
+impl Scheduler {
+    /// An empty scheduler.
+    pub fn new(config: SchedConfig) -> Self {
+        Scheduler {
+            config,
+            nodes: BTreeMap::new(),
+            jobs: BTreeMap::new(),
+            queue: Vec::new(),
+            events: BinaryHeap::new(),
+            next_job: 1,
+            next_node: 1,
+            seq: 0,
+            now: SimTime::ZERO,
+            metrics: SchedMetrics {
+                busy_cores: TimeWeighted::new(SimTime::ZERO, 0.0),
+                used_cores: TimeWeighted::new(SimTime::ZERO, 0.0),
+                wait_times: Histogram::new(),
+                completed: Counter::new(),
+                failed: Counter::new(),
+                timed_out: Counter::new(),
+            },
+            epilogs: Vec::new(),
+            failures: Vec::new(),
+            partitions: PartitionTable::new(),
+            admins: BTreeSet::new(),
+        }
+    }
+
+    /// Add a node with auto-assigned id.
+    pub fn add_node(&mut self, cores: u32, mem_mib: u64, gpus: u32) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        self.nodes.insert(id, SchedNode::new(id, cores, mem_mib, gpus));
+        id
+    }
+
+    /// Register an operator/coordinator exempt from PrivateData filtering.
+    pub fn add_admin(&mut self, uid: Uid) {
+        self.admins.insert(uid);
+    }
+
+    /// Is this uid a registered operator?
+    pub fn is_admin(&self, uid: Uid) -> bool {
+        self.admins.contains(&uid)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sum of all Up nodes' cores.
+    pub fn total_cores(&self) -> u64 {
+        self.nodes.values().map(|n| n.cores as u64).sum()
+    }
+
+    /// Claimed-core utilization over `[0, now]`: allocated core-seconds /
+    /// capacity. Exclusive jobs inflate this (they claim whole nodes).
+    pub fn utilization(&self) -> f64 {
+        let cap = self.total_cores() as f64 * self.now.since(SimTime::ZERO).as_secs_f64();
+        if cap <= 0.0 {
+            return 0.0;
+        }
+        self.metrics.busy_cores.integral(self.now) / cap
+    }
+
+    /// Effective utilization over `[0, now]`: core-seconds actually used by
+    /// tasks / capacity. This is the number that collapses under per-job
+    /// exclusive allocation with many small jobs (Sec. IV-B).
+    pub fn effective_utilization(&self) -> f64 {
+        let cap = self.total_cores() as f64 * self.now.since(SimTime::ZERO).as_secs_f64();
+        if cap <= 0.0 {
+            return 0.0;
+        }
+        self.metrics.used_cores.integral(self.now) / cap
+    }
+
+    /// Number of jobs waiting in queue.
+    pub fn pending_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of running jobs.
+    pub fn running_count(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count()
+    }
+
+    fn push_event(&mut self, at: SimTime, ev: Ev) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse((at, seq, ev)));
+    }
+
+    /// Submit a job to arrive at `at` (clamped to now). Jobs naming an
+    /// unknown partition are rejected at submission (state `Cancelled`),
+    /// mirroring Slurm's submit-time validation.
+    pub fn submit_at(&mut self, at: SimTime, spec: JobSpec) -> JobId {
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        let valid_partition: Result<_, PartitionError> =
+            self.partitions.eligible_nodes(spec.partition.as_deref());
+        let rejected = valid_partition.is_err();
+        self.jobs.insert(
+            id,
+            Job {
+                id,
+                spec,
+                state: if rejected {
+                    JobState::Cancelled
+                } else {
+                    JobState::Pending
+                },
+                submitted: at.max(self.now),
+                started: None,
+                ended: None,
+                allocations: BTreeMap::new(),
+            },
+        );
+        if rejected {
+            self.jobs.get_mut(&id).expect("just inserted").ended = Some(at.max(self.now));
+        } else {
+            self.push_event(at, Ev::Submit(id));
+        }
+        id
+    }
+
+    /// Submit arriving now.
+    pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        self.submit_at(self.now, spec)
+    }
+
+    /// Cancel a pending job (running jobs run to completion, as `scancel`
+    /// would need the full kill path we don't model).
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return false;
+        };
+        if job.state != JobState::Pending {
+            return false;
+        }
+        job.state = JobState::Cancelled;
+        job.ended = Some(self.now);
+        self.queue.retain(|j| *j != id);
+        true
+    }
+
+    /// Inject a node crash at `at` (the OOM-takes-down-the-node scenario of
+    /// Sec. IV-B). The node repairs after `config.repair_time`.
+    pub fn schedule_node_failure(&mut self, at: SimTime, node: NodeId) {
+        self.push_event(at, Ev::NodeFail(node));
+    }
+
+    /// Drain accumulated epilog work (cluster layer consumes).
+    pub fn drain_epilogs(&mut self) -> Vec<EpilogEvent> {
+        std::mem::take(&mut self.epilogs)
+    }
+
+    /// Does `user` have a running job with an allocation on `node`? (The
+    /// `pam_slurm` question.)
+    pub fn has_running_job_on(&self, user: Uid, node: NodeId) -> bool {
+        self.jobs.values().any(|j| {
+            j.state == JobState::Running
+                && j.spec.user == user
+                && j.allocations.contains_key(&node)
+        })
+    }
+
+    /// `squeue` as seen by `viewer` under the PrivateData configuration.
+    pub fn squeue(&self, viewer: &Credentials) -> Vec<JobView> {
+        let admin = self.is_admin(viewer.uid);
+        self.jobs
+            .values()
+            .filter(|j| !j.state.is_terminal())
+            .filter(|j| may_view(viewer, j.spec.user, self.config.private_data.jobs, admin))
+            .map(|j| JobView {
+                id: j.id,
+                user: j.spec.user,
+                name: j.spec.name.clone(),
+                cmdline: j.spec.cmdline.clone(),
+                state: j.state,
+                nodes: j.allocations.keys().copied().collect(),
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Fire events up to and including `horizon`; the clock lands on
+    /// `horizon` afterwards.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        while let Some(Reverse((t, _, _))) = self.events.peek() {
+            if *t > horizon {
+                break;
+            }
+            let Reverse((t, _, ev)) = self.events.pop().expect("peeked");
+            self.now = t;
+            self.fire(ev);
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+    }
+
+    /// Run until no events remain (all submitted work finished). Returns the
+    /// final clock (the makespan end).
+    pub fn run_to_completion(&mut self) -> SimTime {
+        while let Some(Reverse((t, _, ev))) = self.events.pop() {
+            self.now = t;
+            self.fire(ev);
+        }
+        self.now
+    }
+
+    fn fire(&mut self, ev: Ev) {
+        match ev {
+            Ev::Submit(j) => {
+                if self.jobs[&j].state == JobState::Pending {
+                    self.queue.push(j);
+                    self.try_schedule();
+                }
+            }
+            Ev::JobEnd(j) => {
+                if self.jobs[&j].state == JobState::Running {
+                    // Did the job end on its own, or did slurmstepd kill it
+                    // at the wall-time limit?
+                    let spec = &self.jobs[&j].spec;
+                    let outcome = if spec.time_limit < spec.duration {
+                        JobState::Timeout
+                    } else {
+                        JobState::Completed
+                    };
+                    self.finish_job(j, outcome);
+                    self.try_schedule();
+                }
+            }
+            Ev::NodeFail(n) => {
+                self.fail_node(n);
+                self.try_schedule();
+            }
+            Ev::NodeRepair(n) => {
+                if let Some(node) = self.nodes.get_mut(&n) {
+                    if node.state == NodeState::Down {
+                        node.state = NodeState::Up;
+                    }
+                }
+                self.try_schedule();
+            }
+        }
+    }
+
+    fn fail_node(&mut self, n: NodeId) {
+        let Some(node) = self.nodes.get_mut(&n) else {
+            return;
+        };
+        if node.state != NodeState::Up {
+            return;
+        }
+        node.state = NodeState::Down;
+        let victims: Vec<JobId> = node.running.keys().copied().collect();
+        let mut record = FailureRecord {
+            node: n,
+            at: self.now,
+            failed_jobs: Vec::new(),
+        };
+        for j in victims {
+            let user = self.jobs[&j].spec.user;
+            record.failed_jobs.push((j, user));
+            self.finish_job(j, JobState::Failed);
+        }
+        self.failures.push(record);
+        self.push_event(self.now + self.config.repair_time, Ev::NodeRepair(n));
+    }
+
+    fn finish_job(&mut self, id: JobId, state: JobState) {
+        let job = self.jobs.get_mut(&id).expect("known job");
+        debug_assert_eq!(job.state, JobState::Running);
+        job.state = state;
+        job.ended = Some(self.now);
+        let user = job.spec.user;
+        let allocations: Vec<(NodeId, TaskAlloc)> =
+            job.allocations.iter().map(|(n, a)| (*n, *a)).collect();
+        let cpus_per_task = job.spec.cpus_per_task;
+        let mut released_cores = 0u32;
+        let mut released_used = 0u32;
+        for (nid, alloc) in &allocations {
+            if let Some(node) = self.nodes.get_mut(nid) {
+                node.release(id);
+                released_cores += alloc.cores;
+                released_used += alloc.tasks * cpus_per_task;
+            }
+        }
+        self.metrics
+            .busy_cores
+            .add(self.now, -(released_cores as f64));
+        self.metrics
+            .used_cores
+            .add(self.now, -(released_used as f64));
+        match state {
+            JobState::Completed => self.metrics.completed.incr(),
+            JobState::Failed => self.metrics.failed.incr(),
+            JobState::Timeout => self.metrics.timed_out.incr(),
+            _ => {}
+        }
+        // Epilog per node, with the "is the user gone from this node" bit.
+        for (nid, alloc) in &allocations {
+            let still_active = self.has_running_job_on(user, *nid);
+            self.epilogs.push(EpilogEvent {
+                job: id,
+                user,
+                node: *nid,
+                gpus: alloc.gpus,
+                at: self.now,
+                user_still_active_on_node: still_active,
+            });
+        }
+    }
+
+    fn start_job(&mut self, id: JobId, placement: Vec<(NodeId, TaskAlloc)>) {
+        let now = self.now;
+        let (user, duration, submitted, cpus_per_task) = {
+            let job = &self.jobs[&id];
+            (
+                job.spec.user,
+                job.spec.duration,
+                job.submitted,
+                job.spec.cpus_per_task,
+            )
+        };
+        let mut total_cores = 0u32;
+        let mut used_cores = 0u32;
+        for (nid, alloc) in &placement {
+            self.nodes
+                .get_mut(nid)
+                .expect("placement on known node")
+                .claim(id, *alloc, user);
+            total_cores += alloc.cores;
+            used_cores += alloc.tasks * cpus_per_task;
+        }
+        {
+            let job = self.jobs.get_mut(&id).expect("known job");
+            job.state = JobState::Running;
+            job.started = Some(now);
+            job.allocations = placement.into_iter().collect();
+        }
+        self.metrics.busy_cores.add(now, total_cores as f64);
+        self.metrics.used_cores.add(now, used_cores as f64);
+        self.metrics
+            .wait_times
+            .record(now.since(submitted).as_secs_f64());
+        // The step daemon enforces the requested wall-time limit.
+        let runtime = duration.min(self.jobs[&id].spec.time_limit);
+        self.push_event(now + runtime, Ev::JobEnd(id));
+    }
+
+    /// Try to place `spec` on a node map (free function over a map so the
+    /// backfill shadow simulation can reuse it on a cloned map).
+    fn placement_on(
+        nodes: &BTreeMap<NodeId, SchedNode>,
+        policy: NodeSharing,
+        spec: &JobSpec,
+        eligible: Option<&BTreeSet<NodeId>>,
+    ) -> Option<Vec<(NodeId, TaskAlloc)>> {
+        let user = spec.user;
+        // Preference: nodes already owned by this user first (packing), then
+        // emptier nodes; id as the deterministic tiebreak.
+        let mut candidates: Vec<&SchedNode> = nodes
+            .values()
+            .filter(|n| eligible.is_none_or(|set| set.contains(&n.id)))
+            .filter(|n| policy.node_admits(n, user, spec))
+            .collect();
+        candidates.sort_by_key(|n| {
+            let owned = match n.owner() {
+                Some(o) if o == user => 0u8,
+                _ => 1u8,
+            };
+            (owned, n.id)
+        });
+
+        let mut remaining = spec.tasks;
+        let mut placement = Vec::new();
+        for node in candidates {
+            if remaining == 0 {
+                break;
+            }
+            let fit = tasks_that_fit(node, spec).min(remaining);
+            if fit == 0 {
+                continue;
+            }
+            let alloc = if policy.charges_whole_node(spec) {
+                // Exclusive: the job takes the whole node.
+                TaskAlloc {
+                    tasks: fit,
+                    cores: node.cores,
+                    mem_mib: node.mem_mib,
+                    gpus: node.gpus,
+                }
+            } else {
+                TaskAlloc {
+                    tasks: fit,
+                    cores: fit * spec.cpus_per_task,
+                    mem_mib: fit as u64 * spec.mem_per_task_mib,
+                    gpus: fit * spec.gpus_per_task,
+                }
+            };
+            placement.push((node.id, alloc));
+            remaining -= fit;
+        }
+        if remaining == 0 {
+            Some(placement)
+        } else {
+            None
+        }
+    }
+
+    /// Earliest time the head job could start, assuming running jobs end on
+    /// schedule (the EASY shadow time).
+    fn shadow_time_for(&self, head: &JobSpec) -> SimTime {
+        let mut sim_nodes = self.nodes.clone();
+        let eligible = self
+            .partitions
+            .eligible_nodes(head.partition.as_deref())
+            .expect("validated at submit")
+            .cloned();
+        if Self::placement_on(&sim_nodes, self.config.policy, head, eligible.as_ref()).is_some() {
+            return self.now;
+        }
+        // Release running jobs in end-time order.
+        let mut ends: Vec<(SimTime, JobId)> = self
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .map(|j| {
+                (
+                    j.started.expect("running has start") + j.spec.duration,
+                    j.id,
+                )
+            })
+            .collect();
+        ends.sort();
+        for (end_t, jid) in ends {
+            let allocs: Vec<NodeId> = self.jobs[&jid].allocations.keys().copied().collect();
+            for nid in allocs {
+                if let Some(n) = sim_nodes.get_mut(&nid) {
+                    n.release(jid);
+                }
+            }
+            if Self::placement_on(&sim_nodes, self.config.policy, head, eligible.as_ref())
+                .is_some()
+            {
+                return end_t;
+            }
+        }
+        SimTime::MAX
+    }
+
+    fn try_schedule(&mut self) {
+        loop {
+            let Some(&head) = self.queue.first() else {
+                return;
+            };
+            let head_spec = self.jobs[&head].spec.clone();
+            let head_eligible = self
+                .partitions
+                .eligible_nodes(head_spec.partition.as_deref())
+                .expect("validated at submit")
+                .cloned();
+            if let Some(p) =
+                Self::placement_on(&self.nodes, self.config.policy, &head_spec, head_eligible.as_ref())
+            {
+                self.queue.remove(0);
+                self.start_job(head, p);
+                continue;
+            }
+            if !self.config.backfill {
+                return;
+            }
+            // EASY backfill: start later jobs only if they cannot delay the
+            // head job's shadow start.
+            let shadow = self.shadow_time_for(&head_spec);
+            let mut idx = 1;
+            let mut scanned = 0;
+            while idx < self.queue.len() && scanned < self.config.backfill_depth {
+                scanned += 1;
+                let cand = self.queue[idx];
+                let spec = self.jobs[&cand].spec.clone();
+                let fits_before_shadow =
+                    shadow == SimTime::MAX || self.now + spec.time_limit <= shadow;
+                if fits_before_shadow {
+                    let cand_eligible = self
+                        .partitions
+                        .eligible_nodes(spec.partition.as_deref())
+                        .expect("validated at submit")
+                        .cloned();
+                    if let Some(p) = Self::placement_on(
+                        &self.nodes,
+                        self.config.policy,
+                        &spec,
+                        cand_eligible.as_ref(),
+                    ) {
+                        self.queue.remove(idx);
+                        self.start_job(cand, p);
+                        continue; // same idx now holds the next candidate
+                    }
+                }
+                idx += 1;
+            }
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(policy: NodeSharing, nodes: u32, cores: u32) -> Scheduler {
+        let mut s = Scheduler::new(SchedConfig {
+            policy,
+            ..SchedConfig::default()
+        });
+        for _ in 0..nodes {
+            s.add_node(cores, 64_000, 0);
+        }
+        s
+    }
+
+    fn job(user: u32, tasks: u32, secs: u64) -> JobSpec {
+        JobSpec::new(Uid(user), format!("u{user}-job"), SimDuration::from_secs(secs))
+            .with_tasks(tasks)
+            .with_mem_per_task(100)
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let mut s = sched(NodeSharing::Shared, 1, 8);
+        let id = s.submit_at(SimTime::from_secs(1), job(1, 4, 10));
+        let end = s.run_to_completion();
+        assert_eq!(end, SimTime::from_secs(11));
+        let j = &s.jobs[&id];
+        assert_eq!(j.state, JobState::Completed);
+        assert_eq!(j.started, Some(SimTime::from_secs(1)));
+        assert_eq!(s.metrics.completed.get(), 1);
+        assert!(s.nodes.values().all(|n| n.is_idle()));
+    }
+
+    #[test]
+    fn shared_packs_two_users_on_one_node() {
+        let mut s = sched(NodeSharing::Shared, 1, 8);
+        s.submit_at(SimTime::ZERO, job(1, 4, 10));
+        s.submit_at(SimTime::ZERO, job(2, 4, 10));
+        s.run_until(SimTime::from_secs(1));
+        assert_eq!(s.running_count(), 2, "both fit simultaneously");
+    }
+
+    #[test]
+    fn whole_node_serializes_different_users_on_one_node() {
+        let mut s = sched(NodeSharing::WholeNodeUser, 1, 8);
+        let a = s.submit_at(SimTime::ZERO, job(1, 4, 10));
+        let b = s.submit_at(SimTime::ZERO, job(2, 4, 10));
+        s.run_until(SimTime::from_secs(1));
+        assert_eq!(s.running_count(), 1, "second user must wait");
+        let end = s.run_to_completion();
+        assert_eq!(end, SimTime::from_secs(20));
+        assert_eq!(s.jobs[&a].state, JobState::Completed);
+        assert_eq!(s.jobs[&b].started, Some(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn whole_node_packs_same_user() {
+        let mut s = sched(NodeSharing::WholeNodeUser, 1, 8);
+        s.submit_at(SimTime::ZERO, job(1, 4, 10));
+        s.submit_at(SimTime::ZERO, job(1, 4, 10));
+        s.run_until(SimTime::from_secs(1));
+        assert_eq!(s.running_count(), 2, "same user's jobs co-schedule");
+    }
+
+    #[test]
+    fn exclusive_charges_whole_node() {
+        let mut s = sched(NodeSharing::Exclusive, 2, 8);
+        s.submit_at(SimTime::ZERO, job(1, 1, 10));
+        s.submit_at(SimTime::ZERO, job(1, 1, 10));
+        s.submit_at(SimTime::ZERO, job(1, 1, 10));
+        s.run_until(SimTime::from_secs(1));
+        // Two nodes → two exclusive jobs; the third waits even though cores
+        // are plentiful.
+        assert_eq!(s.running_count(), 2);
+        assert_eq!(s.pending_count(), 1);
+        // Utilization is charged for the whole node.
+        assert_eq!(s.metrics.busy_cores.current(), 16.0);
+    }
+
+    #[test]
+    fn multi_node_job_spreads() {
+        let mut s = sched(NodeSharing::Shared, 3, 4);
+        let id = s.submit_at(SimTime::ZERO, job(1, 10, 5));
+        s.run_until(SimTime::from_secs(1));
+        let j = &s.jobs[&id];
+        assert_eq!(j.state, JobState::Running);
+        assert_eq!(j.allocations.len(), 3);
+        let tasks: u32 = j.allocations.values().map(|a| a.tasks).sum();
+        assert_eq!(tasks, 10);
+    }
+
+    #[test]
+    fn job_too_big_never_starts() {
+        let mut s = sched(NodeSharing::Shared, 1, 4);
+        let id = s.submit_at(SimTime::ZERO, job(1, 100, 5));
+        s.run_until(SimTime::from_secs(100));
+        assert_eq!(s.jobs[&id].state, JobState::Pending);
+        assert_eq!(s.pending_count(), 1);
+    }
+
+    #[test]
+    fn backfill_fills_hole_without_delaying_head() {
+        // 8-core node. Long job takes 8 cores for 100s. Head job (8 cores)
+        // must wait for it. A small 2-core/5s job CANNOT backfill in shared
+        // mode on a full node — so use two nodes: one busy 100s, one with 4
+        // free cores; head needs 8 on one node... Simplify: node A busy
+        // until t=100; head wants 8 cores (only node A can ever give 8? both
+        // are 8-core). Node B is free: head starts immediately on B. So to
+        // force waiting: occupy B with a 50s 8-core job. Then head(8c)
+        // shadow = 50 (B frees first). A 5s small job fits on... nothing.
+        // Simplest deterministic check: backfill starts a short job while
+        // head waits, and head still starts at its shadow time.
+        let mut s = sched(NodeSharing::Shared, 1, 8);
+        s.submit_at(SimTime::ZERO, job(1, 8, 100)); // fills the node
+        let head = s.submit_at(SimTime::from_secs(1), job(2, 8, 50)); // must wait to t=100
+        let small = s.submit_at(SimTime::from_secs(2), job(3, 8, 99).with_cpus_per_task(0)); // zero? no — guard makes it 1.
+        // small: 8 tasks × 1 core … that also needs the whole node; replace:
+        s.cancel(small);
+        let tiny = s.submit_at(SimTime::from_secs(2), job(3, 2, 10));
+        // tiny needs 2 cores; node is full, so it can't start now either.
+        s.run_until(SimTime::from_secs(3));
+        assert_eq!(s.running_count(), 1);
+        // At t=100 the big job ends: head starts; tiny backfills... next to
+        // head? head takes all 8 cores, so tiny waits for head.
+        let _ = head;
+        s.run_to_completion();
+        assert_eq!(s.jobs[&head].started, Some(SimTime::from_secs(100)));
+        assert_eq!(s.jobs[&tiny].started, Some(SimTime::from_secs(150)));
+    }
+
+    #[test]
+    fn backfill_true_hole_filling() {
+        // Node of 8 cores: job A (6 cores, 100s) leaves a 2-core hole.
+        // Head job B needs 8 cores → shadow = 100. Candidate C (2 cores,
+        // 50s) fits the hole and ends at ~52 < 100 → backfills.
+        let mut s = sched(NodeSharing::Shared, 1, 8);
+        let a = s.submit_at(SimTime::ZERO, job(1, 6, 100));
+        let b = s.submit_at(SimTime::from_secs(1), job(2, 8, 10));
+        let c = s.submit_at(SimTime::from_secs(2), job(3, 2, 50));
+        s.run_until(SimTime::from_secs(3));
+        assert_eq!(s.jobs[&a].state, JobState::Running);
+        assert_eq!(s.jobs[&b].state, JobState::Pending, "head waits");
+        assert_eq!(s.jobs[&c].state, JobState::Running, "C backfilled");
+        s.run_to_completion();
+        assert_eq!(
+            s.jobs[&b].started,
+            Some(SimTime::from_secs(100)),
+            "head not delayed by backfill"
+        );
+    }
+
+    #[test]
+    fn backfill_refuses_delaying_candidates() {
+        // Same setup but C runs 200s > shadow → must NOT backfill.
+        let mut s = sched(NodeSharing::Shared, 1, 8);
+        s.submit_at(SimTime::ZERO, job(1, 6, 100));
+        let b = s.submit_at(SimTime::from_secs(1), job(2, 8, 10));
+        let c = s.submit_at(SimTime::from_secs(2), job(3, 2, 200));
+        s.run_until(SimTime::from_secs(3));
+        assert_eq!(s.jobs[&c].state, JobState::Pending, "would delay head");
+        s.run_to_completion();
+        assert_eq!(s.jobs[&b].started, Some(SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn node_failure_kills_jobs_and_repairs() {
+        let mut s = sched(NodeSharing::Shared, 2, 8);
+        let a = s.submit_at(SimTime::ZERO, job(1, 4, 1000));
+        let bjob = s.submit_at(SimTime::ZERO, job(2, 4, 1000));
+        s.schedule_node_failure(SimTime::from_secs(10), NodeId(1));
+        s.run_until(SimTime::from_secs(11));
+        // Both jobs were packed onto node 1 (first fit) in shared mode.
+        assert_eq!(s.jobs[&a].state, JobState::Failed);
+        assert_eq!(s.jobs[&bjob].state, JobState::Failed);
+        assert_eq!(s.failures.len(), 1);
+        assert_eq!(s.failures[0].affected_users().len(), 2, "blast radius 2");
+        assert_eq!(s.metrics.failed.get(), 2);
+        // Node repairs after repair_time (600s default).
+        s.run_until(SimTime::from_secs(700));
+        assert_eq!(s.nodes[&NodeId(1)].state, NodeState::Up);
+    }
+
+    #[test]
+    fn whole_node_failure_blast_radius_is_one_user() {
+        let mut s = sched(NodeSharing::WholeNodeUser, 2, 8);
+        s.submit_at(SimTime::ZERO, job(1, 4, 1000));
+        s.submit_at(SimTime::ZERO, job(2, 4, 1000));
+        s.schedule_node_failure(SimTime::from_secs(10), NodeId(1));
+        s.run_until(SimTime::from_secs(11));
+        assert_eq!(s.failures[0].affected_users().len(), 1, "only node 1's owner");
+    }
+
+    #[test]
+    fn epilogs_emitted_with_user_departure_flag() {
+        let mut s = sched(NodeSharing::WholeNodeUser, 1, 8);
+        s.submit_at(SimTime::ZERO, job(1, 2, 10));
+        s.submit_at(SimTime::ZERO, job(1, 2, 20));
+        s.run_to_completion();
+        let epilogs = s.drain_epilogs();
+        assert_eq!(epilogs.len(), 2);
+        // First job ends at t=10 while the second still runs.
+        assert!(epilogs[0].user_still_active_on_node);
+        // Second ending leaves the node empty of that user.
+        assert!(!epilogs[1].user_still_active_on_node);
+        assert!(s.drain_epilogs().is_empty(), "drain empties");
+    }
+
+    #[test]
+    fn squeue_respects_private_data() {
+        let mut s = sched(NodeSharing::Shared, 1, 8);
+        s.config.private_data = PrivateData::llsc();
+        s.add_admin(Uid(50));
+        s.submit_at(SimTime::ZERO, job(1, 1, 100));
+        s.submit_at(SimTime::ZERO, job(2, 1, 100));
+        s.run_until(SimTime::from_secs(1));
+
+        let u1 = Credentials::new(Uid(1), eus_simos::Gid(1));
+        let views = s.squeue(&u1);
+        assert_eq!(views.len(), 1, "only own jobs");
+        assert_eq!(views[0].user, Uid(1));
+
+        let admin = Credentials::new(Uid(50), eus_simos::Gid(50));
+        assert_eq!(s.squeue(&admin).len(), 2, "admins see all");
+        assert_eq!(s.squeue(&Credentials::root()).len(), 2);
+
+        s.config.private_data = PrivateData::open();
+        assert_eq!(s.squeue(&u1).len(), 2, "open config shows all");
+    }
+
+    #[test]
+    fn cancel_only_pending() {
+        let mut s = sched(NodeSharing::Shared, 1, 2);
+        let a = s.submit_at(SimTime::ZERO, job(1, 2, 100));
+        let b = s.submit_at(SimTime::ZERO, job(2, 2, 100));
+        s.run_until(SimTime::from_secs(1));
+        assert!(!s.cancel(a), "running job not cancellable here");
+        assert!(s.cancel(b));
+        assert_eq!(s.jobs[&b].state, JobState::Cancelled);
+        assert!(!s.cancel(b), "idempotent");
+    }
+
+    #[test]
+    fn utilization_math() {
+        let mut s = sched(NodeSharing::Shared, 1, 8);
+        s.submit_at(SimTime::ZERO, job(1, 8, 50));
+        s.run_until(SimTime::from_secs(100));
+        // 8 cores × 50 s busy out of 8 × 100 capacity = 0.5.
+        assert!((s.utilization() - 0.5).abs() < 1e-9, "{}", s.utilization());
+    }
+
+    #[test]
+    fn wall_time_limit_enforced() {
+        let mut s = sched(NodeSharing::Shared, 1, 8);
+        // Actual runtime 100s, requested limit 30s: killed at 30.
+        let j = s.submit_at(
+            SimTime::ZERO,
+            job(1, 2, 100).with_time_limit(SimDuration::from_secs(30)),
+        );
+        // A well-behaved job for contrast.
+        let ok = s.submit_at(SimTime::ZERO, job(2, 2, 20));
+        s.run_to_completion();
+        assert_eq!(s.jobs[&j].state, JobState::Timeout);
+        assert_eq!(s.jobs[&j].ended, Some(SimTime::from_secs(30)));
+        assert_eq!(s.jobs[&ok].state, JobState::Completed);
+        assert_eq!(s.metrics.timed_out.get(), 1);
+        assert_eq!(s.metrics.completed.get(), 1);
+        // Resources released at the limit, not the would-be duration.
+        assert!(s.nodes.values().all(|n| n.is_idle()));
+    }
+
+    #[test]
+    fn partition_confines_placement() {
+        let mut s = sched(NodeSharing::Shared, 4, 8);
+        s.partitions
+            .add("batch", [NodeId(1), NodeId(2)], true)
+            .unwrap();
+        s.partitions.add("debug", [NodeId(3)], false).unwrap();
+        // Default-partition job lands on nodes 1-2 only, even when 3-4 idle.
+        let a = s.submit_at(SimTime::ZERO, job(1, 16, 10)); // needs 2 nodes
+        // Debug job lands on node 3.
+        let d = s.submit_at(SimTime::ZERO, job(2, 2, 10).with_partition("debug"));
+        s.run_until(SimTime::from_secs(1));
+        let a_nodes: Vec<NodeId> = s.jobs[&a].allocations.keys().copied().collect();
+        assert_eq!(a_nodes, vec![NodeId(1), NodeId(2)]);
+        let d_nodes: Vec<NodeId> = s.jobs[&d].allocations.keys().copied().collect();
+        assert_eq!(d_nodes, vec![NodeId(3)]);
+        // Node 4 belongs to no partition: never used.
+        assert!(s.nodes[&NodeId(4)].is_idle());
+    }
+
+    #[test]
+    fn partition_queues_when_full_despite_free_foreign_nodes() {
+        let mut s = sched(NodeSharing::Shared, 2, 8);
+        s.partitions.add("small", [NodeId(1)], true).unwrap();
+        s.submit_at(SimTime::ZERO, job(1, 8, 100));
+        let waiting = s.submit_at(SimTime::ZERO, job(2, 8, 10));
+        s.run_until(SimTime::from_secs(1));
+        assert_eq!(s.jobs[&waiting].state, JobState::Pending, "node 2 is off-limits");
+        s.run_to_completion();
+        assert_eq!(s.jobs[&waiting].started, Some(SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn unknown_partition_rejected_at_submit() {
+        let mut s = sched(NodeSharing::Shared, 1, 8);
+        s.partitions.add("batch", [NodeId(1)], true).unwrap();
+        let id = s.submit_at(SimTime::ZERO, job(1, 1, 10).with_partition("nope"));
+        assert_eq!(s.jobs[&id].state, JobState::Cancelled);
+        s.run_to_completion();
+        assert_eq!(s.jobs[&id].state, JobState::Cancelled);
+        assert_eq!(s.metrics.completed.get(), 0);
+    }
+
+    #[test]
+    fn pam_slurm_query_surface() {
+        let mut s = sched(NodeSharing::Shared, 2, 8);
+        s.submit_at(SimTime::ZERO, job(1, 1, 100));
+        s.run_until(SimTime::from_secs(1));
+        assert!(s.has_running_job_on(Uid(1), NodeId(1)));
+        assert!(!s.has_running_job_on(Uid(1), NodeId(2)));
+        assert!(!s.has_running_job_on(Uid(2), NodeId(1)));
+    }
+}

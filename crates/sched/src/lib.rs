@@ -1,0 +1,37 @@
+//! # eus-sched — Slurm-like scheduler with user-separation policies
+//!
+//! Implements the scheduler half of the paper (Sec. IV-B):
+//!
+//! * [`policy::NodeSharing`] — the three node-sharing policies the paper
+//!   contrasts: default **shared** nodes, per-job **exclusive** allocation,
+//!   and LLSC's **whole-node user-based** policy (one user per node at any
+//!   instant, intra-user packing preserved),
+//! * [`engine::Scheduler`] — FCFS + EASY backfill over those policies, on an
+//!   internal discrete-event clock, with utilization/wait metrics,
+//!   node-failure injection ([`engine::FailureRecord`] measures the "blast
+//!   radius" of Sec. IV-B/V), and epilog emission ([`engine::EpilogEvent`])
+//!   for the GPU-scrub and cleanup duties of Sec. IV-F,
+//! * [`privatedata`] / [`accounting`] — `PrivateData`-filtered `squeue` and
+//!   `sacct` views,
+//! * [`pam_slurm`] — ssh-only-where-your-job-runs, as a PAM module over a
+//!   shared scheduler handle.
+
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod engine;
+pub mod job;
+pub mod node;
+pub mod pam_slurm;
+pub mod partition;
+pub mod policy;
+pub mod privatedata;
+
+pub use accounting::{AcctRecord, UserUsage};
+pub use engine::{EpilogEvent, FailureRecord, SchedConfig, SchedMetrics, Scheduler};
+pub use job::{Job, JobId, JobKind, JobSpec, JobState, TaskAlloc};
+pub use node::{NodeState, SchedNode};
+pub use pam_slurm::{shared_scheduler, PamSlurm, SharedScheduler};
+pub use partition::{Partition, PartitionError, PartitionTable};
+pub use policy::{tasks_that_fit, NodeSharing};
+pub use privatedata::{may_view, JobView, PrivateData};

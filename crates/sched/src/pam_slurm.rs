@@ -1,0 +1,120 @@
+//! `pam_slurm`: "users can only ssh into compute nodes on which they have
+//! one or more jobs currently executing" (paper Sec. IV-B).
+//!
+//! Implemented as a [`PamModule`] holding a shared handle to the scheduler;
+//! the account phase consults the live allocation state at login time.
+
+use crate::engine::Scheduler;
+use eus_simos::pam::{PamContext, PamModule, PamVerdict};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Shared scheduler handle, as every login node's PAM stack needs one.
+pub type SharedScheduler = Arc<RwLock<Scheduler>>;
+
+/// Wrap a scheduler for sharing.
+pub fn shared_scheduler(s: Scheduler) -> SharedScheduler {
+    Arc::new(RwLock::new(s))
+}
+
+/// The PAM module.
+pub struct PamSlurm {
+    sched: SharedScheduler,
+}
+
+impl PamSlurm {
+    /// Bind to the scheduler.
+    pub fn new(sched: SharedScheduler) -> Self {
+        PamSlurm { sched }
+    }
+}
+
+impl PamModule for PamSlurm {
+    fn name(&self) -> &str {
+        "pam_slurm"
+    }
+
+    fn account(&self, ctx: &PamContext) -> PamVerdict {
+        // Root and registered operators may always log in (administration).
+        if ctx.cred.is_root() {
+            return PamVerdict::Success;
+        }
+        let sched = self.sched.read();
+        if sched.is_admin(ctx.user) {
+            return PamVerdict::Success;
+        }
+        if sched.has_running_job_on(ctx.user, ctx.node) {
+            PamVerdict::Success
+        } else {
+            PamVerdict::Denied(format!(
+                "user {} has no running job on {}",
+                ctx.user, ctx.node
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SchedConfig;
+    use crate::job::JobSpec;
+    use crate::policy::NodeSharing;
+    use eus_simcore::{SimDuration, SimTime};
+    use eus_simos::{NodeId, NodeOs, Uid, UserDb};
+
+    fn setup() -> (UserDb, SharedScheduler, Uid, Uid) {
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let bob = db.create_user("bob").unwrap();
+        let mut s = Scheduler::new(SchedConfig {
+            policy: NodeSharing::WholeNodeUser,
+            ..SchedConfig::default()
+        });
+        s.add_node(8, 64_000, 0); // NodeId(1)
+        s.add_node(8, 64_000, 0); // NodeId(2)
+        s.submit_at(
+            SimTime::ZERO,
+            JobSpec::new(alice, "train", SimDuration::from_secs(100)).with_tasks(2),
+        );
+        s.run_until(SimTime::from_secs(1));
+        (db, shared_scheduler(s), alice, bob)
+    }
+
+    #[test]
+    fn ssh_allowed_only_where_job_runs() {
+        let (db, sched, alice, bob) = setup();
+        let mut node1 = NodeOs::new(NodeId(1), "c1");
+        node1.pam.push(Box::new(PamSlurm::new(sched.clone())));
+        let mut node2 = NodeOs::new(NodeId(2), "c2");
+        node2.pam.push(Box::new(PamSlurm::new(sched.clone())));
+
+        // Alice's job landed on node 1.
+        assert!(node1.login(&db, alice, "sshd").is_ok());
+        assert!(node2.login(&db, alice, "sshd").is_err(), "no job on node 2");
+        assert!(node1.login(&db, bob, "sshd").is_err(), "bob has no jobs");
+    }
+
+    #[test]
+    fn access_expires_with_the_job() {
+        let (db, sched, alice, _) = setup();
+        let mut node1 = NodeOs::new(NodeId(1), "c1");
+        node1.pam.push(Box::new(PamSlurm::new(sched.clone())));
+        assert!(node1.login(&db, alice, "sshd").is_ok());
+        sched.write().run_to_completion();
+        assert!(
+            node1.login(&db, alice, "sshd").is_err(),
+            "job finished: ssh access revoked"
+        );
+    }
+
+    #[test]
+    fn root_and_admins_exempt() {
+        let (db, sched, _, bob) = setup();
+        sched.write().add_admin(bob);
+        let mut node2 = NodeOs::new(NodeId(2), "c2");
+        node2.pam.push(Box::new(PamSlurm::new(sched.clone())));
+        assert!(node2.login(&db, eus_simos::ROOT_UID, "sshd").is_ok());
+        assert!(node2.login(&db, bob, "sshd").is_ok(), "admin whitelisted");
+    }
+}

@@ -1,0 +1,201 @@
+//! Node-sharing policies (paper Sec. IV-B).
+//!
+//! * [`NodeSharing::Shared`] — default Slurm: any user's tasks co-resident
+//!   on a node. Best packing, worst blast radius and isolation.
+//! * [`NodeSharing::Exclusive`] — `--exclusive` for every job: a job owns
+//!   whole nodes. Full isolation, poor utilization for many-small-job
+//!   workloads ("it results in poor utilization if a user is executing many
+//!   bulk synchronous parallel jobs").
+//! * [`NodeSharing::WholeNodeUser`] — LLSC's policy [refs 25, 26]: once a
+//!   user's job lands on a node, only *that user's* jobs may fill the
+//!   remaining capacity. One user per node at any instant, without giving
+//!   up intra-user packing.
+
+use crate::job::JobSpec;
+use crate::node::{NodeState, SchedNode};
+use eus_simos::Uid;
+use std::fmt;
+
+/// The cluster-wide node-sharing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeSharing {
+    /// Multiple users per node.
+    Shared,
+    /// Whole nodes per job.
+    Exclusive,
+    /// Whole nodes per **user** (the paper's policy).
+    WholeNodeUser,
+}
+
+impl fmt::Display for NodeSharing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NodeSharing::Shared => "shared",
+            NodeSharing::Exclusive => "exclusive",
+            NodeSharing::WholeNodeUser => "whole-node",
+        })
+    }
+}
+
+impl NodeSharing {
+    /// All three, for experiment sweeps.
+    pub fn all() -> [NodeSharing; 3] {
+        [
+            NodeSharing::Shared,
+            NodeSharing::Exclusive,
+            NodeSharing::WholeNodeUser,
+        ]
+    }
+
+    /// May tasks of `user` be placed on `node` under this policy (capacity
+    /// aside)? A per-job `--exclusive` request tightens Shared/WholeNodeUser
+    /// to an empty node.
+    pub fn node_admits(&self, node: &SchedNode, user: Uid, spec: &JobSpec) -> bool {
+        if node.state != NodeState::Up {
+            return false;
+        }
+        if spec.request_exclusive && !node.is_idle() {
+            return false;
+        }
+        match self {
+            NodeSharing::Shared => true,
+            NodeSharing::Exclusive => node.is_idle(),
+            NodeSharing::WholeNodeUser => match node.owner() {
+                None => true,
+                Some(owner) => owner == user,
+            },
+        }
+    }
+
+    /// Does this policy charge the whole node to a job placed on it?
+    /// (Exclusive jobs hold every core even if tasks need fewer.)
+    pub fn charges_whole_node(&self, spec: &JobSpec) -> bool {
+        matches!(self, NodeSharing::Exclusive) || spec.request_exclusive
+    }
+}
+
+/// How many tasks of `spec` fit in the node's current free capacity.
+pub fn tasks_that_fit(node: &SchedNode, spec: &JobSpec) -> u32 {
+    if node.state != NodeState::Up {
+        return 0;
+    }
+    let by_cores = node.free_cores() / spec.cpus_per_task.max(1);
+    let by_mem = node
+        .free_mem_mib()
+        .checked_div(spec.mem_per_task_mib)
+        .map_or(u32::MAX, |n| n.min(u32::MAX as u64) as u32);
+    let by_gpus = node
+        .free_gpus()
+        .checked_div(spec.gpus_per_task)
+        .unwrap_or(u32::MAX);
+    by_cores.min(by_mem).min(by_gpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobId, TaskAlloc};
+    use eus_simcore::SimDuration;
+    use eus_simos::NodeId;
+
+    fn node() -> SchedNode {
+        SchedNode::new(NodeId(1), 16, 32_768, 2)
+    }
+
+    fn spec(user: u32) -> JobSpec {
+        JobSpec::new(Uid(user), "j", SimDuration::from_secs(10))
+            .with_cpus_per_task(2)
+            .with_mem_per_task(4096)
+    }
+
+    #[test]
+    fn shared_admits_everyone() {
+        let mut n = node();
+        n.claim(
+            JobId(1),
+            TaskAlloc {
+                tasks: 1,
+                cores: 2,
+                mem_mib: 4096,
+                gpus: 0,
+            },
+            Uid(1),
+        );
+        assert!(NodeSharing::Shared.node_admits(&n, Uid(2), &spec(2)));
+    }
+
+    #[test]
+    fn exclusive_requires_idle() {
+        let mut n = node();
+        assert!(NodeSharing::Exclusive.node_admits(&n, Uid(1), &spec(1)));
+        n.claim(
+            JobId(1),
+            TaskAlloc {
+                tasks: 1,
+                cores: 2,
+                mem_mib: 4096,
+                gpus: 0,
+            },
+            Uid(1),
+        );
+        // Even the same user cannot add an exclusive job to a busy node.
+        assert!(!NodeSharing::Exclusive.node_admits(&n, Uid(1), &spec(1)));
+    }
+
+    #[test]
+    fn whole_node_admits_owner_only() {
+        let mut n = node();
+        assert!(NodeSharing::WholeNodeUser.node_admits(&n, Uid(1), &spec(1)));
+        n.claim(
+            JobId(1),
+            TaskAlloc {
+                tasks: 1,
+                cores: 2,
+                mem_mib: 4096,
+                gpus: 0,
+            },
+            Uid(1),
+        );
+        assert!(NodeSharing::WholeNodeUser.node_admits(&n, Uid(1), &spec(1)));
+        assert!(!NodeSharing::WholeNodeUser.node_admits(&n, Uid(2), &spec(2)));
+    }
+
+    #[test]
+    fn per_job_exclusive_request_respected() {
+        let mut n = node();
+        n.claim(
+            JobId(1),
+            TaskAlloc {
+                tasks: 1,
+                cores: 2,
+                mem_mib: 4096,
+                gpus: 0,
+            },
+            Uid(1),
+        );
+        let excl = spec(1).exclusive();
+        assert!(!NodeSharing::Shared.node_admits(&n, Uid(1), &excl));
+        assert!(NodeSharing::Shared.charges_whole_node(&excl));
+        assert!(!NodeSharing::Shared.charges_whole_node(&spec(1)));
+        assert!(NodeSharing::Exclusive.charges_whole_node(&spec(1)));
+    }
+
+    #[test]
+    fn down_node_admits_nothing() {
+        let mut n = node();
+        n.state = NodeState::Down;
+        assert!(!NodeSharing::Shared.node_admits(&n, Uid(1), &spec(1)));
+        assert_eq!(tasks_that_fit(&n, &spec(1)), 0);
+    }
+
+    #[test]
+    fn fit_is_min_over_resources() {
+        let n = node(); // 16 cores, 32 GiB, 2 GPUs
+        let s = spec(1); // 2 cores + 4 GiB per task → 8 by cores, 8 by mem
+        assert_eq!(tasks_that_fit(&n, &s), 8);
+        let gpu_spec = spec(1).with_gpus_per_task(1); // 2 GPUs → 2 tasks
+        assert_eq!(tasks_that_fit(&n, &gpu_spec), 2);
+        let fat_mem = spec(1).with_mem_per_task(20_000); // 1 by memory
+        assert_eq!(tasks_that_fit(&n, &fat_mem), 1);
+    }
+}

@@ -1,0 +1,306 @@
+//! Measurement primitives shared by every experiment.
+//!
+//! Three shapes cover everything the reproduction reports:
+//! * [`Counter`] — monotone event counts (connections allowed/denied, …).
+//! * [`Histogram`] — sampled values with exact quantiles (latencies, waits).
+//! * [`TimeWeighted`] — a value integrated over simulated time (allocated
+//!   cores → utilization).
+
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.count += 1;
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Sampled-value histogram retaining all observations.
+///
+/// Experiments here run at most a few hundred thousand samples, so keeping
+/// the raw values (8 bytes each) is cheap and buys *exact* quantiles rather
+/// than bucketed approximations. `summary()` sorts a copy on demand.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation. Non-finite values are rejected loudly: they
+    /// always indicate a harness bug.
+    pub fn record(&mut self, v: f64) {
+        assert!(v.is_finite(), "non-finite sample {v}");
+        self.samples.push(v);
+    }
+
+    /// Record a simulated duration, in microseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros() as f64);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Raw samples, in arrival order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Full summary; `None` when empty.
+    pub fn summary(&self) -> Option<Summary> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = sorted.len();
+        let mean = self.mean();
+        let var = sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let q = |p: f64| -> f64 {
+            // Nearest-rank on the sorted samples.
+            let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+            sorted[idx]
+        };
+        Some(Summary {
+            count: n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+            max: sorted[n - 1],
+        })
+    }
+
+    /// Merge another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} sd={:.2} min={:.2} p50={:.2} p95={:.2} p99={:.2} max={:.2}",
+            self.count, self.mean, self.std_dev, self.min, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// A step function of simulated time, integrated exactly.
+///
+/// Call [`TimeWeighted::set`] whenever the tracked quantity changes; the
+/// integral between updates accumulates `value × elapsed`. Dividing by the
+/// observation window gives the time-weighted average — this is how node and
+/// core utilization are computed in the scheduler experiments.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    started: SimTime,
+    last_change: SimTime,
+    current: f64,
+    integral: f64,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Start tracking at `start` with initial value `initial`.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            started: start,
+            last_change: start,
+            current: initial,
+            integral: 0.0,
+            peak: initial,
+        }
+    }
+
+    /// Update the tracked value as of time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        assert!(
+            now >= self.last_change,
+            "time went backwards: {now} < {}",
+            self.last_change
+        );
+        self.integral += self.current * now.since(self.last_change).as_secs_f64();
+        self.last_change = now;
+        self.current = value;
+        if value > self.peak {
+            self.peak = value;
+        }
+    }
+
+    /// Adjust the tracked value by a delta as of time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let next = self.current + delta;
+        self.set(now, next);
+    }
+
+    /// The value currently in effect.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Highest value observed.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Integral of the value from the start through `now`, in value·seconds.
+    pub fn integral(&self, now: SimTime) -> f64 {
+        self.integral + self.current * now.since(self.last_change).as_secs_f64()
+    }
+
+    /// Time-weighted mean over `[start, now]`; 0 for an empty window.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let window = now.since(self.started).as_secs_f64();
+        if window <= 0.0 {
+            return 0.0;
+        }
+        self.integral(now) / window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_summary_exact() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+    }
+
+    #[test]
+    fn histogram_empty_summary_none() {
+        assert!(Histogram::new().summary().is_none());
+        assert_eq!(Histogram::new().mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn histogram_rejects_nan() {
+        Histogram::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1.0);
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!((a.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        // 4 cores busy for 10s, then 0 for 10s => average 2 over 20s.
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 4.0);
+        tw.set(SimTime::from_secs(10), 0.0);
+        assert!((tw.average(SimTime::from_secs(20)) - 2.0).abs() < 1e-9);
+        assert_eq!(tw.peak(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_add_and_integral() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.add(SimTime::from_secs(5), 2.0); // 0 for 5s
+        tw.add(SimTime::from_secs(10), -1.0); // 2 for 5s
+        // integral at t=20: 0*5 + 2*5 + 1*10 = 20
+        assert!((tw.integral(SimTime::from_secs(20)) - 20.0).abs() < 1e-9);
+        assert_eq!(tw.current(), 1.0);
+    }
+
+    #[test]
+    fn time_weighted_empty_window() {
+        let tw = TimeWeighted::new(SimTime::from_secs(5), 3.0);
+        assert_eq!(tw.average(SimTime::from_secs(5)), 0.0);
+    }
+}

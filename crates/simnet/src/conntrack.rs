@@ -1,0 +1,96 @@
+//! Connection tracking.
+//!
+//! The UBF only inspects the *first* packet of a flow; conntrack recognizes
+//! every subsequent packet (both directions) as `Established` and the
+//! firewall's passthrough rule accepts it without touching the queue. That
+//! is why the UBF's cost lands entirely on connection setup (paper Sec. IV-D,
+//! measured in experiment E9).
+
+use crate::addr::FiveTuple;
+use std::collections::HashSet;
+
+/// Per-host connection tracking table.
+#[derive(Debug, Clone, Default)]
+pub struct ConnTrack {
+    flows: HashSet<FiveTuple>,
+}
+
+impl ConnTrack {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a flow as established (both directions).
+    pub fn establish(&mut self, tuple: FiveTuple) {
+        self.flows.insert(tuple);
+        self.flows.insert(tuple.reversed());
+    }
+
+    /// Is this packet part of an established flow?
+    pub fn is_established(&self, tuple: &FiveTuple) -> bool {
+        self.flows.contains(tuple)
+    }
+
+    /// Remove a flow (connection close / conntrack expiry).
+    pub fn remove(&mut self, tuple: &FiveTuple) {
+        self.flows.remove(tuple);
+        self.flows.remove(&tuple.reversed());
+    }
+
+    /// Number of tracked directional entries.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Proto, SocketAddr};
+    use eus_simos::NodeId;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple {
+            proto: Proto::Tcp,
+            src: SocketAddr::new(NodeId(1), 40000),
+            dst: SocketAddr::new(NodeId(2), 8888),
+        }
+    }
+
+    #[test]
+    fn establish_tracks_both_directions() {
+        let mut ct = ConnTrack::new();
+        let t = tuple();
+        assert!(!ct.is_established(&t));
+        ct.establish(t);
+        assert!(ct.is_established(&t));
+        assert!(ct.is_established(&t.reversed()));
+        assert_eq!(ct.len(), 2);
+    }
+
+    #[test]
+    fn remove_clears_both_directions() {
+        let mut ct = ConnTrack::new();
+        let t = tuple();
+        ct.establish(t);
+        ct.remove(&t.reversed());
+        assert!(ct.is_empty());
+        assert!(!ct.is_established(&t));
+    }
+
+    #[test]
+    fn distinct_flows_are_independent() {
+        let mut ct = ConnTrack::new();
+        let a = tuple();
+        let mut b = tuple();
+        b.src.port = 40001;
+        ct.establish(a);
+        assert!(!ct.is_established(&b));
+    }
+}

@@ -1,0 +1,66 @@
+//! The ident-style (RFC 1413) identity oracle.
+//!
+//! During UBF connection setup "an ident-like query is sent from the
+//! receiving system to initiating system to get user information, and the
+//! same query run locally" (paper Sec. IV-D). Given a host's socket table and
+//! a (proto, port), the service answers with the owning uid/egid. The
+//! *trust* model matches the paper's deployment: every node runs the site's
+//! daemon, so answers are authoritative within the cluster.
+
+use crate::addr::{Port, Proto};
+use crate::socket::{PeerInfo, SocketTable};
+
+/// Errors an ident query can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdentError {
+    /// No socket bound on the queried port: the peer process vanished
+    /// between SYN and query (treated as deny by the UBF).
+    NoSuchPort(Proto, Port),
+}
+
+impl std::fmt::Display for IdentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdentError::NoSuchPort(p, port) => write!(f, "ident: no socket on {p}/{port}"),
+        }
+    }
+}
+
+impl std::error::Error for IdentError {}
+
+/// Answer an ident query against a host's socket table.
+pub fn ident_query(
+    table: &SocketTable,
+    proto: Proto,
+    port: Port,
+) -> Result<PeerInfo, IdentError> {
+    table
+        .lookup(proto, port)
+        .map(|e| e.owner)
+        .ok_or(IdentError::NoSuchPort(proto, port))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eus_simos::{Credentials, Gid, Uid};
+
+    #[test]
+    fn query_returns_owner() {
+        let mut t = SocketTable::new();
+        let cred = Credentials::with_groups(Uid(10), Gid(77), []);
+        t.listen(Proto::Tcp, 9000, PeerInfo::from_cred(&cred)).unwrap();
+        let info = ident_query(&t, Proto::Tcp, 9000).unwrap();
+        assert_eq!(info.uid, Uid(10));
+        assert_eq!(info.egid, Gid(77));
+    }
+
+    #[test]
+    fn query_misses_cleanly() {
+        let t = SocketTable::new();
+        assert_eq!(
+            ident_query(&t, Proto::Udp, 1234).unwrap_err(),
+            IdentError::NoSuchPort(Proto::Udp, 1234)
+        );
+    }
+}

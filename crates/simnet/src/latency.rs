@@ -1,0 +1,113 @@
+//! The cost model for network operations.
+//!
+//! Absolute numbers are calibrated to a generic HPC Ethernet/IB fabric, but
+//! the experiments only rely on the *structure*: UBF adds a queue hop, two
+//! daemon lookups, and one ident round-trip to **connection setup**, and
+//! nothing to established-flow traffic.
+
+use eus_simcore::SimDuration;
+
+/// Tunable cost constants.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// One network round trip between two nodes (TCP handshake ≈ 1 RTT).
+    pub base_rtt: SimDuration,
+    /// Kernel→userspace→kernel traversal for an NFQUEUE'd packet.
+    pub nfqueue_hop: SimDuration,
+    /// The ident query the receiving daemon sends to the initiating host.
+    pub ident_rtt: SimDuration,
+    /// One local socket-table / group-membership lookup in the daemon.
+    pub daemon_lookup: SimDuration,
+    /// Per-KiB serialization cost for payload transfer.
+    pub per_kib: SimDuration,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            base_rtt: SimDuration::from_micros(30),
+            nfqueue_hop: SimDuration::from_micros(12),
+            ident_rtt: SimDuration::from_micros(35),
+            daemon_lookup: SimDuration::from_micros(2),
+            // ~10 GbE: 1 KiB ≈ 0.8 us on the wire; round to 1 us.
+            per_kib: SimDuration::from_micros(1),
+        }
+    }
+}
+
+/// What a queued connection decision consumed; filled in by the userspace
+/// handler, converted to time here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SetupCosts {
+    /// Ident round-trips performed.
+    pub ident_rtts: u32,
+    /// Local lookups performed.
+    pub daemon_lookups: u32,
+    /// True when a cached decision short-circuited the ident query.
+    pub cache_hit: bool,
+}
+
+impl LatencyModel {
+    /// Time for a connection handshake, plus inspection costs if queued.
+    pub fn setup_time(&self, queued: bool, costs: &SetupCosts) -> SimDuration {
+        let mut t = self.base_rtt;
+        if queued {
+            t += self.nfqueue_hop;
+            t += self.ident_rtt * costs.ident_rtts as u64;
+            t += self.daemon_lookup * costs.daemon_lookups as u64;
+        }
+        t
+    }
+
+    /// Time to move `bytes` of payload on an established flow.
+    pub fn transfer_time(&self, bytes: usize) -> SimDuration {
+        let kib = bytes.div_ceil(1024) as u64;
+        // Half an RTT of propagation plus serialization.
+        self.base_rtt / 2 + self.per_kib * kib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unqueued_setup_is_one_rtt() {
+        let m = LatencyModel::default();
+        let t = m.setup_time(false, &SetupCosts::default());
+        assert_eq!(t, m.base_rtt);
+    }
+
+    #[test]
+    fn queued_setup_adds_inspection_costs() {
+        let m = LatencyModel::default();
+        let costs = SetupCosts {
+            ident_rtts: 1,
+            daemon_lookups: 2,
+            cache_hit: false,
+        };
+        let t = m.setup_time(true, &costs);
+        assert_eq!(
+            t,
+            m.base_rtt + m.nfqueue_hop + m.ident_rtt + m.daemon_lookup * 2
+        );
+        // A cache hit skips the ident round trip.
+        let cached = SetupCosts {
+            ident_rtts: 0,
+            daemon_lookups: 1,
+            cache_hit: true,
+        };
+        assert!(m.setup_time(true, &cached) < t);
+    }
+
+    #[test]
+    fn transfer_scales_with_size() {
+        let m = LatencyModel::default();
+        let small = m.transfer_time(100);
+        let large = m.transfer_time(1024 * 1024);
+        assert!(large > small);
+        assert_eq!(m.transfer_time(0), m.base_rtt / 2);
+        // Ceil division: 1 byte still costs one KiB slot.
+        assert_eq!(m.transfer_time(1), m.base_rtt / 2 + m.per_kib);
+    }
+}

@@ -1,0 +1,56 @@
+//! Character-device identities.
+//!
+//! GPUs (and other accelerators) appear as `/dev` nodes; the scheduler
+//! assigns them to a job's user by flipping the group owner of the node to
+//! the user's private group (paper Sec. IV-F). The device *state* (memory,
+//! remanence) lives in `eus-accel`; this is just the identity the VFS stores.
+
+use std::fmt;
+
+/// A (major, minor) device number pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId {
+    /// Major number (device class; 195 is the NVIDIA character range).
+    pub major: u16,
+    /// Minor number (instance).
+    pub minor: u16,
+}
+
+impl DeviceId {
+    /// Conventional id for the `n`-th GPU on a node.
+    pub fn gpu(n: u16) -> Self {
+        DeviceId {
+            major: 195,
+            minor: n,
+        }
+    }
+
+    /// Conventional `/dev` path for this device.
+    pub fn dev_path(&self) -> String {
+        match self.major {
+            195 => format!("/dev/gpu{}", self.minor),
+            _ => format!("/dev/char-{}-{}", self.major, self.minor),
+        }
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev({},{})", self.major, self.minor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_ids_and_paths() {
+        let d = DeviceId::gpu(2);
+        assert_eq!(d.major, 195);
+        assert_eq!(d.dev_path(), "/dev/gpu2");
+        assert_eq!(d.to_string(), "dev(195,2)");
+        let other = DeviceId { major: 10, minor: 1 };
+        assert_eq!(other.dev_path(), "/dev/char-10-1");
+    }
+}

@@ -1,0 +1,74 @@
+//! Identifier newtypes shared across the simulated cluster.
+
+use std::fmt;
+
+/// A numeric user id, as in `uid_t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Uid(pub u32);
+
+/// A numeric group id, as in `gid_t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gid(pub u32);
+
+/// A process id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+/// A cluster node (machine) id. Also used as the network host id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// A login-session id, unique per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+/// The superuser uid.
+pub const ROOT_UID: Uid = Uid(0);
+/// The superuser's primary group.
+pub const ROOT_GID: Gid = Gid(0);
+
+impl fmt::Display for Uid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uid:{}", self.0)
+    }
+}
+impl fmt::Display for Gid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gid:{}", self.0)
+    }
+}
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node:{}", self.0)
+    }
+}
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Uid(7).to_string(), "uid:7");
+        assert_eq!(Gid(8).to_string(), "gid:8");
+        assert_eq!(Pid(9).to_string(), "pid:9");
+        assert_eq!(NodeId(1).to_string(), "node:1");
+        assert_eq!(SessionId(3).to_string(), "session:3");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Uid(2) < Uid(10));
+        assert!(Pid(100) > Pid(99));
+    }
+}

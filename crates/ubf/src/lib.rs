@@ -1,0 +1,35 @@
+//! # eus-ubf — the User-Based Firewall
+//!
+//! Reproduction of the paper's second released artifact
+//! (`mit-llsc/UserBasedFirewall`, Sec. IV-D + Appendix): instead of a
+//! traditional port/protocol/service firewall, every *new* TCP/UDP
+//! connection on ports ≥ 1024 is punted to a userspace daemon which allows
+//! it only when the connecting and listening processes run as the **same
+//! user**, or the connector is a member of the listener's **effective gid**
+//! (the `newgrp`/`sg` group opt-in).
+//!
+//! * [`policy`] — the decision rule.
+//! * [`daemon`] — the NFQUEUE handler with ident querying, decision cache,
+//!   and exported statistics.
+//! * [`ruleset`] — the nftables-shaped rules ([`ruleset::install_ubf_rules`])
+//!   and one-call host deployment ([`ruleset::deploy_ubf`]).
+//! * [`cache`] — bounded decision cache (the `ubf_overhead` bench ablates it).
+//! * [`httpd_plugin`] — the portal-side authorization hook.
+//!
+//! Established flows never revisit the daemon (conntrack passthrough), so
+//! the UBF's entire cost lands on connection setup — experiment E9 measures
+//! exactly that.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod daemon;
+pub mod httpd_plugin;
+pub mod policy;
+pub mod ruleset;
+
+pub use cache::{CacheKey, DecisionCache};
+pub use daemon::{shared_user_db, SharedUserDb, UbfConfig, UbfDaemon, UbfStats, UbfStatsInner};
+pub use httpd_plugin::HttpdUbfPlugin;
+pub use policy::{decide, Decision, UbfPolicy};
+pub use ruleset::{deploy_ubf, install_ubf_rules, UBF_INSPECT_FROM, UBF_QUEUE};

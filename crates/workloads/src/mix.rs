@@ -1,0 +1,253 @@
+//! Workload mixes and trace generation.
+//!
+//! A [`WorkloadMix`] draws job *batches* (a sweep, an MC study, one MPI run,
+//! an interactive session) from a categorical distribution, attaches them to
+//! Zipf-active users, and schedules batch arrivals as a Poisson process —
+//! the synthetic stand-in for LLSC's production traces (which are not
+//! public; see DESIGN.md fidelity notes).
+
+use crate::jobs;
+use crate::population::UserPopulation;
+use eus_simcore::{SimDuration, SimRng, SimTime};
+use eus_sched::{JobSpec, Scheduler};
+
+/// One dated submission.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// Arrival time.
+    pub at: SimTime,
+    /// The job.
+    pub spec: JobSpec,
+}
+
+/// A generated submission trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Entries in arrival order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Submit every entry into a scheduler.
+    pub fn submit_all(&self, sched: &mut Scheduler) {
+        for e in &self.entries {
+            sched.submit_at(e.at, e.spec.clone());
+        }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total requested core-seconds (a load sanity check).
+    pub fn total_core_seconds(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| e.spec.total_cores() as f64 * e.spec.duration.as_secs_f64())
+            .collect::<Vec<_>>()
+            .iter()
+            .sum()
+    }
+}
+
+/// Batch-type weights and parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadMix {
+    /// Probability a batch is a parameter sweep.
+    pub sweep_weight: f64,
+    /// Probability a batch is a Monte Carlo study.
+    pub monte_carlo_weight: f64,
+    /// Probability a batch is one MPI gang job.
+    pub mpi_weight: f64,
+    /// Probability a batch is an interactive session.
+    pub interactive_weight: f64,
+    /// Mean batch arrivals per simulated hour.
+    pub batches_per_hour: f64,
+    /// Sweep size range (points).
+    pub sweep_points: (u32, u32),
+    /// Mean sweep task length (seconds).
+    pub sweep_task_secs: f64,
+    /// MC replicas range.
+    pub mc_replicas: (u32, u32),
+    /// MPI ranks range (powers of two look right but aren't required).
+    pub mpi_ranks: (u32, u32),
+    /// MPI run length range (seconds).
+    pub mpi_secs: (f64, f64),
+}
+
+impl WorkloadMix {
+    /// The interactive, many-short-jobs LLSC-like mix the paper's
+    /// scheduling policy targets.
+    pub fn llsc_like() -> Self {
+        WorkloadMix {
+            sweep_weight: 0.45,
+            monte_carlo_weight: 0.25,
+            mpi_weight: 0.15,
+            interactive_weight: 0.15,
+            batches_per_hour: 40.0,
+            sweep_points: (16, 128),
+            sweep_task_secs: 60.0,
+            mc_replicas: (32, 256),
+            mpi_ranks: (8, 64),
+            mpi_secs: (600.0, 7200.0),
+        }
+    }
+
+    /// A traditional batch-MPI-dominated center.
+    pub fn batch_heavy() -> Self {
+        WorkloadMix {
+            sweep_weight: 0.15,
+            monte_carlo_weight: 0.10,
+            mpi_weight: 0.70,
+            interactive_weight: 0.05,
+            batches_per_hour: 10.0,
+            mpi_ranks: (32, 256),
+            mpi_secs: (3600.0, 36_000.0),
+            ..Self::llsc_like()
+        }
+    }
+
+    /// Generate a trace over `[0, horizon]`.
+    pub fn generate(
+        &self,
+        pop: &UserPopulation,
+        horizon: SimTime,
+        rng: &mut SimRng,
+    ) -> Trace {
+        let rate_per_sec = self.batches_per_hour / 3600.0;
+        let mut entries = Vec::new();
+        let mut t = 0.0f64;
+        let horizon_s = horizon.as_secs_f64();
+        loop {
+            t += rng.exponential(rate_per_sec);
+            if t >= horizon_s {
+                break;
+            }
+            let at = SimTime::from_micros((t * 1e6) as u64);
+            let user = pop.active_user(rng);
+            let total = self.sweep_weight
+                + self.monte_carlo_weight
+                + self.mpi_weight
+                + self.interactive_weight;
+            let draw = rng.f64() * total;
+            let sweep_end = self.sweep_weight;
+            let mc_end = sweep_end + self.monte_carlo_weight;
+            let mpi_end = mc_end + self.mpi_weight;
+            let batch: Vec<JobSpec> = if draw < sweep_end {
+                let n = rng.range_u64(self.sweep_points.0 as u64, self.sweep_points.1 as u64 + 1)
+                    as u32;
+                jobs::parameter_sweep(user, n, self.sweep_task_secs, rng)
+            } else if draw < mc_end {
+                let n =
+                    rng.range_u64(self.mc_replicas.0 as u64, self.mc_replicas.1 as u64 + 1) as u32;
+                jobs::monte_carlo(user, n, 10.0, rng)
+            } else if draw < mpi_end {
+                let ranks =
+                    rng.range_u64(self.mpi_ranks.0 as u64, self.mpi_ranks.1 as u64 + 1) as u32;
+                let secs = self.mpi_secs.0 + rng.f64() * (self.mpi_secs.1 - self.mpi_secs.0);
+                vec![jobs::mpi_job(user, ranks, secs)]
+            } else {
+                vec![jobs::interactive_session(user, 1.0 + rng.f64() * 3.0)]
+            };
+            for spec in batch {
+                entries.push(TraceEntry { at, spec });
+            }
+        }
+        Trace { entries }
+    }
+}
+
+/// Poisson arrival times over `[0, horizon]` at `rate_per_sec` — exposed for
+/// experiments that schedule their own batches.
+pub fn poisson_arrivals(rate_per_sec: f64, horizon: SimTime, rng: &mut SimRng) -> Vec<SimTime> {
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    let horizon_s = horizon.as_secs_f64();
+    loop {
+        t += rng.exponential(rate_per_sec);
+        if t >= horizon_s {
+            return out;
+        }
+        out.push(SimTime::from_micros((t * 1e6) as u64));
+    }
+}
+
+/// A convenience duration for trace horizons.
+pub const fn hours(h: u64) -> SimDuration {
+    SimDuration::from_secs(h * 3600)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eus_simos::UserDb;
+
+    fn pop(rng: &mut SimRng) -> (UserDb, UserPopulation) {
+        let mut db = UserDb::new();
+        let p = UserPopulation::build(&mut db, 30, 5, 1.0, rng);
+        (db, p)
+    }
+
+    #[test]
+    fn trace_generation_is_deterministic_and_nonempty() {
+        let gen = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let (_db, p) = pop(&mut rng);
+            let mix = WorkloadMix::llsc_like();
+            let t = mix.generate(&p, SimTime::from_secs(4 * 3600), &mut rng);
+            (t.len(), t.total_core_seconds())
+        };
+        let (n1, cs1) = gen(42);
+        let (n2, cs2) = gen(42);
+        assert_eq!(n1, n2);
+        assert_eq!(cs1, cs2);
+        assert!(n1 > 100, "4h of llsc-like load should be busy: {n1}");
+    }
+
+    #[test]
+    fn llsc_mix_dominated_by_short_jobs() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let (_db, p) = pop(&mut rng);
+        let t = WorkloadMix::llsc_like().generate(&p, SimTime::from_secs(4 * 3600), &mut rng);
+        let short = t
+            .entries
+            .iter()
+            .filter(|e| e.spec.duration < SimDuration::from_secs(600))
+            .count();
+        assert!(
+            short as f64 / t.len() as f64 > 0.6,
+            "mostly short jobs: {short}/{}",
+            t.len()
+        );
+    }
+
+    #[test]
+    fn poisson_rate_roughly_right() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let arr = poisson_arrivals(0.1, SimTime::from_secs(100_000), &mut rng);
+        let n = arr.len() as f64;
+        assert!((n - 10_000.0).abs() < 400.0, "n={n}");
+        assert!(arr.windows(2).all(|w| w[0] < w[1]), "sorted");
+    }
+
+    #[test]
+    fn submit_all_into_scheduler() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let (_db, p) = pop(&mut rng);
+        let t = WorkloadMix::llsc_like().generate(&p, SimTime::from_secs(1800), &mut rng);
+        let mut s = Scheduler::new(eus_sched::SchedConfig::default());
+        for _ in 0..32 {
+            s.add_node(16, 64_000, 0);
+        }
+        t.submit_all(&mut s);
+        s.run_to_completion();
+        let done = s.metrics.completed.get() as usize;
+        assert_eq!(done, t.len(), "all jobs eventually complete");
+    }
+}

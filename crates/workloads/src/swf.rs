@@ -1,0 +1,222 @@
+//! Standard Workload Format (SWF) interchange.
+//!
+//! The Parallel Workloads Archive's SWF is the lingua franca for scheduler
+//! traces. LLSC's own traces are not public, but sites that *can* publish
+//! use SWF — supporting it lets every experiment in this repository run on
+//! real archive traces, and lets our synthetic traces be consumed by other
+//! simulators.
+//!
+//! We implement the fields the scheduler model uses (one line per job):
+//!
+//! ```text
+//! job_id submit wait run procs avg_cpu mem req_procs req_time req_mem
+//! status user group exe queue partition prev_job think_time
+//! ```
+//!
+//! Unused fields are written as `-1`, as the format specifies.
+
+use crate::mix::{Trace, TraceEntry};
+use eus_sched::JobSpec;
+use eus_simcore::{SimDuration, SimTime};
+use eus_simos::Uid;
+use std::fmt::Write as _;
+
+/// Errors from SWF parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwfError {
+    /// A data line had fewer than 18 fields.
+    TooFewFields {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+    },
+    /// A field failed to parse as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based field index.
+        field: usize,
+    },
+}
+
+impl std::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwfError::TooFewFields { line, found } => {
+                write!(f, "swf line {line}: expected 18 fields, found {found}")
+            }
+            SwfError::BadNumber { line, field } => {
+                write!(f, "swf line {line}: field {field} is not a number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+/// Serialize a trace to SWF text (with a minimal comment header).
+pub fn to_swf(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("; SWF export from hpc-user-separation synthetic workload\n");
+    out.push_str("; UnixStartTime: 0\n");
+    for (i, e) in trace.entries.iter().enumerate() {
+        let spec = &e.spec;
+        // status 1 = completed (we export offered load, not outcomes).
+        let _ = writeln!(
+            out,
+            "{} {} -1 {} {} -1 {} {} {} -1 1 {} -1 -1 -1 {} -1 -1",
+            i + 1,
+            e.at.as_micros() / 1_000_000,
+            spec.duration.as_secs_f64().ceil() as u64,
+            spec.total_cores(),
+            spec.mem_per_task_mib,
+            spec.total_cores(),
+            spec.time_limit.as_secs_f64().ceil() as u64,
+            spec.user.0,
+            spec.partition
+                .as_ref()
+                .map(|p| hash_name(p))
+                .unwrap_or(-1),
+        );
+    }
+    out
+}
+
+/// Stable small integer for a partition name (SWF stores numbers).
+fn hash_name(name: &str) -> i64 {
+    (name
+        .bytes()
+        .fold(7u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64))
+        % 1_000) as i64
+}
+
+/// Parse SWF text into a [`Trace`]. Only the fields the scheduler model
+/// needs are consumed: submit(1), run(3), procs(4), req_time(8), user(11).
+/// Jobs with non-positive run time or procs are skipped, as archive
+/// conventions recommend.
+pub fn from_swf(text: &str) -> Result<Trace, SwfError> {
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 18 {
+            return Err(SwfError::TooFewFields {
+                line: lineno + 1,
+                found: fields.len(),
+            });
+        }
+        let num = |idx: usize| -> Result<i64, SwfError> {
+            fields[idx].parse::<f64>().map(|v| v as i64).map_err(|_| {
+                SwfError::BadNumber {
+                    line: lineno + 1,
+                    field: idx,
+                }
+            })
+        };
+        let submit = num(1)?;
+        let run = num(3)?;
+        let procs = num(4)?;
+        let req_time = num(8)?;
+        let user = num(11)?;
+        if run <= 0 || procs <= 0 {
+            continue;
+        }
+        let mut spec = JobSpec::new(
+            Uid(user.max(0) as u32 + 1000),
+            format!("swf-{}", fields[0]),
+            SimDuration::from_secs(run as u64),
+        )
+        .with_tasks(procs as u32)
+        .with_mem_per_task(256);
+        if req_time > 0 {
+            spec = spec.with_time_limit(SimDuration::from_secs(req_time as u64));
+        }
+        entries.push(TraceEntry {
+            at: SimTime::from_secs(submit.max(0) as u64),
+            spec,
+        });
+    }
+    entries.sort_by_key(|e| e.at);
+    Ok(Trace { entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::UserPopulation;
+    use crate::mix::WorkloadMix;
+    use eus_simcore::SimRng;
+    use eus_simos::UserDb;
+
+    fn synthetic() -> Trace {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut db = UserDb::new();
+        let pop = UserPopulation::build(&mut db, 10, 2, 1.0, &mut rng);
+        WorkloadMix::llsc_like().generate(&pop, SimTime::from_secs(1800), &mut rng)
+    }
+
+    #[test]
+    fn roundtrip_preserves_load_shape() {
+        let original = synthetic();
+        let text = to_swf(&original);
+        let parsed = from_swf(&text).unwrap();
+        assert_eq!(parsed.len(), original.len());
+        // Core-seconds agree to within rounding (durations ceil to seconds).
+        let a = original.total_core_seconds();
+        let b = parsed.total_core_seconds();
+        assert!((a - b).abs() / a < 0.02, "core-seconds {a} vs {b}");
+        // Arrival order preserved.
+        assert!(parsed.entries.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn parses_archive_style_lines() {
+        let text = "\
+; header comment
+1 0 3 100 8 -1 512 8 120 -1 1 5 -1 -1 -1 -1 -1 -1
+2 10 -1 0 4 -1 -1 4 -1 -1 0 6 -1 -1 -1 -1 -1 -1
+3 20 -1 60 -4 -1 -1 -1 -1 -1 1 7 -1 -1 -1 -1 -1 -1
+4 30 1 50 2 -1 -1 2 200 -1 1 5 -1 -1 -1 -1 -1 -1
+";
+        let trace = from_swf(text).unwrap();
+        // Jobs 2 (run=0) and 3 (procs<0) are skipped.
+        assert_eq!(trace.len(), 2);
+        let first = &trace.entries[0].spec;
+        assert_eq!(first.tasks, 8);
+        assert_eq!(first.duration, SimDuration::from_secs(100));
+        assert_eq!(first.time_limit, SimDuration::from_secs(120));
+        assert_eq!(first.user, Uid(1005));
+        let second = &trace.entries[1].spec;
+        assert_eq!(second.time_limit, SimDuration::from_secs(200));
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert_eq!(
+            from_swf("1 2 3").unwrap_err(),
+            SwfError::TooFewFields { line: 1, found: 3 }
+        );
+        let bad = "1 x -1 10 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1";
+        assert_eq!(
+            from_swf(bad).unwrap_err(),
+            SwfError::BadNumber { line: 1, field: 1 }
+        );
+    }
+
+    #[test]
+    fn swf_trace_runs_through_the_scheduler() {
+        use eus_sched::{SchedConfig, Scheduler};
+        let trace = from_swf(&to_swf(&synthetic())).unwrap();
+        let mut sched = Scheduler::new(SchedConfig::default());
+        for _ in 0..16 {
+            sched.add_node(16, 65_536, 0);
+        }
+        trace.submit_all(&mut sched);
+        sched.run_to_completion();
+        assert_eq!(sched.metrics.completed.get() as usize, trace.len());
+    }
+}

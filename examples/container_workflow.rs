@@ -1,0 +1,89 @@
+//! Containers on the hardened cluster (Sec. IV-G): an Apptainer-style launch
+//! keeps the user's identity, so every separation control passes through;
+//! enterprise containers are refused; and image sprawl quietly accumulates
+//! vulnerable code over simulated years.
+//!
+//! ```text
+//! cargo run --release --example container_workflow
+//! ```
+
+use hpc_user_separation::containers::{EnterpriseRuntime, Image};
+use hpc_user_separation::simcore::SimTime;
+use hpc_user_separation::{ClusterSpec, SecureCluster, SeparationConfig};
+
+const DAY: u64 = 86_400;
+
+fn main() {
+    let mut cluster = SecureCluster::new(SeparationConfig::llsc(), ClusterSpec::default());
+    let alice = cluster.add_user("alice").unwrap();
+    let bob = cluster.add_user("bob").unwrap();
+    let login = cluster.login_node();
+
+    println!("== container workflow (Sec. IV-G) ==\n");
+
+    // Alice brings a pre-built image (built on her own machine) and runs it.
+    let image = Image::typical_research_stack("pytorch-2.1.sif", SimTime::ZERO);
+    let sid = cluster.ssh(alice, login).unwrap();
+    let session = cluster.node(login).session(sid).unwrap().clone();
+    let runtime = &cluster.runtime;
+
+    // Building on the cluster is refused.
+    assert!(runtime.build(&session, "new.sif").is_err());
+    println!("building on the cluster: refused (no admin privileges for users)");
+
+    // Enterprise runtime is refused outright.
+    assert!(EnterpriseRuntime.launch(&session).is_err());
+    println!("docker-style launch: refused (root daemon forbidden on multi-user HPC)");
+
+    // Apptainer-style launch works and keeps alice's identity.
+    let cp = {
+        let session = session.clone();
+        let node = cluster.node_mut(login);
+        hpc_user_separation::containers::HpcRuntime.launch(
+            node,
+            &session,
+            &image,
+            ["python", "train.py"],
+            SimTime::ZERO,
+        )
+    };
+    println!(
+        "apptainer launch: pid {:?} runs as {} — host controls pass through",
+        cp.pid, session.cred.uid
+    );
+
+    // Bob still cannot see alice's containerized process.
+    let bob_cred = cluster.credentials(bob);
+    let foreign = cluster.node(login).procfs().foreign_visible_count(&bob_cred);
+    assert_eq!(foreign, 0);
+    println!("bob's view of alice's container: nothing (hidepid applies inside too)\n");
+
+    // Image sprawl over two simulated years.
+    println!("image sprawl on the shared filesystem:");
+    println!("{:<10} {:>8} {:>10} {:>14}", "day", "copies", "stale>90d", "stale vulns");
+    cluster
+        .containers
+        .store(alice, "/proj/fusion/pytorch.sif", image, SimTime::ZERO);
+    let mut cloned = 0u32;
+    for day in [60u64, 180, 365, 540, 730] {
+        let now = SimTime::from_secs(day * DAY);
+        // Every few months someone clones the image somewhere new and the
+        // old copies are forgotten.
+        cloned += 1;
+        cluster.containers.clone_image(
+            "/proj/fusion/pytorch.sif",
+            bob,
+            format!("/home/bob/copy-{cloned}.sif"),
+            now,
+        );
+        println!(
+            "{:<10} {:>8} {:>10} {:>14}",
+            day,
+            cluster.containers.len(),
+            cluster.containers.stale(now, 90.0).len(),
+            cluster.containers.stale_vuln_load(now, 90.0)
+        );
+    }
+    println!("\nstale copies keep accruing CVEs — why LLSC prefers shared module");
+    println!("trees over per-user containers unless a project really needs them.");
+}

@@ -1,0 +1,40 @@
+//! Quickstart: build the paper's cluster, compare it with a stock cluster,
+//! and print the separation audit for both.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hpc_user_separation::{audit, ClusterSpec, SeparationConfig};
+
+fn main() {
+    let spec = ClusterSpec::default();
+
+    println!("== Enhanced User Separation: quickstart ==\n");
+    println!(
+        "cluster: {} compute nodes x {} cores, {} login node(s), {} GPUs/node\n",
+        spec.compute_nodes, spec.cores_per_node, spec.login_nodes, spec.gpus_per_node
+    );
+
+    // A stock Linux + Slurm cluster: every control off.
+    let baseline = audit::run_audit(&SeparationConfig::baseline(), &spec);
+    println!("{baseline}");
+
+    // The paper's deployment: every control on.
+    let llsc = audit::run_audit(&SeparationConfig::llsc(), &spec);
+    println!("{llsc}");
+
+    println!(
+        "baseline: {} of {} channels open; llsc: {} open ({} expected residuals)",
+        baseline.open_count(),
+        baseline.rows.len(),
+        llsc.open_count(),
+        audit::expected_residuals().len(),
+    );
+    assert!(
+        llsc.only_expected_residuals(),
+        "full config must close everything but the Sec. V residuals"
+    );
+    println!("\nresult: the full configuration closes every channel except the");
+    println!("three the paper names (tmp filenames, abstract sockets, native-CM RDMA).");
+}

@@ -1,0 +1,227 @@
+//! End-to-end integration: the full hardened cluster exercised across every
+//! subsystem in one scenario, plus the defense-in-depth claims of Secs. IV-A
+//! and V.
+
+use hpc_user_separation::sched::{JobSpec, NodeSharing};
+use hpc_user_separation::simcore::{SimDuration, SimTime};
+use hpc_user_separation::simnet::{ConnectError, Proto, SocketAddr};
+use hpc_user_separation::simos::Mode;
+use hpc_user_separation::{audit, ClusterSpec, SecureCluster, SeparationConfig};
+
+fn llsc() -> SecureCluster {
+    SecureCluster::new(SeparationConfig::llsc(), ClusterSpec::default())
+}
+
+#[test]
+fn two_group_collaboration_story() {
+    // Alice and Bob collaborate in a project; Eve is an outsider. Every
+    // *intended* sharing channel works; every unintended one is closed.
+    let mut c = llsc();
+    let alice = c.add_user("alice").unwrap();
+    let bob = c.add_user("bob").unwrap();
+    let eve = c.add_user("eve").unwrap();
+    let proj = c.create_project("fusion", alice).unwrap();
+    c.add_project_member(alice, proj, bob).unwrap();
+    let login = c.login_node();
+
+    // Intended: shared data in /proj via the setgid directory.
+    c.fs_write(alice, login, "/proj/fusion/mesh.dat", Mode::new(0o660), b"mesh")
+        .unwrap();
+    assert_eq!(c.fs_read(bob, login, "/proj/fusion/mesh.dat").unwrap(), b"mesh");
+    assert!(c.fs_read(eve, login, "/proj/fusion/mesh.dat").is_err());
+
+    // Intended: a group-opted service reachable by members only.
+    let n1 = c.compute_ids[0];
+    let n2 = c.compute_ids[1];
+    c.listen(alice, n2, Proto::Tcp, 7000, Some(proj)).unwrap();
+    assert!(c.connect(bob, n1, SocketAddr::new(n2, 7000), Proto::Tcp).is_ok());
+    assert!(matches!(
+        c.connect(eve, n1, SocketAddr::new(n2, 7000), Proto::Tcp),
+        Err(ConnectError::DeniedByDaemon { .. })
+    ));
+
+    // Unintended: even project members do not see each other's processes,
+    // jobs, or homes — group sharing is data-scoped, not identity-scoped.
+    c.submit(JobSpec::new(alice, "fusion-run", SimDuration::from_secs(300)));
+    c.advance_to(SimTime::from_secs(1));
+    let bob_cred = c.credentials(bob);
+    assert_eq!(c.node(login).procfs().foreign_visible_count(&bob_cred), 0);
+    assert_eq!(
+        c.sched
+            .read()
+            .squeue(&bob_cred)
+            .iter()
+            .filter(|v| v.user == alice)
+            .count(),
+        0
+    );
+    c.fs_write(alice, login, "/home/alice/draft.tex", Mode::new(0o644), b"x")
+        .unwrap();
+    assert!(c.fs_read(bob, login, "/home/alice/draft.tex").is_err());
+}
+
+#[test]
+fn defense_in_depth_hidepid_still_matters_under_whole_node() {
+    // Sec. IV-B: "one might remark that process hiding would be unnecessary
+    // [under whole-node scheduling]. However ... there are still some nodes
+    // like login nodes on which multiple simultaneous users are working."
+    let mut cfg = SeparationConfig::llsc();
+    assert_eq!(cfg.node_policy, NodeSharing::WholeNodeUser);
+    cfg.hidepid = false; // drop the "redundant" control
+    let report = audit::run_audit(&cfg, &ClusterSpec::tiny());
+    let unexpected = report.unexpected_leaks();
+    assert!(
+        unexpected.contains(&audit::Channel::ProcList),
+        "login nodes leak without hidepid even under whole-node scheduling:\n{report}"
+    );
+}
+
+#[test]
+fn every_single_ablation_reopens_something() {
+    // Each mechanism earns its place: removing any one control re-opens at
+    // least one channel the full config had closed (except the scrub, whose
+    // channel partner GpuDevAccess also guards reads — verify scrub too).
+    for (name, cfg) in SeparationConfig::ablations() {
+        let report = audit::run_audit(&cfg, &ClusterSpec::tiny());
+        assert!(
+            !report.unexpected_leaks().is_empty(),
+            "ablation {name} closed nothing?\n{report}"
+        );
+    }
+}
+
+#[test]
+fn same_port_collision_cannot_crosstalk() {
+    // Sec. V: "Even if two users accidentally choose the same port number
+    // for a network service, they cannot crosstalk and corrupt each others
+    // data."
+    let mut c = llsc();
+    let alice = c.add_user("alice").unwrap();
+    let bob = c.add_user("bob").unwrap();
+    let n1 = c.compute_ids[0];
+    let n2 = c.compute_ids[1];
+    // Both pick port 8080 on *different* nodes (same node would EADDRINUSE).
+    c.listen(alice, n1, Proto::Tcp, 8080, None).unwrap();
+    c.listen(bob, n2, Proto::Tcp, 8080, None).unwrap();
+    // Alice's client, misconfigured with bob's node, cannot reach bob's
+    // service; her own works.
+    assert!(c.connect(alice, c.login_node(), SocketAddr::new(n2, 8080), Proto::Tcp).is_err());
+    assert!(c.connect(alice, c.login_node(), SocketAddr::new(n1, 8080), Proto::Tcp).is_ok());
+}
+
+#[test]
+fn seepid_and_smask_relax_work_only_for_whitelisted_staff() {
+    use hpc_user_separation::fsperm::{seepid, smask_relax};
+    let mut c = llsc();
+    let staff = c.add_user("facilitator").unwrap();
+    let user = c.add_user("researcher").unwrap();
+    let login = c.login_node();
+    // Whitelist the facilitator.
+    c.fsperm_policy = c.fsperm_policy.clone().allow_seepid(staff).allow_relax(staff);
+
+    // A researcher process is running.
+    let r_sid = c.ssh(user, login).unwrap();
+    c.node_mut(login).spawn(r_sid, ["octave", "run.m"], SimTime::ZERO).unwrap();
+
+    // Staff initially sees nothing foreign; after seepid they see it.
+    let s_sid = c.ssh(staff, login).unwrap();
+    let before = c.node(login).procfs().foreign_visible_count(
+        &c.node(login).session(s_sid).unwrap().cred,
+    );
+    assert_eq!(before, 0);
+    let policy = c.fsperm_policy.clone();
+    seepid(&policy, c.node_mut(login).session_mut(s_sid).unwrap()).unwrap();
+    let after = c.node(login).procfs().foreign_visible_count(
+        &c.node(login).session(s_sid).unwrap().cred,
+    );
+    assert!(after >= 1);
+
+    // The researcher cannot use either tool.
+    assert!(seepid(&policy, c.node_mut(login).session_mut(r_sid).unwrap()).is_err());
+    assert!(smask_relax(&policy, c.node_mut(login).session_mut(r_sid).unwrap()).is_err());
+
+    // Staff publishes a world-readable dataset via smask_relax.
+    smask_relax(&policy, c.node_mut(login).session_mut(s_sid).unwrap()).unwrap();
+    let ctx = c.node(login).session(s_sid).unwrap().fs_ctx().with_umask(Mode::new(0));
+    c.node(login)
+        .fs_write(&ctx, "/tmp/public-dataset", Mode::new(0o644), b"weights")
+        .unwrap();
+    // The researcher can read it.
+    assert!(c.fs_read(user, login, "/tmp/public-dataset").is_ok());
+}
+
+#[test]
+fn gpu_lifecycle_under_full_config() {
+    let mut c = llsc();
+    let alice = c.add_user("alice").unwrap();
+    let bob = c.add_user("bob").unwrap();
+
+    // Alice trains; her GPU is hers alone.
+    c.submit(JobSpec::new(alice, "train", SimDuration::from_secs(50)).with_gpus_per_task(1));
+    c.advance_to(SimTime::from_secs(1));
+    let node = c.compute_ids[0];
+    c.gpus.get_mut(node, 0).unwrap().write(0, b"weights!").unwrap();
+    let bob_ctx = c.user_fs_ctx(bob);
+    assert!(c
+        .node(node)
+        .with_fs("/dev/gpu0", |fs, p| fs.open_device(&bob_ctx, p, hpc_user_separation::simos::Perm::RW))
+        .is_err());
+
+    // After her job: scrubbed and unassigned.
+    c.run_to_completion();
+    let gpu = c.gpus.get(node, 0).unwrap();
+    assert_eq!(gpu.assigned_to, None);
+    assert!(!gpu.is_dirty(), "epilog scrub ran");
+}
+
+#[test]
+fn containers_pass_through_every_host_control() {
+    // Sec. IV-G: "all of the security features described in this paper pass
+    // through to the container as well." Run mallory's scan from inside an
+    // Apptainer-style container and verify nothing changes.
+    use hpc_user_separation::containers::{HpcRuntime, Image};
+    use hpc_user_separation::simos::Mode as FsMode;
+
+    let mut c = llsc();
+    let alice = c.add_user("alice").unwrap();
+    let mallory = c.add_user("mallory").unwrap();
+    let login = c.login_node();
+
+    // Alice's work: a process and a file.
+    let a_sid = c.ssh(alice, login).unwrap();
+    c.node_mut(login)
+        .spawn(a_sid, ["python", "secret-model.py"], SimTime::ZERO)
+        .unwrap();
+    c.fs_write(alice, login, "/home/alice/w.bin", FsMode::new(0o644), b"w")
+        .unwrap();
+
+    // Mallory's container session.
+    let m_sid = c.ssh(mallory, login).unwrap();
+    let session = c.node(login).session(m_sid).unwrap().clone();
+    let image = Image::typical_research_stack("scanner.sif", SimTime::ZERO);
+    let cp = HpcRuntime.launch(
+        c.node_mut(login),
+        &session,
+        &image,
+        ["ps", "-ef"],
+        SimTime::ZERO,
+    );
+    // The containerized process has exactly mallory's credentials...
+    let cred = c.node(login).procs.get(cp.pid).unwrap().cred.clone();
+    assert_eq!(cred, session.cred);
+    // ...so hidepid still hides alice...
+    assert_eq!(c.node(login).procfs().foreign_visible_count(&cred), 0);
+    // ...the smask still strips world bits from anything it drops...
+    let ctx = session.fs_ctx();
+    c.node(login)
+        .fs_write(&ctx, "/tmp/from-container", FsMode::new(0o777), b"x")
+        .unwrap();
+    assert!(!c
+        .node(login)
+        .fs_stat(&ctx, "/tmp/from-container")
+        .unwrap()
+        .mode
+        .any_world());
+    // ...and alice's home stays closed.
+    assert!(c.fs_read(mallory, login, "/home/alice/w.bin").is_err());
+}

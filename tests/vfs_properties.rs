@@ -1,0 +1,107 @@
+//! Property-based VFS invariants: path handling never panics, creates
+//! round-trip, the DAC core is monotone in permission bits, and sticky/
+//! setgid semantics hold for arbitrary names and modes.
+
+use hpc_user_separation::simos::vfs::{FsCtx, Mode, Perm, Vfs};
+use hpc_user_separation::simos::{check_access, Credentials, Gid, PermMeta, Uid};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    // Realistic POSIX-ish names: no slashes or NULs, and not the special
+    // directory entries "." / ".." (which path normalization consumes).
+    "[a-zA-Z0-9._-]{1,24}".prop_filter("not . or ..", |s| s != "." && s != "..")
+}
+
+proptest! {
+    /// Resolution handles arbitrary junk paths without panicking, and
+    /// lexical normalization (`.`/`..`) agrees with direct access.
+    #[test]
+    fn arbitrary_paths_never_panic(raw in "[a-zA-Z0-9./_-]{0,64}") {
+        let mut fs = Vfs::standard_node_layout("prop");
+        let ctx = FsCtx::root();
+        let _ = fs.read(&ctx, &raw);
+        let _ = fs.stat(&ctx, &raw);
+        let _ = fs.mkdir(&ctx, &raw, Mode::new(0o755));
+    }
+
+    /// Create/write/read round-trips for any valid name and any content.
+    #[test]
+    fn create_roundtrip(name in name_strategy(), content in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut fs = Vfs::standard_node_layout("prop");
+        let ctx = FsCtx::user(Credentials::new(Uid(1), Gid(1)));
+        let path = format!("/tmp/{name}");
+        fs.write_file(&ctx, &path, Mode::new(0o600), &content).unwrap();
+        prop_assert_eq!(fs.read(&ctx, &path).unwrap(), content);
+        // Normalized variants resolve to the same file.
+        let weird = format!("/tmp/./../tmp/{name}");
+        prop_assert!(fs.read(&ctx, &weird).is_ok());
+        fs.unlink(&ctx, &path).unwrap();
+        prop_assert!(fs.read(&ctx, &path).is_err());
+    }
+
+    /// DAC monotonicity: adding permission bits never revokes access, for
+    /// every (viewer-class, want) combination.
+    #[test]
+    fn permission_bits_are_monotone(
+        base in 0u16..0o777,
+        extra in 0u16..0o777,
+        want_bits in 1u8..8,
+        viewer in 0u8..3,
+    ) {
+        let cred = match viewer {
+            0 => Credentials::new(Uid(10), Gid(10)),                       // owner
+            1 => Credentials::with_groups(Uid(11), Gid(11), [Gid(10)]),    // group member
+            _ => Credentials::new(Uid(12), Gid(12)),                       // other
+        };
+        let want = Perm::from_bits(want_bits);
+        let meta_lo = PermMeta {
+            uid: Uid(10),
+            gid: Gid(10),
+            mode: Mode::new(base),
+            acl: None,
+            is_dir: false,
+        };
+        let meta_hi = PermMeta {
+            mode: Mode::new(base | extra),
+            ..meta_lo.clone()
+        };
+        if check_access(&cred, &meta_lo, want) {
+            prop_assert!(
+                check_access(&cred, &meta_hi, want),
+                "adding bits {extra:o} to {base:o} revoked access"
+            );
+        }
+    }
+
+    /// In a sticky world-writable directory, a non-owner can never unlink
+    /// another user's file, whatever its mode.
+    #[test]
+    fn sticky_protects_for_all_modes(bits in 0u16..0o777, name in name_strategy()) {
+        let mut fs = Vfs::standard_node_layout("prop");
+        let alice = FsCtx::user(Credentials::new(Uid(1), Gid(1)));
+        let bob = FsCtx::user(Credentials::new(Uid(2), Gid(2)));
+        let path = format!("/tmp/{name}");
+        fs.create(&alice, &path, Mode::new(bits)).unwrap();
+        prop_assert!(fs.unlink(&bob, &path).is_err());
+        prop_assert!(fs.rename(&bob, &path, "/tmp/stolen").is_err());
+        // The owner always can.
+        prop_assert!(fs.unlink(&alice, &path).is_ok());
+    }
+
+    /// setgid directories stamp their group on everything created inside,
+    /// for any creator and any requested mode.
+    #[test]
+    fn setgid_inheritance_universal(bits in 0u16..0o777, name in name_strategy()) {
+        let mut fs = Vfs::standard_node_layout("prop");
+        let root = FsCtx::root().with_umask(Mode::new(0));
+        fs.mkdir(&root, "/proj", Mode::new(0o777)).unwrap();
+        fs.mkdir(&root, "/proj/g", Mode::new(0o2777)).unwrap();
+        fs.set_meta_as_root("/proj/g", |m| m.gid = Gid(500)).unwrap();
+        let user = FsCtx::user(Credentials::new(Uid(42), Gid(42)));
+        let path = format!("/proj/g/{name}");
+        fs.create(&user, &path, Mode::new(bits)).unwrap();
+        let st = fs.stat(&root, &path).unwrap();
+        prop_assert_eq!(st.gid, Gid(500));
+        prop_assert_eq!(st.uid, Uid(42));
+    }
+}
