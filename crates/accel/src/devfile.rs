@@ -79,12 +79,17 @@ mod tests {
 
         let alice = FsCtx::user(Credentials::new(Uid(100), Gid(100)));
         // Unassigned: no access.
-        assert!(fs.read().open_device(&alice, "/dev/gpu0", Perm::RW).is_err());
+        assert!(fs
+            .read()
+            .open_device(&alice, "/dev/gpu0", Perm::RW)
+            .is_err());
 
         // Assigned to alice's UPG: she can open, bob cannot.
         assign_device(&fs, dev, Gid(100)).unwrap();
         assert_eq!(
-            fs.read().open_device(&alice, "/dev/gpu0", Perm::RW).unwrap(),
+            fs.read()
+                .open_device(&alice, "/dev/gpu0", Perm::RW)
+                .unwrap(),
             dev
         );
         let bob = FsCtx::user(Credentials::new(Uid(101), Gid(101)));
@@ -92,7 +97,10 @@ mod tests {
 
         // Revoked: nobody again.
         revoke_device(&fs, dev).unwrap();
-        assert!(fs.read().open_device(&alice, "/dev/gpu0", Perm::RW).is_err());
+        assert!(fs
+            .read()
+            .open_device(&alice, "/dev/gpu0", Perm::RW)
+            .is_err());
     }
 
     #[test]

@@ -176,7 +176,10 @@ mod tests {
 
         // Same flow with epilog scrub: the attacker reads zeros.
         pool.assign(NodeId(1), 1, Uid(100), Gid(100), &fs).unwrap();
-        pool.get_mut(NodeId(1), 0).unwrap().write(0, b"secret2").unwrap();
+        pool.get_mut(NodeId(1), 0)
+            .unwrap()
+            .write(0, b"secret2")
+            .unwrap();
         let reports = pool.release_user(NodeId(1), Uid(100), true, &fs).unwrap();
         assert_eq!(reports.len(), 1);
         assert!(reports[0].duration > eus_simcore::SimDuration::ZERO);

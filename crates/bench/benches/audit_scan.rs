@@ -1,5 +1,6 @@
 //! Full separation-audit cost (experiment E12's performance face): a
-//! complete 18-channel sweep — 18 cluster constructions plus probes —
+//! complete channel sweep — one cluster construction plus probe per
+//! channel —
 //! per configuration. This is the "how long does it take to re-verify the
 //! whole deployment" number an operator cares about.
 
@@ -23,7 +24,10 @@ fn bench_audit(c: &mut Criterion) {
 
 fn bench_cluster_construction(c: &mut Criterion) {
     let mut g = c.benchmark_group("audit/cluster_construction");
-    for (label, spec) in [("tiny", ClusterSpec::tiny()), ("default", ClusterSpec::default())] {
+    for (label, spec) in [
+        ("tiny", ClusterSpec::tiny()),
+        ("default", ClusterSpec::default()),
+    ] {
         g.bench_function(label, |b| {
             b.iter(|| {
                 black_box(eus_core::SecureCluster::new(

@@ -32,7 +32,9 @@ fn bench_check_access(c: &mut Criterion) {
 
     let mut acl = PosixAcl::new(Perm::RX);
     for i in 0..16 {
-        acl = acl.with_user(Uid(500 + i), Perm::R).with_group(Gid(600 + i), Perm::R);
+        acl = acl
+            .with_user(Uid(500 + i), Perm::R)
+            .with_group(Gid(600 + i), Perm::R);
     }
     let with_acl = PermMeta {
         acl: Some(&acl),
@@ -69,13 +71,13 @@ fn bench_create_with_masks(c: &mut Criterion) {
     for (name, smask_on) in [("vanilla", false), ("smask_patched", true)] {
         let mut fs = Vfs::standard_node_layout("bench");
         fs.enforce_smask = smask_on;
-        let ctx = FsCtx::user(Credentials::new(Uid(1), Gid(1)))
-            .with_smask(Mode::new(0o007));
+        let ctx = FsCtx::user(Credentials::new(Uid(1), Gid(1))).with_smask(Mode::new(0o007));
         let mut i = 0u64;
         g.bench_function(name, |b| {
             b.iter(|| {
                 i += 1;
-                fs.create(&ctx, &format!("/tmp/f{i}"), Mode::new(0o666)).unwrap()
+                fs.create(&ctx, &format!("/tmp/f{i}"), Mode::new(0o666))
+                    .unwrap()
             })
         });
     }

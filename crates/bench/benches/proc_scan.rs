@@ -25,16 +25,12 @@ fn bench_proc_listing(c: &mut Criterion) {
                 hidepid: level,
                 exempt_gid: None,
             };
-            g.bench_with_input(
-                BenchmarkId::new(label, n),
-                &table,
-                |b, t| {
-                    b.iter(|| {
-                        let fs = ProcFs::new(black_box(t), opts);
-                        black_box(fs.list(&viewer).len())
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(label, n), &table, |b, t| {
+                b.iter(|| {
+                    let fs = ProcFs::new(black_box(t), opts);
+                    black_box(fs.list(&viewer).len())
+                })
+            });
         }
     }
     g.finish();

@@ -12,23 +12,19 @@ fn bench_policies(c: &mut Criterion) {
     g.sample_size(10);
     let trace = standard_trace(20, 1, 99);
     for policy in NodeSharing::all() {
-        g.bench_with_input(
-            BenchmarkId::new("policy", policy),
-            &trace,
-            |b, trace| {
-                b.iter(|| {
-                    let mut s = Scheduler::new(SchedConfig {
-                        policy,
-                        ..SchedConfig::default()
-                    });
-                    for _ in 0..16 {
-                        s.add_node(16, 65_536, 0);
-                    }
-                    trace.submit_all(&mut s);
-                    black_box(s.run_to_completion())
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("policy", policy), &trace, |b, trace| {
+            b.iter(|| {
+                let mut s = Scheduler::new(SchedConfig {
+                    policy,
+                    ..SchedConfig::default()
+                });
+                for _ in 0..16 {
+                    s.add_node(16, 65_536, 0);
+                }
+                trace.submit_all(&mut s);
+                black_box(s.run_to_completion())
+            })
+        });
     }
     g.finish();
 }

@@ -43,7 +43,12 @@ fn bench_connect(c: &mut Criterion) {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let (conn, lat) = f
-                    .connect(NodeId(1), peer, SocketAddr::new(NodeId(2), 9000), Proto::Tcp)
+                    .connect(
+                        NodeId(1),
+                        peer,
+                        SocketAddr::new(NodeId(2), 9000),
+                        Proto::Tcp,
+                    )
                     .unwrap();
                 f.close(conn);
                 black_box(lat)
@@ -58,7 +63,12 @@ fn bench_established_send(c: &mut Criterion) {
     for (label, ubf) in [("no_ubf", false), ("with_ubf", true)] {
         let (mut f, _db, peer) = fabric_pair(ubf, true);
         let (conn, _) = f
-            .connect(NodeId(1), peer, SocketAddr::new(NodeId(2), 9000), Proto::Tcp)
+            .connect(
+                NodeId(1),
+                peer,
+                SocketAddr::new(NodeId(2), 9000),
+                Proto::Tcp,
+            )
             .unwrap();
         let payload = Bytes::from_static(&[0u8; 4096]);
         g.bench_function(label, |b| {
@@ -87,13 +97,23 @@ fn bench_denied_connect(c: &mut Criterion) {
     g.bench_function("stranger_denied", |bch| {
         bch.iter(|| {
             black_box(
-                f.connect(NodeId(1), b_peer, SocketAddr::new(NodeId(2), 9000), Proto::Tcp)
-                    .is_err(),
+                f.connect(
+                    NodeId(1),
+                    b_peer,
+                    SocketAddr::new(NodeId(2), 9000),
+                    Proto::Tcp,
+                )
+                .is_err(),
             )
         })
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_connect, bench_established_send, bench_denied_connect);
+criterion_group!(
+    benches,
+    bench_connect,
+    bench_established_send,
+    bench_denied_connect
+);
 criterion_main!(benches);

@@ -18,8 +18,11 @@ fn harvest(config: SeparationConfig, victims: usize) -> usize {
     for i in 0..victims {
         let v = c.add_user(&format!("victim{i}")).unwrap();
         c.submit(
-            JobSpec::new(v, "x11-job", SimDuration::from_secs(600))
-                .with_cmdline(["srun", "--x11", &format!("--xauth={COOKIE}-{i}")]),
+            JobSpec::new(v, "x11-job", SimDuration::from_secs(600)).with_cmdline([
+                "srun",
+                "--x11",
+                &format!("--xauth={COOKIE}-{i}"),
+            ]),
         );
     }
     c.advance_to(SimTime::from_secs(1));

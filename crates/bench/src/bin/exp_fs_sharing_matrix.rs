@@ -25,12 +25,17 @@ fn main() {
         let proj = c.create_project("fusion", alice).unwrap();
         c.add_project_member(alice, proj, bob).unwrap();
         let login = c.login_node();
-        let kernel = if fsperm { "patched (smask 007)" } else { "vanilla" };
+        let kernel = if fsperm {
+            "patched (smask 007)"
+        } else {
+            "vanilla"
+        };
 
         let outcome = |ok: bool| if ok { "SHARED" } else { "blocked" }.to_string();
 
         // world bits at create
-        c.fs_write(alice, login, "/tmp/w", Mode::new(0o666), b"x").unwrap();
+        c.fs_write(alice, login, "/tmp/w", Mode::new(0o666), b"x")
+            .unwrap();
         table.row(&[
             kernel.to_string(),
             "create mode 0666 in /tmp".into(),
@@ -39,7 +44,8 @@ fn main() {
         ]);
 
         // world bits via chmod
-        c.fs_write(alice, login, "/tmp/wc", Mode::new(0o600), b"x").unwrap();
+        c.fs_write(alice, login, "/tmp/wc", Mode::new(0o600), b"x")
+            .unwrap();
         let _ = c.fs_chmod(alice, login, "/tmp/wc", Mode::new(0o666));
         table.row(&[
             kernel.to_string(),
@@ -49,7 +55,8 @@ fn main() {
         ]);
 
         // ACL to a stranger
-        c.fs_write(alice, login, "/tmp/acl-e", Mode::new(0o600), b"x").unwrap();
+        c.fs_write(alice, login, "/tmp/acl-e", Mode::new(0o600), b"x")
+            .unwrap();
         let granted = c
             .fs_setfacl(
                 alice,
@@ -83,8 +90,14 @@ fn main() {
         ]);
 
         // home directory default-mode file
-        c.fs_write(alice, login, "/home/alice/paper.tex", Mode::new(0o644), b"x")
-            .unwrap();
+        c.fs_write(
+            alice,
+            login,
+            "/home/alice/paper.tex",
+            Mode::new(0o644),
+            b"x",
+        )
+        .unwrap();
         table.row(&[
             kernel.to_string(),
             "0644 file in own home".into(),
@@ -93,7 +106,8 @@ fn main() {
         ]);
 
         // ACL to a fellow project member (intended fine-grained share)
-        c.fs_write(alice, login, "/tmp/acl-b", Mode::new(0o600), b"x").unwrap();
+        c.fs_write(alice, login, "/tmp/acl-b", Mode::new(0o600), b"x")
+            .unwrap();
         let granted = c
             .fs_setfacl(
                 alice,

@@ -21,11 +21,7 @@ fn residue(config: SeparationConfig) -> (usize, bool) {
     c.submit(JobSpec::new(victim, "train", SimDuration::from_secs(10)).with_gpus_per_task(1));
     c.advance_to(SimTime::from_secs(1));
     let node = c.compute_ids[0];
-    c.gpus
-        .get_mut(node, 0)
-        .unwrap()
-        .write(0, PATTERN)
-        .unwrap();
+    c.gpus.get_mut(node, 0).unwrap().write(0, PATTERN).unwrap();
     c.run_to_completion();
 
     c.submit(JobSpec::new(attacker, "probe", SimDuration::from_secs(10)).with_gpus_per_task(1));
@@ -35,7 +31,9 @@ fn residue(config: SeparationConfig) -> (usize, bool) {
     let ctx = c.user_fs_ctx(attacker);
     let dev_open = c
         .node(node)
-        .with_fs("/dev/gpu0", |fs, p| fs.open_device(&ctx, p, eus_simos::Perm::RW))
+        .with_fs("/dev/gpu0", |fs, p| {
+            fs.open_device(&ctx, p, eus_simos::Perm::RW)
+        })
         .is_ok();
     let bytes = c.gpus.get(node, 0).unwrap().read(0, PATTERN.len()).unwrap();
     let surviving = bytes
@@ -65,7 +63,11 @@ fn main() {
         table.row(&[
             label.to_string(),
             format!("{surviving}/{}", PATTERN.len()),
-            if dev_open { "open (own job)".into() } else { "own job only".to_string() },
+            if dev_open {
+                "open (own job)".into()
+            } else {
+                "own job only".to_string()
+            },
         ]);
     }
     print!("{}", table.render());

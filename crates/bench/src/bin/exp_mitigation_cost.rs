@@ -8,8 +8,8 @@
 //! penalty and measure cluster throughput, then show the UBF's cost on the
 //! same workload model for comparison (per-connection, not per-cycle).
 
-use eus_bench::table::{f, pct, TextTable};
 use eus_bench::standard_trace;
+use eus_bench::table::{f, pct, TextTable};
 use eus_sched::{NodeSharing, SchedConfig, Scheduler};
 use eus_simcore::SimDuration;
 
@@ -49,12 +49,7 @@ fn main() {
     let baseline = run_with_penalty(0.0);
     for penalty in [0.0, 0.15, 0.40] {
         let (jobs, thpt, util) = run_with_penalty(penalty);
-        table.row(&[
-            pct(penalty),
-            jobs.to_string(),
-            f(thpt, 0),
-            pct(util),
-        ]);
+        table.row(&[pct(penalty), jobs.to_string(), f(thpt, 0), pct(util)]);
     }
     print!("{}", table.render());
     let (_, base_thpt, _) = baseline;

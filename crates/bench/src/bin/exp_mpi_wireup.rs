@@ -37,7 +37,8 @@ fn wire_up(ranks: u32, nodes: u32, ubf: bool) -> (SimDuration, Vec<ConnId>, Fabr
     let rank_home = |r: u32| NodeId(1 + (r % nodes));
     let rank_port = |r: u32| 20000u16 + r as u16;
     for r in 0..ranks {
-        f.listen(rank_home(r), Proto::Tcp, rank_port(r), peer).unwrap();
+        f.listen(rank_home(r), Proto::Tcp, rank_port(r), peer)
+            .unwrap();
     }
     // All-to-all: rank i dials every rank j > i.
     let mut total = SimDuration::ZERO;

@@ -25,7 +25,11 @@ fn main() {
         c.advance_to(SimTime::from_secs(1));
         let job_node = c.compute_ids[0];
         let other_node = c.compute_ids[1];
-        let label = if pam_on { "pam_slurm on" } else { "pam_slurm off" };
+        let label = if pam_on {
+            "pam_slurm on"
+        } else {
+            "pam_slurm off"
+        };
 
         let mut attempt = |c: &mut SecureCluster, who, node, desc: &str| {
             let result = match c.ssh(who, node) {

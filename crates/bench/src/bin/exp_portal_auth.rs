@@ -23,13 +23,33 @@ fn main() {
         let proj = c.create_project("proj", alice).unwrap();
         c.add_project_member(alice, proj, bob).unwrap();
         let node = c.compute_ids[0];
-        let portal = if authz { "user-based (paper)" } else { "naive proxy" };
+        let portal = if authz {
+            "user-based (paper)"
+        } else {
+            "naive proxy"
+        };
 
         let private = c
-            .launch_webapp(alice, JobId(1), "jupyter", node, 8888, "private notebook", None)
+            .launch_webapp(
+                alice,
+                JobId(1),
+                "jupyter",
+                node,
+                8888,
+                "private notebook",
+                None,
+            )
             .unwrap();
         let shared = c
-            .launch_webapp(alice, JobId(1), "dash", node, 9999, "team dashboard", Some(proj))
+            .launch_webapp(
+                alice,
+                JobId(1),
+                "dash",
+                node,
+                9999,
+                "team dashboard",
+                Some(proj),
+            )
             .unwrap();
 
         let tokens: Vec<(&str, Token)> = vec![
@@ -51,7 +71,12 @@ fn main() {
             Ok(_) => "200 OK (!!)".to_string(),
             Err(e) => format!("denied ({e})"),
         };
-        table.row(&[portal.to_string(), "unauthenticated".into(), "private app".into(), res]);
+        table.row(&[
+            portal.to_string(),
+            "unauthenticated".into(),
+            "private app".into(),
+            res,
+        ]);
     }
 
     print!("{}", table.render());

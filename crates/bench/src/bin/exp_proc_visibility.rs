@@ -84,5 +84,7 @@ fn main() {
 
     print!("{}", table.render());
     println!("\ncsv:\n{}", table.to_csv());
-    println!("claim check: hidepid=2 column must be 0 at every scale; seepid restores the full view.");
+    println!(
+        "claim check: hidepid=2 column must be 0 at every scale; seepid restores the full view."
+    );
 }

@@ -41,7 +41,11 @@ fn main() {
         for (i, &u) in users.iter().enumerate() {
             sched.submit_at(
                 SimTime::ZERO,
-                JobSpec::new(u, format!("sponsor-{i}-analysis"), SimDuration::from_secs(5)),
+                JobSpec::new(
+                    u,
+                    format!("sponsor-{i}-analysis"),
+                    SimDuration::from_secs(5),
+                ),
             );
             sched.submit_at(
                 SimTime::ZERO,
@@ -50,7 +54,11 @@ fn main() {
         }
         sched.run_until(SimTime::from_secs(60));
 
-        let label = if private { "PrivateData=all" } else { "default" };
+        let label = if private {
+            "PrivateData=all"
+        } else {
+            "default"
+        };
         let viewers: Vec<(&str, Credentials)> = vec![
             ("user0", db.credentials(users[0]).unwrap()),
             ("operator", db.credentials(operator).unwrap()),

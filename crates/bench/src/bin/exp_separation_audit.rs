@@ -1,6 +1,6 @@
 //! E12 — the full separation audit (paper Sec. V).
 //!
-//! Sweeps all 18 cross-user channels under: the stock baseline, the paper's
+//! Sweeps every cross-user channel under: the stock baseline, the paper's
 //! full configuration, and every single-mechanism ablation. Reproduces the
 //! Results-section claims: the full config reduces the open surface to
 //! exactly three named residual paths, and each mechanism independently

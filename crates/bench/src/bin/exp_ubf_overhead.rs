@@ -34,7 +34,10 @@ fn main() {
     let (c1, cold) = hard
         .connect(alice, n1, SocketAddr::new(n2, 9000), Proto::Tcp)
         .unwrap();
-    table.row(&["UBF, cold cache (ident RTT)".into(), cold.as_micros().to_string()]);
+    table.row(&[
+        "UBF, cold cache (ident RTT)".into(),
+        cold.as_micros().to_string(),
+    ]);
     let (c2, warm) = hard
         .connect(alice, n1, SocketAddr::new(n2, 9000), Proto::Tcp)
         .unwrap();
@@ -47,14 +50,22 @@ fn main() {
         total += hard.fabric.send(c1, &pkt).unwrap();
     }
     let per_packet = total / 1000;
-    table.row(&["established, per 1 KiB packet".into(), per_packet.as_micros().to_string()]);
+    table.row(&[
+        "established, per 1 KiB packet".into(),
+        per_packet.as_micros().to_string(),
+    ]);
     hard.fabric.close(c1);
     hard.fabric.close(c2);
     print!("{}", table.render());
 
     // -- amortization over flow length ---------------------------------------
     println!("\namortized overhead vs flow length (1 KiB packets):");
-    let mut amort = TextTable::new(&["packets in flow", "no-UBF total us", "UBF total us", "overhead"]);
+    let mut amort = TextTable::new(&[
+        "packets in flow",
+        "no-UBF total us",
+        "UBF total us",
+        "overhead",
+    ]);
     for n in [1u64, 10, 100, 1000, 10000] {
         let base_total = no_ubf.as_micros() + per_packet.as_micros() * n;
         let ubf_total = cold.as_micros() + per_packet.as_micros() * n;

@@ -31,7 +31,10 @@ fn main() {
         let peer = PeerInfo::from_cred(&c.credentials(who));
 
         // TCP control channel path.
-        match c.fabric.setup_qp_via_tcp(n1, peer, SocketAddr::new(n2, 18515)) {
+        match c
+            .fabric
+            .setup_qp_via_tcp(n1, peer, SocketAddr::new(n2, 18515))
+        {
             Ok(qp) => {
                 let read = c.fabric.rdma_read(&qp, rkey).is_ok();
                 table.row(&[
@@ -63,7 +66,12 @@ fn main() {
                 ]);
             }
             Err(e) => {
-                table.row(&["native IB CM".into(), name.into(), format!("no ({e})"), "-".into()]);
+                table.row(&[
+                    "native IB CM".into(),
+                    name.into(),
+                    format!("no ({e})"),
+                    "-".into(),
+                ]);
             }
         }
     }

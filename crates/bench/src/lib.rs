@@ -51,11 +51,8 @@ pub fn run_policy_sim(
     let mut rng = SimRng::seed_from_u64(seed);
     let mut db = UserDb::new();
     let pop = UserPopulation::build(&mut db, users, users / 5 + 1, 1.1, &mut rng);
-    let trace = WorkloadMix::llsc_like().generate(
-        &pop,
-        SimTime::from_secs(horizon_hours * 3600),
-        &mut rng,
-    );
+    let trace =
+        WorkloadMix::llsc_like().generate(&pop, SimTime::from_secs(horizon_hours * 3600), &mut rng);
     run_policy_on_trace(policy, nodes, cores, &trace)
 }
 

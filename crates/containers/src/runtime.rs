@@ -86,11 +86,7 @@ impl HpcRuntime {
     /// Building on the cluster is refused for everyone but root — users
     /// "must use their own computer where they have some administrative
     /// privileges".
-    pub fn build(
-        &self,
-        session: &Session,
-        _name: &str,
-    ) -> Result<(), ContainerError> {
+    pub fn build(&self, session: &Session, _name: &str) -> Result<(), ContainerError> {
         if session.cred.is_root() {
             Ok(())
         } else {
@@ -140,7 +136,13 @@ mod tests {
         let sid = node.login(&db, alice, "sshd").unwrap();
         let session = node.session(sid).unwrap().clone();
         let image = Image::typical_research_stack("stack.sif", SimTime::ZERO);
-        let cp = HpcRuntime.launch(&mut node, &session, &image, ["python", "train.py"], SimTime::ZERO);
+        let cp = HpcRuntime.launch(
+            &mut node,
+            &session,
+            &image,
+            ["python", "train.py"],
+            SimTime::ZERO,
+        );
         let proc = node.procs.get(cp.pid).unwrap();
         assert_eq!(proc.cred, session.cred, "no privilege change");
         assert_eq!(proc.cmdline[0], "apptainer");

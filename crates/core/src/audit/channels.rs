@@ -51,6 +51,15 @@ pub enum Channel {
     GpuRemanence,
     /// Reaching another user's web app through the portal (IV-E).
     PortalCrossUser,
+    /// Replaying a stolen bearer token after central revocation (companion
+    /// paper: federated authentication).
+    AuthTokenReplay,
+    /// ssh with stolen key material after its short-lived certificate
+    /// lapsed (companion paper).
+    SshExpiredCert,
+    /// Presenting a sister site's credential for a colliding uid (companion
+    /// paper: realm binding).
+    CrossRealmSpoof,
 }
 
 impl Channel {
@@ -76,6 +85,9 @@ impl Channel {
             GpuDevAccess,
             GpuRemanence,
             PortalCrossUser,
+            AuthTokenReplay,
+            SshExpiredCert,
+            CrossRealmSpoof,
         ]
     }
 
@@ -90,6 +102,7 @@ impl Channel {
             PortalCrossUser => "IV-E",
             GpuDevAccess | GpuRemanence => "IV-F",
             AbstractSocket | RdmaNativeCm => "V",
+            AuthTokenReplay | SshExpiredCert | CrossRealmSpoof => "FedAuth",
         }
     }
 }
@@ -146,6 +159,9 @@ pub fn probe(channel: Channel, c: &mut SecureCluster, attacker: Uid, victim: Uid
         Channel::GpuDevAccess => probe_gpu_dev(c, attacker, victim),
         Channel::GpuRemanence => probe_gpu_remanence(c, attacker, victim),
         Channel::PortalCrossUser => probe_portal(c, attacker, victim),
+        Channel::AuthTokenReplay => probe_token_replay(c, attacker, victim),
+        Channel::SshExpiredCert => probe_ssh_expired_cert(c, victim),
+        Channel::CrossRealmSpoof => probe_cross_realm(c, victim),
     }
 }
 
@@ -208,7 +224,11 @@ fn probe_sched_queue(c: &mut SecureCluster, attacker: Uid, victim: Uid) -> Outco
 }
 
 fn probe_sched_accounting(c: &mut SecureCluster, attacker: Uid, victim: Uid) -> Outcome {
-    c.submit(JobSpec::new(victim, "billing-run", SimDuration::from_secs(10)));
+    c.submit(JobSpec::new(
+        victim,
+        "billing-run",
+        SimDuration::from_secs(10),
+    ));
     c.run_to_completion();
     let a_cred = c.credentials(attacker);
     let foreign = c
@@ -226,7 +246,11 @@ fn probe_sched_accounting(c: &mut SecureCluster, attacker: Uid, victim: Uid) -> 
 }
 
 fn probe_ssh_foreign(c: &mut SecureCluster, attacker: Uid, victim: Uid) -> Outcome {
-    c.submit(JobSpec::new(victim, "long-run", SimDuration::from_secs(1000)));
+    c.submit(JobSpec::new(
+        victim,
+        "long-run",
+        SimDuration::from_secs(1000),
+    ));
     c.advance_to(SimTime::from_secs(1));
     let node = {
         let sched = c.sched.read();
@@ -309,7 +333,10 @@ fn probe_fs_tmp_names(c: &mut SecureCluster, attacker: Uid, victim: Uid) -> Outc
     )
     .expect("tmp writable");
     let ctx = c.user_fs_ctx(attacker);
-    let names = c.node(login).fs_readdir(&ctx, "/tmp").expect("tmp readable");
+    let names = c
+        .node(login)
+        .fs_readdir(&ctx, "/tmp")
+        .expect("tmp readable");
     if names.iter().any(|n| n.contains("victim-grant-proposal")) {
         Outcome::Leaked("foreign filename visible in /tmp".into())
     } else {
@@ -354,7 +381,11 @@ fn probe_abstract_socket(c: &mut SecureCluster, attacker: Uid, victim: Uid) -> O
         .abstract_sockets
         .bind(&v_cred, "victim-ipc")
         .expect("fresh namespace");
-    match c.node(login).abstract_sockets.connect(&a_cred, "victim-ipc") {
+    match c
+        .node(login)
+        .abstract_sockets
+        .connect(&a_cred, "victim-ipc")
+    {
         Ok(owner) => Outcome::Leaked(format!(
             "connected to {owner}'s abstract socket (no DAC exists)"
         )),
@@ -369,7 +400,8 @@ fn probe_rdma_tcp(c: &mut SecureCluster, attacker: Uid, victim: Uid) -> Outcome 
         .fabric
         .rdma_register(n2, victim, b"victim tensor".to_vec())
         .expect("host exists");
-    c.listen(victim, n2, Proto::Tcp, 18515, None).expect("port free");
+    c.listen(victim, n2, Proto::Tcp, 18515, None)
+        .expect("port free");
     let a_peer = eus_simnet::PeerInfo::from_cred(&c.credentials(attacker));
     match c
         .fabric
@@ -402,9 +434,7 @@ fn probe_rdma_native(c: &mut SecureCluster, attacker: Uid, victim: Uid) -> Outco
 
 fn probe_gpu_dev(c: &mut SecureCluster, attacker: Uid, victim: Uid) -> Outcome {
     // Victim runs a GPU job; the attacker tries to open the device file.
-    c.submit(
-        JobSpec::new(victim, "train", SimDuration::from_secs(1000)).with_gpus_per_task(1),
-    );
+    c.submit(JobSpec::new(victim, "train", SimDuration::from_secs(1000)).with_gpus_per_task(1));
     c.advance_to(SimTime::from_secs(1));
     let node = c.compute_ids[0];
     let ctx = c.user_fs_ctx(attacker);
@@ -448,12 +478,117 @@ fn probe_gpu_remanence(c: &mut SecureCluster, attacker: Uid, victim: Uid) -> Out
 fn probe_portal(c: &mut SecureCluster, attacker: Uid, victim: Uid) -> Outcome {
     let node = c.compute_ids[0];
     let key = c
-        .launch_webapp(victim, JobId(9999), "jupyter", node, 8888, "victim notebook", None)
+        .launch_webapp(
+            victim,
+            JobId(9999),
+            "jupyter",
+            node,
+            8888,
+            "victim notebook",
+            None,
+        )
         .expect("port free");
     let token = c.portal_login(attacker).expect("valid account");
     match c.portal_fetch(token, &key) {
-        Ok(resp) => Outcome::Leaked(format!("fetched foreign app page ({} bytes)", resp.body.len())),
+        Ok(resp) => Outcome::Leaked(format!(
+            "fetched foreign app page ({} bytes)",
+            resp.body.len()
+        )),
         Err(_) => Outcome::Blocked("portal authorization + user-identity forward".into()),
+    }
+}
+
+fn probe_token_replay(c: &mut SecureCluster, _attacker: Uid, victim: Uid) -> Outcome {
+    // The victim's bearer token is exfiltrated; the theft is noticed and the
+    // victim's credentials are revoked (or, without a revocation plane,
+    // merely "the victim logs out and a month passes"). The attacker then
+    // replays the stolen token.
+    match &c.broker {
+        Some(broker) => {
+            let stolen = broker
+                .read()
+                .current_token(victim)
+                .expect("users are provisioned at creation");
+            broker.write().revoke_user(victim);
+            match broker.read().validate_token(&stolen) {
+                Ok(_) => Outcome::Leaked("revoked bearer token still accepted".into()),
+                Err(_) => Outcome::Blocked("central revocation: replayed token refused".into()),
+            }
+        }
+        None => {
+            let stolen = c.portal_login(victim).expect("valid account");
+            // Long-lived sessions never lapse: 30 days later it still works.
+            c.portal.auth.advance_to(SimTime::from_secs(30 * 24 * 3600));
+            match c.portal.auth.whoami(stolen) {
+                Ok(_) => Outcome::Leaked(
+                    "stolen bearer token still valid 30 days later (no expiry, no revocation)"
+                        .into(),
+                ),
+                Err(_) => Outcome::Blocked("token lapsed".into()),
+            }
+        }
+    }
+}
+
+fn probe_ssh_expired_cert(c: &mut SecureCluster, victim: Uid) -> Outcome {
+    // The attacker stole the victim's ssh private key some time ago. With
+    // federated auth the key is only as good as its short-lived certificate;
+    // without it, authorized_keys entries work forever.
+    let login = c.login_node();
+    match &c.broker {
+        Some(broker) => {
+            let expiry = broker
+                .read()
+                .current_cert(victim)
+                .expect("users are provisioned at creation")
+                .expires;
+            broker.write().advance_to(expiry);
+            // Replay: the PAM stack judges the stale certificate as-is (no
+            // transparent refresh — the attacker cannot re-authenticate).
+            match c.ssh_raw(victim, login) {
+                Ok(_) => Outcome::Leaked("expired certificate accepted for ssh".into()),
+                Err(_) => {
+                    Outcome::Blocked("pam_fedauth: certificate outside validity window".into())
+                }
+            }
+        }
+        None => match c.ssh_raw(victim, login) {
+            Ok(_) => Outcome::Leaked("stolen long-lived ssh key grants access indefinitely".into()),
+            Err(_) => Outcome::Blocked("login refused".into()),
+        },
+    }
+}
+
+fn probe_cross_realm(c: &mut SecureCluster, victim: Uid) -> Outcome {
+    // Federation means other sites also issue credentials; uid numbers
+    // collide across sites. The attacker controls an account at a sister
+    // site whose uid equals the victim's and presents that site's credential
+    // here.
+    match &c.broker {
+        Some(broker) => {
+            let mut foreign = eus_fedauth::CredentialBroker::new(
+                eus_fedauth::RealmId(99),
+                0x0BAD_5EED,
+                eus_fedauth::BrokerPolicy::default(),
+            );
+            let forged = foreign
+                .login(&c.db.read(), victim, None)
+                .expect("uid collides across realms");
+            match broker.read().validate_token(&forged) {
+                Ok(_) => Outcome::Leaked("foreign realm credential accepted".into()),
+                Err(_) => Outcome::Blocked("realm binding: foreign credential refused".into()),
+            }
+        }
+        None => {
+            // No realm concept: services trust the raw uid, so any site's
+            // assertion of "uid N" is indistinguishable from the local one.
+            match c.portal_login(victim) {
+                Ok(t) if c.portal.auth.whoami(t) == Ok(victim) => Outcome::Leaked(
+                    "raw uid trusted: cross-site identity collision impersonates the victim".into(),
+                ),
+                _ => Outcome::Blocked("identity rejected".into()),
+            }
+        }
     }
 }
 
@@ -463,13 +598,14 @@ mod tests {
 
     #[test]
     fn channel_catalog_is_stable() {
-        assert_eq!(Channel::all().len(), 18);
+        assert_eq!(Channel::all().len(), 21);
         // Sections cover IV-A..IV-G and V.
         for ch in Channel::all() {
             assert!(!ch.section().is_empty());
         }
         assert_eq!(Channel::ProcList.section(), "IV-A");
         assert_eq!(Channel::RdmaNativeCm.section(), "V");
+        assert_eq!(Channel::AuthTokenReplay.section(), "FedAuth");
     }
 
     #[test]

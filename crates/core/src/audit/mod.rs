@@ -100,6 +100,20 @@ mod tests {
     }
 
     #[test]
+    fn ablating_fedauth_reopens_credential_channels_only() {
+        let mut cfg = SeparationConfig::llsc();
+        cfg.federated_auth = false;
+        let report = run_audit(&cfg, &ClusterSpec::tiny());
+        let unexpected = report.unexpected_leaks();
+        assert!(unexpected.contains(&Channel::AuthTokenReplay), "{report}");
+        assert!(unexpected.contains(&Channel::SshExpiredCert), "{report}");
+        assert!(unexpected.contains(&Channel::CrossRealmSpoof), "{report}");
+        // Every base-paper channel stays closed: the credential plane is an
+        // independent mechanism, like each of the paper's own.
+        assert_eq!(unexpected.len(), 3, "{report}");
+    }
+
+    #[test]
     fn ablating_hidepid_reopens_proc_only() {
         let mut cfg = SeparationConfig::llsc();
         cfg.hidepid = false;

@@ -11,9 +11,10 @@
 use crate::config::SeparationConfig;
 use eus_accel::GpuPool;
 use eus_containers::{ContainerRegistry, HpcRuntime};
-use eus_fsperm::{
-    apply_kernel_patches_handle, FilePermissionHandler, PamSmask, LLSC_SMASK,
+use eus_fedauth::{
+    shared_broker, BrokerPolicy, CredentialBroker, PamFedAuth, RealmId, SharedBroker,
 };
+use eus_fsperm::{apply_kernel_patches_handle, FilePermissionHandler, PamSmask, LLSC_SMASK};
 use eus_portal::{PortalGateway, RouteKey, WebAppRegistry};
 use eus_sched::{
     shared_scheduler, EpilogEvent, JobId, JobSpec, JobState, PamSlurm, SchedConfig, Scheduler,
@@ -111,6 +112,9 @@ pub struct SecureCluster {
     pub containers: ContainerRegistry,
     /// Per-host UBF statistics handles (empty when UBF off).
     pub ubf_stats: Vec<UbfStats>,
+    /// The federated credential broker (`Some` when `config.federated_auth`):
+    /// sshd PAM, job submission, and the portal all consult it.
+    pub broker: Option<SharedBroker>,
     seepid_gid: Gid,
     materialized: BTreeSet<JobId>,
     job_procs: BTreeMap<JobId, Vec<(NodeId, Pid)>>,
@@ -152,6 +156,18 @@ impl SecureCluster {
 
         let fsperm_policy = FilePermissionHandler::new(seepid_gid);
 
+        // Federated identity plane (companion-paper layer): one realm per
+        // site; deterministic key/token material.
+        let broker: Option<SharedBroker> = if config.federated_auth {
+            Some(shared_broker(CredentialBroker::new(
+                RealmId(1),
+                0x5EED_FEDA,
+                BrokerPolicy::default(),
+            )))
+        } else {
+            None
+        };
+
         // Nodes: compute then login.
         let mut nodes = BTreeMap::new();
         let login_ids: Vec<NodeId> = (0..spec.login_nodes)
@@ -174,6 +190,11 @@ impl SecureCluster {
                 format!("login{}", id.0)
             };
             let mut node = NodeOs::new(id, name);
+            if let Some(b) = &broker {
+                // Account phase runs first: no live SSH certificate, no login
+                // anywhere — login or compute node alike.
+                node.pam.push(Box::new(PamFedAuth::new(b.clone())));
+            }
             node.mount("/home", shared_home.clone());
             node.mount("/proj", shared_proj.clone());
             if config.hidepid {
@@ -209,6 +230,9 @@ impl SecureCluster {
         if !config.portal_authz {
             portal = portal.naive_proxy();
         }
+        if let Some(b) = &broker {
+            portal.auth.attach_broker(b.clone());
+        }
 
         SecureCluster {
             config,
@@ -228,6 +252,7 @@ impl SecureCluster {
             runtime: HpcRuntime,
             containers: ContainerRegistry::new(),
             ubf_stats,
+            broker,
             seepid_gid,
             materialized: BTreeSet::new(),
             job_procs: BTreeMap::new(),
@@ -266,7 +291,12 @@ impl SecureCluster {
     /// world-traversable — the baseline the audit contrasts.
     pub fn add_user(&mut self, name: &str) -> Result<Uid, UserDbError> {
         let uid = self.db.write().create_user(name)?;
-        let upg = self.db.read().user(uid).expect("just created").private_group;
+        let upg = self
+            .db
+            .read()
+            .user(uid)
+            .expect("just created")
+            .private_group;
         let root = FsCtx::root().with_umask(Mode::new(0));
         let mut home = self.shared_home.write();
         if self.config.fsperm {
@@ -282,6 +312,15 @@ impl SecureCluster {
                 m.gid = upg;
             })
             .expect("just created");
+        }
+        drop(home);
+        if let Some(b) = &self.broker {
+            // Account provisioning includes the first federated login, so a
+            // fresh user holds a live token + SSH certificate (the real
+            // system does this when the user first connects).
+            b.write()
+                .login(&self.db.read(), uid, None)
+                .expect("just created user");
         }
         Ok(uid)
     }
@@ -313,11 +352,7 @@ impl SecureCluster {
     /// credentials from the database, smask 007 when the File Permission
     /// Handler is deployed.
     pub fn user_fs_ctx(&self, user: Uid) -> FsCtx {
-        let cred = self
-            .db
-            .read()
-            .credentials(user)
-            .expect("known user");
+        let cred = self.db.read().credentials(user).expect("known user");
         let ctx = FsCtx::user(cred);
         if self.config.fsperm {
             ctx.with_smask(LLSC_SMASK)
@@ -373,8 +408,18 @@ impl SecureCluster {
     // Login / processes
     // ------------------------------------------------------------------
 
-    /// ssh to a node through its PAM stack.
+    /// ssh to a node through its PAM stack, refreshing the user's federated
+    /// credentials first when the broker is deployed — the legitimate-client
+    /// path (`ssh` fetches a fresh short-lived certificate at connect time).
     pub fn ssh(&mut self, user: Uid, node: NodeId) -> Result<SessionId, LoginError> {
+        self.refresh_credentials(user);
+        self.ssh_raw(user, node)
+    }
+
+    /// ssh without the transparent credential refresh: whatever certificate
+    /// the broker currently holds for `user` is what PAM judges. Audit
+    /// probes use this to model replaying stolen or expired material.
+    pub fn ssh_raw(&mut self, user: Uid, node: NodeId) -> Result<SessionId, LoginError> {
         let db = self.db.read().clone();
         self.nodes
             .get_mut(&node)
@@ -386,28 +431,78 @@ impl SecureCluster {
     // Scheduler
     // ------------------------------------------------------------------
 
-    /// Submit a job arriving at the scheduler's current time.
+    /// Submit a job arriving at the scheduler's current time — the
+    /// legitimate-client path: the user's federated credentials refresh
+    /// transparently first (like [`ssh`](Self::ssh)), so long traces never
+    /// trip over token expiry. Panics only for users the broker cannot
+    /// authenticate at all.
     pub fn submit(&mut self, spec: JobSpec) -> JobId {
-        self.sched.write().submit(spec)
+        self.refresh_credentials(spec.user);
+        self.try_submit(spec).expect("known user refreshes cleanly")
     }
 
-    /// Submit a job arriving at `at`.
+    /// Submit a job arriving at `at`, with the same transparent refresh.
     pub fn submit_at(&mut self, at: SimTime, spec: JobSpec) -> JobId {
-        self.sched.write().submit_at(at, spec)
+        self.refresh_credentials(spec.user);
+        self.try_submit_at(at, spec)
+            .expect("known user refreshes cleanly")
+    }
+
+    /// Submit through the federated gate with *no* refresh: whatever token
+    /// the broker currently holds for the user is what `sbatch` presents.
+    /// With the broker deployed, an expired/revoked/absent credential is
+    /// refused — the path audit probes use to model stolen-uid submissions.
+    pub fn try_submit(&mut self, spec: JobSpec) -> Result<JobId, eus_fedauth::CredError> {
+        if let Some(b) = &self.broker {
+            b.read().authorize_submit(spec.user)?;
+        }
+        Ok(self.sched.write().submit(spec))
+    }
+
+    /// [`try_submit`](Self::try_submit) for a job arriving at `at`: the
+    /// token must also still be inside its window at the arrival instant.
+    pub fn try_submit_at(
+        &mut self,
+        at: SimTime,
+        spec: JobSpec,
+    ) -> Result<JobId, eus_fedauth::CredError> {
+        if let Some(b) = &self.broker {
+            b.read().authorize_submit_at(spec.user, at)?;
+        }
+        Ok(self.sched.write().submit_at(at, spec))
+    }
+
+    /// Transparent credential refresh for a known user (no-op without the
+    /// broker; unknown users fall through to the gate's denial).
+    fn refresh_credentials(&mut self, user: Uid) {
+        if let Some(b) = &self.broker {
+            let _ = b.write().ensure_session(&self.db.read(), user);
+        }
     }
 
     /// Advance the scheduler clock and reconcile OS state (spawn processes
     /// and assign GPUs for newly started jobs; run epilogs for ended ones).
     pub fn advance_to(&mut self, t: SimTime) {
         self.sched.write().run_until(t);
+        self.sync_credential_clocks(t);
         self.reconcile();
     }
 
     /// Run everything to completion and reconcile.
     pub fn run_to_completion(&mut self) -> SimTime {
         let end = self.sched.write().run_to_completion();
+        self.sync_credential_clocks(end);
         self.reconcile();
         end
+    }
+
+    /// The credential plane runs on the same simulated clock as the
+    /// scheduler: expiry is a property of *when*, not of polling.
+    fn sync_credential_clocks(&mut self, t: SimTime) {
+        if let Some(b) = &self.broker {
+            b.write().advance_to(t);
+        }
+        self.portal.auth.advance_to(t);
     }
 
     fn reconcile(&mut self) {
@@ -436,11 +531,7 @@ impl SecureCluster {
                     },
                     environ: j.spec.environ.clone(),
                     started: j.started.expect("running"),
-                    allocs: j
-                        .allocations
-                        .iter()
-                        .map(|(n, a)| (*n, a.gpus))
-                        .collect(),
+                    allocs: j.allocations.iter().map(|(n, a)| (*n, a.gpus)).collect(),
                 })
                 .collect();
             (started, sched.drain_epilogs())
@@ -660,8 +751,14 @@ mod tests {
         let proj = c.create_project("fusion", alice).unwrap();
         c.add_project_member(alice, proj, bob).unwrap();
         let login = c.login_node();
-        c.fs_write(alice, login, "/proj/fusion/data", Mode::new(0o660), b"shared")
-            .unwrap();
+        c.fs_write(
+            alice,
+            login,
+            "/proj/fusion/data",
+            Mode::new(0o660),
+            b"shared",
+        )
+        .unwrap();
         // File inherited the project group via setgid, so bob reads it.
         assert_eq!(
             c.fs_read(bob, login, "/proj/fusion/data").unwrap(),
@@ -726,6 +823,31 @@ mod tests {
                 .unwrap_err(),
             ConnectError::DeniedByDaemon { .. }
         ));
+    }
+
+    #[test]
+    fn long_traces_submit_past_token_expiry_via_transparent_refresh() {
+        let mut c = llsc_tiny();
+        let alice = c.add_user("alice").unwrap();
+        // A day passes — far beyond the 12h token TTL and 1h cert TTL.
+        c.advance_to(SimTime::from_secs(24 * 3600));
+        // The legitimate path refreshes and submits; the raw gate refuses.
+        assert!(c
+            .try_submit(JobSpec::new(alice, "stale", SimDuration::from_secs(5)))
+            .is_err());
+        let job = c.submit(JobSpec::new(alice, "fresh", SimDuration::from_secs(5)));
+        let t = c.sched.read().now() + SimDuration::from_secs(1);
+        c.advance_to(t);
+        assert!(c.sched.read().jobs.contains_key(&job));
+        // A future-dated arrival beyond the fresh token's window is refused
+        // even through the raw gate at submit time.
+        let horizon = SimTime::from_secs(48 * 3600);
+        assert!(c
+            .try_submit_at(
+                horizon,
+                JobSpec::new(alice, "later", SimDuration::from_secs(5))
+            )
+            .is_err());
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub struct SeparationConfig {
     pub gpu_dev_perms: bool,
     /// Vendor GPU-memory scrub in the epilog (Sec. IV-F).
     pub gpu_scrub: bool,
+    /// Federated identity & credential lifecycle: short-lived broker-issued
+    /// tokens and SSH certificates replace raw-uid trust and long-lived keys
+    /// (companion paper *Securing HPC using Federated Authentication*,
+    /// Prout et al. 2019); off = sequential portal tokens, `authorized_keys`
+    /// forever, no revocation plane.
+    pub federated_auth: bool,
 }
 
 impl SeparationConfig {
@@ -49,6 +55,7 @@ impl SeparationConfig {
             portal_authz: false,
             gpu_dev_perms: false,
             gpu_scrub: false,
+            federated_auth: false,
         }
     }
 
@@ -64,6 +71,7 @@ impl SeparationConfig {
             portal_authz: true,
             gpu_dev_perms: true,
             gpu_scrub: true,
+            federated_auth: true,
         }
     }
 
@@ -113,6 +121,9 @@ impl SeparationConfig {
         }
         if self.gpu_scrub {
             on.push("gpuscrub");
+        }
+        if self.federated_auth {
+            on.push("fedauth");
         }
         if on.is_empty() {
             "baseline".to_string()
@@ -188,6 +199,13 @@ impl SeparationConfig {
                 ..full.clone()
             },
         ));
+        out.push((
+            "-fedauth",
+            SeparationConfig {
+                federated_auth: false,
+                ..full.clone()
+            },
+        ));
         out
     }
 }
@@ -226,15 +244,19 @@ mod tests {
     #[test]
     fn ablations_each_differ_from_full_in_one_knob() {
         let abl = SeparationConfig::ablations();
-        assert_eq!(abl.len(), 9);
+        assert_eq!(abl.len(), 10);
         for (name, cfg) in &abl {
-            assert_ne!(*cfg, SeparationConfig::llsc(), "{name} must change something");
+            assert_ne!(
+                *cfg,
+                SeparationConfig::llsc(),
+                "{name} must change something"
+            );
         }
         // Names are unique.
         let mut names: Vec<&str> = abl.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 9);
+        assert_eq!(names.len(), 10);
     }
 
     #[test]

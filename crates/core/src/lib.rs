@@ -13,8 +13,16 @@
 //! * [`cluster::SecureCluster`] — the assembled system: nodes, shared
 //!   filesystems, scheduler, firewall daemons, GPUs, portal.
 //! * [`audit`] — the channel sweep that *measures* separation: which of the
-//!   18 cross-user channels are open under a given configuration, and
+//!   21 cross-user channels are open under a given configuration, and
 //!   whether only the paper's three residual paths remain.
+//! * the federated credential plane ([`eus_fedauth`], toggled by
+//!   [`config::SeparationConfig::federated_auth`]) — the companion paper's
+//!   identity layer (*Securing HPC using Federated Authentication*, Prout
+//!   et al. 2019): a per-realm broker mints short-lived signed bearer
+//!   tokens and SSH certificates that sshd (PAM account phase), the job
+//!   submission gate, and the portal all consult, with O(1) revocation.
+//!   Three audit channels measure it: stolen-token replay, expired-cert
+//!   ssh, and cross-realm impersonation.
 //!
 //! ```
 //! use eus_core::{audit, ClusterSpec, SeparationConfig};
@@ -38,6 +46,7 @@ pub use support::{attribute_load, LoadReport};
 // Re-export the substrate crates so downstream users need one dependency.
 pub use eus_accel as accel;
 pub use eus_containers as containers;
+pub use eus_fedauth as fedauth;
 pub use eus_fsperm as fsperm;
 pub use eus_portal as portal;
 pub use eus_sched as sched;

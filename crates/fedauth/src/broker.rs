@@ -1,0 +1,437 @@
+//! The credential broker: the single enforcement point every service
+//! consults instead of trusting raw uids or long-lived keys.
+//!
+//! sshd's PAM account phase ([`crate::PamFedAuth`]), the scheduler's
+//! submission path, and the portal's session layer all hold a
+//! [`SharedBroker`] and ask it one O(1) question — "does this principal hold
+//! a live, unrevoked credential of the right kind *right now*?" — keeping
+//! issuance, expiry, and revocation in one place (the companion paper's
+//! central identity plane).
+
+use crate::ca::{CertificateAuthority, CredError, CredSerial, SignedToken, SshCertificate};
+use crate::realm::{IdentityProvider, MfaCode, RealmId};
+use crate::revocation::RevocationList;
+use eus_simcore::{SimDuration, SimTime};
+use eus_simos::{Uid, UserDb};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Credential lifetimes for a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrokerPolicy {
+    /// Bearer-token lifetime (portal sessions, job submission).
+    pub token_ttl: SimDuration,
+    /// SSH-certificate lifetime (interactive access).
+    pub cert_ttl: SimDuration,
+    /// Whether enrolled users must present a second factor at login.
+    pub require_mfa: bool,
+}
+
+impl Default for BrokerPolicy {
+    fn default() -> Self {
+        BrokerPolicy {
+            // The companion paper's shape: hours, not the months-to-forever
+            // of authorized_keys files.
+            token_ttl: SimDuration::from_secs(12 * 3600),
+            cert_ttl: SimDuration::from_secs(3600),
+            require_mfa: false,
+        }
+    }
+}
+
+/// A shared broker handle (PAM stacks, the scheduler, and the portal all
+/// hold one).
+pub type SharedBroker = Arc<RwLock<CredentialBroker>>;
+
+/// Wrap a broker for sharing.
+pub fn shared_broker(b: CredentialBroker) -> SharedBroker {
+    Arc::new(RwLock::new(b))
+}
+
+/// The broker: home-realm IdP + CA + revocation list + live-session state.
+#[derive(Debug)]
+pub struct CredentialBroker {
+    /// The home realm's identity provider.
+    pub idp: IdentityProvider,
+    /// The home realm's certificate authority.
+    pub ca: CertificateAuthority,
+    /// The realm-wide revocation list.
+    pub revocations: RevocationList,
+    now: SimTime,
+    /// Live tokens per user, oldest first (concurrent sessions are real:
+    /// two portal tabs, a portal session plus an sbatch token, ...).
+    sessions: BTreeMap<Uid, Vec<SignedToken>>,
+    certs: BTreeMap<Uid, SshCertificate>,
+}
+
+impl CredentialBroker {
+    /// A broker for `realm`; `seed` determines all key/token material.
+    pub fn new(realm: RealmId, seed: u64, policy: BrokerPolicy) -> Self {
+        let mut idp = IdentityProvider::new(realm, seed);
+        if policy.require_mfa {
+            idp = idp.with_mfa_required();
+        }
+        CredentialBroker {
+            idp,
+            ca: CertificateAuthority::new(realm, seed)
+                .with_token_ttl(policy.token_ttl)
+                .with_cert_ttl(policy.cert_ttl),
+            revocations: RevocationList::new(),
+            now: SimTime::ZERO,
+            sessions: BTreeMap::new(),
+            certs: BTreeMap::new(),
+        }
+    }
+
+    /// The broker's realm.
+    pub fn realm(&self) -> RealmId {
+        self.idp.realm
+    }
+
+    /// The broker's current clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance the clock (monotonic; driven by the cluster simulation).
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issuance
+    // ------------------------------------------------------------------
+
+    /// Federated login: assert identity (MFA per policy), mint a bearer
+    /// token and an SSH certificate, and record them as the user's live
+    /// session. Replaces any previous session for the user.
+    pub fn login(
+        &mut self,
+        db: &UserDb,
+        user: Uid,
+        mfa: Option<MfaCode>,
+    ) -> Result<SignedToken, CredError> {
+        let assertion = self.idp.assert_identity(db, user, mfa, self.now)?;
+        let token = self.ca.mint_token(&assertion, self.now);
+        let cert = self.ca.mint_cert(&assertion, self.now);
+        self.sessions.entry(user).or_default().push(token);
+        self.certs.insert(user, cert);
+        Ok(token)
+    }
+
+    /// [`login`](Self::login) with the second factor supplied by the
+    /// simulation: enrolled users "type" the current window code (the
+    /// out-of-band factor a real client would present), others log in
+    /// single-factor.
+    pub fn login_auto(&mut self, db: &UserDb, user: Uid) -> Result<SignedToken, CredError> {
+        let mfa = self.idp.current_code(user, self.now);
+        self.login(db, user, mfa)
+    }
+
+    /// Mint a fresh SSH certificate against a live bearer token (the
+    /// `ssh-cert fetch` workflow).
+    pub fn mint_ssh_cert(&mut self, token: &SignedToken) -> Result<SshCertificate, CredError> {
+        let user = self.validate_token(token)?;
+        let assertion = crate::realm::IdentityAssertion {
+            realm: self.realm(),
+            user,
+            asserted_at: self.now,
+            mfa_verified: false,
+        };
+        let cert = self.ca.mint_cert(&assertion, self.now);
+        self.certs.insert(user, cert);
+        Ok(cert)
+    }
+
+    /// Ensure the user holds a live session (login on first touch or after
+    /// expiry/revocation) — the "credentials refresh transparently at
+    /// connect time" path legitimate clients use.
+    pub fn ensure_session(&mut self, db: &UserDb, user: Uid) -> Result<SignedToken, CredError> {
+        let live = self
+            .sessions
+            .get(&user)
+            .and_then(|v| v.iter().rev().find(|t| self.validate_token(t).is_ok()));
+        let token = match live {
+            Some(t) => *t,
+            // Re-login; enrolled users present their current window code.
+            None => return self.login_auto(db, user),
+        };
+        // Certificates are shorter-lived than tokens: a live session may
+        // still need its cert re-minted before ssh succeeds.
+        let cert_live = self
+            .certs
+            .get(&user)
+            .is_some_and(|c| self.validate_cert(c).is_ok());
+        if !cert_live {
+            self.mint_ssh_cert(&token)?;
+        }
+        Ok(token)
+    }
+
+    // ------------------------------------------------------------------
+    // Verification (hot path)
+    // ------------------------------------------------------------------
+
+    /// Validate a presented bearer token: signature, realm, window,
+    /// revocation. Returns the authenticated uid.
+    pub fn validate_token(&self, token: &SignedToken) -> Result<Uid, CredError> {
+        self.ca.verify_token(token, self.now)?;
+        if self.revocations.is_revoked(token.serial) {
+            return Err(CredError::Revoked(token.serial));
+        }
+        Ok(token.user)
+    }
+
+    /// Validate a presented SSH certificate. Returns the principal uid.
+    pub fn validate_cert(&self, cert: &SshCertificate) -> Result<Uid, CredError> {
+        self.ca.verify_cert(cert, self.now)?;
+        if self.revocations.is_revoked(cert.serial) {
+            return Err(CredError::Revoked(cert.serial));
+        }
+        Ok(cert.user)
+    }
+
+    /// Validate a serial known to the broker (portal sessions keep only the
+    /// serial after login). O(live sessions of one user), which is O(1) for
+    /// any realistic per-user session count.
+    pub fn validate_serial(&self, user: Uid, serial: CredSerial) -> Result<(), CredError> {
+        if self.revocations.is_revoked(serial) {
+            return Err(CredError::Revoked(serial));
+        }
+        match self
+            .sessions
+            .get(&user)
+            .and_then(|v| v.iter().find(|t| t.serial == serial))
+        {
+            Some(t) => self.ca.verify_token(t, self.now).map(|_| ()),
+            None => Err(CredError::NoCredential(user)),
+        }
+    }
+
+    /// sshd account phase: does this principal hold a live, unrevoked SSH
+    /// certificate right now?
+    pub fn authorize_ssh(&self, user: Uid) -> Result<(), CredError> {
+        let cert = self.certs.get(&user).ok_or(CredError::NoCredential(user))?;
+        self.validate_cert(cert).map(|_| ())
+    }
+
+    /// Scheduler submission gate: does this principal hold a live, unrevoked
+    /// bearer token right now?
+    pub fn authorize_submit(&self, user: Uid) -> Result<(), CredError> {
+        self.authorize_submit_at(user, self.now)
+    }
+
+    /// Submission gate for a job arriving at `at` (>= now): the token must
+    /// be unrevoked now and inside its window at the arrival instant, so a
+    /// future-dated submission cannot outlive its credential.
+    pub fn authorize_submit_at(&self, user: Uid, at: SimTime) -> Result<(), CredError> {
+        let when = if at > self.now { at } else { self.now };
+        let mut last = CredError::NoCredential(user);
+        for token in self.sessions.get(&user).into_iter().flatten().rev() {
+            if self.revocations.is_revoked(token.serial) {
+                last = CredError::Revoked(token.serial);
+                continue;
+            }
+            match self.ca.verify_token(token, when) {
+                Ok(()) => return Ok(()),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// The user's live certificate, if any (probes use this to model theft).
+    pub fn current_cert(&self, user: Uid) -> Option<SshCertificate> {
+        self.certs.get(&user).copied()
+    }
+
+    /// The user's most recent token, if any.
+    pub fn current_token(&self, user: Uid) -> Option<SignedToken> {
+        self.sessions.get(&user).and_then(|v| v.last().copied())
+    }
+
+    // ------------------------------------------------------------------
+    // Revocation & lifecycle
+    // ------------------------------------------------------------------
+
+    /// Revoke one serial (immediate; irreversible).
+    pub fn revoke_serial(&mut self, serial: CredSerial) {
+        self.revocations.revoke(serial);
+    }
+
+    /// Revoke every live credential of a user (incident response / logout).
+    pub fn revoke_user(&mut self, user: Uid) {
+        for t in self.sessions.remove(&user).unwrap_or_default() {
+            self.revocations.revoke(t.serial);
+        }
+        if let Some(c) = self.certs.remove(&user) {
+            self.revocations.revoke(c.serial);
+        }
+    }
+
+    /// Drop expired sessions and certificates; returns how many entries the
+    /// sweep removed. (Expired credentials already fail validation — the
+    /// sweep just bounds the table sizes, as a production broker must.)
+    pub fn sweep_expired(&mut self) -> usize {
+        let now = self.now;
+        let before = self.live_sessions() + self.certs.len();
+        for tokens in self.sessions.values_mut() {
+            tokens.retain(|t| now < t.expires);
+        }
+        self.sessions.retain(|_, tokens| !tokens.is_empty());
+        self.certs.retain(|_, c| now < c.expires);
+        before - (self.live_sessions() + self.certs.len())
+    }
+
+    /// Number of live (unswept) session tokens across all users.
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (UserDb, CredentialBroker, Uid) {
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let broker = CredentialBroker::new(RealmId(1), 11, BrokerPolicy::default());
+        (db, broker, alice)
+    }
+
+    #[test]
+    fn login_validate_revoke_cycle() {
+        let (db, mut b, alice) = setup();
+        let t = b.login(&db, alice, None).unwrap();
+        assert_eq!(b.validate_token(&t).unwrap(), alice);
+        assert!(b.authorize_submit(alice).is_ok());
+        assert!(b.authorize_ssh(alice).is_ok());
+
+        b.revoke_user(alice);
+        assert_eq!(b.validate_token(&t), Err(CredError::Revoked(t.serial)));
+        assert!(b.authorize_submit(alice).is_err());
+        assert!(b.authorize_ssh(alice).is_err());
+    }
+
+    #[test]
+    fn expiry_is_enforced_and_swept() {
+        let (db, mut b, alice) = setup();
+        let t = b.login(&db, alice, None).unwrap();
+        b.advance_to(t.expires);
+        assert_eq!(
+            b.validate_token(&t),
+            Err(CredError::Expired { until: t.expires })
+        );
+        assert!(b.authorize_ssh(alice).is_err(), "cert TTL < token TTL");
+        assert_eq!(b.live_sessions(), 1);
+        assert_eq!(b.sweep_expired(), 2, "token + cert removed");
+        assert_eq!(b.live_sessions(), 0);
+    }
+
+    #[test]
+    fn ensure_session_refreshes_only_when_needed() {
+        let (db, mut b, alice) = setup();
+        let t1 = b.ensure_session(&db, alice).unwrap();
+        let t2 = b.ensure_session(&db, alice).unwrap();
+        assert_eq!(t1.serial, t2.serial, "live session is reused");
+        b.advance_to(t1.expires);
+        let t3 = b.ensure_session(&db, alice).unwrap();
+        assert_ne!(t1.serial, t3.serial, "expired session re-issued");
+        assert!(b.validate_token(&t3).is_ok());
+    }
+
+    #[test]
+    fn ensure_session_remints_cert_after_cert_only_expiry() {
+        let (db, mut b, alice) = setup();
+        let t = b.ensure_session(&db, alice).unwrap();
+        let cert = b.current_cert(alice).unwrap();
+        // Cert TTL (1h) < token TTL (12h): advance past the cert only.
+        b.advance_to(cert.expires);
+        assert!(b.authorize_ssh(alice).is_err(), "cert lapsed");
+        let t2 = b.ensure_session(&db, alice).unwrap();
+        assert_eq!(t.serial, t2.serial, "token still live, not re-issued");
+        assert!(b.authorize_ssh(alice).is_ok(), "cert re-minted");
+    }
+
+    #[test]
+    fn mfa_enrolled_users_can_refresh_transparently() {
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let mut b = CredentialBroker::new(
+            RealmId(1),
+            11,
+            BrokerPolicy {
+                require_mfa: true,
+                ..BrokerPolicy::default()
+            },
+        );
+        b.idp.enroll_mfa(alice);
+        // Explicit login without a code is refused...
+        assert_eq!(b.login(&db, alice, None), Err(CredError::MfaRequired));
+        // ...but the transparent paths present the current window code.
+        let t = b.ensure_session(&db, alice).unwrap();
+        assert!(b.validate_token(&t).is_ok());
+        b.advance_to(t.expires);
+        assert!(b.ensure_session(&db, alice).is_ok(), "refresh after expiry");
+    }
+
+    #[test]
+    fn concurrent_sessions_stay_independently_valid() {
+        let (db, mut b, alice) = setup();
+        let t1 = b.login(&db, alice, None).unwrap();
+        let t2 = b.login(&db, alice, None).unwrap();
+        assert!(b.validate_token(&t1).is_ok(), "first tab still logged in");
+        assert!(b.validate_token(&t2).is_ok());
+        assert!(b.validate_serial(alice, t1.serial).is_ok());
+        assert_eq!(b.live_sessions(), 2);
+        // Incident response still kills everything at once.
+        b.revoke_user(alice);
+        assert!(b.validate_token(&t1).is_err());
+        assert!(b.validate_token(&t2).is_err());
+    }
+
+    #[test]
+    fn future_arrivals_are_gated_by_the_window_at_arrival() {
+        let (db, mut b, alice) = setup();
+        let t = b.login(&db, alice, None).unwrap();
+        assert!(b.authorize_submit_at(alice, b.now()).is_ok());
+        assert_eq!(
+            b.authorize_submit_at(alice, t.expires),
+            Err(CredError::Expired { until: t.expires }),
+            "a job arriving after the token lapses must be refused at submit"
+        );
+    }
+
+    #[test]
+    fn cross_realm_token_rejected() {
+        let (db, mut home, alice) = setup();
+        home.login(&db, alice, None).unwrap();
+        // A sister site with its own IdP/CA mints a token for the same uid.
+        let mut foreign = CredentialBroker::new(RealmId(2), 99, BrokerPolicy::default());
+        let foreign_token = foreign.login(&db, alice, None).unwrap();
+        assert_eq!(
+            home.validate_token(&foreign_token),
+            Err(CredError::RealmMismatch {
+                ours: RealmId(1),
+                theirs: RealmId(2),
+            })
+        );
+    }
+
+    #[test]
+    fn serial_validation_tracks_session_and_revocation() {
+        let (db, mut b, alice) = setup();
+        let t = b.login(&db, alice, None).unwrap();
+        assert!(b.validate_serial(alice, t.serial).is_ok());
+        assert!(b.validate_serial(alice, CredSerial(9999)).is_err());
+        b.revoke_serial(t.serial);
+        assert_eq!(
+            b.validate_serial(alice, t.serial),
+            Err(CredError::Revoked(t.serial))
+        );
+    }
+}

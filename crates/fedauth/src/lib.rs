@@ -1,0 +1,51 @@
+//! # eus-fedauth — federated identity & credential lifecycle
+//!
+//! Reproduction of the identity layer from the companion paper *Securing HPC
+//! using Federated Authentication* (Prout et al., 2019): every service on the
+//! cluster stops trusting raw uids and long-lived keys, and instead consults
+//! centrally-issued, **short-lived** credentials — signed bearer tokens for
+//! the portal and job submission, SSH certificates for interactive access —
+//! minted by a per-site [`CertificateAuthority`] after an
+//! [`IdentityProvider`] assertion (optionally MFA-gated), and revocable in
+//! O(1) on the verification hot path.
+//!
+//! This closes the "stolen long-lived credential" class of cross-user
+//! channels that the base paper's mechanisms do not address, and is the
+//! prerequisite for serving many sites/users through one identity plane:
+//! every credential is bound to a [`RealmId`], so a uid from one site can
+//! never be replayed against another.
+//!
+//! * [`realm`] — realms, identity assertion, MFA.
+//! * [`ca`] — the certificate authority: signed tokens and SSH certificates
+//!   with validity windows on the simulation clock.
+//! * [`revocation`] — the O(1) revocation list.
+//! * [`broker`] — the [`CredentialBroker`] every enforcement point consults
+//!   (sshd PAM, scheduler submission, portal fetch).
+//! * [`pam`] — [`PamFedAuth`], the sshd account-phase module.
+//!
+//! ```
+//! use eus_fedauth::{BrokerPolicy, CredentialBroker, RealmId};
+//! use eus_simos::UserDb;
+//!
+//! let mut db = UserDb::new();
+//! let alice = db.create_user("alice").unwrap();
+//! let mut broker = CredentialBroker::new(RealmId(1), 42, BrokerPolicy::default());
+//! let token = broker.login(&db, alice, None).unwrap();
+//! assert_eq!(broker.validate_token(&token).unwrap(), alice);
+//! broker.revoke_serial(token.serial);
+//! assert!(broker.validate_token(&token).is_err());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod ca;
+pub mod pam;
+pub mod realm;
+pub mod revocation;
+
+pub use broker::{shared_broker, BrokerPolicy, CredentialBroker, SharedBroker};
+pub use ca::{CertificateAuthority, CredError, CredSerial, SignedToken, SshCertificate};
+pub use pam::PamFedAuth;
+pub use realm::{IdentityAssertion, IdentityProvider, MfaCode, MfaSecret, RealmId};
+pub use revocation::RevocationList;

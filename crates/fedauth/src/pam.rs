@@ -1,0 +1,89 @@
+//! `pam_fedauth`: the sshd account-phase module. Login to any node requires
+//! a live, unrevoked SSH certificate from the realm's broker — the
+//! companion paper's replacement for `authorized_keys` files, and the hook
+//! that makes a stolen long-lived key worthless once its short-lived
+//! certificate lapses.
+
+use crate::broker::SharedBroker;
+use eus_simos::pam::{PamContext, PamModule, PamVerdict};
+
+/// The PAM module; holds a shared broker handle like `PamSlurm` holds the
+/// scheduler.
+pub struct PamFedAuth {
+    broker: SharedBroker,
+}
+
+impl PamFedAuth {
+    /// Bind to the realm broker.
+    pub fn new(broker: SharedBroker) -> Self {
+        PamFedAuth { broker }
+    }
+}
+
+impl PamModule for PamFedAuth {
+    fn name(&self) -> &str {
+        "pam_fedauth"
+    }
+
+    fn account(&self, ctx: &PamContext) -> PamVerdict {
+        // Root logs in via the console/host keys, outside the federation.
+        if ctx.cred.is_root() {
+            return PamVerdict::Success;
+        }
+        match self.broker.read().authorize_ssh(ctx.user) {
+            Ok(()) => PamVerdict::Success,
+            Err(e) => PamVerdict::Denied(format!("no valid ssh certificate: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::{shared_broker, BrokerPolicy, CredentialBroker};
+    use crate::realm::RealmId;
+    use eus_simos::{NodeId, NodeOs, UserDb, ROOT_UID};
+
+    #[test]
+    fn login_requires_live_certificate() {
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let broker = shared_broker(CredentialBroker::new(
+            RealmId(1),
+            3,
+            BrokerPolicy::default(),
+        ));
+        let mut node = NodeOs::new(NodeId(1), "login1");
+        node.pam.push(Box::new(PamFedAuth::new(broker.clone())));
+
+        // No credential yet: denied.
+        assert!(node.login(&db, alice, "sshd").is_err());
+        // After federated login: allowed.
+        broker.write().login(&db, alice, None).unwrap();
+        assert!(node.login(&db, alice, "sshd").is_ok());
+        // Root is exempt.
+        assert!(node.login(&db, ROOT_UID, "sshd").is_ok());
+    }
+
+    #[test]
+    fn expired_certificate_shuts_the_door() {
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let broker = shared_broker(CredentialBroker::new(
+            RealmId(1),
+            3,
+            BrokerPolicy::default(),
+        ));
+        let mut node = NodeOs::new(NodeId(1), "login1");
+        node.pam.push(Box::new(PamFedAuth::new(broker.clone())));
+
+        broker.write().login(&db, alice, None).unwrap();
+        assert!(node.login(&db, alice, "sshd").is_ok());
+        let expiry = broker.read().current_cert(alice).unwrap().expires;
+        broker.write().advance_to(expiry);
+        assert!(
+            node.login(&db, alice, "sshd").is_err(),
+            "certificate lapsed; the stolen key alone no longer works"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Realms and identity assertion: the federation half of the companion
+//! paper. Each participating site is a *realm*; its identity provider (IdP)
+//! authenticates local users — optionally requiring a second factor — and
+//! emits a realm-stamped assertion the [`crate::CertificateAuthority`]
+//! exchanges for short-lived credentials.
+
+use crate::ca::CredError;
+use eus_simcore::{SimRng, SimTime};
+use eus_simos::{Uid, UserDb};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A federation realm (one per participating site / identity domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RealmId(pub u32);
+
+impl fmt::Display for RealmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "realm{}", self.0)
+    }
+}
+
+/// An enrolled second-factor secret (the simulated TOTP seed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MfaSecret(pub u64);
+
+/// A one-time code derived from a secret and a time window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MfaCode(pub u32);
+
+/// Width of the one-time-code window.
+const MFA_WINDOW_US: u64 = 30_000_000;
+
+/// Derive the valid code for a secret at an instant (TOTP-shaped: a keyed
+/// mix of the secret and the 30-second window counter).
+pub fn mfa_code_at(secret: MfaSecret, now: SimTime) -> MfaCode {
+    let window = now.as_micros() / MFA_WINDOW_US;
+    let mut z = secret.0 ^ window.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    MfaCode(((z ^ (z >> 31)) % 1_000_000) as u32)
+}
+
+/// A successful identity assertion: "this realm vouches that `user` proved
+/// who they are at `asserted_at`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdentityAssertion {
+    /// The asserting realm.
+    pub realm: RealmId,
+    /// The asserted local identity.
+    pub user: Uid,
+    /// When the assertion was made.
+    pub asserted_at: SimTime,
+    /// Whether a second factor was verified.
+    pub mfa_verified: bool,
+}
+
+/// A realm's identity provider.
+#[derive(Debug, Clone)]
+pub struct IdentityProvider {
+    /// The realm this IdP speaks for.
+    pub realm: RealmId,
+    /// Whether enrolled users must present a one-time code at login.
+    pub require_mfa: bool,
+    enrolled: BTreeMap<Uid, MfaSecret>,
+    rng: SimRng,
+}
+
+impl IdentityProvider {
+    /// An IdP for `realm` with a seeded secret stream.
+    pub fn new(realm: RealmId, seed: u64) -> Self {
+        IdentityProvider {
+            realm,
+            require_mfa: false,
+            enrolled: BTreeMap::new(),
+            rng: SimRng::seed_from_u64(seed ^ 0xFEDA_0001),
+        }
+    }
+
+    /// Require a second factor from enrolled users.
+    pub fn with_mfa_required(mut self) -> Self {
+        self.require_mfa = true;
+        self
+    }
+
+    /// Enroll a user's second factor; returns the shared secret.
+    pub fn enroll_mfa(&mut self, user: Uid) -> MfaSecret {
+        let secret = MfaSecret(self.rng.range_u64(1, u64::MAX));
+        self.enrolled.insert(user, secret);
+        secret
+    }
+
+    /// Whether the user has an enrolled second factor.
+    pub fn is_enrolled(&self, user: Uid) -> bool {
+        self.enrolled.contains_key(&user)
+    }
+
+    /// The current window code for an enrolled user — the simulation's
+    /// stand-in for the user reading their authenticator out of band.
+    pub fn current_code(&self, user: Uid, now: SimTime) -> Option<MfaCode> {
+        self.enrolled.get(&user).map(|s| mfa_code_at(*s, now))
+    }
+
+    /// Authenticate `user` against the account database (site SSO assumed,
+    /// as in `eus-portal`) and the MFA policy, emitting an assertion.
+    pub fn assert_identity(
+        &self,
+        db: &UserDb,
+        user: Uid,
+        mfa: Option<MfaCode>,
+        now: SimTime,
+    ) -> Result<IdentityAssertion, CredError> {
+        if db.user(user).is_none() {
+            return Err(CredError::UnknownUser(user));
+        }
+        let mfa_verified = match (self.require_mfa, self.enrolled.get(&user)) {
+            (true, Some(secret)) => {
+                let presented = mfa.ok_or(CredError::MfaRequired)?;
+                if presented != mfa_code_at(*secret, now) {
+                    return Err(CredError::MfaInvalid);
+                }
+                true
+            }
+            // MFA not required, or required but the user is not yet enrolled
+            // (enrollment happens at first credential issuance on the real
+            // system; unenrolled users authenticate single-factor).
+            _ => false,
+        };
+        Ok(IdentityAssertion {
+            realm: self.realm,
+            user,
+            asserted_at: now,
+            mfa_verified,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eus_simcore::SimDuration;
+
+    fn db_with_alice() -> (UserDb, Uid) {
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        (db, alice)
+    }
+
+    #[test]
+    fn asserts_known_users_only() {
+        let (db, alice) = db_with_alice();
+        let idp = IdentityProvider::new(RealmId(1), 7);
+        let a = idp
+            .assert_identity(&db, alice, None, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(a.user, alice);
+        assert_eq!(a.realm, RealmId(1));
+        assert!(!a.mfa_verified);
+        assert_eq!(
+            idp.assert_identity(&db, Uid(999), None, SimTime::ZERO),
+            Err(CredError::UnknownUser(Uid(999)))
+        );
+    }
+
+    #[test]
+    fn mfa_gate_requires_the_window_code() {
+        let (db, alice) = db_with_alice();
+        let mut idp = IdentityProvider::new(RealmId(1), 7).with_mfa_required();
+        let secret = idp.enroll_mfa(alice);
+        let now = SimTime::from_secs(45);
+
+        assert_eq!(
+            idp.assert_identity(&db, alice, None, now),
+            Err(CredError::MfaRequired)
+        );
+        let wrong = MfaCode(mfa_code_at(secret, now).0.wrapping_add(1) % 1_000_000);
+        assert_eq!(
+            idp.assert_identity(&db, alice, Some(wrong), now),
+            Err(CredError::MfaInvalid)
+        );
+        let ok = idp
+            .assert_identity(&db, alice, Some(mfa_code_at(secret, now)), now)
+            .unwrap();
+        assert!(ok.mfa_verified);
+    }
+
+    #[test]
+    fn codes_rotate_with_the_window() {
+        let secret = MfaSecret(99);
+        let a = mfa_code_at(secret, SimTime::ZERO);
+        let b = mfa_code_at(secret, SimTime::ZERO + SimDuration::from_secs(29));
+        let c = mfa_code_at(secret, SimTime::ZERO + SimDuration::from_secs(31));
+        assert_eq!(a, b, "same 30s window");
+        assert_ne!(a, c, "next window rotates the code");
+    }
+}

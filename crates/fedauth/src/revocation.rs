@@ -1,0 +1,58 @@
+//! The revocation list: O(1) hot-path membership checks, additions are
+//! irreversible by construction (no removal API — a revoked serial stays
+//! revoked for the life of the realm, exactly like a CRL entry for a
+//! credential that never leaves its validity window un-revoked).
+
+use crate::ca::CredSerial;
+use std::collections::HashSet;
+
+/// The set of revoked credential serials.
+#[derive(Debug, Clone, Default)]
+pub struct RevocationList {
+    revoked: HashSet<CredSerial>,
+}
+
+impl RevocationList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Revoke a serial. Returns true the first time, false if it was
+    /// already revoked. There is deliberately no inverse operation.
+    pub fn revoke(&mut self, serial: CredSerial) -> bool {
+        self.revoked.insert(serial)
+    }
+
+    /// O(1) hot-path check.
+    #[inline]
+    pub fn is_revoked(&self, serial: CredSerial) -> bool {
+        self.revoked.contains(&serial)
+    }
+
+    /// Number of revoked serials.
+    pub fn len(&self) -> usize {
+        self.revoked.len()
+    }
+
+    /// True when nothing has been revoked.
+    pub fn is_empty(&self) -> bool {
+        self.revoked.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn revocation_is_immediate_and_sticky() {
+        let mut rl = RevocationList::new();
+        assert!(!rl.is_revoked(CredSerial(1)));
+        assert!(rl.revoke(CredSerial(1)));
+        assert!(rl.is_revoked(CredSerial(1)));
+        assert!(!rl.revoke(CredSerial(1)), "second revoke is a no-op");
+        assert_eq!(rl.len(), 1);
+        assert!(!rl.is_empty());
+    }
+}

@@ -38,7 +38,7 @@ pub use tools::{seepid, smask_relax, smask_restore, ToolError};
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use eus_simos::{Credentials, FsCtx, Gid, Mode, PosixAcl, Perm, Uid, UserDb, Vfs};
+    use eus_simos::{Credentials, FsCtx, Gid, Mode, Perm, PosixAcl, Uid, UserDb, Vfs};
     use proptest::prelude::*;
 
     fn patched_fs() -> Vfs {

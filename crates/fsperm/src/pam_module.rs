@@ -64,8 +64,7 @@ mod tests {
         let alice = db.create_user("alice").unwrap();
         let mut node = NodeOs::new(NodeId(1), "login1");
         apply_kernel_patches_handle(&node.local_fs);
-        node.pam
-            .push(Box::new(PamSmask::new(LLSC_SMASK)));
+        node.pam.push(Box::new(PamSmask::new(LLSC_SMASK)));
         let sid = node.login(&db, alice, "sshd").unwrap();
         let ctx = node.session(sid).unwrap().fs_ctx();
 

@@ -79,9 +79,9 @@ mod tests {
     use super::*;
     use crate::pam_module::PamSmask;
     use crate::smask::{apply_kernel_patches_handle, LLSC_SMASK};
+    use eus_simcore::SimTime;
     use eus_simos::procfs::{HidePid, ProcMountOpts};
     use eus_simos::{Gid, Mode, NodeId, NodeOs, UserDb};
-    use eus_simcore::SimTime;
 
     fn staff_node() -> (UserDb, NodeOs, FilePermissionHandler, Uid, Uid) {
         let mut db = UserDb::new();
@@ -121,7 +121,10 @@ mod tests {
 
         // The researcher cannot run seepid.
         let err = seepid(&handler, node.session_mut(user_sid).unwrap()).unwrap_err();
-        assert!(matches!(err, ToolError::NotWhitelisted { tool: "seepid", .. }));
+        assert!(matches!(
+            err,
+            ToolError::NotWhitelisted { tool: "seepid", .. }
+        ));
     }
 
     #[test]
@@ -142,7 +145,11 @@ mod tests {
         let ctx2 = node.session(sid).unwrap().fs_ctx().with_umask(Mode::new(0));
         node.fs_write(&ctx2, "/tmp/private", Mode::new(0o777), b"x")
             .unwrap();
-        assert!(!node.fs_stat(&ctx2, "/tmp/private").unwrap().mode.any_world());
+        assert!(!node
+            .fs_stat(&ctx2, "/tmp/private")
+            .unwrap()
+            .mode
+            .any_world());
     }
 
     #[test]

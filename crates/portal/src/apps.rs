@@ -101,11 +101,21 @@ mod tests {
             .launch(&mut f, NodeId(7), &cred, 8888, "jupyter home")
             .unwrap();
         assert_eq!(apps.get(ep).unwrap().content, "jupyter home");
-        assert!(f.host(NodeId(7)).unwrap().sockets.listener(Proto::Tcp, 8888).is_some());
+        assert!(f
+            .host(NodeId(7))
+            .unwrap()
+            .sockets
+            .listener(Proto::Tcp, 8888)
+            .is_some());
 
         assert!(apps.stop(&mut f, ep));
         assert!(apps.is_empty());
-        assert!(f.host(NodeId(7)).unwrap().sockets.listener(Proto::Tcp, 8888).is_none());
+        assert!(f
+            .host(NodeId(7))
+            .unwrap()
+            .sockets
+            .listener(Proto::Tcp, 8888)
+            .is_none());
         assert!(!apps.stop(&mut f, ep));
     }
 

@@ -2,7 +2,23 @@
 //! the HPC Portal" half of Sec. IV-E. Credential verification itself is
 //! abstracted (the real portal fronts the site SSO); what matters to the
 //! separation model is the binding of a bearer token to a uid.
+//!
+//! Two hardening layers beyond the original naive store:
+//!
+//! * token material comes from a seeded [`SimRng`] stream, so session ids
+//!   are unguessable (the original sequential counter let an attacker forge
+//!   a neighbor's session by decrementing);
+//! * sessions can carry a TTL on the simulation clock — [`whoami`] refuses
+//!   stale tokens and [`sweep_expired`] evicts them — and, when a federated
+//!   [`SharedBroker`] is attached, every lookup also consults the broker's
+//!   revocation list, so central revocation is immediate at the portal.
+//!
+//! [`whoami`]: PortalAuth::whoami
+//! [`sweep_expired`]: PortalAuth::sweep_expired
+//! [`SharedBroker`]: eus_fedauth::SharedBroker
 
+use eus_fedauth::{CredError, CredSerial, SharedBroker};
+use eus_simcore::{SimDuration, SimRng, SimTime};
 use eus_simos::{Uid, UserDb};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -16,8 +32,10 @@ pub struct Token(pub u64);
 pub enum AuthError {
     /// Unknown user at login.
     NoSuchUser(Uid),
-    /// Token absent or revoked.
+    /// Token absent, expired, or revoked.
     InvalidToken,
+    /// The federated broker refused the login.
+    Federated(CredError),
 }
 
 impl fmt::Display for AuthError {
@@ -25,23 +43,84 @@ impl fmt::Display for AuthError {
         match self {
             AuthError::NoSuchUser(u) => write!(f, "no such user {u}"),
             AuthError::InvalidToken => f.write_str("invalid or expired token"),
+            AuthError::Federated(e) => write!(f, "federated login refused: {e}"),
         }
     }
 }
 
 impl std::error::Error for AuthError {}
 
+#[derive(Debug, Clone, Copy)]
+struct SessionEntry {
+    user: Uid,
+    /// Expiry instant; `None` = the legacy long-lived session.
+    expires: Option<SimTime>,
+    /// Backing broker credential, when federated.
+    serial: Option<CredSerial>,
+}
+
 /// Token store.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PortalAuth {
-    sessions: BTreeMap<Token, Uid>,
-    next: u64,
+    sessions: BTreeMap<Token, SessionEntry>,
+    rng: SimRng,
+    now: SimTime,
+    ttl: Option<SimDuration>,
+    broker: Option<SharedBroker>,
+}
+
+impl Default for PortalAuth {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PortalAuth {
-    /// Empty store.
+    /// Empty store with long-lived sessions (no TTL) and a fixed seed; use
+    /// [`with_seed`](Self::with_seed) to vary the token stream.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_seed(0x60A7_5EC5)
+    }
+
+    /// Empty store whose token material derives from `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        PortalAuth {
+            sessions: BTreeMap::new(),
+            rng: SimRng::seed_from_u64(seed),
+            now: SimTime::ZERO,
+            ttl: None,
+            broker: None,
+        }
+    }
+
+    /// Set a session TTL (applies to subsequent logins).
+    pub fn with_ttl(mut self, ttl: SimDuration) -> Self {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// Change the session TTL policy in place.
+    pub fn set_ttl(&mut self, ttl: Option<SimDuration>) {
+        self.ttl = ttl;
+    }
+
+    /// Route logins through a federated credential broker: tokens become
+    /// broker-issued (short-TTL, centrally revocable) and every `whoami`
+    /// consults the broker's revocation list.
+    pub fn attach_broker(&mut self, broker: SharedBroker) {
+        self.broker = Some(broker);
+    }
+
+    /// The store's current clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance the clock (monotonic; driven by the cluster simulation).
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
     }
 
     /// Authenticate a user (site SSO assumed) and mint a token.
@@ -49,23 +128,80 @@ impl PortalAuth {
         if db.user(user).is_none() {
             return Err(AuthError::NoSuchUser(user));
         }
-        self.next += 1;
-        let t = Token(self.next);
-        self.sessions.insert(t, user);
+        if let Some(broker) = &self.broker {
+            let mut broker = broker.write();
+            broker.advance_to(self.now);
+            let signed = broker.login(db, user, None).map_err(AuthError::Federated)?;
+            let t = Token(signed.material as u64);
+            self.sessions.insert(
+                t,
+                SessionEntry {
+                    user,
+                    expires: Some(signed.expires),
+                    serial: Some(signed.serial),
+                },
+            );
+            return Ok(t);
+        }
+        // Local minting: unguessable material, collision-checked.
+        let t = loop {
+            let candidate = Token(self.rng.range_u64(1, u64::MAX));
+            if !self.sessions.contains_key(&candidate) {
+                break candidate;
+            }
+        };
+        self.sessions.insert(
+            t,
+            SessionEntry {
+                user,
+                expires: self.ttl.map(|ttl| self.now + ttl),
+                serial: None,
+            },
+        );
         Ok(t)
     }
 
-    /// Resolve a token to its uid.
+    /// Resolve a token to its uid. Stale or centrally-revoked tokens are
+    /// refused as [`AuthError::InvalidToken`].
     pub fn whoami(&self, token: Token) -> Result<Uid, AuthError> {
-        self.sessions
-            .get(&token)
-            .copied()
-            .ok_or(AuthError::InvalidToken)
+        let entry = self.sessions.get(&token).ok_or(AuthError::InvalidToken)?;
+        if let Some(expires) = entry.expires {
+            if self.now >= expires {
+                return Err(AuthError::InvalidToken);
+            }
+        }
+        if let (Some(broker), Some(serial)) = (&self.broker, entry.serial) {
+            broker
+                .read()
+                .validate_serial(entry.user, serial)
+                .map_err(|_| AuthError::InvalidToken)?;
+        }
+        Ok(entry.user)
     }
 
-    /// Revoke a token.
+    /// Revoke a token. With a broker attached the backing credential is
+    /// revoked centrally as well (immediate everywhere, irreversible).
     pub fn logout(&mut self, token: Token) -> bool {
-        self.sessions.remove(&token).is_some()
+        match self.sessions.remove(&token) {
+            Some(entry) => {
+                if let (Some(broker), Some(serial)) = (&self.broker, entry.serial) {
+                    broker.write().revoke_serial(serial);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Evict expired sessions; returns how many were removed. Expired
+    /// tokens already fail [`whoami`](Self::whoami) — the sweep bounds the
+    /// table size, as a production store must.
+    pub fn sweep_expired(&mut self) -> usize {
+        let now = self.now;
+        let before = self.sessions.len();
+        self.sessions
+            .retain(|_, e| e.expires.is_none_or(|exp| now < exp));
+        before - self.sessions.len()
     }
 
     /// Number of live sessions.
@@ -77,6 +213,7 @@ impl PortalAuth {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eus_fedauth::{shared_broker, BrokerPolicy, CredentialBroker, RealmId};
 
     #[test]
     fn login_whoami_logout() {
@@ -109,5 +246,82 @@ mod tests {
         let t2 = auth.login(&db, alice).unwrap();
         assert_ne!(t1, t2);
         assert_eq!(auth.live_sessions(), 2);
+    }
+
+    #[test]
+    fn tokens_are_not_sequential() {
+        // The original store minted Token(1), Token(2), ... — an attacker
+        // could forge a neighbor's session by decrementing. Material is now
+        // drawn from the seeded stream.
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let mut auth = PortalAuth::new();
+        let t1 = auth.login(&db, alice).unwrap();
+        let t2 = auth.login(&db, alice).unwrap();
+        assert_ne!(t2.0, t1.0 + 1, "sequential tokens are guessable");
+        assert!(t1.0 > u32::MAX as u64 || t2.0 > u32::MAX as u64);
+        // Guessing near a known token finds nothing.
+        assert_eq!(auth.whoami(Token(t1.0 - 1)), Err(AuthError::InvalidToken));
+    }
+
+    #[test]
+    fn ttl_expires_sessions_on_the_sim_clock() {
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let mut auth = PortalAuth::new().with_ttl(SimDuration::from_secs(3600));
+        let t = auth.login(&db, alice).unwrap();
+        assert_eq!(auth.whoami(t).unwrap(), alice);
+
+        auth.advance_to(SimTime::from_secs(3599));
+        assert!(auth.whoami(t).is_ok(), "inside the window");
+        auth.advance_to(SimTime::from_secs(3600));
+        assert_eq!(auth.whoami(t), Err(AuthError::InvalidToken));
+
+        assert_eq!(auth.live_sessions(), 1, "stale entry still resident");
+        assert_eq!(auth.sweep_expired(), 1);
+        assert_eq!(auth.live_sessions(), 0);
+        assert_eq!(auth.sweep_expired(), 0, "sweep is idempotent");
+    }
+
+    #[test]
+    fn broker_backed_concurrent_logins_both_stay_valid() {
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let broker = shared_broker(CredentialBroker::new(
+            RealmId(1),
+            5,
+            BrokerPolicy::default(),
+        ));
+        let mut auth = PortalAuth::new();
+        auth.attach_broker(broker);
+        // Two tabs: the second login must not invalidate the first.
+        let t1 = auth.login(&db, alice).unwrap();
+        let t2 = auth.login(&db, alice).unwrap();
+        assert_ne!(t1, t2);
+        assert_eq!(auth.whoami(t1).unwrap(), alice);
+        assert_eq!(auth.whoami(t2).unwrap(), alice);
+        // Logging one out revokes only that tab's backing credential.
+        assert!(auth.logout(t1));
+        assert_eq!(auth.whoami(t1), Err(AuthError::InvalidToken));
+        assert_eq!(auth.whoami(t2).unwrap(), alice);
+    }
+
+    #[test]
+    fn broker_backed_sessions_honor_central_revocation() {
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let broker = shared_broker(CredentialBroker::new(
+            RealmId(1),
+            5,
+            BrokerPolicy::default(),
+        ));
+        let mut auth = PortalAuth::new();
+        auth.attach_broker(broker.clone());
+
+        let t = auth.login(&db, alice).unwrap();
+        assert_eq!(auth.whoami(t).unwrap(), alice);
+        // Central incident response: revoke at the broker, not the portal.
+        broker.write().revoke_user(alice);
+        assert_eq!(auth.whoami(t), Err(AuthError::InvalidToken));
     }
 }

@@ -154,9 +154,9 @@ impl PortalGateway {
 mod tests {
     use super::*;
     use crate::routes::Route;
+    use eus_sched::JobId;
     use eus_simnet::SocketAddr;
     use eus_simos::Uid;
-    use eus_sched::JobId;
     use eus_ubf::{deploy_ubf, shared_user_db, UbfConfig};
 
     struct World {
@@ -176,7 +176,11 @@ mod tests {
         let mut fabric = Fabric::new();
         fabric.add_host(NodeId(1)); // portal node
         fabric.add_host(NodeId(7)); // compute node
-        deploy_ubf(fabric.host_mut(NodeId(7)).unwrap(), db.clone(), UbfConfig::default());
+        deploy_ubf(
+            fabric.host_mut(NodeId(7)).unwrap(),
+            db.clone(),
+            UbfConfig::default(),
+        );
         let gateway = PortalGateway::new(NodeId(1), db.clone());
         World {
             fabric,
@@ -257,7 +261,12 @@ mod tests {
         let bob_peer = PeerInfo::from_cred(&w.db.read().credentials(w.bob).unwrap());
         let err = w
             .fabric
-            .connect(NodeId(1), bob_peer, SocketAddr::new(NodeId(7), 8888), Proto::Tcp)
+            .connect(
+                NodeId(1),
+                bob_peer,
+                SocketAddr::new(NodeId(7), 8888),
+                Proto::Tcp,
+            )
             .unwrap_err();
         assert!(matches!(err, ConnectError::DeniedByDaemon { .. }));
     }

@@ -5,9 +5,9 @@
 //! gateway forwards to arbitrary endpoints, apps can run "on any compute
 //! node in any partition" (Sec. IV-E) rather than a dedicated web partition.
 
+use eus_sched::JobId;
 use eus_simnet::{PeerInfo, SocketAddr};
 use eus_simos::Uid;
-use eus_sched::JobId;
 use std::collections::BTreeMap;
 
 /// Route identity.
@@ -68,7 +68,10 @@ impl RouteTable {
 
     /// Routes owned by a user (their portal home page listing).
     pub fn for_user(&self, user: Uid) -> Vec<&Route> {
-        self.routes.values().filter(|r| r.key.user == user).collect()
+        self.routes
+            .values()
+            .filter(|r| r.key.user == user)
+            .collect()
     }
 
     /// Number of routes.

@@ -166,7 +166,8 @@ impl Scheduler {
     pub fn add_node(&mut self, cores: u32, mem_mib: u64, gpus: u32) -> NodeId {
         let id = NodeId(self.next_node);
         self.next_node += 1;
-        self.nodes.insert(id, SchedNode::new(id, cores, mem_mib, gpus));
+        self.nodes
+            .insert(id, SchedNode::new(id, cores, mem_mib, gpus));
         id
     }
 
@@ -299,9 +300,7 @@ impl Scheduler {
     /// `pam_slurm` question.)
     pub fn has_running_job_on(&self, user: Uid, node: NodeId) -> bool {
         self.jobs.values().any(|j| {
-            j.state == JobState::Running
-                && j.spec.user == user
-                && j.allocations.contains_key(&node)
+            j.state == JobState::Running && j.spec.user == user && j.allocations.contains_key(&node)
         })
     }
 
@@ -586,8 +585,7 @@ impl Scheduler {
                     n.release(jid);
                 }
             }
-            if Self::placement_on(&sim_nodes, self.config.policy, head, eligible.as_ref())
-                .is_some()
+            if Self::placement_on(&sim_nodes, self.config.policy, head, eligible.as_ref()).is_some()
             {
                 return end_t;
             }
@@ -606,9 +604,12 @@ impl Scheduler {
                 .eligible_nodes(head_spec.partition.as_deref())
                 .expect("validated at submit")
                 .cloned();
-            if let Some(p) =
-                Self::placement_on(&self.nodes, self.config.policy, &head_spec, head_eligible.as_ref())
-            {
+            if let Some(p) = Self::placement_on(
+                &self.nodes,
+                self.config.policy,
+                &head_spec,
+                head_eligible.as_ref(),
+            ) {
                 self.queue.remove(0);
                 self.start_job(head, p);
                 continue;
@@ -667,9 +668,13 @@ mod tests {
     }
 
     fn job(user: u32, tasks: u32, secs: u64) -> JobSpec {
-        JobSpec::new(Uid(user), format!("u{user}-job"), SimDuration::from_secs(secs))
-            .with_tasks(tasks)
-            .with_mem_per_task(100)
+        JobSpec::new(
+            Uid(user),
+            format!("u{user}-job"),
+            SimDuration::from_secs(secs),
+        )
+        .with_tasks(tasks)
+        .with_mem_per_task(100)
     }
 
     #[test]
@@ -768,7 +773,7 @@ mod tests {
         s.submit_at(SimTime::ZERO, job(1, 8, 100)); // fills the node
         let head = s.submit_at(SimTime::from_secs(1), job(2, 8, 50)); // must wait to t=100
         let small = s.submit_at(SimTime::from_secs(2), job(3, 8, 99).with_cpus_per_task(0)); // zero? no — guard makes it 1.
-        // small: 8 tasks × 1 core … that also needs the whole node; replace:
+                                                                                             // small: 8 tasks × 1 core … that also needs the whole node; replace:
         s.cancel(small);
         let tiny = s.submit_at(SimTime::from_secs(2), job(3, 2, 10));
         // tiny needs 2 cores; node is full, so it can't start now either.
@@ -841,7 +846,11 @@ mod tests {
         s.submit_at(SimTime::ZERO, job(2, 4, 1000));
         s.schedule_node_failure(SimTime::from_secs(10), NodeId(1));
         s.run_until(SimTime::from_secs(11));
-        assert_eq!(s.failures[0].affected_users().len(), 1, "only node 1's owner");
+        assert_eq!(
+            s.failures[0].affected_users().len(),
+            1,
+            "only node 1's owner"
+        );
     }
 
     #[test]
@@ -931,7 +940,7 @@ mod tests {
         s.partitions.add("debug", [NodeId(3)], false).unwrap();
         // Default-partition job lands on nodes 1-2 only, even when 3-4 idle.
         let a = s.submit_at(SimTime::ZERO, job(1, 16, 10)); // needs 2 nodes
-        // Debug job lands on node 3.
+                                                            // Debug job lands on node 3.
         let d = s.submit_at(SimTime::ZERO, job(2, 2, 10).with_partition("debug"));
         s.run_until(SimTime::from_secs(1));
         let a_nodes: Vec<NodeId> = s.jobs[&a].allocations.keys().copied().collect();
@@ -949,7 +958,11 @@ mod tests {
         s.submit_at(SimTime::ZERO, job(1, 8, 100));
         let waiting = s.submit_at(SimTime::ZERO, job(2, 8, 10));
         s.run_until(SimTime::from_secs(1));
-        assert_eq!(s.jobs[&waiting].state, JobState::Pending, "node 2 is off-limits");
+        assert_eq!(
+            s.jobs[&waiting].state,
+            JobState::Pending,
+            "node 2 is off-limits"
+        );
         s.run_to_completion();
         assert_eq!(s.jobs[&waiting].started, Some(SimTime::from_secs(100)));
     }

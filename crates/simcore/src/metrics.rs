@@ -293,7 +293,7 @@ mod tests {
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         tw.add(SimTime::from_secs(5), 2.0); // 0 for 5s
         tw.add(SimTime::from_secs(10), -1.0); // 2 for 5s
-        // integral at t=20: 0*5 + 2*5 + 1*10 = 20
+                                              // integral at t=20: 0*5 + 2*5 + 1*10 = 20
         assert!((tw.integral(SimTime::from_secs(20)) - 20.0).abs() < 1e-9);
         assert_eq!(tw.current(), 1.0);
     }

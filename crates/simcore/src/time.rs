@@ -255,10 +255,7 @@ mod tests {
         let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
         assert_eq!(t.as_micros(), 1_500_000);
         assert_eq!((t - SimTime::from_secs(1)).as_micros(), 500_000);
-        assert_eq!(
-            (SimDuration::from_secs(1) * 3 / 2).as_micros(),
-            1_500_000
-        );
+        assert_eq!((SimDuration::from_secs(1) * 3 / 2).as_micros(), 1_500_000);
     }
 
     #[test]

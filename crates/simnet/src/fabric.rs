@@ -386,7 +386,10 @@ impl Fabric {
                             .map(|h| h.name().to_string())
                             .unwrap_or_default();
                         self.release_client_port(src_host, proto, src_port);
-                        return Err(ConnectError::DeniedByDaemon { queue: q, handler: name });
+                        return Err(ConnectError::DeniedByDaemon {
+                            queue: q,
+                            handler: name,
+                        });
                     }
                     Err(e) => {
                         self.release_client_port(src_host, proto, src_port);
@@ -418,7 +421,10 @@ impl Fabric {
                             .map(|h| h.name().to_string())
                             .unwrap_or_default();
                         self.release_client_port(src_host, proto, src_port);
-                        return Err(ConnectError::DeniedByDaemon { queue: q, handler: name });
+                        return Err(ConnectError::DeniedByDaemon {
+                            queue: q,
+                            handler: name,
+                        });
                     }
                     Err(e) => {
                         self.release_client_port(src_host, proto, src_port);
@@ -524,7 +530,12 @@ mod tests {
         let mut f = two_hosts();
         f.listen(NodeId(2), Proto::Tcp, 8888, peer(100)).unwrap();
         let (id, setup) = f
-            .connect(NodeId(1), peer(101), SocketAddr::new(NodeId(2), 8888), Proto::Tcp)
+            .connect(
+                NodeId(1),
+                peer(101),
+                SocketAddr::new(NodeId(2), 8888),
+                Proto::Tcp,
+            )
             .unwrap();
         assert_eq!(setup, f.latency.base_rtt, "no inspection on open firewall");
         let t = f.send(id, &bytes::Bytes::from_static(b"hello")).unwrap();
@@ -539,9 +550,17 @@ mod tests {
     fn connection_refused_without_listener() {
         let mut f = two_hosts();
         let err = f
-            .connect(NodeId(1), peer(1), SocketAddr::new(NodeId(2), 9999), Proto::Tcp)
+            .connect(
+                NodeId(1),
+                peer(1),
+                SocketAddr::new(NodeId(2), 9999),
+                Proto::Tcp,
+            )
             .unwrap_err();
-        assert_eq!(err, ConnectError::ConnectionRefused(SocketAddr::new(NodeId(2), 9999)));
+        assert_eq!(
+            err,
+            ConnectError::ConnectionRefused(SocketAddr::new(NodeId(2), 9999))
+        );
         // The failed attempt released its ephemeral port.
         assert!(f.host(NodeId(1)).unwrap().sockets.is_empty());
         assert_eq!(f.metrics.connects_denied.get(), 1);
@@ -561,7 +580,12 @@ mod tests {
             "block 8888",
         );
         let err = f
-            .connect(NodeId(1), peer(1), SocketAddr::new(NodeId(2), 8888), Proto::Tcp)
+            .connect(
+                NodeId(1),
+                peer(1),
+                SocketAddr::new(NodeId(2), 8888),
+                Proto::Tcp,
+            )
             .unwrap_err();
         assert_eq!(err, ConnectError::Dropped { chain: "input" });
     }
@@ -601,13 +625,23 @@ mod tests {
 
         // Denied initiator.
         let err = f
-            .connect(NodeId(1), peer(666), SocketAddr::new(NodeId(2), 8888), Proto::Tcp)
+            .connect(
+                NodeId(1),
+                peer(666),
+                SocketAddr::new(NodeId(2), 8888),
+                Proto::Tcp,
+            )
             .unwrap_err();
         assert!(matches!(err, ConnectError::DeniedByDaemon { queue: 0, .. }));
 
         // Allowed initiator pays the inspection latency.
         let (_, setup) = f
-            .connect(NodeId(1), peer(5), SocketAddr::new(NodeId(2), 8888), Proto::Tcp)
+            .connect(
+                NodeId(1),
+                peer(5),
+                SocketAddr::new(NodeId(2), 8888),
+                Proto::Tcp,
+            )
             .unwrap();
         assert!(setup > f.latency.base_rtt);
         assert_eq!(f.metrics.queued_packets.get(), 2);
@@ -623,7 +657,12 @@ mod tests {
             "orphaned queue",
         );
         let err = f
-            .connect(NodeId(1), peer(1), SocketAddr::new(NodeId(2), 8888), Proto::Tcp)
+            .connect(
+                NodeId(1),
+                peer(1),
+                SocketAddr::new(NodeId(2), 8888),
+                Proto::Tcp,
+            )
             .unwrap_err();
         assert_eq!(err, ConnectError::NoHandler(3));
     }
@@ -655,7 +694,12 @@ mod tests {
             .set_queue_handler(0, Box::new(DenyUid(u32::MAX)));
 
         let (id, _) = f
-            .connect(NodeId(1), peer(5), SocketAddr::new(NodeId(2), 8888), Proto::Tcp)
+            .connect(
+                NodeId(1),
+                peer(5),
+                SocketAddr::new(NodeId(2), 8888),
+                Proto::Tcp,
+            )
             .unwrap();
         let queued_before = f.metrics.queued_packets.get();
         for _ in 0..10 {
@@ -674,13 +718,23 @@ mod tests {
         let mut f = Fabric::new();
         f.add_host(NodeId(1));
         assert_eq!(
-            f.connect(NodeId(1), peer(1), SocketAddr::new(NodeId(9), 80), Proto::Tcp)
-                .unwrap_err(),
+            f.connect(
+                NodeId(1),
+                peer(1),
+                SocketAddr::new(NodeId(9), 80),
+                Proto::Tcp
+            )
+            .unwrap_err(),
             ConnectError::NoSuchHost(NodeId(9))
         );
         assert_eq!(
-            f.connect(NodeId(9), peer(1), SocketAddr::new(NodeId(1), 80), Proto::Tcp)
-                .unwrap_err(),
+            f.connect(
+                NodeId(9),
+                peer(1),
+                SocketAddr::new(NodeId(1), 80),
+                Proto::Tcp
+            )
+            .unwrap_err(),
             ConnectError::NoSuchHost(NodeId(9))
         );
         assert_eq!(

@@ -29,11 +29,7 @@ impl std::fmt::Display for IdentError {
 impl std::error::Error for IdentError {}
 
 /// Answer an ident query against a host's socket table.
-pub fn ident_query(
-    table: &SocketTable,
-    proto: Proto,
-    port: Port,
-) -> Result<PeerInfo, IdentError> {
+pub fn ident_query(table: &SocketTable, proto: Proto, port: Port) -> Result<PeerInfo, IdentError> {
     table
         .lookup(proto, port)
         .map(|e| e.owner)
@@ -49,7 +45,8 @@ mod tests {
     fn query_returns_owner() {
         let mut t = SocketTable::new();
         let cred = Credentials::with_groups(Uid(10), Gid(77), []);
-        t.listen(Proto::Tcp, 9000, PeerInfo::from_cred(&cred)).unwrap();
+        t.listen(Proto::Tcp, 9000, PeerInfo::from_cred(&cred))
+            .unwrap();
         let info = ident_query(&t, Proto::Tcp, 9000).unwrap();
         assert_eq!(info.uid, Uid(10));
         assert_eq!(info.egid, Gid(77));

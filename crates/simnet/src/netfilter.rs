@@ -228,9 +228,15 @@ mod tests {
             rules: vec![],
             policy: Verdict::Drop,
         };
-        assert_eq!(c.evaluate(&pkt(Proto::Tcp, 80, ConnState::New)), Verdict::Drop);
+        assert_eq!(
+            c.evaluate(&pkt(Proto::Tcp, 80, ConnState::New)),
+            Verdict::Drop
+        );
         c.push(RuleMatch::any(), Verdict::Accept, "allow all");
-        assert_eq!(c.evaluate(&pkt(Proto::Tcp, 80, ConnState::New)), Verdict::Accept);
+        assert_eq!(
+            c.evaluate(&pkt(Proto::Tcp, 80, ConnState::New)),
+            Verdict::Accept
+        );
     }
 
     #[test]

@@ -222,9 +222,7 @@ mod tests {
         // Even with no listener and (in later crates) a UBF, native CM works.
         let qp = f.setup_qp_native_cm(NodeId(1), peer(1), NodeId(2)).unwrap();
         assert_eq!(qp.path, QpSetupPath::NativeCm);
-        assert!(f
-            .setup_qp_native_cm(NodeId(1), peer(1), NodeId(9))
-            .is_err());
+        assert!(f.setup_qp_native_cm(NodeId(1), peer(1), NodeId(9)).is_err());
     }
 
     #[test]
@@ -233,7 +231,9 @@ mod tests {
         let rkey = f
             .rdma_register(NodeId(2), Uid(100), b"victim data".to_vec())
             .unwrap();
-        let qp = f.setup_qp_native_cm(NodeId(1), peer(999), NodeId(2)).unwrap();
+        let qp = f
+            .setup_qp_native_cm(NodeId(1), peer(999), NodeId(2))
+            .unwrap();
         // uid 999 reads uid 100's region: the modeled hardware gap.
         assert_eq!(f.rdma_read(&qp, rkey).unwrap(), b"victim data");
     }
@@ -249,6 +249,9 @@ mod tests {
             f.rdma_write(&qp, rkey, 6, b"abcd").unwrap_err(),
             RdmaError::OutOfBounds { len: 8, end: 10 }
         );
-        assert_eq!(f.rdma_read(&qp, 404).unwrap_err(), RdmaError::NoSuchRegion(404));
+        assert_eq!(
+            f.rdma_read(&qp, 404).unwrap_err(),
+            RdmaError::NoSuchRegion(404)
+        );
     }
 }

@@ -134,11 +134,13 @@ impl SocketTable {
             } else {
                 self.next_ephemeral + 1
             };
-            if let std::collections::btree_map::Entry::Vacant(e) = self.entries.entry((proto, candidate)) {
+            if let std::collections::btree_map::Entry::Vacant(e) =
+                self.entries.entry((proto, candidate))
+            {
                 e.insert(SocketEntry {
-                        owner,
-                        kind: SocketKind::Client,
-                    });
+                    owner,
+                    kind: SocketKind::Client,
+                });
                 return Ok(candidate);
             }
             if self.next_ephemeral == start {

@@ -50,7 +50,10 @@ mod tests {
         assert_eq!(d.major, 195);
         assert_eq!(d.dev_path(), "/dev/gpu2");
         assert_eq!(d.to_string(), "dev(195,2)");
-        let other = DeviceId { major: 10, minor: 1 };
+        let other = DeviceId {
+            major: 10,
+            minor: 1,
+        };
         assert_eq!(other.dev_path(), "/dev/char-10-1");
     }
 }

@@ -45,6 +45,5 @@ pub use procfs::{HidePid, ProcError, ProcFs, ProcMountOpts};
 pub use shm::{AbstractSocket, AbstractSocketSpace, ShmError};
 pub use users::{Group, GroupKind, User, UserDb, UserDbError};
 pub use vfs::{
-    check_access, FileKind, FileStat, FsCtx, FsError, FsResult, Mode, Perm, PermMeta, PosixAcl,
-    Vfs,
+    check_access, FileKind, FileStat, FsCtx, FsError, FsResult, Mode, Perm, PermMeta, PosixAcl, Vfs,
 };

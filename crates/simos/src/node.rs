@@ -46,7 +46,9 @@ pub struct MountTable {
 impl fmt::Debug for MountTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let prefixes: Vec<&str> = self.mounts.iter().map(|m| m.prefix.as_str()).collect();
-        f.debug_struct("MountTable").field("prefixes", &prefixes).finish()
+        f.debug_struct("MountTable")
+            .field("prefixes", &prefixes)
+            .finish()
     }
 }
 
@@ -72,7 +74,8 @@ impl MountTable {
             fs,
         });
         // Longest prefix first so resolution is a linear scan.
-        self.mounts.sort_by_key(|m| std::cmp::Reverse(m.prefix.len()));
+        self.mounts
+            .sort_by_key(|m| std::cmp::Reverse(m.prefix.len()));
     }
 
     /// Resolve a path to (filesystem, path-within-filesystem).

@@ -93,7 +93,11 @@ pub struct PamDenied {
 
 impl fmt::Display for PamDenied {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pam module {} denied login: {}", self.module, self.reason)
+        write!(
+            f,
+            "pam module {} denied login: {}",
+            self.module, self.reason
+        )
     }
 }
 

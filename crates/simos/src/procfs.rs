@@ -284,10 +284,7 @@ mod tests {
         let pid = t.spawn_with_env(alice.clone(), ["job"], env, None, SimTime::ZERO);
         let fs = ProcFs::new(&t, ProcMountOpts::default());
         assert!(fs.read_environ(&alice, pid).is_ok());
-        assert_eq!(
-            fs.read_environ(&bob, pid),
-            Err(ProcError::PermissionDenied)
-        );
+        assert_eq!(fs.read_environ(&bob, pid), Err(ProcError::PermissionDenied));
         assert!(fs.read_environ(&Credentials::root(), pid).is_ok());
     }
 

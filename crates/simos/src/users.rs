@@ -294,11 +294,8 @@ impl UserDb {
         if !group.members.contains(&user) {
             return Err(UserDbError::NotMember { user, group: gid });
         }
-        if let GroupKind::Project { stewards } = &mut self
-            .groups
-            .get_mut(&gid)
-            .expect("checked above")
-            .kind
+        if let GroupKind::Project { stewards } =
+            &mut self.groups.get_mut(&gid).expect("checked above").kind
         {
             stewards.insert(user);
         }

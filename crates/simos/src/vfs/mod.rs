@@ -284,13 +284,18 @@ impl Vfs {
     pub fn standard_node_layout(name: impl Into<String>) -> Self {
         let mut fs = Vfs::new(name);
         let root_ctx = FsCtx::root().with_umask(Mode::new(0));
-        fs.mkdir(&root_ctx, "/tmp", Mode::new(0o1777)).expect("setup");
-        fs.mkdir(&root_ctx, "/dev", Mode::new(0o755)).expect("setup");
+        fs.mkdir(&root_ctx, "/tmp", Mode::new(0o1777))
+            .expect("setup");
+        fs.mkdir(&root_ctx, "/dev", Mode::new(0o755))
+            .expect("setup");
         fs.mkdir(&root_ctx, "/dev/shm", Mode::new(0o1777))
             .expect("setup");
-        fs.mkdir(&root_ctx, "/var", Mode::new(0o755)).expect("setup");
-        fs.mkdir(&root_ctx, "/etc", Mode::new(0o755)).expect("setup");
-        fs.mkdir(&root_ctx, "/usr", Mode::new(0o755)).expect("setup");
+        fs.mkdir(&root_ctx, "/var", Mode::new(0o755))
+            .expect("setup");
+        fs.mkdir(&root_ctx, "/etc", Mode::new(0o755))
+            .expect("setup");
+        fs.mkdir(&root_ctx, "/usr", Mode::new(0o755))
+            .expect("setup");
         fs
     }
 
@@ -331,8 +336,7 @@ impl Vfs {
     /// directory traversed and following symlinks (up to a depth cap). When
     /// `follow_last` is false a trailing symlink is returned as itself.
     fn walk(&self, ctx: &FsCtx, path: &str, follow_last: bool) -> FsResult<Ino> {
-        let mut queue: std::collections::VecDeque<String> =
-            Self::normalize(path)?.into(); // front = next component
+        let mut queue: std::collections::VecDeque<String> = Self::normalize(path)?.into(); // front = next component
         let mut cur = self.root;
         let mut depth = 0u32;
         while let Some(name) = queue.pop_front() {
@@ -396,7 +400,14 @@ impl Vfs {
         Ok((parent, name))
     }
 
-    fn check(&self, ctx: &FsCtx, ino: Ino, want: Perm, op: &'static str, path: &str) -> FsResult<()> {
+    fn check(
+        &self,
+        ctx: &FsCtx,
+        ino: Ino,
+        want: Perm,
+        op: &'static str,
+        path: &str,
+    ) -> FsResult<()> {
         if check_access(&ctx.cred, &self.inode(ino).perm_meta(), want) {
             Ok(())
         } else {
@@ -491,7 +502,9 @@ impl Vfs {
 
     /// Create an empty regular file.
     pub fn create(&mut self, ctx: &FsCtx, path: &str, mode: Mode) -> FsResult<Ino> {
-        self.insert_child(ctx, path, false, mode, || InodeKind::File { data: Vec::new() })
+        self.insert_child(ctx, path, false, mode, || InodeKind::File {
+            data: Vec::new(),
+        })
     }
 
     /// Create a device node (root only, as `mknod` without CAP_MKNOD fails).
@@ -741,8 +754,7 @@ impl Vfs {
             }
         }
         if let Some(g) = new_gid {
-            let owner_ok =
-                ctx.cred.uid == node.meta.uid && ctx.cred.is_member(g);
+            let owner_ok = ctx.cred.uid == node.meta.uid && ctx.cred.is_member(g);
             if !ctx.cred.is_root() && !owner_ok {
                 return Err(FsError::PermissionDenied {
                     op: "chgrp",
@@ -774,13 +786,7 @@ impl Vfs {
     /// named-user entries require a shared group — the paper's "a user cannot
     /// grant permission to a group unless they are a member of said group"
     /// plus "ACLs to group members only".
-    pub fn setfacl(
-        &mut self,
-        ctx: &FsCtx,
-        path: &str,
-        acl: PosixAcl,
-        db: &UserDb,
-    ) -> FsResult<()> {
+    pub fn setfacl(&mut self, ctx: &FsCtx, path: &str, acl: PosixAcl, db: &UserDb) -> FsResult<()> {
         let ino = self.walk(ctx, path, true)?;
         let node = self.inode(ino);
         if !(ctx.cred.is_root() || ctx.cred.uid == node.meta.uid) {
@@ -832,11 +838,7 @@ impl Vfs {
 
     /// Root-only escape hatch for cluster construction: set metadata fields
     /// directly (e.g. make `/home/alice` root-owned, group `alice`, 0770).
-    pub fn set_meta_as_root(
-        &mut self,
-        path: &str,
-        f: impl FnOnce(&mut Metadata),
-    ) -> FsResult<()> {
+    pub fn set_meta_as_root(&mut self, path: &str, f: impl FnOnce(&mut Metadata)) -> FsResult<()> {
         let ctx = FsCtx::root();
         let ino = self.walk(&ctx, path, true)?;
         f(&mut self.inode_mut(ino).meta);
@@ -896,7 +898,10 @@ mod tests {
             .unwrap();
         // Bob lacks search permission on /home/u100 (0770 root:upg100).
         let err = fs.read(&bob, "/home/u100/secret").unwrap_err();
-        assert!(matches!(err, FsError::PermissionDenied { op: "search", .. }));
+        assert!(matches!(
+            err,
+            FsError::PermissionDenied { op: "search", .. }
+        ));
     }
 
     #[test]
@@ -904,7 +909,9 @@ mod tests {
         let mut fs = setup();
         let alice = user_ctx(100);
         // Home is root-owned: the user cannot open it to the world.
-        let err = fs.chmod(&alice, "/home/u100", Mode::new(0o777)).unwrap_err();
+        let err = fs
+            .chmod(&alice, "/home/u100", Mode::new(0o777))
+            .unwrap_err();
         assert!(matches!(err, FsError::PermissionDenied { op: "chmod", .. }));
     }
 
@@ -913,11 +920,17 @@ mod tests {
         let mut fs = setup();
         let ctx = user_ctx(100);
         fs.create(&ctx, "/home/u100/f", Mode::new(0o666)).unwrap();
-        assert_eq!(fs.stat(&ctx, "/home/u100/f").unwrap().mode, Mode::new(0o644));
+        assert_eq!(
+            fs.stat(&ctx, "/home/u100/f").unwrap().mode,
+            Mode::new(0o644)
+        );
         // Vanilla kernel: chmod can re-add world bits (this is the hole the
         // smask patch closes).
         fs.chmod(&ctx, "/home/u100/f", Mode::new(0o666)).unwrap();
-        assert_eq!(fs.stat(&ctx, "/home/u100/f").unwrap().mode, Mode::new(0o666));
+        assert_eq!(
+            fs.stat(&ctx, "/home/u100/f").unwrap().mode,
+            Mode::new(0o666)
+        );
     }
 
     #[test]
@@ -926,7 +939,10 @@ mod tests {
         fs.enforce_smask = true;
         let ctx = user_ctx(100).with_smask(Mode::new(0o007));
         fs.create(&ctx, "/home/u100/f", Mode::new(0o666)).unwrap();
-        assert_eq!(fs.stat(&ctx, "/home/u100/f").unwrap().mode, Mode::new(0o640));
+        assert_eq!(
+            fs.stat(&ctx, "/home/u100/f").unwrap().mode,
+            Mode::new(0o640)
+        );
         let effective = fs.chmod(&ctx, "/home/u100/f", Mode::new(0o666)).unwrap();
         assert_eq!(effective, Mode::new(0o660));
         assert!(!fs.stat(&ctx, "/home/u100/f").unwrap().mode.any_world());
@@ -956,7 +972,8 @@ mod tests {
             FsError::PermissionDenied { .. }
         ));
         assert!(matches!(
-            fs.rename(&bob, "/tmp/alice-scratch", "/tmp/stolen").unwrap_err(),
+            fs.rename(&bob, "/tmp/alice-scratch", "/tmp/stolen")
+                .unwrap_err(),
             FsError::PermissionDenied { .. }
         ));
         // The owner can.
@@ -969,14 +986,21 @@ mod tests {
         let root = FsCtx::root().with_umask(Mode::new(0));
         fs.mkdir(&root, "/proj", Mode::new(0o755)).unwrap();
         fs.mkdir(&root, "/proj/alpha", Mode::new(0o2770)).unwrap();
-        fs.set_meta_as_root("/proj/alpha", |m| m.gid = Gid(500)).unwrap();
+        fs.set_meta_as_root("/proj/alpha", |m| m.gid = Gid(500))
+            .unwrap();
         let member = FsCtx::user(Credentials::with_groups(Uid(100), Gid(100), [Gid(500)]));
-        fs.create(&member, "/proj/alpha/data", Mode::new(0o664)).unwrap();
+        fs.create(&member, "/proj/alpha/data", Mode::new(0o664))
+            .unwrap();
         let st = fs.stat(&member, "/proj/alpha/data").unwrap();
         assert_eq!(st.gid, Gid(500), "file inherits project group");
         // Subdir also inherits the setgid bit.
-        fs.mkdir(&member, "/proj/alpha/sub", Mode::new(0o770)).unwrap();
-        assert!(fs.stat(&member, "/proj/alpha/sub").unwrap().mode.is_setgid());
+        fs.mkdir(&member, "/proj/alpha/sub", Mode::new(0o770))
+            .unwrap();
+        assert!(fs
+            .stat(&member, "/proj/alpha/sub")
+            .unwrap()
+            .mode
+            .is_setgid());
     }
 
     #[test]
@@ -1002,8 +1026,10 @@ mod tests {
     fn rename_moves_and_replaces() {
         let mut fs = setup();
         let ctx = user_ctx(100);
-        fs.write_file(&ctx, "/home/u100/a", Mode::new(0o644), b"a").unwrap();
-        fs.write_file(&ctx, "/home/u100/b", Mode::new(0o644), b"b").unwrap();
+        fs.write_file(&ctx, "/home/u100/a", Mode::new(0o644), b"a")
+            .unwrap();
+        fs.write_file(&ctx, "/home/u100/b", Mode::new(0o644), b"b")
+            .unwrap();
         fs.rename(&ctx, "/home/u100/a", "/home/u100/b").unwrap();
         assert_eq!(fs.read(&ctx, "/home/u100/b").unwrap(), b"a");
         assert!(!fs.exists(&ctx, "/home/u100/a"));
@@ -1013,8 +1039,10 @@ mod tests {
     fn symlink_resolution_and_loops() {
         let mut fs = setup();
         let ctx = user_ctx(100);
-        fs.write_file(&ctx, "/home/u100/real", Mode::new(0o644), b"data").unwrap();
-        fs.symlink(&ctx, "/home/u100/real", "/home/u100/link").unwrap();
+        fs.write_file(&ctx, "/home/u100/real", Mode::new(0o644), b"data")
+            .unwrap();
+        fs.symlink(&ctx, "/home/u100/real", "/home/u100/link")
+            .unwrap();
         assert_eq!(fs.read(&ctx, "/home/u100/link").unwrap(), b"data");
         // lstat-style: stat on the link itself.
         let st = fs.stat(&ctx, "/home/u100/link");
@@ -1041,9 +1069,12 @@ mod tests {
             .chown(&alice, "/home/u100/f", Some(Uid(101)), None)
             .is_err());
         // Owner can chgrp only into a group they belong to.
-        assert!(fs.chown(&alice, "/home/u100/f", None, Some(Gid(999))).is_err());
+        assert!(fs
+            .chown(&alice, "/home/u100/f", None, Some(Gid(999)))
+            .is_err());
         let member = FsCtx::user(Credentials::with_groups(Uid(100), Gid(100), [Gid(500)]));
-        fs.chown(&member, "/home/u100/f", None, Some(Gid(500))).unwrap();
+        fs.chown(&member, "/home/u100/f", None, Some(Gid(500)))
+            .unwrap();
         assert_eq!(fs.stat(&alice, "/home/u100/f").unwrap().gid, Gid(500));
         // Root can do anything.
         fs.chown(&FsCtx::root(), "/home/u100/f", Some(Uid(1)), Some(Gid(1)))
@@ -1141,13 +1172,19 @@ mod tests {
         let mut fs = setup();
         let root = FsCtx::root().with_umask(Mode::new(0));
         let alice = user_ctx(100);
-        let dev = DeviceId { major: 195, minor: 0 };
-        assert!(fs.mknod(&alice, "/dev/gpu0", dev, Mode::new(0o660)).is_err());
+        let dev = DeviceId {
+            major: 195,
+            minor: 0,
+        };
+        assert!(fs
+            .mknod(&alice, "/dev/gpu0", dev, Mode::new(0o660))
+            .is_err());
         fs.mknod(&root, "/dev/gpu0", dev, Mode::new(0o660)).unwrap();
         // 0660 root:root — alice cannot open.
         assert!(fs.open_device(&alice, "/dev/gpu0", Perm::RW).is_err());
         // Assign to alice's private group (what the scheduler prolog does).
-        fs.set_meta_as_root("/dev/gpu0", |m| m.gid = Gid(100)).unwrap();
+        fs.set_meta_as_root("/dev/gpu0", |m| m.gid = Gid(100))
+            .unwrap();
         assert_eq!(fs.open_device(&alice, "/dev/gpu0", Perm::RW).unwrap(), dev);
     }
 
@@ -1166,7 +1203,8 @@ mod tests {
     fn dotdot_normalization() {
         let mut fs = setup();
         let ctx = user_ctx(100);
-        fs.write_file(&ctx, "/home/u100/f", Mode::new(0o644), b"x").unwrap();
+        fs.write_file(&ctx, "/home/u100/f", Mode::new(0o644), b"x")
+            .unwrap();
         assert_eq!(fs.read(&ctx, "/home/u100/../u100/./f").unwrap(), b"x");
         // `..` above root stays at root.
         assert!(fs.exists(&FsCtx::root(), "/../../tmp"));
@@ -1180,15 +1218,20 @@ mod tests {
         fs.mkdir(&root, "/locked/inner", Mode::new(0o777)).unwrap();
         let alice = user_ctx(100);
         let err = fs.readdir(&alice, "/locked/inner").unwrap_err();
-        assert!(matches!(err, FsError::PermissionDenied { op: "search", .. }));
+        assert!(matches!(
+            err,
+            FsError::PermissionDenied { op: "search", .. }
+        ));
     }
 
     #[test]
     fn write_file_is_idempotent_create() {
         let mut fs = setup();
         let ctx = user_ctx(100);
-        fs.write_file(&ctx, "/home/u100/f", Mode::new(0o644), b"one").unwrap();
-        fs.write_file(&ctx, "/home/u100/f", Mode::new(0o644), b"two").unwrap();
+        fs.write_file(&ctx, "/home/u100/f", Mode::new(0o644), b"one")
+            .unwrap();
+        fs.write_file(&ctx, "/home/u100/f", Mode::new(0o644), b"two")
+            .unwrap();
         assert_eq!(fs.read(&ctx, "/home/u100/f").unwrap(), b"two");
     }
 }

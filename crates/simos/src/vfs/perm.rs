@@ -190,10 +190,7 @@ pub fn check_access(cred: &Credentials, meta: &PermMeta<'_>, want: Perm) -> bool
     // unless the object is a directory (CAP_DAC_OVERRIDE semantics).
     if cred.is_root() {
         if want.contains(Perm::X) && !meta.is_dir {
-            let acl_has_x = meta
-                .acl
-                .map(|a| a.any_exec_entry())
-                .unwrap_or(false);
+            let acl_has_x = meta.acl.map(|a| a.any_exec_entry()).unwrap_or(false);
             return meta.mode.any_exec() || acl_has_x;
         }
         return true;
@@ -323,8 +320,7 @@ mod tests {
 
     #[test]
     fn acl_named_user_is_masked_and_exclusive() {
-        let acl = PosixAcl::new(Perm::NONE)
-            .with_user(Uid(50), Perm::RWX);
+        let acl = PosixAcl::new(Perm::NONE).with_user(Uid(50), Perm::RWX);
         // Mask (group bits) is r-- : named user's rwx is cut to r--.
         let m = PermMeta {
             uid: Uid(10),

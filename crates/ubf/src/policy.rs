@@ -59,7 +59,12 @@ impl Default for UbfPolicy {
 }
 
 /// Decide a (initiator → listener) connection against the user database.
-pub fn decide(policy: &UbfPolicy, db: &UserDb, initiator: &PeerInfo, listener: &PeerInfo) -> Decision {
+pub fn decide(
+    policy: &UbfPolicy,
+    db: &UserDb,
+    initiator: &PeerInfo,
+    listener: &PeerInfo,
+) -> Decision {
     if initiator.is_root() || listener.is_root() {
         return Decision::AllowSystemService;
     }
@@ -122,9 +127,8 @@ mod tests {
             Decision::Deny
         );
         // Alice runs `newgrp proj` and restarts her listener: bob allowed.
-        let a_proj = PeerInfo::from_cred(
-            &db.newgrp(&db.credentials(alice).unwrap(), proj).unwrap(),
-        );
+        let a_proj =
+            PeerInfo::from_cred(&db.newgrp(&db.credentials(alice).unwrap(), proj).unwrap());
         assert_eq!(
             decide(&UbfPolicy::default(), &db, &b, &a_proj),
             Decision::AllowGroupMember
@@ -132,15 +136,17 @@ mod tests {
         // Carol (not in proj) still denied.
         let carol = db.user_by_name("carol").unwrap().uid;
         let c = peer(&db, carol);
-        assert_eq!(decide(&UbfPolicy::default(), &db, &c, &a_proj), Decision::Deny);
+        assert_eq!(
+            decide(&UbfPolicy::default(), &db, &c, &a_proj),
+            Decision::Deny
+        );
     }
 
     #[test]
     fn group_optin_can_be_disabled() {
         let (db, alice, bob, _, proj) = setup();
-        let a_proj = PeerInfo::from_cred(
-            &db.newgrp(&db.credentials(alice).unwrap(), proj).unwrap(),
-        );
+        let a_proj =
+            PeerInfo::from_cred(&db.newgrp(&db.credentials(alice).unwrap(), proj).unwrap());
         let b = peer(&db, bob);
         let strict = UbfPolicy { group_optin: false };
         assert_eq!(decide(&strict, &db, &b, &a_proj), Decision::Deny);

@@ -101,7 +101,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            eus_simnet::ConnectError::DeniedByDaemon { queue: UBF_QUEUE, .. }
+            eus_simnet::ConnectError::DeniedByDaemon {
+                queue: UBF_QUEUE,
+                ..
+            }
         ));
     }
 

@@ -3,18 +3,13 @@
 //! (many short single-task jobs), MPI gang jobs, and interactive/web
 //! sessions.
 
-use eus_simcore::{SimDuration, SimRng};
 use eus_sched::{JobKind, JobSpec};
+use eus_simcore::{SimDuration, SimRng};
 use eus_simos::Uid;
 
 /// A parameter sweep: `points` independent single-task jobs whose runtimes
 /// are log-normally distributed around `task_secs` (bulk synchronous, short).
-pub fn parameter_sweep(
-    user: Uid,
-    points: u32,
-    task_secs: f64,
-    rng: &mut SimRng,
-) -> Vec<JobSpec> {
+pub fn parameter_sweep(user: Uid, points: u32, task_secs: f64, rng: &mut SimRng) -> Vec<JobSpec> {
     let mu = task_secs.max(1.0).ln();
     (0..points)
         .map(|i| {
@@ -37,14 +32,10 @@ pub fn monte_carlo(user: Uid, replicas: u32, min_secs: f64, rng: &mut SimRng) ->
     (0..replicas)
         .map(|i| {
             let secs = rng.bounded_pareto(1.5, min_secs.max(1.0), min_secs.max(1.0) * 100.0);
-            JobSpec::new(
-                user,
-                format!("mc-{i:04}"),
-                SimDuration::from_secs_f64(secs),
-            )
-            .with_cpus_per_task(1)
-            .with_mem_per_task(1024)
-            .with_cmdline(["./mc_sim", &format!("--seed={i}")])
+            JobSpec::new(user, format!("mc-{i:04}"), SimDuration::from_secs_f64(secs))
+                .with_cpus_per_task(1)
+                .with_mem_per_task(1024)
+                .with_cmdline(["./mc_sim", &format!("--seed={i}")])
         })
         .collect()
 }
@@ -52,11 +43,15 @@ pub fn monte_carlo(user: Uid, replicas: u32, min_secs: f64, rng: &mut SimRng) ->
 /// An MPI gang job: `ranks` tasks that start and finish together, with
 /// per-rank resources sized like a typical solver.
 pub fn mpi_job(user: Uid, ranks: u32, secs: f64) -> JobSpec {
-    JobSpec::new(user, format!("mpi-{ranks}r"), SimDuration::from_secs_f64(secs))
-        .with_tasks(ranks)
-        .with_cpus_per_task(2)
-        .with_mem_per_task(4096)
-        .with_cmdline(["mpirun", "./solver"])
+    JobSpec::new(
+        user,
+        format!("mpi-{ranks}r"),
+        SimDuration::from_secs_f64(secs),
+    )
+    .with_tasks(ranks)
+    .with_cpus_per_task(2)
+    .with_mem_per_task(4096)
+    .with_cmdline(["mpirun", "./solver"])
 }
 
 /// A GPU training job.
@@ -101,11 +96,7 @@ mod tests {
         let jobs = parameter_sweep(Uid(1), 100, 30.0, &mut rng);
         assert_eq!(jobs.len(), 100);
         assert!(jobs.iter().all(|j| j.tasks == 1));
-        let mean: f64 = jobs
-            .iter()
-            .map(|j| j.duration.as_secs_f64())
-            .sum::<f64>()
-            / 100.0;
+        let mean: f64 = jobs.iter().map(|j| j.duration.as_secs_f64()).sum::<f64>() / 100.0;
         assert!((10.0..120.0).contains(&mean), "mean {mean}");
     }
 
@@ -117,7 +108,10 @@ mod tests {
         secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = secs[250];
         let p99 = secs[494];
-        assert!(p99 > median * 5.0, "tail expected: median {median} p99 {p99}");
+        assert!(
+            p99 > median * 5.0,
+            "tail expected: median {median} p99 {p99}"
+        );
         assert!(secs[0] >= 10.0);
     }
 

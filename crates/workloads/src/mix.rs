@@ -8,8 +8,8 @@
 
 use crate::jobs;
 use crate::population::UserPopulation;
-use eus_simcore::{SimDuration, SimRng, SimTime};
 use eus_sched::{JobSpec, Scheduler};
+use eus_simcore::{SimDuration, SimRng, SimTime};
 
 /// One dated submission.
 #[derive(Debug, Clone)]
@@ -114,12 +114,7 @@ impl WorkloadMix {
     }
 
     /// Generate a trace over `[0, horizon]`.
-    pub fn generate(
-        &self,
-        pop: &UserPopulation,
-        horizon: SimTime,
-        rng: &mut SimRng,
-    ) -> Trace {
+    pub fn generate(&self, pop: &UserPopulation, horizon: SimTime, rng: &mut SimRng) -> Trace {
         let rate_per_sec = self.batches_per_hour / 3600.0;
         let mut entries = Vec::new();
         let mut t = 0.0f64;

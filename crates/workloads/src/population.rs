@@ -104,7 +104,10 @@ mod tests {
             let idx = pop.users.iter().position(|x| *x == u).unwrap();
             counts[idx] += 1;
         }
-        assert!(counts[0] > counts[25] * 3, "heavy head expected: {counts:?}");
+        assert!(
+            counts[0] > counts[25] * 3,
+            "heavy head expected: {counts:?}"
+        );
     }
 
     #[test]
@@ -113,7 +116,9 @@ mod tests {
             let mut db = UserDb::new();
             let mut rng = SimRng::seed_from_u64(seed);
             let pop = UserPopulation::build(&mut db, 10, 3, 1.0, &mut rng);
-            (0..5).map(|_| pop.active_user(&mut rng)).collect::<Vec<_>>()
+            (0..5)
+                .map(|_| pop.active_user(&mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(build(7), build(7));
     }

@@ -74,10 +74,7 @@ pub fn to_swf(trace: &Trace) -> String {
             spec.total_cores(),
             spec.time_limit.as_secs_f64().ceil() as u64,
             spec.user.0,
-            spec.partition
-                .as_ref()
-                .map(|p| hash_name(p))
-                .unwrap_or(-1),
+            spec.partition.as_ref().map(|p| hash_name(p)).unwrap_or(-1),
         );
     }
     out
@@ -110,12 +107,13 @@ pub fn from_swf(text: &str) -> Result<Trace, SwfError> {
             });
         }
         let num = |idx: usize| -> Result<i64, SwfError> {
-            fields[idx].parse::<f64>().map(|v| v as i64).map_err(|_| {
-                SwfError::BadNumber {
+            fields[idx]
+                .parse::<f64>()
+                .map(|v| v as i64)
+                .map_err(|_| SwfError::BadNumber {
                     line: lineno + 1,
                     field: idx,
-                }
-            })
+                })
         };
         let submit = num(1)?;
         let run = num(3)?;
@@ -147,8 +145,8 @@ pub fn from_swf(text: &str) -> Result<Trace, SwfError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::population::UserPopulation;
     use crate::mix::WorkloadMix;
+    use crate::population::UserPopulation;
     use eus_simcore::SimRng;
     use eus_simos::UserDb;
 

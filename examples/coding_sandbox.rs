@@ -26,14 +26,25 @@ fn main() {
     cluster.submit(JobSpec::new(alice, "climate-model", SimDuration::from_secs(600)).with_tasks(4));
     cluster.advance_to(SimTime::from_secs(1));
     cluster
-        .fs_write(alice, login, "/home/alice/results.csv", Mode::new(0o644), b"t,temp\n0,287.4\n")
+        .fs_write(
+            alice,
+            login,
+            "/home/alice/results.csv",
+            Mode::new(0o644),
+            b"t,temp\n0,287.4\n",
+        )
         .unwrap();
     let alice_node = cluster.compute_ids[0];
-    cluster.listen(alice, alice_node, Proto::Tcp, 5555, None).unwrap();
+    cluster
+        .listen(alice, alice_node, Proto::Tcp, 5555, None)
+        .unwrap();
 
     let mut contained = 0;
     let mut check = |name: &str, blocked: bool, detail: &str| {
-        println!("  [{}] {name}: {detail}", if blocked { "BLOCKED" } else { "LEAKED " });
+        println!(
+            "  [{}] {name}: {detail}",
+            if blocked { "BLOCKED" } else { "LEAKED " }
+        );
         if blocked {
             contained += 1;
         }
@@ -42,7 +53,11 @@ fn main() {
     // 1. Scan processes for alice's work.
     let mcred = cluster.credentials(mallory);
     let seen = cluster.node(login).procfs().foreign_visible_count(&mcred);
-    check("ps scrape", seen == 0, "hidepid=2 shows mallory only her own processes");
+    check(
+        "ps scrape",
+        seen == 0,
+        "hidepid=2 shows mallory only her own processes",
+    );
 
     // 2. squeue for alice's job names.
     let foreign_jobs = cluster
@@ -52,11 +67,19 @@ fn main() {
         .iter()
         .filter(|v| v.user == alice)
         .count();
-    check("squeue scrape", foreign_jobs == 0, "PrivateData hides foreign jobs");
+    check(
+        "squeue scrape",
+        foreign_jobs == 0,
+        "PrivateData hides foreign jobs",
+    );
 
     // 3. Read alice's results.
     let read = cluster.fs_read(mallory, login, "/home/alice/results.csv");
-    check("home read", read.is_err(), "root-owned 0770 home, user private group");
+    check(
+        "home read",
+        read.is_err(),
+        "root-owned 0770 home, user private group",
+    );
 
     // 4. Drop a world-readable exfil file for alice to 'find'.
     cluster
@@ -79,11 +102,19 @@ fn main() {
         SocketAddr::new(alice_node, 5555),
         Proto::Tcp,
     );
-    check("tcp connect", conn.is_err(), "UBF: different user, no group opt-in");
+    check(
+        "tcp connect",
+        conn.is_err(),
+        "UBF: different user, no group opt-in",
+    );
 
     // 6. ssh to the node alice computes on.
     let ssh = cluster.ssh(mallory, alice_node);
-    check("ssh to her node", ssh.is_err(), "pam_slurm: no running job there");
+    check(
+        "ssh to her node",
+        ssh.is_err(),
+        "pam_slurm: no running job there",
+    );
 
     // 7. Submit a fork-bomb-sized job to crash shared nodes: whole-node
     //    scheduling means it can only take out mallory's own nodes.

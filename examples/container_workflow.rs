@@ -54,13 +54,19 @@ fn main() {
 
     // Bob still cannot see alice's containerized process.
     let bob_cred = cluster.credentials(bob);
-    let foreign = cluster.node(login).procfs().foreign_visible_count(&bob_cred);
+    let foreign = cluster
+        .node(login)
+        .procfs()
+        .foreign_visible_count(&bob_cred);
     assert_eq!(foreign, 0);
     println!("bob's view of alice's container: nothing (hidepid applies inside too)\n");
 
     // Image sprawl over two simulated years.
     println!("image sprawl on the shared filesystem:");
-    println!("{:<10} {:>8} {:>10} {:>14}", "day", "copies", "stale>90d", "stale vulns");
+    println!(
+        "{:<10} {:>8} {:>10} {:>14}",
+        "day", "copies", "stale>90d", "stale vulns"
+    );
     cluster
         .containers
         .store(alice, "/proj/fusion/pytorch.sif", image, SimTime::ZERO);

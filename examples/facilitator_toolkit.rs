@@ -35,7 +35,10 @@ fn main() {
             .unwrap();
     }
     let l_sid = cluster.ssh(light, login).unwrap();
-    cluster.node_mut(login).spawn(l_sid, ["vim"], SimTime::ZERO).unwrap();
+    cluster
+        .node_mut(login)
+        .spawn(l_sid, ["vim"], SimTime::ZERO)
+        .unwrap();
 
     // Step 1: the facilitator logs in and looks around — hidepid=2 shows
     // them only themselves.
@@ -76,7 +79,13 @@ fn main() {
     // Step 4: the toolkit grants nothing else — the facilitator still can't
     // read user homes or connect to user services.
     cluster
-        .fs_write(heavy, login, "/home/grad-student/thesis.tex", Mode::new(0o644), b"ch1")
+        .fs_write(
+            heavy,
+            login,
+            "/home/grad-student/thesis.tex",
+            Mode::new(0o644),
+            b"ch1",
+        )
         .unwrap();
     let blocked = cluster
         .fs_read(facilitator, login, "/home/grad-student/thesis.tex")

@@ -26,11 +26,7 @@ fn main() {
         let mut rng = SimRng::seed_from_u64(2024);
         let mut db = UserDb::new();
         let pop = UserPopulation::build(&mut db, 40, 8, 1.1, &mut rng);
-        let trace = WorkloadMix::llsc_like().generate(
-            &pop,
-            SimTime::from_secs(4 * 3600),
-            &mut rng,
-        );
+        let trace = WorkloadMix::llsc_like().generate(&pop, SimTime::from_secs(4 * 3600), &mut rng);
 
         let mut sched = Scheduler::new(SchedConfig {
             policy,

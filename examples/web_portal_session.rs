@@ -29,7 +29,11 @@ fn main() {
     cluster.advance_to(SimTime::from_secs(1));
     let node = {
         let sched = cluster.sched.read();
-        *sched.jobs[&job].allocations.keys().next().expect("scheduled")
+        *sched.jobs[&job]
+            .allocations
+            .keys()
+            .next()
+            .expect("scheduled")
     };
     let key = cluster
         .launch_webapp(alice, job, "jupyter", node, 8888, "alice's notebook", None)
@@ -58,7 +62,15 @@ fn main() {
     let proj = cluster.create_project("fusion", alice).unwrap();
     cluster.add_project_member(alice, proj, bob).unwrap();
     let dash = cluster
-        .launch_webapp(alice, job, "dashboard", node, 9999, "fusion dashboard", Some(proj))
+        .launch_webapp(
+            alice,
+            job,
+            "dashboard",
+            node,
+            9999,
+            "fusion dashboard",
+            Some(proj),
+        )
         .unwrap();
     let resp = cluster.portal_fetch(bob_token, &dash).unwrap();
     println!(

@@ -7,8 +7,10 @@
 //! user-based scheduling, `pam_slurm`, the File Permission Handler (`smask`
 //! kernel patches + PAM module + `smask_relax`), the User-Based Firewall,
 //! the authenticated web portal, scheduler-managed GPU device permissions
-//! with epilog scrubbing, and Apptainer-style containers with host security
-//! passthrough.
+//! with epilog scrubbing, Apptainer-style containers with host security
+//! passthrough, and the companion paper's federated identity plane
+//! (short-lived broker-issued credentials replacing raw-uid trust and
+//! long-lived keys; see [`eus_core::fedauth`]).
 //!
 //! This crate is a facade over the workspace; see [`eus_core`] for the
 //! primary API ([`SecureCluster`], [`SeparationConfig`], [`audit`]).

@@ -46,6 +46,11 @@ fn expected_open(cfg: &SeparationConfig) -> Vec<Channel> {
     if !cfg.portal_authz {
         open.push(Channel::PortalCrossUser);
     }
+    if !cfg.federated_auth {
+        open.push(Channel::AuthTokenReplay);
+        open.push(Channel::SshExpiredCert);
+        open.push(Channel::CrossRealmSpoof);
+    }
     if !cfg.gpu_dev_perms {
         open.push(Channel::GpuDevAccess);
     }
@@ -71,9 +76,21 @@ fn arb_config() -> impl Strategy<Value = SeparationConfig> {
         any::<bool>(),
         any::<bool>(),
         any::<bool>(),
+        any::<bool>(),
     )
         .prop_map(
-            |(hidepid, private_data, node_policy, pam_slurm, fsperm, ubf, portal, gperm, gscrub)| {
+            |(
+                hidepid,
+                private_data,
+                node_policy,
+                pam_slurm,
+                fsperm,
+                ubf,
+                portal,
+                gperm,
+                gscrub,
+                fedauth,
+            )| {
                 SeparationConfig {
                     hidepid,
                     private_data,
@@ -84,6 +101,7 @@ fn arb_config() -> impl Strategy<Value = SeparationConfig> {
                     portal_authz: portal,
                     gpu_dev_perms: gperm,
                     gpu_scrub: gscrub,
+                    federated_auth: fedauth,
                 }
             },
         )
@@ -115,7 +133,11 @@ fn extremes_check_without_proptest_overhead() {
     let mut open = base.open_channels();
     open.sort();
     assert_eq!(open, expected_open(&SeparationConfig::baseline()));
-    assert_eq!(open.len(), Channel::all().len(), "baseline opens everything");
+    assert_eq!(
+        open.len(),
+        Channel::all().len(),
+        "baseline opens everything"
+    );
 
     let full = run_audit(&SeparationConfig::llsc(), &ClusterSpec::tiny());
     let mut open = full.open_channels();

@@ -24,8 +24,11 @@ fn harvest(config: SeparationConfig) -> Vec<String> {
     // The buggy srun places the cookie on the command line of the user's
     // task (the vulnerable pre-20.11.3 behaviour).
     c.submit(
-        JobSpec::new(victim, "x11-job", SimDuration::from_secs(600))
-            .with_cmdline(["srun", "--x11", &format!("--xauth={COOKIE}")]),
+        JobSpec::new(victim, "x11-job", SimDuration::from_secs(600)).with_cmdline([
+            "srun",
+            "--x11",
+            &format!("--xauth={COOKIE}"),
+        ]),
     );
     c.advance_to(SimTime::from_secs(1));
     let node = c.compute_ids[0];
@@ -81,8 +84,11 @@ fn victim_still_sees_their_own_cmdline() {
     let mut c = SecureCluster::new(SeparationConfig::llsc(), ClusterSpec::tiny());
     let victim = c.add_user("victim").unwrap();
     c.submit(
-        JobSpec::new(victim, "x11-job", SimDuration::from_secs(600))
-            .with_cmdline(["srun", "--x11", &format!("--xauth={COOKIE}")]),
+        JobSpec::new(victim, "x11-job", SimDuration::from_secs(600)).with_cmdline([
+            "srun",
+            "--x11",
+            &format!("--xauth={COOKIE}"),
+        ]),
     );
     c.advance_to(SimTime::from_secs(1));
     let node = c.compute_ids[0];

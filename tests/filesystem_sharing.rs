@@ -35,17 +35,22 @@ fn hardened_matrix_every_unintended_path_closed() {
     let login = w.c.login_node();
 
     // (a) world bits at create: stripped.
-    w.c.fs_write(w.alice, login, "/tmp/a", Mode::new(0o666), b"x").unwrap();
+    w.c.fs_write(w.alice, login, "/tmp/a", Mode::new(0o666), b"x")
+        .unwrap();
     assert!(w.c.fs_read(w.eve, login, "/tmp/a").is_err());
 
     // (b) world bits via chmod: stripped.
-    w.c.fs_write(w.alice, login, "/tmp/b", Mode::new(0o600), b"x").unwrap();
-    let effective = w.c.fs_chmod(w.alice, login, "/tmp/b", Mode::new(0o666)).unwrap();
+    w.c.fs_write(w.alice, login, "/tmp/b", Mode::new(0o600), b"x")
+        .unwrap();
+    let effective =
+        w.c.fs_chmod(w.alice, login, "/tmp/b", Mode::new(0o666))
+            .unwrap();
     assert!(!effective.any_world());
     assert!(w.c.fs_read(w.eve, login, "/tmp/b").is_err());
 
     // (c) ACL to an unrelated user: refused by the restriction patch.
-    w.c.fs_write(w.alice, login, "/tmp/c", Mode::new(0o600), b"x").unwrap();
+    w.c.fs_write(w.alice, login, "/tmp/c", Mode::new(0o600), b"x")
+        .unwrap();
     assert!(w
         .c
         .fs_setfacl(
@@ -70,25 +75,39 @@ fn hardened_matrix_every_unintended_path_closed() {
 
     // (e) chgrp to a group alice is not in: plain DAC already refuses.
     let ctx = w.c.user_fs_ctx(w.alice);
-    let err = w
-        .c
-        .node(login)
-        .with_fs("/tmp/c", |fs, p| fs.chown(&ctx, p, None, Some(eve_upg)));
+    let err =
+        w.c.node(login)
+            .with_fs("/tmp/c", |fs, p| fs.chown(&ctx, p, None, Some(eve_upg)));
     assert!(err.is_err());
 
     // (f) home directory: unreachable.
-    w.c.fs_write(w.alice, login, "/home/alice/f", Mode::new(0o644), b"x").unwrap();
+    w.c.fs_write(w.alice, login, "/home/alice/f", Mode::new(0o644), b"x")
+        .unwrap();
     assert!(w.c.fs_read(w.eve, login, "/home/alice/f").is_err());
-    assert!(w.c.fs_read(w.bob, login, "/home/alice/f").is_err(), "groups don't open homes");
+    assert!(
+        w.c.fs_read(w.bob, login, "/home/alice/f").is_err(),
+        "groups don't open homes"
+    );
 
     // Intended paths still work:
     // (g) the project directory (setgid, group-writable),
-    w.c.fs_write(w.alice, login, "/proj/fusion/shared", Mode::new(0o660), b"data").unwrap();
-    assert_eq!(w.c.fs_read(w.bob, login, "/proj/fusion/shared").unwrap(), b"data");
+    w.c.fs_write(
+        w.alice,
+        login,
+        "/proj/fusion/shared",
+        Mode::new(0o660),
+        b"data",
+    )
+    .unwrap();
+    assert_eq!(
+        w.c.fs_read(w.bob, login, "/proj/fusion/shared").unwrap(),
+        b"data"
+    );
     assert!(w.c.fs_read(w.eve, login, "/proj/fusion/shared").is_err());
 
     // (h) an ACL naming a *fellow group member* on a traversable path,
-    w.c.fs_write(w.alice, login, "/tmp/for-bob", Mode::new(0o600), b"ok").unwrap();
+    w.c.fs_write(w.alice, login, "/tmp/for-bob", Mode::new(0o600), b"ok")
+        .unwrap();
     w.c.fs_setfacl(
         w.alice,
         login,
@@ -99,7 +118,8 @@ fn hardened_matrix_every_unintended_path_closed() {
     assert_eq!(w.c.fs_read(w.bob, login, "/tmp/for-bob").unwrap(), b"ok");
 
     // (i) an ACL naming the project group itself.
-    w.c.fs_write(w.alice, login, "/tmp/for-proj", Mode::new(0o600), b"ok").unwrap();
+    w.c.fs_write(w.alice, login, "/tmp/for-proj", Mode::new(0o600), b"ok")
+        .unwrap();
     w.c.fs_setfacl(
         w.alice,
         login,
@@ -116,10 +136,12 @@ fn baseline_matrix_leaks_everywhere() {
     let login = w.c.login_node();
     // World bits work at create and via chmod; ACLs to anyone work; homes
     // are world-traversable.
-    w.c.fs_write(w.alice, login, "/tmp/a", Mode::new(0o666), b"x").unwrap();
+    w.c.fs_write(w.alice, login, "/tmp/a", Mode::new(0o666), b"x")
+        .unwrap();
     assert!(w.c.fs_read(w.eve, login, "/tmp/a").is_ok());
 
-    w.c.fs_write(w.alice, login, "/tmp/c", Mode::new(0o600), b"x").unwrap();
+    w.c.fs_write(w.alice, login, "/tmp/c", Mode::new(0o600), b"x")
+        .unwrap();
     w.c.fs_setfacl(
         w.alice,
         login,
@@ -129,7 +151,8 @@ fn baseline_matrix_leaks_everywhere() {
     .unwrap();
     assert!(w.c.fs_read(w.eve, login, "/tmp/c").is_ok());
 
-    w.c.fs_write(w.alice, login, "/home/alice/f", Mode::new(0o644), b"x").unwrap();
+    w.c.fs_write(w.alice, login, "/home/alice/f", Mode::new(0o644), b"x")
+        .unwrap();
     assert!(w.c.fs_read(w.eve, login, "/home/alice/f").is_ok());
 }
 
@@ -138,10 +161,14 @@ fn tmp_names_leak_but_sticky_protects_content_manipulation() {
     // The residual disclosure (names) does not extend to tampering.
     let w = world(SeparationConfig::llsc());
     let login = w.c.login_node();
-    w.c.fs_write(w.alice, login, "/tmp/alice-run-42", Mode::new(0o600), b"x").unwrap();
+    w.c.fs_write(w.alice, login, "/tmp/alice-run-42", Mode::new(0o600), b"x")
+        .unwrap();
     let eve_ctx = w.c.user_fs_ctx(w.eve);
     let names = w.c.node(login).fs_readdir(&eve_ctx, "/tmp").unwrap();
-    assert!(names.contains(&"alice-run-42".to_string()), "name leaks (residual)");
+    assert!(
+        names.contains(&"alice-run-42".to_string()),
+        "name leaks (residual)"
+    );
     // But eve cannot delete, rename, or read it.
     assert!(w
         .c
@@ -156,9 +183,14 @@ fn local_tmp_is_per_node_shared_home_is_global() {
     let w = world(SeparationConfig::llsc());
     let n1 = w.c.compute_ids[0];
     let n2 = w.c.compute_ids[1];
-    w.c.fs_write(w.alice, n1, "/tmp/scratch", Mode::new(0o600), b"local").unwrap();
-    assert!(w.c.fs_read(w.alice, n2, "/tmp/scratch").is_err(), "/tmp is node-local");
-    w.c.fs_write(w.alice, n1, "/home/alice/global", Mode::new(0o600), b"g").unwrap();
+    w.c.fs_write(w.alice, n1, "/tmp/scratch", Mode::new(0o600), b"local")
+        .unwrap();
+    assert!(
+        w.c.fs_read(w.alice, n2, "/tmp/scratch").is_err(),
+        "/tmp is node-local"
+    );
+    w.c.fs_write(w.alice, n1, "/home/alice/global", Mode::new(0o600), b"g")
+        .unwrap();
     assert_eq!(
         w.c.fs_read(w.alice, n2, "/home/alice/global").unwrap(),
         b"g",

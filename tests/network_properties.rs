@@ -11,10 +11,21 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Listen { host: u8, port_slot: u8, user: u8 },
-    Connect { from: u8, to: u8, port_slot: u8, user: u8 },
+    Listen {
+        host: u8,
+        port_slot: u8,
+        user: u8,
+    },
+    Connect {
+        from: u8,
+        to: u8,
+        port_slot: u8,
+        user: u8,
+    },
     CloseOldest,
-    Send { bytes: u16 },
+    Send {
+        bytes: u16,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

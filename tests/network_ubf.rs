@@ -7,7 +7,13 @@ use hpc_user_separation::simcore::SimDuration;
 use hpc_user_separation::simnet::{ConnectError, Proto, SocketAddr};
 use hpc_user_separation::{ClusterSpec, SecureCluster, SeparationConfig};
 
-fn hardened() -> (SecureCluster, eus_simos::Uid, eus_simos::Uid, eus_simos::Uid, eus_simos::Gid) {
+fn hardened() -> (
+    SecureCluster,
+    eus_simos::Uid,
+    eus_simos::Uid,
+    eus_simos::Uid,
+    eus_simos::Gid,
+) {
     let mut c = SecureCluster::new(SeparationConfig::llsc(), ClusterSpec::tiny());
     let alice = c.add_user("alice").unwrap();
     let bob = c.add_user("bob").unwrap();
@@ -26,14 +32,25 @@ fn decision_matrix_tcp_and_udp() {
     for (proto, base_port) in [(Proto::Tcp, 9200u16), (Proto::Udp, 9300u16)] {
         // Default listener (egid = alice's UPG): only alice connects.
         c.listen(alice, n2, proto, base_port, None).unwrap();
-        assert!(c.connect(alice, n1, SocketAddr::new(n2, base_port), proto).is_ok());
-        assert!(c.connect(bob, n1, SocketAddr::new(n2, base_port), proto).is_err());
-        assert!(c.connect(eve, n1, SocketAddr::new(n2, base_port), proto).is_err());
+        assert!(c
+            .connect(alice, n1, SocketAddr::new(n2, base_port), proto)
+            .is_ok());
+        assert!(c
+            .connect(bob, n1, SocketAddr::new(n2, base_port), proto)
+            .is_err());
+        assert!(c
+            .connect(eve, n1, SocketAddr::new(n2, base_port), proto)
+            .is_err());
 
         // Group-opted listener (newgrp proj): alice + bob, not eve.
-        c.listen(alice, n2, proto, base_port + 1, Some(proj)).unwrap();
-        assert!(c.connect(alice, n1, SocketAddr::new(n2, base_port + 1), proto).is_ok());
-        assert!(c.connect(bob, n1, SocketAddr::new(n2, base_port + 1), proto).is_ok());
+        c.listen(alice, n2, proto, base_port + 1, Some(proj))
+            .unwrap();
+        assert!(c
+            .connect(alice, n1, SocketAddr::new(n2, base_port + 1), proto)
+            .is_ok());
+        assert!(c
+            .connect(bob, n1, SocketAddr::new(n2, base_port + 1), proto)
+            .is_ok());
         assert!(matches!(
             c.connect(eve, n1, SocketAddr::new(n2, base_port + 1), proto),
             Err(ConnectError::DeniedByDaemon { .. })
@@ -58,7 +75,10 @@ fn overhead_lands_on_setup_only() {
     let queued_before = c.fabric.metrics.queued_packets.get();
     let mut total = SimDuration::ZERO;
     for _ in 0..100 {
-        total += c.fabric.send(conn, &Bytes::from_static(&[0u8; 1024])).unwrap();
+        total += c
+            .fabric
+            .send(conn, &Bytes::from_static(&[0u8; 1024]))
+            .unwrap();
     }
     assert_eq!(c.fabric.metrics.queued_packets.get(), queued_before);
     let per_packet = total / 100;
@@ -74,8 +94,12 @@ fn second_connection_hits_the_decision_cache() {
     let n1 = c.compute_ids[0];
     let n2 = c.compute_ids[1];
     c.listen(alice, n2, Proto::Tcp, 9500, None).unwrap();
-    let (_, first) = c.connect(alice, n1, SocketAddr::new(n2, 9500), Proto::Tcp).unwrap();
-    let (_, second) = c.connect(alice, n1, SocketAddr::new(n2, 9500), Proto::Tcp).unwrap();
+    let (_, first) = c
+        .connect(alice, n1, SocketAddr::new(n2, 9500), Proto::Tcp)
+        .unwrap();
+    let (_, second) = c
+        .connect(alice, n1, SocketAddr::new(n2, 9500), Proto::Tcp)
+        .unwrap();
     assert!(
         second < first,
         "cached decision skips the ident RTT: {second} !< {first}"
@@ -89,7 +113,10 @@ fn rdma_tcp_setup_governed_native_cm_not() {
     let (mut c, alice, _bob, eve, _proj) = hardened();
     let n1 = c.compute_ids[0];
     let n2 = c.compute_ids[1];
-    let rkey = c.fabric.rdma_register(n2, alice, b"alice tensor".to_vec()).unwrap();
+    let rkey = c
+        .fabric
+        .rdma_register(n2, alice, b"alice tensor".to_vec())
+        .unwrap();
     c.listen(alice, n2, Proto::Tcp, 18515, None).unwrap();
 
     // Eve's MPI-style QP setup over TCP: blocked by the UBF.
@@ -118,10 +145,15 @@ fn ubf_statistics_account_for_decisions() {
     let n1 = c.compute_ids[0];
     let n2 = c.compute_ids[1];
     c.listen(alice, n2, Proto::Tcp, 9600, None).unwrap();
-    c.connect(alice, n1, SocketAddr::new(n2, 9600), Proto::Tcp).unwrap();
+    c.connect(alice, n1, SocketAddr::new(n2, 9600), Proto::Tcp)
+        .unwrap();
     let _ = c.connect(bob, n1, SocketAddr::new(n2, 9600), Proto::Tcp);
 
-    let total_allowed: u64 = c.ubf_stats.iter().map(|s| s.lock().allowed_same_user.get()).sum();
+    let total_allowed: u64 = c
+        .ubf_stats
+        .iter()
+        .map(|s| s.lock().allowed_same_user.get())
+        .sum();
     let total_denied: u64 = c.ubf_stats.iter().map(|s| s.lock().denied.get()).sum();
     assert_eq!(total_allowed, 1);
     assert_eq!(total_denied, 1);
@@ -135,7 +167,9 @@ fn baseline_network_wide_open() {
     let n1 = c.compute_ids[0];
     let n2 = c.compute_ids[1];
     c.listen(alice, n2, Proto::Tcp, 9700, None).unwrap();
-    let (_, setup) = c.connect(eve, n1, SocketAddr::new(n2, 9700), Proto::Tcp).unwrap();
+    let (_, setup) = c
+        .connect(eve, n1, SocketAddr::new(n2, 9700), Proto::Tcp)
+        .unwrap();
     // And no inspection latency either.
     assert_eq!(setup, c.fabric.latency.base_rtt);
 }

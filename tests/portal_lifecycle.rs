@@ -42,10 +42,26 @@ fn per_user_route_listing_is_private_by_construction() {
     let alice = c.add_user("alice").unwrap();
     let bob = c.add_user("bob").unwrap();
     let node = c.compute_ids[0];
-    c.launch_webapp(alice, hpc_user_separation::sched::JobId(1), "a", node, 8888, "x", None)
-        .unwrap();
-    c.launch_webapp(bob, hpc_user_separation::sched::JobId(2), "b", node, 8889, "y", None)
-        .unwrap();
+    c.launch_webapp(
+        alice,
+        hpc_user_separation::sched::JobId(1),
+        "a",
+        node,
+        8888,
+        "x",
+        None,
+    )
+    .unwrap();
+    c.launch_webapp(
+        bob,
+        hpc_user_separation::sched::JobId(2),
+        "b",
+        node,
+        8889,
+        "y",
+        None,
+    )
+    .unwrap();
     assert_eq!(c.portal.routes.for_user(alice).len(), 1);
     assert_eq!(c.portal.routes.for_user(bob).len(), 1);
 }
@@ -109,11 +125,23 @@ fn apps_reachable_on_any_partition_through_portal() {
     c.advance_to(SimTime::from_secs(1));
     let node = {
         let sched = c.sched.read();
-        *sched.jobs[&job].allocations.keys().next().expect("scheduled")
+        *sched.jobs[&job]
+            .allocations
+            .keys()
+            .next()
+            .expect("scheduled")
     };
     assert_eq!(node, c.compute_ids[1], "routed to the debug partition");
     let key = c
-        .launch_webapp(alice, job, "jupyter", node, 8888, "debug-partition nb", None)
+        .launch_webapp(
+            alice,
+            job,
+            "jupyter",
+            node,
+            8888,
+            "debug-partition nb",
+            None,
+        )
         .unwrap();
     let token = c.portal_login(alice).unwrap();
     let resp = c.portal_fetch(token, &key).unwrap();

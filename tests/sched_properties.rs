@@ -8,12 +8,7 @@ use hpc_user_separation::simos::UserDb;
 use hpc_user_separation::workloads::{UserPopulation, WorkloadMix};
 use proptest::prelude::*;
 
-fn run_random_workload(
-    seed: u64,
-    policy: NodeSharing,
-    nodes: u32,
-    backfill: bool,
-) -> Scheduler {
+fn run_random_workload(seed: u64, policy: NodeSharing, nodes: u32, backfill: bool) -> Scheduler {
     let mut rng = SimRng::seed_from_u64(seed);
     let mut db = UserDb::new();
     let pop = UserPopulation::build(&mut db, 12, 3, 1.0, &mut rng);
@@ -129,6 +124,9 @@ fn backfill_never_loses_jobs_vs_fcfs() {
         let mut without = run_random_workload(seed, NodeSharing::Shared, 8, false);
         with.run_to_completion();
         without.run_to_completion();
-        assert_eq!(with.metrics.completed.get(), without.metrics.completed.get());
+        assert_eq!(
+            with.metrics.completed.get(),
+            without.metrics.completed.get()
+        );
     }
 }

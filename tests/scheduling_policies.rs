@@ -161,7 +161,10 @@ fn backfill_improves_throughput_without_starving_head() {
         });
         sched.add_node(8, 65_536, 0);
         // A wall of work then a wide job then trickle.
-        sched.submit_at(SimTime::ZERO, JobSpec::new(Uid(1), "wall", SimDuration::from_secs(100)).with_tasks(6));
+        sched.submit_at(
+            SimTime::ZERO,
+            JobSpec::new(Uid(1), "wall", SimDuration::from_secs(100)).with_tasks(6),
+        );
         let head = sched.submit_at(
             SimTime::from_secs(1),
             JobSpec::new(Uid(2), "wide", SimDuration::from_secs(50)).with_tasks(8),

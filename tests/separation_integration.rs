@@ -25,16 +25,27 @@ fn two_group_collaboration_story() {
     let login = c.login_node();
 
     // Intended: shared data in /proj via the setgid directory.
-    c.fs_write(alice, login, "/proj/fusion/mesh.dat", Mode::new(0o660), b"mesh")
-        .unwrap();
-    assert_eq!(c.fs_read(bob, login, "/proj/fusion/mesh.dat").unwrap(), b"mesh");
+    c.fs_write(
+        alice,
+        login,
+        "/proj/fusion/mesh.dat",
+        Mode::new(0o660),
+        b"mesh",
+    )
+    .unwrap();
+    assert_eq!(
+        c.fs_read(bob, login, "/proj/fusion/mesh.dat").unwrap(),
+        b"mesh"
+    );
     assert!(c.fs_read(eve, login, "/proj/fusion/mesh.dat").is_err());
 
     // Intended: a group-opted service reachable by members only.
     let n1 = c.compute_ids[0];
     let n2 = c.compute_ids[1];
     c.listen(alice, n2, Proto::Tcp, 7000, Some(proj)).unwrap();
-    assert!(c.connect(bob, n1, SocketAddr::new(n2, 7000), Proto::Tcp).is_ok());
+    assert!(c
+        .connect(bob, n1, SocketAddr::new(n2, 7000), Proto::Tcp)
+        .is_ok());
     assert!(matches!(
         c.connect(eve, n1, SocketAddr::new(n2, 7000), Proto::Tcp),
         Err(ConnectError::DeniedByDaemon { .. })
@@ -42,7 +53,11 @@ fn two_group_collaboration_story() {
 
     // Unintended: even project members do not see each other's processes,
     // jobs, or homes — group sharing is data-scoped, not identity-scoped.
-    c.submit(JobSpec::new(alice, "fusion-run", SimDuration::from_secs(300)));
+    c.submit(JobSpec::new(
+        alice,
+        "fusion-run",
+        SimDuration::from_secs(300),
+    ));
     c.advance_to(SimTime::from_secs(1));
     let bob_cred = c.credentials(bob);
     assert_eq!(c.node(login).procfs().foreign_visible_count(&bob_cred), 0);
@@ -55,8 +70,14 @@ fn two_group_collaboration_story() {
             .count(),
         0
     );
-    c.fs_write(alice, login, "/home/alice/draft.tex", Mode::new(0o644), b"x")
-        .unwrap();
+    c.fs_write(
+        alice,
+        login,
+        "/home/alice/draft.tex",
+        Mode::new(0o644),
+        b"x",
+    )
+    .unwrap();
     assert!(c.fs_read(bob, login, "/home/alice/draft.tex").is_err());
 }
 
@@ -105,8 +126,12 @@ fn same_port_collision_cannot_crosstalk() {
     c.listen(bob, n2, Proto::Tcp, 8080, None).unwrap();
     // Alice's client, misconfigured with bob's node, cannot reach bob's
     // service; her own works.
-    assert!(c.connect(alice, c.login_node(), SocketAddr::new(n2, 8080), Proto::Tcp).is_err());
-    assert!(c.connect(alice, c.login_node(), SocketAddr::new(n1, 8080), Proto::Tcp).is_ok());
+    assert!(c
+        .connect(alice, c.login_node(), SocketAddr::new(n2, 8080), Proto::Tcp)
+        .is_err());
+    assert!(c
+        .connect(alice, c.login_node(), SocketAddr::new(n1, 8080), Proto::Tcp)
+        .is_ok());
 }
 
 #[test]
@@ -117,23 +142,31 @@ fn seepid_and_smask_relax_work_only_for_whitelisted_staff() {
     let user = c.add_user("researcher").unwrap();
     let login = c.login_node();
     // Whitelist the facilitator.
-    c.fsperm_policy = c.fsperm_policy.clone().allow_seepid(staff).allow_relax(staff);
+    c.fsperm_policy = c
+        .fsperm_policy
+        .clone()
+        .allow_seepid(staff)
+        .allow_relax(staff);
 
     // A researcher process is running.
     let r_sid = c.ssh(user, login).unwrap();
-    c.node_mut(login).spawn(r_sid, ["octave", "run.m"], SimTime::ZERO).unwrap();
+    c.node_mut(login)
+        .spawn(r_sid, ["octave", "run.m"], SimTime::ZERO)
+        .unwrap();
 
     // Staff initially sees nothing foreign; after seepid they see it.
     let s_sid = c.ssh(staff, login).unwrap();
-    let before = c.node(login).procfs().foreign_visible_count(
-        &c.node(login).session(s_sid).unwrap().cred,
-    );
+    let before = c
+        .node(login)
+        .procfs()
+        .foreign_visible_count(&c.node(login).session(s_sid).unwrap().cred);
     assert_eq!(before, 0);
     let policy = c.fsperm_policy.clone();
     seepid(&policy, c.node_mut(login).session_mut(s_sid).unwrap()).unwrap();
-    let after = c.node(login).procfs().foreign_visible_count(
-        &c.node(login).session(s_sid).unwrap().cred,
-    );
+    let after = c
+        .node(login)
+        .procfs()
+        .foreign_visible_count(&c.node(login).session(s_sid).unwrap().cred);
     assert!(after >= 1);
 
     // The researcher cannot use either tool.
@@ -142,7 +175,12 @@ fn seepid_and_smask_relax_work_only_for_whitelisted_staff() {
 
     // Staff publishes a world-readable dataset via smask_relax.
     smask_relax(&policy, c.node_mut(login).session_mut(s_sid).unwrap()).unwrap();
-    let ctx = c.node(login).session(s_sid).unwrap().fs_ctx().with_umask(Mode::new(0));
+    let ctx = c
+        .node(login)
+        .session(s_sid)
+        .unwrap()
+        .fs_ctx()
+        .with_umask(Mode::new(0));
     c.node(login)
         .fs_write(&ctx, "/tmp/public-dataset", Mode::new(0o644), b"weights")
         .unwrap();
@@ -160,11 +198,19 @@ fn gpu_lifecycle_under_full_config() {
     c.submit(JobSpec::new(alice, "train", SimDuration::from_secs(50)).with_gpus_per_task(1));
     c.advance_to(SimTime::from_secs(1));
     let node = c.compute_ids[0];
-    c.gpus.get_mut(node, 0).unwrap().write(0, b"weights!").unwrap();
+    c.gpus
+        .get_mut(node, 0)
+        .unwrap()
+        .write(0, b"weights!")
+        .unwrap();
     let bob_ctx = c.user_fs_ctx(bob);
     assert!(c
         .node(node)
-        .with_fs("/dev/gpu0", |fs, p| fs.open_device(&bob_ctx, p, hpc_user_separation::simos::Perm::RW))
+        .with_fs("/dev/gpu0", |fs, p| fs.open_device(
+            &bob_ctx,
+            p,
+            hpc_user_separation::simos::Perm::RW
+        ))
         .is_err());
 
     // After her job: scrubbed and unassigned.

@@ -1,0 +1,51 @@
+//! Option strategies: `of(inner)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+
+/// Strategy for `Option<T>`: `None` roughly a quarter of the time.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `Some` values from `inner`, mixed with `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::from_seed(11);
+        let s = of(0u8..10);
+        let (mut nones, mut somes) = (0, 0);
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                None => nones += 1,
+                Some(v) => {
+                    assert!(v < 10);
+                    somes += 1;
+                }
+            }
+        }
+        assert!(nones > 0 && somes > 0);
+    }
+}

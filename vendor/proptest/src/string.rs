@@ -1,0 +1,130 @@
+//! A tiny char-class regex generator: supports patterns that are sequences
+//! of `[...]` classes (with `a-z` ranges) or literal characters, each with an
+//! optional `{n}` / `{m,n}` repetition — the shapes used by this workspace's
+//! property tests.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Class(Vec<char>),
+    Literal(char),
+}
+
+fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed char class in pattern `{pattern}`"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad range {lo}-{hi} in `{pattern}`");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty char class in `{pattern}`");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional repetition {n} or {m,n}.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed repetition in `{pattern}`"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad repetition min"),
+                    n.trim().parse().expect("bad repetition max"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition {{{min},{max}}} in `{pattern}`");
+        atoms.push((atom, min, max));
+    }
+    atoms
+}
+
+/// Generate a string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, min, max) in parse(pattern) {
+        let count = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..count {
+            match &atom {
+                Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                Atom::Literal(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition_matches_shape() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..500 {
+            let s = generate_matching("[a-zA-Z0-9._-]{1,24}", &mut rng);
+            assert!((1..=24).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || ".-_".contains(c)));
+        }
+    }
+
+    #[test]
+    fn zero_length_allowed() {
+        let mut rng = TestRng::from_seed(6);
+        let mut saw_empty = false;
+        for _ in 0..200 {
+            let s = generate_matching("[ab]{0,2}", &mut rng);
+            assert!(s.len() <= 2);
+            saw_empty |= s.is_empty();
+        }
+        assert!(saw_empty);
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::from_seed(7);
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+        assert_eq!(generate_matching("x{3}", &mut rng), "xxx");
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline shim for `rayon`: the `par_iter().map().collect()` /
+//! `into_par_iter().map().collect()` pipelines this workspace uses, executed
+//! on `std::thread::scope` with a shared work queue. Collection order is
+//! index-preserving, exactly like rayon's ordered collect.
+
+use std::sync::Mutex;
+
+fn run_indexed<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let next = queue.lock().unwrap().pop();
+                match next {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        results.lock().unwrap().push((i, r));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    let mut out = results.into_inner().unwrap();
+    out.sort_unstable_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A borrowed parallel iterator (pre-`map`).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each item; the closure runs on worker threads.
+    pub fn map<R: Send, F: Fn(&'a T) -> R + Sync>(self, f: F) -> ParMap<'a, T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped borrowed parallel iterator (pre-`collect`).
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Execute in parallel and collect in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        run_indexed(self.items.iter().collect(), |t| (self.f)(t))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// An owned parallel iterator (pre-`map`).
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    /// Map each item; the closure runs on worker threads.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> IntoParMap<T, F> {
+        IntoParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped owned parallel iterator (pre-`collect`).
+pub struct IntoParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> IntoParMap<T, F> {
+    /// Execute in parallel and collect in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        run_indexed(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// The rayon prelude: parallel-iterator entry points.
+pub mod prelude {
+    use super::{IntoParIter, ParIter};
+
+    /// `.par_iter()` on borrowed collections.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type.
+        type Item: 'data;
+
+        /// Iterate in parallel over borrowed items.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// `.into_par_iter()` on owned collections.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+
+        /// Consume into a parallel iterator.
+        fn into_par_iter(self) -> IntoParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> IntoParIter<T> {
+            IntoParIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u64> {
+        type Item = u64;
+        fn into_par_iter(self) -> IntoParIter<u64> {
+            IntoParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        fn into_par_iter(self) -> IntoParIter<usize> {
+            IntoParIter {
+                items: self.collect(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_collect_matches_sequential() {
+        let v: Vec<u64> = (0..500).collect();
+        let par: Vec<u64> = v.par_iter().map(|x| x * 3).collect();
+        let seq: Vec<u64> = v.iter().map(|x| x * 3).collect();
+        assert_eq!(par, seq);
+        let owned: Vec<u64> = v.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(owned, (1..501).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn parallel_work_actually_runs_on_many_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0..64usize)
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        // With >= 2 cores the queue is drained by several workers.
+        if std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+            >= 2
+        {
+            assert!(seen.lock().unwrap().len() >= 2);
+        }
+    }
+}
