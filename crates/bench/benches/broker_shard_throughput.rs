@@ -1,0 +1,78 @@
+//! Sharded-broker batch-verification throughput: the scale claim, measured.
+//!
+//! A single broker verifies a batch sequentially; the sharded plane buckets
+//! tokens by uid-hash and fans the buckets out across shards on real
+//! threads (the rayon shim's scoped-thread pool). Throughput should grow
+//! near-linearly with shard count until the core count saturates, and the
+//! 1-shard row must stay at single-broker cost (no sharding tax on small
+//! deployments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eus_fedauth::{BrokerPolicy, CredentialPlane, RealmId, ShardedBroker, SignedToken};
+use eus_simos::{Uid, UserDb};
+use std::hint::black_box;
+
+const USERS: usize = 128;
+const TOKENS_PER_USER: usize = 512;
+
+fn populated(shards: usize) -> (ShardedBroker, Vec<SignedToken>) {
+    let mut db = UserDb::new();
+    let users: Vec<Uid> = (0..USERS)
+        .map(|i| db.create_user(&format!("u{i}")).unwrap())
+        .collect();
+    let mut plane = ShardedBroker::new(RealmId(1), 7, shards, BrokerPolicy::default());
+    let mut tokens = Vec::with_capacity(USERS * TOKENS_PER_USER);
+    for _ in 0..TOKENS_PER_USER {
+        for &u in &users {
+            tokens.push(plane.login(&db, u, None).unwrap());
+        }
+    }
+    (plane, tokens)
+}
+
+fn bench_batch_validate(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, |v| v.get());
+    println!("(fan-out parallelism on this machine: {cores} core(s))");
+    let mut g = c.benchmark_group("fedauth/shard_batch_validate");
+    for shards in [1usize, 2, 4, 8] {
+        let (plane, tokens) = populated(shards);
+        g.throughput(Throughput::Elements(tokens.len() as u64));
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            b.iter(|| {
+                let verdicts = plane.validate_batch(black_box(&tokens));
+                assert!(verdicts.iter().all(Result::is_ok));
+                black_box(verdicts)
+            })
+        });
+    }
+    g.finish();
+
+    // The always-bucketed fan-out path, regardless of core count (on a
+    // 1-core box this shows the bucketing overhead the dispatcher avoids).
+    let mut g = c.benchmark_group("fedauth/shard_batch_fanout");
+    for shards in [2usize, 8] {
+        let (plane, tokens) = populated(shards);
+        g.throughput(Throughput::Elements(tokens.len() as u64));
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            b.iter(|| black_box(plane.validate_batch_fanout(black_box(&tokens))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_single_op_routing(c: &mut Criterion) {
+    // The per-op path must stay O(1): the uid-hash route adds a few
+    // nanoseconds at most over the single broker.
+    let mut g = c.benchmark_group("fedauth/shard_single_validate");
+    for shards in [1usize, 8] {
+        let (plane, tokens) = populated(shards);
+        let t = tokens[tokens.len() / 2];
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            b.iter(|| black_box(plane.validate_token(black_box(&t))).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_validate, bench_single_op_routing);
+criterion_main!(benches);

@@ -12,7 +12,8 @@ use crate::config::SeparationConfig;
 use eus_accel::GpuPool;
 use eus_containers::{ContainerRegistry, HpcRuntime};
 use eus_fedauth::{
-    shared_broker, BrokerPolicy, CredentialBroker, PamFedAuth, RealmId, SharedBroker,
+    shared_broker, BrokerPolicy, CredentialBroker, FederationDirectory, PamFedAuth, RealmId,
+    ShardedBroker, SharedBroker, SignedToken, TrustPolicy,
 };
 use eus_fsperm::{apply_kernel_patches_handle, FilePermissionHandler, PamSmask, LLSC_SMASK};
 use eus_portal::{PortalGateway, RouteKey, WebAppRegistry};
@@ -77,6 +78,9 @@ impl ClusterSpec {
     }
 }
 
+/// The home site's federation realm id.
+pub const HOME_REALM: RealmId = RealmId(1);
+
 /// The assembled system.
 pub struct SecureCluster {
     /// Deployed mechanisms.
@@ -112,9 +116,15 @@ pub struct SecureCluster {
     pub containers: ContainerRegistry,
     /// Per-host UBF statistics handles (empty when UBF off).
     pub ubf_stats: Vec<UbfStats>,
-    /// The federated credential broker (`Some` when `config.federated_auth`):
-    /// sshd PAM, job submission, and the portal all consult it.
+    /// The federated credential plane (`Some` when `config.federated_auth`):
+    /// sshd PAM, job submission, and the portal all consult it. A single
+    /// broker when `config.broker_shards == 1`, a uid-hashed
+    /// [`ShardedBroker`] otherwise — callers can't tell the difference.
     pub broker: Option<SharedBroker>,
+    /// The federation directory (`Some` when `config.federated_auth`): the
+    /// home realm's plane plus any registered sister realms, with the home
+    /// site's trust policy from `config.trusted_realms`.
+    pub federation: Option<FederationDirectory>,
     seepid_gid: Gid,
     materialized: BTreeSet<JobId>,
     job_procs: BTreeMap<JobId, Vec<(NodeId, Pid)>>,
@@ -157,16 +167,35 @@ impl SecureCluster {
         let fsperm_policy = FilePermissionHandler::new(seepid_gid);
 
         // Federated identity plane (companion-paper layer): one realm per
-        // site; deterministic key/token material.
+        // site; deterministic key/token material. Sharded when configured —
+        // same decisions, partitioned tables.
         let broker: Option<SharedBroker> = if config.federated_auth {
-            Some(shared_broker(CredentialBroker::new(
-                RealmId(1),
-                0x5EED_FEDA,
-                BrokerPolicy::default(),
-            )))
+            Some(if config.broker_shards > 1 {
+                shared_broker(ShardedBroker::new(
+                    HOME_REALM,
+                    0x5EED_FEDA,
+                    config.broker_shards as usize,
+                    BrokerPolicy::default(),
+                ))
+            } else {
+                shared_broker(CredentialBroker::new(
+                    HOME_REALM,
+                    0x5EED_FEDA,
+                    BrokerPolicy::default(),
+                ))
+            })
         } else {
             None
         };
+        let federation = broker.as_ref().map(|b| {
+            let mut trust = TrustPolicy::home_only(HOME_REALM);
+            for r in &config.trusted_realms {
+                trust.trust(RealmId(*r));
+            }
+            let mut dir = FederationDirectory::new();
+            dir.register(HOME_REALM, b.clone(), trust);
+            dir
+        });
 
         // Nodes: compute then login.
         let mut nodes = BTreeMap::new();
@@ -253,6 +282,7 @@ impl SecureCluster {
             containers: ContainerRegistry::new(),
             ubf_stats,
             broker,
+            federation,
             seepid_gid,
             materialized: BTreeSet::new(),
             job_procs: BTreeMap::new(),
@@ -497,12 +527,60 @@ impl SecureCluster {
     }
 
     /// The credential plane runs on the same simulated clock as the
-    /// scheduler: expiry is a property of *when*, not of polling.
+    /// scheduler: expiry is a property of *when*, not of polling. Sister
+    /// realms in the federation directory tick on the same clock (the home
+    /// broker is registered there too; `advance_to` is idempotent).
     fn sync_credential_clocks(&mut self, t: SimTime) {
-        if let Some(b) = &self.broker {
+        if let Some(dir) = &mut self.federation {
+            dir.advance_to(t);
+        } else if let Some(b) = &self.broker {
             b.write().advance_to(t);
         }
         self.portal.auth.advance_to(t);
+    }
+
+    // ------------------------------------------------------------------
+    // Federation (multi-realm trust)
+    // ------------------------------------------------------------------
+
+    /// Register a sister realm's credential plane in the federation
+    /// directory. Whether the home site *accepts* that realm's credentials
+    /// is governed solely by `config.trusted_realms` — registration alone
+    /// grants nothing (fail closed). The sister's clock is advanced to the
+    /// cluster's current simulated time, so the whole federation ticks
+    /// together from the moment it joins.
+    pub fn register_sister_realm(&mut self, realm: RealmId, plane: SharedBroker) {
+        assert_ne!(
+            realm, HOME_REALM,
+            "the home realm's plane is installed at construction and cannot be replaced"
+        );
+        let now = self
+            .broker
+            .as_ref()
+            .map(|b| b.read().now())
+            .unwrap_or(SimTime::ZERO);
+        plane.write().advance_to(now);
+        let dir = self
+            .federation
+            .as_mut()
+            .expect("federation requires config.federated_auth");
+        dir.register(realm, plane, TrustPolicy::home_only(realm));
+    }
+
+    /// Validate a bearer token presented at the home site under the
+    /// federation trust policy: home-realm tokens as usual, allow-listed
+    /// sister realms via their issuing broker, everything else refused.
+    /// Without the credential plane (`config.federated_auth` off) every
+    /// token fails closed with `UnknownRealm(HOME_REALM)` — there is no
+    /// directory to consult, not a registration bug.
+    pub fn validate_federated_token(
+        &self,
+        token: &SignedToken,
+    ) -> Result<Uid, eus_fedauth::CredError> {
+        match &self.federation {
+            Some(dir) => dir.validate_token_at(HOME_REALM, token),
+            None => Err(eus_fedauth::CredError::UnknownRealm(HOME_REALM)),
+        }
     }
 
     fn reconcile(&mut self) {
@@ -695,6 +773,28 @@ impl SecureCluster {
         self.portal.auth.login(&db, user)
     }
 
+    /// [`portal_login`](Self::portal_login) with a one-time code for
+    /// MFA-enrolled users.
+    pub fn portal_login_mfa(
+        &mut self,
+        user: Uid,
+        mfa: Option<eus_fedauth::MfaCode>,
+    ) -> Result<eus_portal::Token, eus_portal::AuthError> {
+        let db = self.db.read().clone();
+        self.portal.auth.login_mfa(&db, user, mfa)
+    }
+
+    /// The portal's `enroll_mfa` route: bind a second factor for the
+    /// session's user; enforced from the next login on. Rebinding an
+    /// existing factor requires the current code (`mfa`) as step-up.
+    pub fn portal_enroll_mfa(
+        &mut self,
+        token: eus_portal::Token,
+        mfa: Option<eus_fedauth::MfaCode>,
+    ) -> Result<eus_fedauth::MfaSecret, eus_portal::PortalError> {
+        self.portal.enroll_mfa(token, mfa)
+    }
+
     /// Fetch a route through the portal.
     pub fn portal_fetch(
         &mut self,
@@ -848,6 +948,115 @@ mod tests {
                 JobSpec::new(alice, "later", SimDuration::from_secs(5))
             )
             .is_err());
+    }
+
+    #[test]
+    fn trusted_sister_realm_validates_at_home_untrusted_fails_closed() {
+        let cfg = SeparationConfig::llsc().with_trusted_realms([2u32]);
+        let mut c = SecureCluster::new(cfg, ClusterSpec::tiny());
+        let alice = c.add_user("alice").unwrap();
+
+        // Two sister sites mint credentials for the colliding uid: one is
+        // allow-listed, one is not.
+        let trusted = shared_broker(CredentialBroker::new(
+            RealmId(2),
+            0xAAA,
+            BrokerPolicy::default(),
+        ));
+        let untrusted = shared_broker(CredentialBroker::new(
+            RealmId(3),
+            0xBBB,
+            BrokerPolicy::default(),
+        ));
+        c.register_sister_realm(RealmId(2), trusted.clone());
+        c.register_sister_realm(RealmId(3), untrusted.clone());
+
+        let db = c.db.read().clone();
+        let t2 = trusted.write().login(&db, alice, None).unwrap();
+        let t3 = untrusted.write().login(&db, alice, None).unwrap();
+        assert_eq!(c.validate_federated_token(&t2).unwrap(), alice);
+        assert!(matches!(
+            c.validate_federated_token(&t3),
+            Err(eus_fedauth::CredError::UntrustedRealm { .. })
+        ));
+        // The home broker's own tokens still validate, and the direct
+        // (non-directory) path still refuses every foreign realm.
+        let home = c.broker.clone().unwrap();
+        let th = home.read().current_token(alice).unwrap();
+        assert_eq!(c.validate_federated_token(&th).unwrap(), alice);
+        assert!(home.read().validate_token(&t2).is_err());
+    }
+
+    #[test]
+    fn late_joining_sister_realm_inherits_the_cluster_clock() {
+        let cfg = SeparationConfig::llsc().with_trusted_realms([2u32]);
+        let mut c = SecureCluster::new(cfg, ClusterSpec::tiny());
+        let alice = c.add_user("alice").unwrap();
+        c.advance_to(SimTime::from_secs(48 * 3600));
+
+        // A sister broker still at t=0 joins: its clock must jump to the
+        // federation's, so a token it minted in its own past cannot read as
+        // live here.
+        let sister = shared_broker(CredentialBroker::new(
+            RealmId(2),
+            0xCC,
+            BrokerPolicy::default(),
+        ));
+        let db = c.db.read().clone();
+        let stale = sister.write().login(&db, alice, None).unwrap();
+        c.register_sister_realm(RealmId(2), sister.clone());
+        assert_eq!(sister.read().now(), SimTime::from_secs(48 * 3600));
+        assert!(
+            matches!(
+                c.validate_federated_token(&stale),
+                Err(eus_fedauth::CredError::Expired { .. })
+            ),
+            "a token from the sister's pre-join past must be expired"
+        );
+        // Fresh sister logins on the synced clock validate normally.
+        let fresh = sister.write().login(&db, alice, None).unwrap();
+        assert_eq!(c.validate_federated_token(&fresh).unwrap(), alice);
+    }
+
+    #[test]
+    #[should_panic(expected = "home realm")]
+    fn home_realm_plane_cannot_be_replaced() {
+        let mut c = llsc_tiny();
+        let rogue = shared_broker(CredentialBroker::new(
+            RealmId(1),
+            0xBAD,
+            BrokerPolicy::default(),
+        ));
+        c.register_sister_realm(RealmId(1), rogue);
+    }
+
+    #[test]
+    fn sharded_and_single_broker_clusters_agree() {
+        // The same trace against broker_shards = 1 and = 4: identical
+        // accept/reject decisions at every enforcement point.
+        let mut outcomes = Vec::new();
+        for shards in [1u32, 4] {
+            let cfg = SeparationConfig::llsc().with_broker_shards(shards);
+            let mut c = SecureCluster::new(cfg, ClusterSpec::tiny());
+            let alice = c.add_user("alice").unwrap();
+            let login = c.login_node();
+            let mut trace = Vec::new();
+            trace.push(c.ssh(alice, login).is_ok());
+            trace.push(
+                c.try_submit(JobSpec::new(alice, "j", SimDuration::from_secs(5)))
+                    .is_ok(),
+            );
+            c.advance_to(SimTime::from_secs(24 * 3600));
+            trace.push(
+                c.try_submit(JobSpec::new(alice, "stale", SimDuration::from_secs(5)))
+                    .is_ok(),
+            );
+            c.broker.as_ref().unwrap().write().revoke_user(alice);
+            trace.push(c.ssh_raw(alice, login).is_ok());
+            outcomes.push(trace);
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(outcomes[0], vec![true, true, false, false]);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod config;
 pub mod support;
 
 pub use audit::{expected_residuals, run_audit, AuditReport, Channel, Outcome};
-pub use cluster::{ClusterSpec, SecureCluster};
+pub use cluster::{ClusterSpec, SecureCluster, HOME_REALM};
 pub use config::SeparationConfig;
 pub use support::{attribute_load, LoadReport};
 

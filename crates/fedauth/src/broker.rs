@@ -9,13 +9,12 @@
 //! central identity plane).
 
 use crate::ca::{CertificateAuthority, CredError, CredSerial, SignedToken, SshCertificate};
-use crate::realm::{IdentityProvider, MfaCode, RealmId};
+use crate::plane::CredentialPlane;
+use crate::realm::{IdentityProvider, MfaCode, MfaSecret, RealmId};
 use crate::revocation::RevocationList;
 use eus_simcore::{SimDuration, SimTime};
 use eus_simos::{Uid, UserDb};
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 /// Credential lifetimes for a deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,15 +37,6 @@ impl Default for BrokerPolicy {
             require_mfa: false,
         }
     }
-}
-
-/// A shared broker handle (PAM stacks, the scheduler, and the portal all
-/// hold one).
-pub type SharedBroker = Arc<RwLock<CredentialBroker>>;
-
-/// Wrap a broker for sharing.
-pub fn shared_broker(b: CredentialBroker) -> SharedBroker {
-    Arc::new(RwLock::new(b))
 }
 
 /// The broker: home-realm IdP + CA + revocation list + live-session state.
@@ -84,6 +74,14 @@ impl CredentialBroker {
         }
     }
 
+    /// Partition the CA's serial space (see
+    /// [`CertificateAuthority::set_serial_partition`]); used by
+    /// [`crate::ShardedBroker`] so shard serials never collide.
+    pub fn with_serial_partition(mut self, index: u64, stride: u64) -> Self {
+        self.ca.set_serial_partition(index, stride);
+        self
+    }
+
     /// The broker's realm.
     pub fn realm(&self) -> RealmId {
         self.idp.realm
@@ -106,8 +104,11 @@ impl CredentialBroker {
     // ------------------------------------------------------------------
 
     /// Federated login: assert identity (MFA per policy), mint a bearer
-    /// token and an SSH certificate, and record them as the user's live
-    /// session. Replaces any previous session for the user.
+    /// token and an SSH certificate, and record them as a live session.
+    /// Concurrent sessions are real — a second login *appends* to the
+    /// user's live sessions rather than replacing them (two portal tabs, a
+    /// portal session plus an sbatch token, …); only revocation or expiry
+    /// ends a session.
     pub fn login(
         &mut self,
         db: &UserDb,
@@ -272,23 +273,101 @@ impl CredentialBroker {
         }
     }
 
-    /// Drop expired sessions and certificates; returns how many entries the
-    /// sweep removed. (Expired credentials already fail validation — the
-    /// sweep just bounds the table sizes, as a production broker must.)
+    /// Drop expired *and revoked* sessions and certificates; returns how
+    /// many entries the sweep removed. (Both kinds already fail validation —
+    /// the sweep bounds the table sizes, as a production broker must.
+    /// Revoked-but-unexpired entries used to survive until their window
+    /// lapsed, so a busy logout cycle grew the tables between sweeps.)
     pub fn sweep_expired(&mut self) -> usize {
         let now = self.now;
         let before = self.live_sessions() + self.certs.len();
         for tokens in self.sessions.values_mut() {
-            tokens.retain(|t| now < t.expires);
+            tokens.retain(|t| now < t.expires && !self.revocations.is_revoked(t.serial));
         }
         self.sessions.retain(|_, tokens| !tokens.is_empty());
-        self.certs.retain(|_, c| now < c.expires);
+        self.certs
+            .retain(|_, c| now < c.expires && !self.revocations.is_revoked(c.serial));
         before - (self.live_sessions() + self.certs.len())
     }
 
     /// Number of live (unswept) session tokens across all users.
     pub fn live_sessions(&self) -> usize {
         self.sessions.values().map(Vec::len).sum()
+    }
+}
+
+impl CredentialPlane for CredentialBroker {
+    fn realm(&self) -> RealmId {
+        CredentialBroker::realm(self)
+    }
+    fn now(&self) -> SimTime {
+        CredentialBroker::now(self)
+    }
+    fn advance_to(&mut self, t: SimTime) {
+        CredentialBroker::advance_to(self, t)
+    }
+    fn login(
+        &mut self,
+        db: &UserDb,
+        user: Uid,
+        mfa: Option<MfaCode>,
+    ) -> Result<SignedToken, CredError> {
+        CredentialBroker::login(self, db, user, mfa)
+    }
+    fn login_auto(&mut self, db: &UserDb, user: Uid) -> Result<SignedToken, CredError> {
+        CredentialBroker::login_auto(self, db, user)
+    }
+    fn mint_ssh_cert(&mut self, token: &SignedToken) -> Result<SshCertificate, CredError> {
+        CredentialBroker::mint_ssh_cert(self, token)
+    }
+    fn ensure_session(&mut self, db: &UserDb, user: Uid) -> Result<SignedToken, CredError> {
+        CredentialBroker::ensure_session(self, db, user)
+    }
+    fn validate_token(&self, token: &SignedToken) -> Result<Uid, CredError> {
+        CredentialBroker::validate_token(self, token)
+    }
+    fn validate_cert(&self, cert: &SshCertificate) -> Result<Uid, CredError> {
+        CredentialBroker::validate_cert(self, cert)
+    }
+    fn validate_serial(&self, user: Uid, serial: CredSerial) -> Result<(), CredError> {
+        CredentialBroker::validate_serial(self, user, serial)
+    }
+    fn authorize_ssh(&self, user: Uid) -> Result<(), CredError> {
+        CredentialBroker::authorize_ssh(self, user)
+    }
+    fn authorize_submit(&self, user: Uid) -> Result<(), CredError> {
+        CredentialBroker::authorize_submit(self, user)
+    }
+    fn authorize_submit_at(&self, user: Uid, at: SimTime) -> Result<(), CredError> {
+        CredentialBroker::authorize_submit_at(self, user, at)
+    }
+    fn current_cert(&self, user: Uid) -> Option<SshCertificate> {
+        CredentialBroker::current_cert(self, user)
+    }
+    fn current_token(&self, user: Uid) -> Option<SignedToken> {
+        CredentialBroker::current_token(self, user)
+    }
+    fn revoke_serial(&mut self, serial: CredSerial) {
+        CredentialBroker::revoke_serial(self, serial)
+    }
+    fn revoke_user(&mut self, user: Uid) {
+        CredentialBroker::revoke_user(self, user)
+    }
+    fn sweep_expired(&mut self) -> usize {
+        CredentialBroker::sweep_expired(self)
+    }
+    fn live_sessions(&self) -> usize {
+        CredentialBroker::live_sessions(self)
+    }
+    fn enroll_mfa(&mut self, user: Uid, mfa: Option<MfaCode>) -> Result<MfaSecret, CredError> {
+        let now = self.now;
+        self.idp.enroll_mfa_stepup(user, mfa, now)
+    }
+    fn mfa_challenged(&self, user: Uid) -> bool {
+        self.idp.is_challenged(user)
+    }
+    fn current_mfa_code(&self, user: Uid) -> Option<MfaCode> {
+        self.idp.current_code(user, self.now)
     }
 }
 
@@ -330,6 +409,29 @@ mod tests {
         assert_eq!(b.live_sessions(), 1);
         assert_eq!(b.sweep_expired(), 2, "token + cert removed");
         assert_eq!(b.live_sessions(), 0);
+    }
+
+    #[test]
+    fn sweep_drops_revoked_but_unexpired_entries() {
+        // Regression: serial-level revocation (the portal-logout path) left
+        // the session entry resident until its 12h window lapsed, so the
+        // table grew unboundedly between expiry sweeps.
+        let (db, mut b, alice) = setup();
+        let t1 = b.login(&db, alice, None).unwrap();
+        let t2 = b.login(&db, alice, None).unwrap();
+        b.revoke_serial(t1.serial);
+        assert_eq!(b.live_sessions(), 2, "revoked entry still resident");
+        // The sweep removes the revoked token but keeps the live one and
+        // the (unrevoked) cert.
+        assert_eq!(b.sweep_expired(), 1);
+        assert_eq!(b.live_sessions(), 1);
+        assert!(b.validate_token(&t2).is_ok());
+        assert!(b.authorize_ssh(alice).is_ok(), "cert untouched");
+        // Revoking the cert's serial sweeps the cert too.
+        let cert = b.current_cert(alice).unwrap();
+        b.revoke_serial(cert.serial);
+        assert_eq!(b.sweep_expired(), 1);
+        assert!(b.authorize_ssh(alice).is_err());
     }
 
     #[test]

@@ -47,6 +47,16 @@ pub enum CredError {
         /// The credential's realm.
         theirs: RealmId,
     },
+    /// Credential was minted by a realm the verifying site's trust policy
+    /// does not allow-list (federation: known concept, refused realm).
+    UntrustedRealm {
+        /// The verifying site's realm.
+        ours: RealmId,
+        /// The credential's realm.
+        theirs: RealmId,
+    },
+    /// No broker is registered for this realm in the federation directory.
+    UnknownRealm(RealmId),
     /// Signature does not verify under this CA's key.
     BadSignature,
     /// Serial appears on the revocation list.
@@ -66,6 +76,10 @@ impl fmt::Display for CredError {
             CredError::RealmMismatch { ours, theirs } => {
                 write!(f, "credential realm {theirs} not trusted by {ours}")
             }
+            CredError::UntrustedRealm { ours, theirs } => {
+                write!(f, "realm {theirs} not on {ours}'s trust allow-list")
+            }
+            CredError::UnknownRealm(r) => write!(f, "no broker registered for {r}"),
             CredError::BadSignature => f.write_str("signature verification failed"),
             CredError::Revoked(s) => write!(f, "credential {s} is revoked"),
             CredError::NoCredential(u) => write!(f, "no live credential for {u}"),
@@ -159,6 +173,7 @@ pub struct CertificateAuthority {
     key: u64,
     rng: SimRng,
     next_serial: u64,
+    serial_step: u64,
 }
 
 impl CertificateAuthority {
@@ -174,6 +189,7 @@ impl CertificateAuthority {
             key,
             rng,
             next_serial: 0,
+            serial_step: 1,
         }
     }
 
@@ -189,8 +205,25 @@ impl CertificateAuthority {
         self
     }
 
+    /// Partition the serial space: this CA mints serials congruent to
+    /// `index` modulo `stride` (`index + stride`, `index + 2·stride`, …).
+    /// A [`crate::ShardedBroker`] gives each shard a disjoint residue class
+    /// so serials stay globally unique across shards and the owning shard of
+    /// any serial is recoverable as `serial % stride`.
+    pub fn set_serial_partition(&mut self, index: u64, stride: u64) {
+        assert!(stride > 0, "stride must be positive");
+        assert!(index < stride, "index must be a residue modulo stride");
+        assert_eq!(
+            self.next_serial, 0,
+            "serial partition must be set before any credential is minted \
+             (repartitioning would re-issue already-used serials)"
+        );
+        self.next_serial = index;
+        self.serial_step = stride;
+    }
+
     fn next_serial(&mut self) -> CredSerial {
-        self.next_serial += 1;
+        self.next_serial += self.serial_step;
         CredSerial(self.next_serial)
     }
 

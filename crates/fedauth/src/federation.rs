@@ -1,0 +1,308 @@
+//! Multi-realm trust: the federation half of *Securing HPC using Federated
+//! Authentication* at more than one site.
+//!
+//! PR 1's identity plane was single-realm: any credential whose realm
+//! differed from the verifier's was refused with `RealmMismatch`. Real
+//! federations are richer — a site *chooses* which sister realms it trusts.
+//! [`TrustPolicy`] is that choice (an explicit realm allow-list), and
+//! [`FederationDirectory`] holds the per-realm credential planes plus each
+//! site's policy, so a token minted by a trusted sister realm validates at
+//! the home site — against the *issuer's* CA key and revocation list —
+//! while credentials from realms off the allow-list still fail closed
+//! (the `CrossRealmSpoof` audit channel stays blocked).
+
+use crate::ca::{CredError, SignedToken, SshCertificate};
+use crate::plane::SharedBroker;
+use crate::realm::RealmId;
+use eus_simcore::SimTime;
+use eus_simos::Uid;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A site's explicit realm allow-list: which sister realms' credentials it
+/// accepts. The home realm is always trusted; everything else is opt-in
+/// (fail closed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrustPolicy {
+    home: RealmId,
+    trusted: BTreeSet<RealmId>,
+}
+
+impl TrustPolicy {
+    /// The PR-1 behavior: trust only the home realm.
+    pub fn home_only(home: RealmId) -> Self {
+        TrustPolicy {
+            home,
+            trusted: BTreeSet::new(),
+        }
+    }
+
+    /// Builder: also trust a sister realm.
+    pub fn with_trusted(mut self, realm: RealmId) -> Self {
+        self.trust(realm);
+        self
+    }
+
+    /// Add a sister realm to the allow-list.
+    pub fn trust(&mut self, realm: RealmId) {
+        if realm != self.home {
+            self.trusted.insert(realm);
+        }
+    }
+
+    /// The policy's home realm.
+    pub fn home(&self) -> RealmId {
+        self.home
+    }
+
+    /// Is `realm` acceptable at this site?
+    pub fn trusts(&self, realm: RealmId) -> bool {
+        realm == self.home || self.trusted.contains(&realm)
+    }
+
+    /// The allow-listed sister realms (home excluded).
+    pub fn trusted_realms(&self) -> impl Iterator<Item = RealmId> + '_ {
+        self.trusted.iter().copied()
+    }
+}
+
+impl fmt::Display for TrustPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}→{{", self.home)?;
+        for (i, r) in self.trusted.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{r}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// The federation directory: per-realm credential planes plus each site's
+/// trust policy. Validation of a foreign credential is delegated to the
+/// *issuing* realm's plane — its CA key verifies the signature and its
+/// revocation list is consulted — but only after the verifying site's
+/// [`TrustPolicy`] allow-lists the issuer.
+#[derive(Default)]
+pub struct FederationDirectory {
+    planes: BTreeMap<RealmId, SharedBroker>,
+    trust: BTreeMap<RealmId, TrustPolicy>,
+}
+
+impl FederationDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a realm's credential plane and its trust policy. Replaces
+    /// any previous registration for the realm. Panics if the plane or the
+    /// policy was built for a different realm — a mis-registration would
+    /// otherwise surface later as a baffling `RealmMismatch` on every
+    /// credential the allow-listed realm mints.
+    pub fn register(&mut self, realm: RealmId, plane: SharedBroker, trust: TrustPolicy) {
+        assert_eq!(trust.home(), realm, "policy home must match the realm");
+        assert_eq!(
+            plane.read().realm(),
+            realm,
+            "plane must be built for the realm it is registered under"
+        );
+        self.planes.insert(realm, plane);
+        self.trust.insert(realm, trust);
+    }
+
+    /// The registered realms, in order.
+    pub fn realms(&self) -> impl Iterator<Item = RealmId> + '_ {
+        self.planes.keys().copied()
+    }
+
+    /// A realm's credential plane, if registered.
+    pub fn plane(&self, realm: RealmId) -> Option<&SharedBroker> {
+        self.planes.get(&realm)
+    }
+
+    /// A realm's trust policy, if registered.
+    pub fn trust_policy(&self, realm: RealmId) -> Option<&TrustPolicy> {
+        self.trust.get(&realm)
+    }
+
+    /// The trust gate both validators share: resolve the issuing realm's
+    /// plane for a credential presented at `site`, failing closed when the
+    /// site is unregistered, the issuer is off the site's allow-list, or
+    /// the issuer has no registered plane.
+    fn issuer_for(&self, site: RealmId, issuer: RealmId) -> Result<&SharedBroker, CredError> {
+        let policy = self.trust.get(&site).ok_or(CredError::UnknownRealm(site))?;
+        if !policy.trusts(issuer) {
+            return Err(CredError::UntrustedRealm {
+                ours: site,
+                theirs: issuer,
+            });
+        }
+        self.planes
+            .get(&issuer)
+            .ok_or(CredError::UnknownRealm(issuer))
+    }
+
+    /// Validate a bearer token presented at `site`. Home-realm tokens take
+    /// the usual path; a trusted sister realm's token is verified by its
+    /// issuer (signature under the issuer's CA key, issuer's revocation
+    /// list); realms off the allow-list — or realms nobody registered —
+    /// fail closed.
+    pub fn validate_token_at(&self, site: RealmId, token: &SignedToken) -> Result<Uid, CredError> {
+        self.issuer_for(site, token.realm)?
+            .read()
+            .validate_token(token)
+    }
+
+    /// Validate an SSH certificate presented at `site`; same trust rules as
+    /// [`validate_token_at`](Self::validate_token_at).
+    pub fn validate_cert_at(&self, site: RealmId, cert: &SshCertificate) -> Result<Uid, CredError> {
+        self.issuer_for(site, cert.realm)?
+            .read()
+            .validate_cert(cert)
+    }
+
+    /// Advance every registered plane's clock (the federation runs on one
+    /// simulated clock).
+    pub fn advance_to(&mut self, t: SimTime) {
+        for plane in self.planes.values() {
+            plane.write().advance_to(t);
+        }
+    }
+}
+
+impl fmt::Debug for FederationDirectory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FederationDirectory")
+            .field("realms", &self.planes.keys().collect::<Vec<_>>())
+            .field("trust", &self.trust.values().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::{BrokerPolicy, CredentialBroker};
+    use crate::plane::shared_broker;
+    use eus_simos::UserDb;
+
+    fn federation() -> (UserDb, FederationDirectory, Uid) {
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let mut dir = FederationDirectory::new();
+        // Home (1) trusts sister (2) but not (3).
+        dir.register(
+            RealmId(1),
+            shared_broker(CredentialBroker::new(
+                RealmId(1),
+                10,
+                BrokerPolicy::default(),
+            )),
+            TrustPolicy::home_only(RealmId(1)).with_trusted(RealmId(2)),
+        );
+        dir.register(
+            RealmId(2),
+            shared_broker(CredentialBroker::new(
+                RealmId(2),
+                20,
+                BrokerPolicy::default(),
+            )),
+            TrustPolicy::home_only(RealmId(2)),
+        );
+        dir.register(
+            RealmId(3),
+            shared_broker(CredentialBroker::new(
+                RealmId(3),
+                30,
+                BrokerPolicy::default(),
+            )),
+            TrustPolicy::home_only(RealmId(3)),
+        );
+        (db, dir, alice)
+    }
+
+    #[test]
+    fn trusted_sister_realm_token_validates_at_home() {
+        let (db, dir, alice) = federation();
+        let sister = dir.plane(RealmId(2)).unwrap().clone();
+        let token = sister.write().login(&db, alice, None).unwrap();
+        assert_eq!(dir.validate_token_at(RealmId(1), &token).unwrap(), alice);
+        // Trust is directional: realm 2 does not trust realm 1 back.
+        let home = dir.plane(RealmId(1)).unwrap().clone();
+        let home_token = home.write().login(&db, alice, None).unwrap();
+        assert_eq!(
+            dir.validate_token_at(RealmId(2), &home_token),
+            Err(CredError::UntrustedRealm {
+                ours: RealmId(2),
+                theirs: RealmId(1),
+            })
+        );
+    }
+
+    #[test]
+    fn untrusted_and_unknown_realms_fail_closed() {
+        let (db, dir, alice) = federation();
+        // Registered but off the allow-list.
+        let r3 = dir.plane(RealmId(3)).unwrap().clone();
+        let t3 = r3.write().login(&db, alice, None).unwrap();
+        assert_eq!(
+            dir.validate_token_at(RealmId(1), &t3),
+            Err(CredError::UntrustedRealm {
+                ours: RealmId(1),
+                theirs: RealmId(3),
+            })
+        );
+        // A realm nobody registered.
+        let mut rogue = CredentialBroker::new(RealmId(99), 9, BrokerPolicy::default());
+        let forged = rogue.login(&db, alice, None).unwrap();
+        assert!(dir.validate_token_at(RealmId(1), &forged).is_err());
+    }
+
+    #[test]
+    fn sister_realm_revocation_is_honored_at_home() {
+        let (db, dir, alice) = federation();
+        let sister = dir.plane(RealmId(2)).unwrap().clone();
+        let token = sister.write().login(&db, alice, None).unwrap();
+        assert!(dir.validate_token_at(RealmId(1), &token).is_ok());
+        // Incident response at the *issuing* site kills the credential
+        // everywhere in the federation.
+        sister.write().revoke_user(alice);
+        assert_eq!(
+            dir.validate_token_at(RealmId(1), &token),
+            Err(CredError::Revoked(token.serial))
+        );
+    }
+
+    #[test]
+    fn trusted_realm_cannot_forge_home_tokens() {
+        // Trusting realm 2 means accepting tokens realm 2 *mints under its
+        // own key* — not letting realm 2 material masquerade as realm 1.
+        let (db, dir, alice) = federation();
+        let sister = dir.plane(RealmId(2)).unwrap().clone();
+        let mut forged = sister.write().login(&db, alice, None).unwrap();
+        forged.realm = RealmId(1);
+        assert_eq!(
+            dir.validate_token_at(RealmId(1), &forged),
+            Err(CredError::BadSignature),
+            "re-stamped realm must break the issuer signature"
+        );
+    }
+
+    #[test]
+    fn certs_follow_the_same_trust_rules() {
+        let (db, dir, alice) = federation();
+        let sister = dir.plane(RealmId(2)).unwrap().clone();
+        sister.write().login(&db, alice, None).unwrap();
+        let cert = sister.read().current_cert(alice).unwrap();
+        assert_eq!(dir.validate_cert_at(RealmId(1), &cert).unwrap(), alice);
+        let r3 = dir.plane(RealmId(3)).unwrap().clone();
+        r3.write().login(&db, alice, None).unwrap();
+        let cert3 = r3.read().current_cert(alice).unwrap();
+        assert!(matches!(
+            dir.validate_cert_at(RealmId(1), &cert3),
+            Err(CredError::UntrustedRealm { .. })
+        ));
+    }
+}

@@ -15,12 +15,21 @@
 //! every credential is bound to a [`RealmId`], so a uid from one site can
 //! never be replayed against another.
 //!
-//! * [`realm`] — realms, identity assertion, MFA.
+//! * [`realm`] — realms, identity assertion, MFA (±1-window TOTP skew,
+//!   binding self-service enrollment).
 //! * [`ca`] — the certificate authority: signed tokens and SSH certificates
 //!   with validity windows on the simulation clock.
 //! * [`revocation`] — the O(1) revocation list.
 //! * [`broker`] — the [`CredentialBroker`] every enforcement point consults
 //!   (sshd PAM, scheduler submission, portal fetch).
+//! * [`plane`] — the [`CredentialPlane`] trait those enforcement points
+//!   code against, so single and sharded brokers interchange freely.
+//! * [`shard`] — [`ShardedBroker`]: N uid-hashed shards with disjoint
+//!   serial spaces and shard-parallel batch verification, for
+//!   millions-of-sessions scale.
+//! * [`federation`] — [`TrustPolicy`] realm allow-lists and the
+//!   [`FederationDirectory`] that lets a trusted sister realm's credential
+//!   validate at the home site while untrusted realms fail closed.
 //! * [`pam`] — [`PamFedAuth`], the sshd account-phase module.
 //!
 //! ```
@@ -40,12 +49,28 @@
 
 pub mod broker;
 pub mod ca;
+pub mod federation;
 pub mod pam;
+pub mod plane;
 pub mod realm;
 pub mod revocation;
+pub mod shard;
 
-pub use broker::{shared_broker, BrokerPolicy, CredentialBroker, SharedBroker};
+pub use broker::{BrokerPolicy, CredentialBroker};
 pub use ca::{CertificateAuthority, CredError, CredSerial, SignedToken, SshCertificate};
+pub use federation::{FederationDirectory, TrustPolicy};
 pub use pam::PamFedAuth;
+pub use plane::{shared_broker, CredentialPlane, SharedBroker};
 pub use realm::{IdentityAssertion, IdentityProvider, MfaCode, MfaSecret, RealmId};
 pub use revocation::RevocationList;
+pub use shard::ShardedBroker;
+
+/// splitmix64 finalizer: the identity plane's one bit-mixing primitive
+/// (uid→shard routing, TOTP window codes, the portal's keyed token fold).
+/// Kept in one place so the constants cannot drift between call sites.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

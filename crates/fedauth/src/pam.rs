@@ -4,7 +4,7 @@
 //! that makes a stolen long-lived key worthless once its short-lived
 //! certificate lapses.
 
-use crate::broker::SharedBroker;
+use crate::plane::SharedBroker;
 use eus_simos::pam::{PamContext, PamModule, PamVerdict};
 
 /// The PAM module; holds a shared broker handle like `PamSlurm` holds the
@@ -40,7 +40,8 @@ impl PamModule for PamFedAuth {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::broker::{shared_broker, BrokerPolicy, CredentialBroker};
+    use crate::broker::{BrokerPolicy, CredentialBroker};
+    use crate::plane::shared_broker;
     use crate::realm::RealmId;
     use eus_simos::{NodeId, NodeOs, UserDb, ROOT_UID};
 

@@ -1,0 +1,125 @@
+//! The [`CredentialPlane`] trait: the one surface every enforcement point
+//! (sshd PAM, the scheduler submission gate, the portal) codes against, so a
+//! deployment can swap a single [`crate::CredentialBroker`] for a
+//! [`crate::ShardedBroker`] — or any future plane — without touching the
+//! callers.
+//!
+//! The trait is object-safe on purpose: [`SharedBroker`] is an
+//! `Arc<RwLock<Box<dyn CredentialPlane>>>`, and the PAM stacks, scheduler,
+//! and portal all hold that handle.
+
+use crate::ca::{CredError, CredSerial, SignedToken, SshCertificate};
+use crate::realm::{MfaCode, MfaSecret, RealmId};
+use eus_simcore::SimTime;
+use eus_simos::{Uid, UserDb};
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// A credential plane: issuance, verification, revocation, and lifecycle of
+/// short-lived federated credentials for one realm.
+///
+/// Implemented by [`crate::CredentialBroker`] (one broker, one table) and
+/// [`crate::ShardedBroker`] (N uid-hashed shards, for millions of sessions).
+/// All methods are behaviorally identical across implementations — the
+/// property tests in `tests/federation_properties.rs` assert observational
+/// equivalence over arbitrary op sequences.
+pub trait CredentialPlane: fmt::Debug + Send + Sync {
+    /// The plane's realm.
+    fn realm(&self) -> RealmId;
+
+    /// The plane's current clock.
+    fn now(&self) -> SimTime;
+
+    /// Advance the clock (monotonic; driven by the cluster simulation).
+    fn advance_to(&mut self, t: SimTime);
+
+    /// Federated login: assert identity (MFA per policy), mint a bearer
+    /// token and an SSH certificate, and record them as a live session.
+    fn login(
+        &mut self,
+        db: &UserDb,
+        user: Uid,
+        mfa: Option<MfaCode>,
+    ) -> Result<SignedToken, CredError>;
+
+    /// [`login`](Self::login) with the second factor supplied by the
+    /// simulation (enrolled users "type" the current window code).
+    fn login_auto(&mut self, db: &UserDb, user: Uid) -> Result<SignedToken, CredError>;
+
+    /// Mint a fresh SSH certificate against a live bearer token.
+    fn mint_ssh_cert(&mut self, token: &SignedToken) -> Result<SshCertificate, CredError>;
+
+    /// Ensure the user holds a live session (login on first touch or after
+    /// expiry/revocation).
+    fn ensure_session(&mut self, db: &UserDb, user: Uid) -> Result<SignedToken, CredError>;
+
+    /// Validate a presented bearer token: signature, realm, window,
+    /// revocation. Returns the authenticated uid.
+    fn validate_token(&self, token: &SignedToken) -> Result<Uid, CredError>;
+
+    /// Validate a presented SSH certificate. Returns the principal uid.
+    fn validate_cert(&self, cert: &SshCertificate) -> Result<Uid, CredError>;
+
+    /// Validate a serial known to the plane (portal sessions keep only the
+    /// serial after login).
+    fn validate_serial(&self, user: Uid, serial: CredSerial) -> Result<(), CredError>;
+
+    /// sshd account phase: live, unrevoked SSH certificate right now?
+    fn authorize_ssh(&self, user: Uid) -> Result<(), CredError>;
+
+    /// Scheduler submission gate: live, unrevoked bearer token right now?
+    fn authorize_submit(&self, user: Uid) -> Result<(), CredError>;
+
+    /// Submission gate for a job arriving at `at` (>= now).
+    fn authorize_submit_at(&self, user: Uid, at: SimTime) -> Result<(), CredError>;
+
+    /// The user's live certificate, if any.
+    fn current_cert(&self, user: Uid) -> Option<SshCertificate>;
+
+    /// The user's most recent token, if any.
+    fn current_token(&self, user: Uid) -> Option<SignedToken>;
+
+    /// Revoke one serial (immediate; irreversible).
+    fn revoke_serial(&mut self, serial: CredSerial);
+
+    /// Revoke every live credential of a user (incident response / logout).
+    fn revoke_user(&mut self, user: Uid);
+
+    /// Drop expired *and revoked* sessions/certificates; returns how many
+    /// entries were removed.
+    fn sweep_expired(&mut self) -> usize;
+
+    /// Number of live (unswept) session tokens across all users.
+    fn live_sessions(&self) -> usize;
+
+    /// Enroll a binding second factor for a user (the portal `enroll_mfa`
+    /// route): enforced from the next login on, regardless of realm policy.
+    /// Re-enrollment of an already-challenged user is step-up-gated: the
+    /// current one-time code must be presented, or the rebind is refused.
+    fn enroll_mfa(&mut self, user: Uid, mfa: Option<MfaCode>) -> Result<MfaSecret, CredError>;
+
+    /// Whether the user will be MFA-challenged at the next login.
+    fn mfa_challenged(&self, user: Uid) -> bool;
+
+    /// The current window code for an enrolled user (the simulation's
+    /// stand-in for reading the authenticator out of band).
+    fn current_mfa_code(&self, user: Uid) -> Option<MfaCode>;
+
+    /// Validate a batch of tokens. Implementations with internal
+    /// parallelism (sharding) override this to fan out; the default checks
+    /// sequentially. Result order matches input order.
+    fn validate_batch(&self, tokens: &[SignedToken]) -> Vec<Result<Uid, CredError>> {
+        tokens.iter().map(|t| self.validate_token(t)).collect()
+    }
+}
+
+/// A shared credential-plane handle (PAM stacks, the scheduler, and the
+/// portal all hold one). The plane behind it may be a single
+/// [`crate::CredentialBroker`] or a [`crate::ShardedBroker`].
+pub type SharedBroker = Arc<RwLock<Box<dyn CredentialPlane>>>;
+
+/// Wrap any credential plane for sharing.
+pub fn shared_broker<P: CredentialPlane + 'static>(plane: P) -> SharedBroker {
+    Arc::new(RwLock::new(Box::new(plane)))
+}

@@ -7,7 +7,7 @@
 use crate::ca::CredError;
 use eus_simcore::{SimRng, SimTime};
 use eus_simos::{Uid, UserDb};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A federation realm (one per participating site / identity domain).
@@ -31,14 +31,26 @@ pub struct MfaCode(pub u32);
 /// Width of the one-time-code window.
 const MFA_WINDOW_US: u64 = 30_000_000;
 
-/// Derive the valid code for a secret at an instant (TOTP-shaped: a keyed
-/// mix of the secret and the 30-second window counter).
+/// Derive the valid code for a secret in a given window (TOTP-shaped: a
+/// keyed mix of the secret and the 30-second window counter).
+pub fn mfa_code_for_window(secret: MfaSecret, window: u64) -> MfaCode {
+    let z = crate::splitmix64(secret.0 ^ window.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    MfaCode((z % 1_000_000) as u32)
+}
+
+/// Derive the valid code for a secret at an instant.
 pub fn mfa_code_at(secret: MfaSecret, now: SimTime) -> MfaCode {
+    mfa_code_for_window(secret, now.as_micros() / MFA_WINDOW_US)
+}
+
+/// Does `presented` match the code for the window containing `now`, or for
+/// an adjacent window (±1)? Real TOTP validators accept one step of clock
+/// skew so a code read just before a window boundary still works when it is
+/// typed just after the boundary.
+fn mfa_code_matches(secret: MfaSecret, presented: MfaCode, now: SimTime) -> bool {
     let window = now.as_micros() / MFA_WINDOW_US;
-    let mut z = secret.0 ^ window.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    MfaCode(((z ^ (z >> 31)) % 1_000_000) as u32)
+    let lo = window.saturating_sub(1);
+    (lo..=window + 1).any(|w| presented == mfa_code_for_window(secret, w))
 }
 
 /// A successful identity assertion: "this realm vouches that `user` proved
@@ -63,6 +75,9 @@ pub struct IdentityProvider {
     /// Whether enrolled users must present a one-time code at login.
     pub require_mfa: bool,
     enrolled: BTreeMap<Uid, MfaSecret>,
+    /// Users whose enrollment is individually binding (portal self-service
+    /// opt-in): challenged even when the realm policy does not require MFA.
+    enforced: BTreeSet<Uid>,
     rng: SimRng,
 }
 
@@ -73,6 +88,7 @@ impl IdentityProvider {
             realm,
             require_mfa: false,
             enrolled: BTreeMap::new(),
+            enforced: BTreeSet::new(),
             rng: SimRng::seed_from_u64(seed ^ 0xFEDA_0001),
         }
     }
@@ -83,16 +99,57 @@ impl IdentityProvider {
         self
     }
 
-    /// Enroll a user's second factor; returns the shared secret.
+    /// Enroll a user's second factor; returns the shared secret. The factor
+    /// is challenged only when the realm policy requires MFA — see
+    /// [`enroll_mfa_enforced`](Self::enroll_mfa_enforced) for the binding
+    /// self-service opt-in.
     pub fn enroll_mfa(&mut self, user: Uid) -> MfaSecret {
         let secret = MfaSecret(self.rng.range_u64(1, u64::MAX));
         self.enrolled.insert(user, secret);
         secret
     }
 
+    /// Enroll a user's second factor *and* make it binding for that user:
+    /// from the next login on, this user is challenged even if the realm
+    /// policy does not require MFA. This is the portal's `enroll_mfa`
+    /// self-service flow.
+    pub fn enroll_mfa_enforced(&mut self, user: Uid) -> MfaSecret {
+        let secret = self.enroll_mfa(user);
+        self.enforced.insert(user);
+        secret
+    }
+
+    /// Binding enrollment with step-up: a user who *already holds* a
+    /// second-factor secret — enforced or not — must present a current
+    /// one-time code before the secret is rebound (otherwise one stolen
+    /// session token would let an attacker swap in their own authenticator,
+    /// locking the owner out and downgrading the second factor to
+    /// single-token security). First-time enrollment rides on the
+    /// authenticated session alone, as real portals' security pages do.
+    pub fn enroll_mfa_stepup(
+        &mut self,
+        user: Uid,
+        mfa: Option<MfaCode>,
+        now: SimTime,
+    ) -> Result<MfaSecret, CredError> {
+        if let Some(secret) = self.enrolled.get(&user).copied() {
+            let presented = mfa.ok_or(CredError::MfaRequired)?;
+            if !mfa_code_matches(secret, presented, now) {
+                return Err(CredError::MfaInvalid);
+            }
+        }
+        Ok(self.enroll_mfa_enforced(user))
+    }
+
     /// Whether the user has an enrolled second factor.
     pub fn is_enrolled(&self, user: Uid) -> bool {
         self.enrolled.contains_key(&user)
+    }
+
+    /// Whether this user will be challenged at the next login (realm policy
+    /// or binding self-enrollment).
+    pub fn is_challenged(&self, user: Uid) -> bool {
+        self.is_enrolled(user) && (self.require_mfa || self.enforced.contains(&user))
     }
 
     /// The current window code for an enrolled user — the simulation's
@@ -113,17 +170,20 @@ impl IdentityProvider {
         if db.user(user).is_none() {
             return Err(CredError::UnknownUser(user));
         }
-        let mfa_verified = match (self.require_mfa, self.enrolled.get(&user)) {
+        let mfa_verified = match (self.is_challenged(user), self.enrolled.get(&user)) {
             (true, Some(secret)) => {
                 let presented = mfa.ok_or(CredError::MfaRequired)?;
-                if presented != mfa_code_at(*secret, now) {
+                // ±1 window of skew, the way real TOTP validators do: a code
+                // read at second 29 still works when presented at second 30.
+                if !mfa_code_matches(*secret, presented, now) {
                     return Err(CredError::MfaInvalid);
                 }
                 true
             }
-            // MFA not required, or required but the user is not yet enrolled
-            // (enrollment happens at first credential issuance on the real
-            // system; unenrolled users authenticate single-factor).
+            // MFA not required for this user, or required but the user is
+            // not yet enrolled (enrollment happens at first credential
+            // issuance on the real system; unenrolled users authenticate
+            // single-factor).
             _ => false,
         };
         Ok(IdentityAssertion {
@@ -182,6 +242,87 @@ mod tests {
             .assert_identity(&db, alice, Some(mfa_code_at(secret, now)), now)
             .unwrap();
         assert!(ok.mfa_verified);
+    }
+
+    #[test]
+    fn window_boundary_accepts_one_step_of_skew() {
+        // Regression: a code read at second 29 and presented at second 30
+        // (the next window) used to be refused outright.
+        let (db, alice) = db_with_alice();
+        let mut idp = IdentityProvider::new(RealmId(1), 7).with_mfa_required();
+        let secret = idp.enroll_mfa(alice);
+
+        let read_at = SimTime::from_secs(29);
+        let presented_at = SimTime::from_secs(30);
+        let code = mfa_code_at(secret, read_at);
+        let ok = idp
+            .assert_identity(&db, alice, Some(code), presented_at)
+            .unwrap();
+        assert!(ok.mfa_verified, "±1 window skew must be accepted");
+
+        // The skew also runs the other way: a code from the *next* window
+        // presented just before the boundary (fast client clock).
+        let early = mfa_code_at(secret, SimTime::from_secs(31));
+        assert!(idp
+            .assert_identity(&db, alice, Some(early), SimTime::from_secs(29))
+            .is_ok());
+
+        // Two windows back is outside the skew allowance.
+        let stale = mfa_code_at(secret, SimTime::ZERO);
+        assert_ne!(stale, mfa_code_at(secret, SimTime::from_secs(60)));
+        assert_eq!(
+            idp.assert_identity(&db, alice, Some(stale), SimTime::from_secs(65)),
+            Err(CredError::MfaInvalid),
+            "codes older than one window stay dead"
+        );
+    }
+
+    #[test]
+    fn self_enrollment_is_binding_without_realm_policy() {
+        // The portal's enroll_mfa flow: realm policy does NOT require MFA,
+        // but a user who opted in is challenged from the next login on.
+        let (db, alice) = db_with_alice();
+        let mut idp = IdentityProvider::new(RealmId(1), 7);
+        assert!(!idp.require_mfa);
+        let secret = idp.enroll_mfa_enforced(alice);
+        assert!(idp.is_challenged(alice));
+
+        let now = SimTime::from_secs(10);
+        assert_eq!(
+            idp.assert_identity(&db, alice, None, now),
+            Err(CredError::MfaRequired)
+        );
+        let ok = idp
+            .assert_identity(&db, alice, Some(mfa_code_at(secret, now)), now)
+            .unwrap();
+        assert!(ok.mfa_verified);
+
+        // Plain (policy-gated) enrollment stays non-binding when the realm
+        // does not require MFA.
+        let mut idp2 = IdentityProvider::new(RealmId(1), 8);
+        idp2.enroll_mfa(alice);
+        assert!(!idp2.is_challenged(alice));
+        assert!(idp2.assert_identity(&db, alice, None, now).is_ok());
+    }
+
+    #[test]
+    fn rebinding_any_enrolled_secret_requires_stepup() {
+        // Even a plain (policy-gated, unenforced) secret must be proven
+        // before it can be replaced: a stolen session alone cannot swap in
+        // the thief's authenticator over any existing factor.
+        let (_db, alice) = db_with_alice();
+        let mut idp = IdentityProvider::new(RealmId(1), 7);
+        let secret = idp.enroll_mfa(alice);
+        let now = SimTime::from_secs(40);
+        assert_eq!(
+            idp.enroll_mfa_stepup(alice, None, now),
+            Err(CredError::MfaRequired)
+        );
+        let rotated = idp
+            .enroll_mfa_stepup(alice, Some(mfa_code_at(secret, now)), now)
+            .unwrap();
+        assert_ne!(rotated, secret);
+        assert!(idp.is_challenged(alice), "rotation is binding");
     }
 
     #[test]

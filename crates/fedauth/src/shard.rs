@@ -1,0 +1,338 @@
+//! [`ShardedBroker`]: the credential plane at millions-of-sessions scale.
+//!
+//! One [`CredentialBroker`] keeps every live session in one table behind one
+//! lock. For a site serving millions of users that table — and the lock —
+//! becomes the bottleneck. The sharded broker partitions sessions, SSH
+//! certificates, and revocations across N uid-hashed shards: every per-user
+//! operation touches exactly one shard, and batch verification fans out
+//! across shards (near-linear in shard count up to the core count, measured
+//! by `benches/broker_shard_throughput.rs`).
+//!
+//! Correctness-by-construction details:
+//!
+//! * each shard's CA mints serials in a disjoint residue class
+//!   (`serial % shards == shard index`), so serials stay globally unique and
+//!   a serial's owning shard is recoverable without knowing the uid;
+//! * every shard shares the realm id, so realm binding (the
+//!   `CrossRealmSpoof` defense) is unchanged;
+//! * the plane is observationally equivalent to a single broker — the same
+//!   accept/reject decision for every login/validate/revoke/sweep sequence
+//!   (property-tested in `tests/federation_properties.rs`). Token *material*
+//!   differs (different seeded streams), decisions never do.
+
+use crate::broker::{BrokerPolicy, CredentialBroker};
+use crate::ca::{CredError, CredSerial, SignedToken, SshCertificate};
+use crate::plane::CredentialPlane;
+use crate::realm::{MfaCode, MfaSecret, RealmId};
+use eus_simcore::SimTime;
+use eus_simos::{Uid, UserDb};
+use rayon::prelude::*;
+
+/// A credential plane partitioned across N uid-hashed shards.
+#[derive(Debug)]
+pub struct ShardedBroker {
+    shards: Vec<CredentialBroker>,
+    /// Core count sampled once at construction: the batch-path dispatch
+    /// decision, without a per-call affinity syscall.
+    fanout_threads: usize,
+}
+
+use crate::splitmix64 as mix;
+
+impl ShardedBroker {
+    /// A sharded plane for `realm` with `shards` uid-hashed partitions;
+    /// `seed` determines all key/token material (each shard forks its own
+    /// stream).
+    pub fn new(realm: RealmId, seed: u64, shards: usize, policy: BrokerPolicy) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        let shards = (0..shards)
+            .map(|i| {
+                CredentialBroker::new(realm, mix(seed ^ i as u64), policy)
+                    .with_serial_partition(i as u64, shards as u64)
+            })
+            .collect();
+        ShardedBroker {
+            shards,
+            fanout_threads: std::thread::available_parallelism().map_or(1, |v| v.get()),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live sessions in the most loaded shard (the table-bound a single
+    /// lock actually protects; capacity planning reads this).
+    pub fn largest_shard_sessions(&self) -> usize {
+        self.shards
+            .iter()
+            .map(CredentialBroker::live_sessions)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The shard holding `user`'s sessions.
+    fn shard_of(&self, user: Uid) -> usize {
+        (mix(user.0 as u64) % self.shards.len() as u64) as usize
+    }
+
+    /// Borrow the shard for a user.
+    fn shard(&self, user: Uid) -> &CredentialBroker {
+        &self.shards[self.shard_of(user)]
+    }
+
+    /// Mutably borrow the shard for a user.
+    fn shard_mut(&mut self, user: Uid) -> &mut CredentialBroker {
+        let i = self.shard_of(user);
+        &mut self.shards[i]
+    }
+
+    /// The shard that minted `serial` (serials are partitioned into residue
+    /// classes, so ownership is arithmetic, not a lookup).
+    fn shard_of_serial(&self, serial: CredSerial) -> usize {
+        (serial.0 % self.shards.len() as u64) as usize
+    }
+
+    /// The always-bucketed batch path: tokens bucket by owning shard,
+    /// shards verify their buckets concurrently (the rayon shim runs real
+    /// scoped-thread fan-out), results scatter back in input order.
+    /// [`CredentialPlane::validate_batch`] dispatches here when there is
+    /// parallelism to exploit; callers who know better can use it directly.
+    pub fn validate_batch_fanout(&self, tokens: &[SignedToken]) -> Vec<Result<Uid, CredError>> {
+        let n = self.shards.len();
+        let mut buckets: Vec<(usize, Vec<usize>)> = (0..n)
+            .map(|s| (s, Vec::with_capacity(tokens.len() / n + 1)))
+            .collect();
+        for (i, t) in tokens.iter().enumerate() {
+            buckets[self.shard_of(t.user)].1.push(i);
+        }
+        let per_shard: Vec<Vec<(usize, Result<Uid, CredError>)>> = buckets
+            .par_iter()
+            .map(|(s, idxs)| {
+                idxs.iter()
+                    .map(|&i| (i, self.shards[*s].validate_token(&tokens[i])))
+                    .collect()
+            })
+            .collect();
+        let mut out: Vec<Result<Uid, CredError>> = Vec::with_capacity(tokens.len());
+        out.resize(tokens.len(), Err(CredError::NoCredential(Uid(0))));
+        for bucket in per_shard {
+            for (i, r) in bucket {
+                out[i] = r;
+            }
+        }
+        out
+    }
+}
+
+impl CredentialPlane for ShardedBroker {
+    fn realm(&self) -> RealmId {
+        self.shards[0].realm()
+    }
+
+    fn now(&self) -> SimTime {
+        self.shards[0].now()
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        for s in &mut self.shards {
+            s.advance_to(t);
+        }
+    }
+
+    fn login(
+        &mut self,
+        db: &UserDb,
+        user: Uid,
+        mfa: Option<MfaCode>,
+    ) -> Result<SignedToken, CredError> {
+        self.shard_mut(user).login(db, user, mfa)
+    }
+
+    fn login_auto(&mut self, db: &UserDb, user: Uid) -> Result<SignedToken, CredError> {
+        self.shard_mut(user).login_auto(db, user)
+    }
+
+    fn mint_ssh_cert(&mut self, token: &SignedToken) -> Result<SshCertificate, CredError> {
+        self.shard_mut(token.user).mint_ssh_cert(token)
+    }
+
+    fn ensure_session(&mut self, db: &UserDb, user: Uid) -> Result<SignedToken, CredError> {
+        self.shard_mut(user).ensure_session(db, user)
+    }
+
+    fn validate_token(&self, token: &SignedToken) -> Result<Uid, CredError> {
+        self.shard(token.user).validate_token(token)
+    }
+
+    fn validate_cert(&self, cert: &SshCertificate) -> Result<Uid, CredError> {
+        self.shard(cert.user).validate_cert(cert)
+    }
+
+    fn validate_serial(&self, user: Uid, serial: CredSerial) -> Result<(), CredError> {
+        self.shard(user).validate_serial(user, serial)
+    }
+
+    fn authorize_ssh(&self, user: Uid) -> Result<(), CredError> {
+        self.shard(user).authorize_ssh(user)
+    }
+
+    fn authorize_submit(&self, user: Uid) -> Result<(), CredError> {
+        self.shard(user).authorize_submit(user)
+    }
+
+    fn authorize_submit_at(&self, user: Uid, at: SimTime) -> Result<(), CredError> {
+        self.shard(user).authorize_submit_at(user, at)
+    }
+
+    fn current_cert(&self, user: Uid) -> Option<SshCertificate> {
+        self.shard(user).current_cert(user)
+    }
+
+    fn current_token(&self, user: Uid) -> Option<SignedToken> {
+        self.shard(user).current_token(user)
+    }
+
+    fn revoke_serial(&mut self, serial: CredSerial) {
+        // A user's tokens are minted by — and validated at — the same shard,
+        // and that shard's serials fill one residue class, so routing by
+        // residue lands the revocation exactly where the token validates.
+        let i = self.shard_of_serial(serial);
+        self.shards[i].revoke_serial(serial);
+    }
+
+    fn revoke_user(&mut self, user: Uid) {
+        self.shard_mut(user).revoke_user(user);
+    }
+
+    fn sweep_expired(&mut self) -> usize {
+        self.shards.iter_mut().map(|s| s.sweep_expired()).sum()
+    }
+
+    fn live_sessions(&self) -> usize {
+        self.shards.iter().map(|s| s.live_sessions()).sum()
+    }
+
+    // MFA routes delegate to the owning shard's own plane impl, so the
+    // binding-enrollment policy is encoded exactly once (in
+    // CredentialBroker's CredentialPlane impl).
+    fn enroll_mfa(&mut self, user: Uid, mfa: Option<MfaCode>) -> Result<MfaSecret, CredError> {
+        CredentialPlane::enroll_mfa(self.shard_mut(user), user, mfa)
+    }
+
+    fn mfa_challenged(&self, user: Uid) -> bool {
+        CredentialPlane::mfa_challenged(self.shard(user), user)
+    }
+
+    fn current_mfa_code(&self, user: Uid) -> Option<MfaCode> {
+        CredentialPlane::current_mfa_code(self.shard(user), user)
+    }
+
+    /// Shard-parallel batch verification
+    /// ([`validate_batch_fanout`](ShardedBroker::validate_batch_fanout))
+    /// when there is parallelism to exploit; plain sequential otherwise
+    /// (bucketing only pays when threads exist to fan out to).
+    fn validate_batch(&self, tokens: &[SignedToken]) -> Vec<Result<Uid, CredError>> {
+        if self.shards.len() == 1 || self.fanout_threads == 1 || tokens.len() < 2 {
+            return tokens.iter().map(|t| self.validate_token(t)).collect();
+        }
+        self.validate_batch_fanout(tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(shards: usize) -> (UserDb, ShardedBroker, Vec<Uid>) {
+        let mut db = UserDb::new();
+        let users: Vec<Uid> = (0..16)
+            .map(|i| db.create_user(&format!("u{i}")).unwrap())
+            .collect();
+        let plane = ShardedBroker::new(RealmId(1), 77, shards, BrokerPolicy::default());
+        (db, plane, users)
+    }
+
+    #[test]
+    fn per_user_lifecycle_spans_shards() {
+        let (db, mut p, users) = setup(4);
+        let tokens: Vec<SignedToken> = users
+            .iter()
+            .map(|&u| p.login(&db, u, None).unwrap())
+            .collect();
+        assert_eq!(p.live_sessions(), users.len());
+        for (u, t) in users.iter().zip(&tokens) {
+            assert_eq!(p.validate_token(t).unwrap(), *u);
+            assert!(p.authorize_ssh(*u).is_ok());
+            assert!(p.authorize_submit(*u).is_ok());
+        }
+        // Users actually spread over more than one shard.
+        let occupied = (0..4).filter(|&i| p.shards[i].live_sessions() > 0).count();
+        assert!(occupied > 1, "uid hash must spread users");
+    }
+
+    #[test]
+    fn serials_are_globally_unique_and_route_back() {
+        let (db, mut p, users) = setup(8);
+        let mut seen = std::collections::BTreeSet::new();
+        for &u in &users {
+            for _ in 0..10 {
+                let t = p.login(&db, u, None).unwrap();
+                assert!(seen.insert(t.serial), "serial collision across shards");
+                assert_eq!(p.shard_of_serial(t.serial), p.shard_of(u));
+            }
+        }
+    }
+
+    #[test]
+    fn serial_revocation_routes_to_the_minting_shard() {
+        let (db, mut p, users) = setup(4);
+        let t = p.login(&db, users[3], None).unwrap();
+        p.revoke_serial(t.serial);
+        assert_eq!(p.validate_token(&t), Err(CredError::Revoked(t.serial)));
+        // Only one shard carries the revocation entry.
+        let lists = (0..4)
+            .filter(|&i| !p.shards[i].revocations.is_empty())
+            .count();
+        assert_eq!(lists, 1);
+    }
+
+    #[test]
+    fn batch_validation_matches_pointwise() {
+        let (db, mut p, users) = setup(4);
+        let mut tokens: Vec<SignedToken> = users
+            .iter()
+            .flat_map(|&u| {
+                (0..4)
+                    .map(|_| p.login(&db, u, None).unwrap())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        // Poison a few: revoke one, tamper one.
+        p.revoke_serial(tokens[5].serial);
+        tokens[9].user = Uid(424242);
+        // Both the dispatching entry point and the always-bucketed fan-out
+        // path (the dispatcher may fall back to sequential on 1-core boxes).
+        for batch in [p.validate_batch(&tokens), p.validate_batch_fanout(&tokens)] {
+            assert_eq!(batch.len(), tokens.len());
+            for (t, r) in tokens.iter().zip(&batch) {
+                assert_eq!(*r, p.validate_token(t), "batch must equal pointwise");
+            }
+            assert!(batch[5].is_err());
+            assert!(batch[9].is_err());
+        }
+    }
+
+    #[test]
+    fn cross_realm_rejection_is_preserved() {
+        let (db, mut p, users) = setup(4);
+        p.login(&db, users[0], None).unwrap();
+        let mut foreign = CredentialBroker::new(RealmId(9), 5, BrokerPolicy::default());
+        let forged = foreign.login(&db, users[0], None).unwrap();
+        assert!(matches!(
+            p.validate_token(&forged),
+            Err(CredError::RealmMismatch { .. })
+        ));
+    }
+}

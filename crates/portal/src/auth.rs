@@ -13,11 +13,17 @@
 //!   [`SharedBroker`] is attached, every lookup also consults the broker's
 //!   revocation list, so central revocation is immediate at the portal.
 //!
+//! With a broker attached the portal also surfaces MFA self-service:
+//! [`enroll_mfa`] binds a second factor at the realm IdP, and from the next
+//! login on [`login_mfa`] must present a current window code.
+//!
 //! [`whoami`]: PortalAuth::whoami
 //! [`sweep_expired`]: PortalAuth::sweep_expired
+//! [`enroll_mfa`]: PortalAuth::enroll_mfa
+//! [`login_mfa`]: PortalAuth::login_mfa
 //! [`SharedBroker`]: eus_fedauth::SharedBroker
 
-use eus_fedauth::{CredError, CredSerial, SharedBroker};
+use eus_fedauth::{CredError, CredSerial, MfaCode, MfaSecret, SharedBroker};
 use eus_simcore::{SimDuration, SimRng, SimTime};
 use eus_simos::{Uid, UserDb};
 use std::collections::BTreeMap;
@@ -36,6 +42,9 @@ pub enum AuthError {
     InvalidToken,
     /// The federated broker refused the login.
     Federated(CredError),
+    /// MFA enrollment needs a federated broker attached (there is no local
+    /// IdP to hold the secret).
+    MfaUnavailable,
 }
 
 impl fmt::Display for AuthError {
@@ -44,6 +53,7 @@ impl fmt::Display for AuthError {
             AuthError::NoSuchUser(u) => write!(f, "no such user {u}"),
             AuthError::InvalidToken => f.write_str("invalid or expired token"),
             AuthError::Federated(e) => write!(f, "federated login refused: {e}"),
+            AuthError::MfaUnavailable => f.write_str("MFA enrollment requires a federated broker"),
         }
     }
 }
@@ -59,6 +69,8 @@ struct SessionEntry {
     serial: Option<CredSerial>,
 }
 
+use eus_fedauth::splitmix64 as mix64;
+
 /// Token store.
 #[derive(Debug)]
 pub struct PortalAuth {
@@ -67,6 +79,11 @@ pub struct PortalAuth {
     now: SimTime,
     ttl: Option<SimDuration>,
     broker: Option<SharedBroker>,
+    /// Portal-private key for deriving web-session tokens from broker
+    /// material: both 64-bit halves feed in, but without this key nobody
+    /// who *observes* the bearer token (sister-site validators, relying
+    /// services) can compute the portal session token from it.
+    fold_key: u64,
 }
 
 impl Default for PortalAuth {
@@ -84,12 +101,15 @@ impl PortalAuth {
 
     /// Empty store whose token material derives from `seed`.
     pub fn with_seed(seed: u64) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let fold_key = rng.range_u64(1, u64::MAX);
         PortalAuth {
             sessions: BTreeMap::new(),
-            rng: SimRng::seed_from_u64(seed),
+            rng,
             now: SimTime::ZERO,
             ttl: None,
             broker: None,
+            fold_key,
         }
     }
 
@@ -123,16 +143,55 @@ impl PortalAuth {
         }
     }
 
-    /// Authenticate a user (site SSO assumed) and mint a token.
+    /// Mint a portal token, preferring `seed` (derived from broker
+    /// material) and falling back to the rng stream until the candidate is
+    /// nonzero and unused. Every mint path collision-checks here: a
+    /// colliding insert would silently clobber another live session — a
+    /// cross-user session-confusion bug the federated path used to have.
+    fn mint_unused_token(&mut self, seed: Option<u64>) -> Token {
+        let mut candidate = seed.unwrap_or_else(|| self.rng.range_u64(1, u64::MAX));
+        loop {
+            if candidate != 0 && !self.sessions.contains_key(&Token(candidate)) {
+                return Token(candidate);
+            }
+            candidate = self.rng.range_u64(1, u64::MAX);
+        }
+    }
+
+    /// Authenticate a user (site SSO assumed) and mint a token. With a
+    /// federated broker attached, users with a binding MFA enrollment must
+    /// log in through [`login_mfa`](Self::login_mfa).
     pub fn login(&mut self, db: &UserDb, user: Uid) -> Result<Token, AuthError> {
+        self.login_mfa(db, user, None)
+    }
+
+    /// [`login`](Self::login) with an optional one-time code for
+    /// MFA-enrolled users (ignored without a broker: local sessions model
+    /// the pre-federation portal, which had no second factor).
+    pub fn login_mfa(
+        &mut self,
+        db: &UserDb,
+        user: Uid,
+        mfa: Option<MfaCode>,
+    ) -> Result<Token, AuthError> {
         if db.user(user).is_none() {
             return Err(AuthError::NoSuchUser(user));
         }
-        if let Some(broker) = &self.broker {
-            let mut broker = broker.write();
-            broker.advance_to(self.now);
-            let signed = broker.login(db, user, None).map_err(AuthError::Federated)?;
-            let t = Token(signed.material as u64);
+        if let Some(broker) = self.broker.clone() {
+            let signed = {
+                let mut broker = broker.write();
+                broker.advance_to(self.now);
+                broker.login(db, user, mfa).map_err(AuthError::Federated)?
+            };
+            // Derive the 64-bit portal token from the *full* 128-bit bearer
+            // material — truncating to the low half used to discard 64 bits
+            // of entropy — mixed with the portal-private key, so services
+            // that legitimately see the bearer token cannot compute the web
+            // session token from it (a plain high^low fold would let any
+            // such observer hijack the portal session).
+            let folded = mix64((signed.material >> 64) as u64 ^ self.fold_key)
+                ^ mix64(signed.material as u64 ^ self.fold_key.rotate_left(21));
+            let t = self.mint_unused_token(Some(folded));
             self.sessions.insert(
                 t,
                 SessionEntry {
@@ -144,12 +203,7 @@ impl PortalAuth {
             return Ok(t);
         }
         // Local minting: unguessable material, collision-checked.
-        let t = loop {
-            let candidate = Token(self.rng.range_u64(1, u64::MAX));
-            if !self.sessions.contains_key(&candidate) {
-                break candidate;
-            }
-        };
+        let t = self.mint_unused_token(None);
         self.sessions.insert(
             t,
             SessionEntry {
@@ -159,6 +213,28 @@ impl PortalAuth {
             },
         );
         Ok(t)
+    }
+
+    /// The portal's `enroll_mfa` route: a logged-in user enrolls a binding
+    /// second factor at the realm IdP. The returned secret is shown once
+    /// (the QR-code moment); from the next login on, this user must present
+    /// a current one-time code ([`login_mfa`](Self::login_mfa)).
+    ///
+    /// Rebinding an existing factor is step-up-gated: an already-challenged
+    /// user must present their *current* code (`mfa`) or the route refuses —
+    /// a stolen session token alone cannot swap in the thief's authenticator.
+    pub fn enroll_mfa(
+        &mut self,
+        token: Token,
+        mfa: Option<MfaCode>,
+    ) -> Result<MfaSecret, AuthError> {
+        let user = self.whoami(token)?;
+        let broker = self.broker.as_ref().ok_or(AuthError::MfaUnavailable)?;
+        let mut broker = broker.write();
+        // Same clock sync as the login path: the step-up TOTP check must
+        // judge the code against *now*, not the broker's last-seen time.
+        broker.advance_to(self.now);
+        broker.enroll_mfa(user, mfa).map_err(AuthError::Federated)
     }
 
     /// Resolve a token to its uid. Stale or centrally-revoked tokens are
@@ -193,14 +269,26 @@ impl PortalAuth {
         }
     }
 
-    /// Evict expired sessions; returns how many were removed. Expired
-    /// tokens already fail [`whoami`](Self::whoami) — the sweep bounds the
-    /// table size, as a production store must.
+    /// Evict expired sessions — and, with a broker attached, sessions whose
+    /// backing credential was centrally revoked or already swept at the
+    /// broker; returns how many were removed. All of these already fail
+    /// [`whoami`](Self::whoami) — the sweep bounds the table size, as a
+    /// production store must (a revoked-but-unexpired entry would otherwise
+    /// stay resident until its 12h window lapsed).
     pub fn sweep_expired(&mut self) -> usize {
         let now = self.now;
         let before = self.sessions.len();
-        self.sessions
-            .retain(|_, e| e.expires.is_none_or(|exp| now < exp));
+        let broker = self.broker.as_ref().map(|b| b.read());
+        self.sessions.retain(|_, e| {
+            if e.expires.is_some_and(|exp| now >= exp) {
+                return false;
+            }
+            match (&broker, e.serial) {
+                (Some(b), Some(serial)) => b.validate_serial(e.user, serial).is_ok(),
+                _ => true,
+            }
+        });
+        drop(broker);
         before - self.sessions.len()
     }
 
@@ -304,6 +392,161 @@ mod tests {
         assert!(auth.logout(t1));
         assert_eq!(auth.whoami(t1), Err(AuthError::InvalidToken));
         assert_eq!(auth.whoami(t2).unwrap(), alice);
+    }
+
+    #[test]
+    fn federated_tokens_fold_full_material_and_collision_check() {
+        // Regression: `Token(signed.material as u64)` truncated the u128
+        // bearer material to its low half and skipped the collision check,
+        // so a colliding token silently clobbered another live session.
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let broker = shared_broker(CredentialBroker::new(
+            RealmId(1),
+            5,
+            BrokerPolicy::default(),
+        ));
+        let mut auth = PortalAuth::new();
+        auth.attach_broker(broker.clone());
+
+        let t = auth.login(&db, alice).unwrap();
+        let material = broker.read().current_token(alice).unwrap().material;
+        assert_ne!(t.0, material as u64, "low-half truncation is the old bug");
+        assert_ne!(
+            t.0,
+            (material >> 64) as u64 ^ material as u64,
+            "a publicly computable fold would let any bearer-token observer \
+             (sister-site validators) hijack the web session"
+        );
+        assert_ne!(t.0, (material >> 64) as u64, "high-half truncation too");
+
+        // Many federated logins: all tokens distinct, all sessions live
+        // (a clobber would orphan earlier entries).
+        let tokens: Vec<Token> = (0..500).map(|_| auth.login(&db, alice).unwrap()).collect();
+        let distinct: std::collections::BTreeSet<_> = tokens.iter().collect();
+        assert_eq!(distinct.len(), tokens.len());
+        assert_eq!(auth.live_sessions(), 501);
+        for t in &tokens {
+            assert_eq!(auth.whoami(*t).unwrap(), alice);
+        }
+    }
+
+    #[test]
+    fn sweep_drops_centrally_revoked_federated_sessions() {
+        // Regression: broker-revoked sessions failed whoami but stayed
+        // resident in the portal table until their 12h window lapsed.
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let bob = db.create_user("bob").unwrap();
+        let broker = shared_broker(CredentialBroker::new(
+            RealmId(1),
+            5,
+            BrokerPolicy::default(),
+        ));
+        let mut auth = PortalAuth::new();
+        auth.attach_broker(broker.clone());
+        let _ta = auth.login(&db, alice).unwrap();
+        let tb = auth.login(&db, bob).unwrap();
+        assert_eq!(auth.live_sessions(), 2);
+
+        broker.write().revoke_user(alice);
+        assert_eq!(auth.sweep_expired(), 1, "alice's dead session evicted");
+        assert_eq!(auth.live_sessions(), 1);
+        assert_eq!(auth.whoami(tb).unwrap(), bob, "bob untouched");
+        assert_eq!(auth.sweep_expired(), 0, "sweep is idempotent");
+    }
+
+    #[test]
+    fn mfa_enrollment_is_enforced_on_next_login() {
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let broker = shared_broker(CredentialBroker::new(
+            RealmId(1),
+            5,
+            BrokerPolicy::default(),
+        ));
+        let mut auth = PortalAuth::new();
+        auth.attach_broker(broker.clone());
+
+        // Enroll through the portal route while logged in.
+        let t = auth.login(&db, alice).unwrap();
+        assert!(!broker.read().mfa_challenged(alice));
+        let secret = auth.enroll_mfa(t, None).unwrap();
+        assert!(
+            broker.read().mfa_challenged(alice),
+            "portal enrollment is binding"
+        );
+
+        // Next login without a code is refused; with the current window
+        // code it succeeds.
+        assert_eq!(
+            auth.login(&db, alice),
+            Err(AuthError::Federated(eus_fedauth::CredError::MfaRequired))
+        );
+        let code = eus_fedauth::realm::mfa_code_at(secret, broker.read().now());
+        let t2 = auth.login_mfa(&db, alice, Some(code)).unwrap();
+        assert_eq!(auth.whoami(t2).unwrap(), alice);
+
+        // Enrollment requires a live session and a broker.
+        assert!(auth.enroll_mfa(Token(123), None).is_err());
+        let mut local = PortalAuth::new();
+        let lt = local.login(&db, alice).unwrap();
+        assert_eq!(local.enroll_mfa(lt, None), Err(AuthError::MfaUnavailable));
+    }
+
+    #[test]
+    fn mfa_rebinding_requires_stepup_with_the_current_code() {
+        // A stolen live session token alone must NOT let an attacker swap
+        // in their own authenticator over an enrolled user's factor.
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let broker = shared_broker(CredentialBroker::new(
+            RealmId(1),
+            5,
+            BrokerPolicy::default(),
+        ));
+        let mut auth = PortalAuth::new();
+        auth.attach_broker(broker.clone());
+
+        let t = auth.login(&db, alice).unwrap();
+        let secret = auth.enroll_mfa(t, None).unwrap();
+
+        // Rebind attempts against the (still live) session: refused without
+        // the current code, refused with a wrong code.
+        assert_eq!(
+            auth.enroll_mfa(t, None),
+            Err(AuthError::Federated(eus_fedauth::CredError::MfaRequired))
+        );
+        let now = broker.read().now();
+        let code = eus_fedauth::realm::mfa_code_at(secret, now);
+        let wrong = eus_fedauth::MfaCode(code.0.wrapping_add(3) % 1_000_000);
+        assert_eq!(
+            auth.enroll_mfa(t, Some(wrong)),
+            Err(AuthError::Federated(eus_fedauth::CredError::MfaInvalid))
+        );
+        // The legitimate owner, holding the current code, can rotate the
+        // factor; the old secret stops validating at the next login.
+        let secret2 = auth.enroll_mfa(t, Some(code)).unwrap();
+        assert_ne!(secret, secret2);
+        let now = broker.read().now();
+        let stale = eus_fedauth::realm::mfa_code_at(secret, now);
+        assert!(auth.login_mfa(&db, alice, Some(stale)).is_err());
+        let fresh = eus_fedauth::realm::mfa_code_at(secret2, now);
+        assert!(auth.login_mfa(&db, alice, Some(fresh)).is_ok());
+
+        // The step-up judges codes on the *portal's* clock: after the
+        // portal advances past the broker's last-seen time, the code for
+        // the current portal window rotates the factor (the route syncs the
+        // broker clock like login does), and the t=0-era code is dead.
+        auth.advance_to(SimTime::from_secs(300));
+        let old_window = eus_fedauth::realm::mfa_code_at(secret2, now);
+        let current = eus_fedauth::realm::mfa_code_at(secret2, SimTime::from_secs(300));
+        assert_ne!(old_window, current);
+        assert_eq!(
+            auth.enroll_mfa(t, Some(old_window)),
+            Err(AuthError::Federated(eus_fedauth::CredError::MfaInvalid))
+        );
+        assert!(auth.enroll_mfa(t, Some(current)).is_ok());
     }
 
     #[test]

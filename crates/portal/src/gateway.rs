@@ -102,6 +102,19 @@ impl PortalGateway {
         f(&self.db.read())
     }
 
+    /// The `enroll_mfa` route: a logged-in user binds a second factor at
+    /// the realm IdP (self-service, like the real portal's security page).
+    /// Returns the one-time-shown shared secret; the next login must
+    /// present a current window code. Rebinding an existing factor
+    /// requires the current code (`mfa`) as step-up.
+    pub fn enroll_mfa(
+        &mut self,
+        token: Token,
+        mfa: Option<eus_fedauth::MfaCode>,
+    ) -> Result<eus_fedauth::MfaSecret, PortalError> {
+        self.auth.enroll_mfa(token, mfa).map_err(PortalError::Auth)
+    }
+
     /// Fetch a route's app content on behalf of an authenticated user.
     pub fn fetch(
         &mut self,

@@ -63,33 +63,41 @@ fn expected_open(cfg: &SeparationConfig) -> Vec<Channel> {
 
 fn arb_config() -> impl Strategy<Value = SeparationConfig> {
     (
-        any::<bool>(),
-        any::<bool>(),
-        prop_oneof![
-            Just(NodeSharing::Shared),
-            Just(NodeSharing::Exclusive),
-            Just(NodeSharing::WholeNodeUser),
-        ],
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
+        (
+            any::<bool>(),
+            any::<bool>(),
+            prop_oneof![
+                Just(NodeSharing::Shared),
+                Just(NodeSharing::Exclusive),
+                Just(NodeSharing::WholeNodeUser),
+            ],
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+        ),
+        // Broker shard count rides along: the audit outcome must be
+        // invariant under sharding (observational equivalence).
+        1u32..5,
     )
         .prop_map(
             |(
-                hidepid,
-                private_data,
-                node_policy,
-                pam_slurm,
-                fsperm,
-                ubf,
-                portal,
-                gperm,
-                gscrub,
-                fedauth,
+                (
+                    hidepid,
+                    private_data,
+                    node_policy,
+                    pam_slurm,
+                    fsperm,
+                    ubf,
+                    portal,
+                    gperm,
+                    gscrub,
+                    fedauth,
+                ),
+                broker_shards,
             )| {
                 SeparationConfig {
                     hidepid,
@@ -102,6 +110,8 @@ fn arb_config() -> impl Strategy<Value = SeparationConfig> {
                     gpu_dev_perms: gperm,
                     gpu_scrub: gscrub,
                     federated_auth: fedauth,
+                    broker_shards,
+                    trusted_realms: Vec::new(),
                 }
             },
         )
