@@ -8,8 +8,11 @@
 //! deployments).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use eus_fedauth::{BrokerPolicy, CredentialPlane, RealmId, ShardedBroker, SignedToken};
+use eus_fedauth::{
+    shared_broker, BrokerPolicy, CredentialPlane, RealmId, ShardedBroker, SignedToken,
+};
 use eus_simos::{Uid, UserDb};
+use rayon::prelude::*;
 use std::hint::black_box;
 
 const USERS: usize = 128;
@@ -74,5 +77,67 @@ fn bench_single_op_routing(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_batch_validate, bench_single_op_routing);
+fn bench_concurrent_login_paths(c: &mut Criterion) {
+    // The per-shard-locking win: the old path serializes every login on
+    // the plane-wide write lock; the shared path takes the plane lock for
+    // *reading* and lets logins landing on different shards run in
+    // parallel on their own shard locks. Same decisions (property-tested);
+    // different wall-clock under concurrency.
+    let cores = std::thread::available_parallelism().map_or(1, |v| v.get());
+    println!("(concurrent-login parallelism on this machine: {cores} core(s))");
+    let mut db = UserDb::new();
+    let users: Vec<Uid> = (0..256)
+        .map(|i| db.create_user(&format!("c{i}")).unwrap())
+        .collect();
+    let mut g = c.benchmark_group("fedauth/concurrent_login");
+    g.throughput(Throughput::Elements(users.len() as u64));
+
+    let plane = shared_broker(ShardedBroker::new(
+        RealmId(1),
+        7,
+        8,
+        BrokerPolicy::default(),
+    ));
+    g.bench_function("plane_write_lock", |b| {
+        b.iter(|| {
+            let minted: Vec<bool> = users
+                .par_iter()
+                .map(|&u| plane.write().login(&db, u, None).is_ok())
+                .collect();
+            assert!(minted.iter().all(|ok| *ok));
+            black_box(minted)
+        })
+    });
+    // Fresh plane so both paths start from comparable table sizes.
+    let plane = shared_broker(ShardedBroker::new(
+        RealmId(1),
+        7,
+        8,
+        BrokerPolicy::default(),
+    ));
+    g.bench_function("per_shard_shared", |b| {
+        b.iter(|| {
+            let minted: Vec<bool> = users
+                .par_iter()
+                .map(|&u| {
+                    plane
+                        .read()
+                        .try_login_shared(&db, u, None)
+                        .expect("sharded plane supports the shared path")
+                        .is_ok()
+                })
+                .collect();
+            assert!(minted.iter().all(|ok| *ok));
+            black_box(minted)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_validate,
+    bench_single_op_routing,
+    bench_concurrent_login_paths
+);
 criterion_main!(benches);

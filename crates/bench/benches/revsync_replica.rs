@@ -1,0 +1,109 @@
+//! Replica-lookup hot path: cross-realm validation against a local CRL
+//! replica must stay O(1) nanoseconds with a large replicated revocation
+//! list — the whole premise of replacing the synchronous issuer query is
+//! that the local check costs the same as the old in-memory one, minus the
+//! WAN dependency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eus_fedauth::{
+    shared_broker, BrokerPolicy, CredError, CredSerial, CredentialBroker, CredentialPlane,
+    FederationDirectory, RealmId, SignedToken, TrustPolicy,
+};
+use eus_revsync::{CrlReplica, RevSyncConfig};
+use eus_simcore::SimTime;
+use eus_simos::{Uid, UserDb};
+use std::hint::black_box;
+
+const HOME: RealmId = RealmId(1);
+const SISTER: RealmId = RealmId(2);
+
+fn sister_with_revocations(revoked: u64) -> (UserDb, CredentialBroker, Uid, SignedToken) {
+    let mut db = UserDb::new();
+    let alice = db.create_user("alice").unwrap();
+    let mut broker = CredentialBroker::new(SISTER, 0xBE9C, BrokerPolicy::default());
+    let token = broker.login(&db, alice, None).unwrap();
+    for i in 0..revoked {
+        broker.revoke_serial(CredSerial(1_000_000 + i));
+    }
+    (db, broker, alice, token)
+}
+
+fn bench_replica_validate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("revsync/replica_validate");
+    for revoked in [0u64, 100_000] {
+        let (_db, broker, _alice, token) = sister_with_revocations(revoked);
+        let replica = CrlReplica::bootstrap(
+            SISTER,
+            broker.verifier(),
+            CredentialPlane::revocations_since(&broker, 0),
+            SimTime::ZERO,
+        );
+        let budget = RevSyncConfig::default().max_lag;
+        g.bench_with_input(BenchmarkId::new("revoked", revoked), &revoked, |b, _| {
+            b.iter(|| {
+                black_box(replica.validate_token(black_box(&token), SimTime::ZERO, budget)).unwrap()
+            })
+        });
+        // A revoked serial must cost the same (hash miss vs hit).
+        let dead = CredSerial(1_000_001);
+        if revoked > 0 {
+            g.bench_with_input(
+                BenchmarkId::new("revoked_hit", revoked),
+                &revoked,
+                |b, _| {
+                    // A tampered serial would break the signature before the
+                    // list lookup, so probe the membership check alone.
+                    b.iter(|| black_box(replica.is_revoked(black_box(dead))))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_vs_synchronous_directory(c: &mut Criterion) {
+    // The PR-2 path this subsystem retires: same in-memory cost, but the
+    // lookup conceptually crosses the WAN to the issuer on every call.
+    let (_db, broker, _alice, token) = sister_with_revocations(100_000);
+    let replica = CrlReplica::bootstrap(
+        SISTER,
+        broker.verifier(),
+        CredentialPlane::revocations_since(&broker, 0),
+        SimTime::ZERO,
+    );
+    let budget = RevSyncConfig::default().max_lag;
+
+    let mut dir = FederationDirectory::new();
+    let home_plane = shared_broker(CredentialBroker::new(HOME, 0x1111, BrokerPolicy::default()));
+    dir.register(
+        HOME,
+        home_plane,
+        TrustPolicy::home_only(HOME).with_trusted(SISTER),
+    );
+    dir.register(
+        SISTER,
+        shared_broker(broker),
+        TrustPolicy::home_only(SISTER),
+    );
+
+    let mut g = c.benchmark_group("revsync/hot_path_vs_sync");
+    g.bench_function("local_replica", |b| {
+        b.iter(|| {
+            black_box(replica.validate_token(black_box(&token), SimTime::ZERO, budget)).unwrap()
+        })
+    });
+    g.bench_function("sync_issuer_query", |b| {
+        b.iter(|| {
+            let r: Result<Uid, CredError> = dir.validate_token_at(HOME, black_box(&token));
+            black_box(r).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_replica_validate,
+    bench_vs_synchronous_directory
+);
+criterion_main!(benches);

@@ -17,6 +17,7 @@ use eus_fedauth::{
 };
 use eus_fsperm::{apply_kernel_patches_handle, FilePermissionHandler, PamSmask, LLSC_SMASK};
 use eus_portal::{PortalGateway, RouteKey, WebAppRegistry};
+use eus_revsync::{RevSyncConfig, RevSyncMesh};
 use eus_sched::{
     shared_scheduler, EpilogEvent, JobId, JobSpec, JobState, PamSlurm, SchedConfig, Scheduler,
     SharedScheduler,
@@ -125,6 +126,12 @@ pub struct SecureCluster {
     /// home realm's plane plus any registered sister realms, with the home
     /// site's trust policy from `config.trusted_realms`.
     pub federation: Option<FederationDirectory>,
+    /// The revocation-propagation mesh (`Some` when
+    /// `config.federated_auth`): local CRL replicas for trusted sister
+    /// realms, fed by push deltas + pull anti-entropy over a simulated WAN.
+    /// Cross-realm validation consults these replicas — never the issuer —
+    /// under `config.revsync_max_lag` (bounded staleness, fail closed).
+    pub revsync: Option<RevSyncMesh>,
     seepid_gid: Gid,
     materialized: BTreeSet<JobId>,
     job_procs: BTreeMap<JobId, Vec<(NodeId, Pid)>>,
@@ -195,6 +202,16 @@ impl SecureCluster {
             let mut dir = FederationDirectory::new();
             dir.register(HOME_REALM, b.clone(), trust);
             dir
+        });
+        let revsync = broker.as_ref().map(|b| {
+            let mut mesh = RevSyncMesh::new(RevSyncConfig {
+                feed_interval: config.revsync_feed_interval,
+                anti_entropy: config.revsync_anti_entropy,
+                max_lag: config.revsync_max_lag,
+                ..RevSyncConfig::default()
+            });
+            mesh.add_realm(HOME_REALM, b.clone());
+            mesh
         });
 
         // Nodes: compute then login.
@@ -283,6 +300,7 @@ impl SecureCluster {
             ubf_stats,
             broker,
             federation,
+            revsync,
             seepid_gid,
             materialized: BTreeSet::new(),
             job_procs: BTreeMap::new(),
@@ -529,12 +547,17 @@ impl SecureCluster {
     /// The credential plane runs on the same simulated clock as the
     /// scheduler: expiry is a property of *when*, not of polling. Sister
     /// realms in the federation directory tick on the same clock (the home
-    /// broker is registered there too; `advance_to` is idempotent).
+    /// broker is registered there too; `advance_to` is idempotent), and the
+    /// revocation mesh pumps every feed/anti-entropy exchange due up to the
+    /// new instant — this is the tick-driven feed pump.
     fn sync_credential_clocks(&mut self, t: SimTime) {
         if let Some(dir) = &mut self.federation {
             dir.advance_to(t);
         } else if let Some(b) = &self.broker {
             b.write().advance_to(t);
+        }
+        if let Some(mesh) = &mut self.revsync {
+            mesh.pump(t);
         }
         self.portal.auth.advance_to(t);
     }
@@ -548,8 +571,36 @@ impl SecureCluster {
     /// is governed solely by `config.trusted_realms` — registration alone
     /// grants nothing (fail closed). The sister's clock is advanced to the
     /// cluster's current simulated time, so the whole federation ticks
-    /// together from the moment it joins.
+    /// together from the moment it joins; if the realm is trusted, the home
+    /// site also bootstraps a local CRL replica and subscribes to the
+    /// realm's revocation feed (`eus-revsync`).
     pub fn register_sister_realm(&mut self, realm: RealmId, plane: SharedBroker) {
+        self.register_sister_plane(realm, plane, None);
+    }
+
+    /// [`register_sister_realm`](Self::register_sister_realm) for a
+    /// **time-boxed collaboration**: unlike the plain variant, this also
+    /// *grants* trust — the home site accepts the realm's credentials until
+    /// `expires_at` on the simulation clock, after which validation fails
+    /// closed with `CredError::TrustExpired` (re-registering with a later
+    /// expiry is the rotation path). If the operator's config already
+    /// trusts the realm *permanently* (`config.trusted_realms`), the
+    /// time-box is ignored — a later grant never shortens standing trust.
+    pub fn register_sister_realm_until(
+        &mut self,
+        realm: RealmId,
+        plane: SharedBroker,
+        expires_at: SimTime,
+    ) {
+        self.register_sister_plane(realm, plane, Some(expires_at));
+    }
+
+    fn register_sister_plane(
+        &mut self,
+        realm: RealmId,
+        plane: SharedBroker,
+        trust_until: Option<SimTime>,
+    ) {
         assert_ne!(
             realm, HOME_REALM,
             "the home realm's plane is installed at construction and cannot be replaced"
@@ -564,22 +615,96 @@ impl SecureCluster {
             .federation
             .as_mut()
             .expect("federation requires config.federated_auth");
-        dir.register(realm, plane, TrustPolicy::home_only(realm));
+        dir.register(realm, plane.clone(), TrustPolicy::home_only(realm));
+        if let Some(expires_at) = trust_until {
+            // A time-boxed grant never downgrades trust the operator's
+            // config made permanent — rotation extends, it never shortens
+            // by accident (the same invariant TrustPolicy::trust keeps in
+            // the other direction).
+            let already_permanent = dir.trust_policy(HOME_REALM).is_some_and(|p| {
+                p.trusted_realms().any(|r| r == realm) && p.trust_expires_at(realm).is_none()
+            });
+            if !already_permanent {
+                dir.trust_realm_until(HOME_REALM, realm, Some(expires_at));
+            }
+        }
+        // Trusted sisters (config allow-list or the time-boxed grant) get a
+        // local CRL replica; untrusted registrations are refused at the
+        // trust gate before any replica would be consulted, so none exists.
+        // Re-registration (the trust-rotation path: same realm, later
+        // expiry) keeps the existing replica — its log frontier is still
+        // valid, since it replicates the same plane.
+        let trusted = dir
+            .trust_policy(HOME_REALM)
+            .is_some_and(|p| p.trusted_realms().any(|r| r == realm));
+        if trusted {
+            let mesh = self.revsync.as_mut().expect("fedauth implies revsync");
+            mesh.pump(now);
+            match mesh.plane(realm) {
+                Some(existing) => assert!(
+                    std::sync::Arc::ptr_eq(existing, &plane),
+                    "swapping {realm}'s plane for a different one is not supported: the \
+                     home site's CRL replica tracks the original plane's delta log \
+                     (rotate trust with the same plane, or use a fresh realm id)"
+                ),
+                None => mesh.add_realm(realm, plane),
+            }
+            if mesh.replica(HOME_REALM, realm).is_none() {
+                mesh.subscribe(HOME_REALM, realm);
+            }
+        }
     }
 
     /// Validate a bearer token presented at the home site under the
-    /// federation trust policy: home-realm tokens as usual, allow-listed
-    /// sister realms via their issuing broker, everything else refused.
-    /// Without the credential plane (`config.federated_auth` off) every
-    /// token fails closed with `UnknownRealm(HOME_REALM)` — there is no
-    /// directory to consult, not a registration bug.
+    /// federation trust policy: home-realm tokens against the local plane,
+    /// allow-listed sister realms against the home site's **local CRL
+    /// replica** (signature via the issuer's exported verifier, revocation
+    /// via the replicated list — no synchronous issuer query), everything
+    /// else refused. Bounded staleness: a replica lagging past
+    /// `config.revsync_max_lag` fails closed with
+    /// `CredError::StaleReplica`. Without the credential plane
+    /// (`config.federated_auth` off) every token fails closed with
+    /// `UnknownRealm(HOME_REALM)` — there is no directory to consult, not a
+    /// registration bug.
     pub fn validate_federated_token(
         &self,
         token: &SignedToken,
     ) -> Result<Uid, eus_fedauth::CredError> {
-        match &self.federation {
-            Some(dir) => dir.validate_token_at(HOME_REALM, token),
-            None => Err(eus_fedauth::CredError::UnknownRealm(HOME_REALM)),
+        let Some(dir) = &self.federation else {
+            return Err(eus_fedauth::CredError::UnknownRealm(HOME_REALM));
+        };
+        if token.realm == HOME_REALM {
+            return dir.validate_token_at(HOME_REALM, token);
+        }
+        // Trust policy first (untrusted / expired realms never reach the
+        // replica), then the replica-backed hot path.
+        dir.trust_gate(HOME_REALM, token.realm)?;
+        let mesh = self.revsync.as_ref().expect("fedauth implies revsync");
+        let now = self
+            .broker
+            .as_ref()
+            .map(|b| b.read().now())
+            .unwrap_or(SimTime::ZERO);
+        mesh.validate_token_at(HOME_REALM, token, now)
+    }
+
+    /// How stale the home site's CRL replica of `realm` currently is
+    /// (`None` when no replica exists: untrusted, unregistered, or the
+    /// credential plane is off). Capacity planners and the experiment
+    /// binaries read this; validation itself enforces
+    /// `config.revsync_max_lag` against the same number.
+    pub fn replica_lag(&self, realm: RealmId) -> Option<SimDuration> {
+        let mesh = self.revsync.as_ref()?;
+        let now = self.broker.as_ref().map(|b| b.read().now())?;
+        mesh.replica_lag(HOME_REALM, realm, now)
+    }
+
+    /// Sever or restore the revocation feed from a sister realm (site
+    /// outage / WAN partition). While severed the replica's lag grows;
+    /// past `config.revsync_max_lag` cross-realm validation fails closed.
+    pub fn partition_sister_feed(&mut self, realm: RealmId, down: bool) {
+        if let Some(mesh) = &mut self.revsync {
+            mesh.set_partitioned(realm, HOME_REALM, down);
         }
     }
 
@@ -785,14 +910,38 @@ impl SecureCluster {
     }
 
     /// The portal's `enroll_mfa` route: bind a second factor for the
-    /// session's user; enforced from the next login on. Rebinding an
+    /// session's user; enforced from the next login on. Returns the secret
+    /// plus single-use recovery codes (both shown once). Rebinding an
     /// existing factor requires the current code (`mfa`) as step-up.
     pub fn portal_enroll_mfa(
         &mut self,
         token: eus_portal::Token,
         mfa: Option<eus_fedauth::MfaCode>,
-    ) -> Result<eus_fedauth::MfaSecret, eus_portal::PortalError> {
+    ) -> Result<eus_fedauth::MfaEnrollment, eus_portal::PortalError> {
         self.portal.enroll_mfa(token, mfa)
+    }
+
+    /// [`portal_login_mfa`](Self::portal_login_mfa) with a single-use
+    /// recovery code in place of the window code — the lost-authenticator
+    /// path; the code is burned on success.
+    pub fn portal_login_recovery(
+        &mut self,
+        user: Uid,
+        code: eus_fedauth::RecoveryCode,
+    ) -> Result<eus_portal::Token, eus_portal::AuthError> {
+        let db = self.db.read().clone();
+        self.portal.auth.login_recovery(&db, user, code)
+    }
+
+    /// The portal's `unenroll_mfa` route: remove the session user's second
+    /// factor. Step-up-gated like rebinding — the current code must be
+    /// presented — and remaining recovery codes are voided.
+    pub fn portal_unenroll_mfa(
+        &mut self,
+        token: eus_portal::Token,
+        mfa: Option<eus_fedauth::MfaCode>,
+    ) -> Result<(), eus_portal::PortalError> {
+        self.portal.unenroll_mfa(token, mfa)
     }
 
     /// Fetch a route through the portal.
@@ -1016,6 +1165,186 @@ mod tests {
         // Fresh sister logins on the synced clock validate normally.
         let fresh = sister.write().login(&db, alice, None).unwrap();
         assert_eq!(c.validate_federated_token(&fresh).unwrap(), alice);
+    }
+
+    #[test]
+    fn sister_revocation_propagates_within_the_staleness_budget() {
+        let cfg = SeparationConfig::llsc().with_trusted_realms([2u32]);
+        let mut c = SecureCluster::new(cfg, ClusterSpec::tiny());
+        let alice = c.add_user("alice").unwrap();
+        let sister = shared_broker(CredentialBroker::new(
+            RealmId(2),
+            0xFEE1,
+            BrokerPolicy::default(),
+        ));
+        c.register_sister_realm(RealmId(2), sister.clone());
+        let db = c.db.read().clone();
+        let token = sister.write().login(&db, alice, None).unwrap();
+        assert_eq!(c.validate_federated_token(&token).unwrap(), alice);
+
+        // Revoke at the issuer. The home replica has not heard yet, so the
+        // token still validates — asynchronous propagation is explicit.
+        sister.write().revoke_user(alice);
+        assert_eq!(
+            c.validate_federated_token(&token).unwrap(),
+            alice,
+            "revocation is not magic: it must travel"
+        );
+        // One feed interval (plus wire time) later the replica has the
+        // delta and the token dies everywhere at this site.
+        let t = c.config.revsync_feed_interval + SimDuration::from_secs(1);
+        c.advance_to(SimTime::ZERO + t);
+        assert_eq!(
+            c.validate_federated_token(&token),
+            Err(eus_fedauth::CredError::Revoked(token.serial))
+        );
+        // Propagation happened well inside the staleness budget.
+        let lag = c.replica_lag(RealmId(2)).unwrap();
+        assert!(lag <= c.config.revsync_max_lag, "{lag} over budget");
+    }
+
+    #[test]
+    fn severed_feed_fails_closed_past_the_staleness_budget() {
+        let cfg = SeparationConfig::llsc().with_trusted_realms([2u32]);
+        let mut c = SecureCluster::new(cfg, ClusterSpec::tiny());
+        let alice = c.add_user("alice").unwrap();
+        let sister = shared_broker(CredentialBroker::new(
+            RealmId(2),
+            0xFEE2,
+            BrokerPolicy::default(),
+        ));
+        c.register_sister_realm(RealmId(2), sister.clone());
+        let db = c.db.read().clone();
+        c.partition_sister_feed(RealmId(2), true);
+
+        // Fresh sister token, minted after the partition (their site is
+        // fine; only the feed to us is down).
+        let budget = c.config.revsync_max_lag;
+        c.advance_to(SimTime::ZERO + budget + SimDuration::from_secs(1));
+        let token = sister.write().login(&db, alice, None).unwrap();
+        assert!(
+            matches!(
+                c.validate_federated_token(&token),
+                Err(eus_fedauth::CredError::StaleReplica {
+                    realm: RealmId(2),
+                    ..
+                })
+            ),
+            "an unreachable sister degrades to fail-closed, never fail-open"
+        );
+        assert!(c.replica_lag(RealmId(2)).unwrap() > budget);
+
+        // Healing the feed restores acceptance at the next exchange.
+        c.partition_sister_feed(RealmId(2), false);
+        let t = c.sched.read().now() + c.config.revsync_feed_interval + SimDuration::from_secs(1);
+        c.advance_to(t);
+        assert_eq!(c.validate_federated_token(&token).unwrap(), alice);
+    }
+
+    #[test]
+    fn time_boxed_sister_realm_expires_closed() {
+        // No config allow-list at all: trust comes only from the
+        // time-boxed registration.
+        let mut c = llsc_tiny();
+        let alice = c.add_user("alice").unwrap();
+        let sister = shared_broker(CredentialBroker::new(
+            RealmId(7),
+            0xFEE3,
+            BrokerPolicy::default(),
+        ));
+        let horizon = SimTime::from_secs(3600);
+        c.register_sister_realm_until(RealmId(7), sister.clone(), horizon);
+        let db = c.db.read().clone();
+        let token = sister.write().login(&db, alice, None).unwrap();
+        assert_eq!(c.validate_federated_token(&token).unwrap(), alice);
+
+        // The collaboration window closes: fail closed with the precise
+        // reason, not a generic refusal.
+        c.advance_to(horizon);
+        let fresh = sister.write().login(&db, alice, None).unwrap();
+        assert_eq!(
+            c.validate_federated_token(&fresh),
+            Err(eus_fedauth::CredError::TrustExpired {
+                realm: RealmId(7),
+                expired_at: horizon,
+            })
+        );
+
+        // Rotation: re-registering the same realm (same plane) with a later
+        // expiry extends the collaboration in place — the existing replica
+        // and its log frontier survive, no panic, no re-bootstrap.
+        let horizon2 = horizon + SimDuration::from_secs(3600);
+        c.register_sister_realm_until(RealmId(7), sister.clone(), horizon2);
+        assert_eq!(c.validate_federated_token(&fresh).unwrap(), alice);
+        // Revocations still propagate on the surviving replica.
+        sister.write().revoke_serial(fresh.serial);
+        let t = c.sched.read().now() + c.config.revsync_feed_interval + SimDuration::from_secs(1);
+        c.advance_to(t);
+        assert_eq!(
+            c.validate_federated_token(&fresh),
+            Err(eus_fedauth::CredError::Revoked(fresh.serial))
+        );
+    }
+
+    #[test]
+    fn time_box_never_downgrades_permanent_config_trust() {
+        // Realm 2 is permanently allow-listed in the config; registering it
+        // through the time-boxed API must not attach an expiry.
+        let cfg = SeparationConfig::llsc().with_trusted_realms([2u32]);
+        let mut c = SecureCluster::new(cfg, ClusterSpec::tiny());
+        let alice = c.add_user("alice").unwrap();
+        let sister = shared_broker(CredentialBroker::new(
+            RealmId(2),
+            0xFEE4,
+            BrokerPolicy::default(),
+        ));
+        let horizon = SimTime::from_secs(60);
+        c.register_sister_realm_until(RealmId(2), sister.clone(), horizon);
+        assert_eq!(
+            c.federation
+                .as_ref()
+                .unwrap()
+                .trust_policy(HOME_REALM)
+                .unwrap()
+                .trust_expires_at(RealmId(2)),
+            None,
+            "permanent config trust survives a time-boxed registration"
+        );
+        // Well past the (ignored) horizon the realm still validates.
+        c.advance_to(horizon + SimDuration::from_secs(3600));
+        let db = c.db.read().clone();
+        let token = sister.write().login(&db, alice, None).unwrap();
+        assert_eq!(c.validate_federated_token(&token).unwrap(), alice);
+    }
+
+    #[test]
+    fn portal_recovery_and_unenroll_round_trip() {
+        let mut c = llsc_tiny();
+        let alice = c.add_user("alice").unwrap();
+        let session = c.portal_login(alice).unwrap();
+        let enrollment = c.portal_enroll_mfa(session, None).unwrap();
+        // Locked out of the authenticator: burn a recovery code.
+        assert!(c.portal_login(alice).is_err());
+        let t2 = c
+            .portal_login_recovery(alice, enrollment.recovery[0])
+            .unwrap();
+        assert_eq!(c.portal.auth.whoami(t2).unwrap(), alice);
+        assert!(
+            c.portal_login_recovery(alice, enrollment.recovery[0])
+                .is_err(),
+            "single use"
+        );
+        // Unenroll (step-up-gated), then single-factor login works again.
+        let code = c
+            .broker
+            .as_ref()
+            .unwrap()
+            .read()
+            .current_mfa_code(alice)
+            .unwrap();
+        assert!(c.portal_unenroll_mfa(t2, None).is_err());
+        c.portal_unenroll_mfa(t2, Some(code)).unwrap();
+        assert!(c.portal_login(alice).is_ok());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! make `hidepid` redundant, Sec. IV-B).
 
 use eus_sched::{NodeSharing, PrivateData};
+use eus_simcore::SimDuration;
 use std::fmt;
 
 /// Which mechanisms are deployed.
@@ -48,7 +49,30 @@ pub struct SeparationConfig {
     /// allow-lists (realm ids; empty = PR-1's home-realm-only behavior).
     /// Non-listed realms fail closed. Ignored when `federated_auth` is off.
     pub trusted_realms: Vec<u32>,
+    /// Push-feed cadence for cross-realm revocation propagation
+    /// (`eus-revsync`): how often each trusted sister realm ships CRL
+    /// deltas (and freshness heartbeats) to this site. Ignored when
+    /// `federated_auth` is off.
+    pub revsync_feed_interval: SimDuration,
+    /// Pull anti-entropy cadence: how often this site asks each trusted
+    /// issuer for everything past its applied frontier (repairs lost
+    /// pushes). Ignored when `federated_auth` is off.
+    pub revsync_anti_entropy: SimDuration,
+    /// The staleness budget: cross-realm validation against a CRL replica
+    /// older than this fails closed (`CredError::StaleReplica`) instead of
+    /// trusting possibly-revoked credentials. Ignored when
+    /// `federated_auth` is off.
+    pub revsync_max_lag: SimDuration,
 }
+
+/// Default `eus-revsync` cadences: feeds every 10 s, anti-entropy every
+/// 5 min, and a 15 min staleness budget — revocations normally propagate in
+/// seconds, and a partitioned sister realm fails closed within minutes.
+pub const REVSYNC_FEED_INTERVAL: SimDuration = SimDuration::from_secs(10);
+/// See [`REVSYNC_FEED_INTERVAL`].
+pub const REVSYNC_ANTI_ENTROPY: SimDuration = SimDuration::from_secs(300);
+/// See [`REVSYNC_FEED_INTERVAL`].
+pub const REVSYNC_MAX_LAG: SimDuration = SimDuration::from_secs(900);
 
 impl SeparationConfig {
     /// Stock Linux + Slurm: everything off, shared nodes.
@@ -66,6 +90,9 @@ impl SeparationConfig {
             federated_auth: false,
             broker_shards: 1,
             trusted_realms: Vec::new(),
+            revsync_feed_interval: REVSYNC_FEED_INTERVAL,
+            revsync_anti_entropy: REVSYNC_ANTI_ENTROPY,
+            revsync_max_lag: REVSYNC_MAX_LAG,
         }
     }
 
@@ -87,6 +114,9 @@ impl SeparationConfig {
             // scale the north star asks for.
             broker_shards: 4,
             trusted_realms: Vec::new(),
+            revsync_feed_interval: REVSYNC_FEED_INTERVAL,
+            revsync_anti_entropy: REVSYNC_ANTI_ENTROPY,
+            revsync_max_lag: REVSYNC_MAX_LAG,
         }
     }
 
@@ -99,6 +129,24 @@ impl SeparationConfig {
     /// Builder: set the credential-broker shard count.
     pub fn with_broker_shards(mut self, shards: u32) -> Self {
         self.broker_shards = shards.max(1);
+        self
+    }
+
+    /// Builder: set the revocation push-feed cadence.
+    pub fn with_revsync_feed_interval(mut self, interval: SimDuration) -> Self {
+        self.revsync_feed_interval = interval;
+        self
+    }
+
+    /// Builder: set the revocation anti-entropy cadence.
+    pub fn with_revsync_anti_entropy(mut self, period: SimDuration) -> Self {
+        self.revsync_anti_entropy = period;
+        self
+    }
+
+    /// Builder: set the cross-realm staleness budget.
+    pub fn with_revsync_max_lag(mut self, budget: SimDuration) -> Self {
+        self.revsync_max_lag = budget;
         self
     }
 
@@ -157,6 +205,15 @@ impl SeparationConfig {
             if !self.trusted_realms.is_empty() {
                 let realms: Vec<String> = self.trusted_realms.iter().map(u32::to_string).collect();
                 on.push(format!("trust[{}]", realms.join(",")));
+            }
+            if self.revsync_feed_interval != REVSYNC_FEED_INTERVAL
+                || self.revsync_anti_entropy != REVSYNC_ANTI_ENTROPY
+                || self.revsync_max_lag != REVSYNC_MAX_LAG
+            {
+                on.push(format!(
+                    "revsync[{}/{}/{}]",
+                    self.revsync_feed_interval, self.revsync_anti_entropy, self.revsync_max_lag
+                ));
             }
         }
         if on.is_empty() {
@@ -324,5 +381,15 @@ mod tests {
     #[test]
     fn default_is_llsc() {
         assert_eq!(SeparationConfig::default(), SeparationConfig::llsc());
+    }
+
+    #[test]
+    fn revsync_knobs_render_only_when_changed() {
+        assert_eq!(SeparationConfig::llsc().label(), "llsc");
+        let c = SeparationConfig::llsc()
+            .with_revsync_feed_interval(SimDuration::from_secs(60))
+            .with_revsync_max_lag(SimDuration::from_secs(120));
+        let label = c.label();
+        assert!(label.contains("revsync["), "{label}");
     }
 }

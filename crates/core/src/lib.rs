@@ -49,6 +49,7 @@ pub use eus_containers as containers;
 pub use eus_fedauth as fedauth;
 pub use eus_fsperm as fsperm;
 pub use eus_portal as portal;
+pub use eus_revsync as revsync;
 pub use eus_sched as sched;
 pub use eus_simcore as simcore;
 pub use eus_simnet as simnet;

@@ -8,9 +8,13 @@
 //! issuance, expiry, and revocation in one place (the companion paper's
 //! central identity plane).
 
-use crate::ca::{CertificateAuthority, CredError, CredSerial, SignedToken, SshCertificate};
+use crate::ca::{
+    CertificateAuthority, CredError, CredSerial, RealmVerifier, SignedToken, SshCertificate,
+};
 use crate::plane::CredentialPlane;
-use crate::realm::{IdentityProvider, MfaCode, MfaSecret, RealmId};
+use crate::realm::{
+    IdentityAssertion, IdentityProvider, MfaCode, MfaEnrollment, RealmId, RecoveryCode,
+};
 use crate::revocation::RevocationList;
 use eus_simcore::{SimDuration, SimTime};
 use eus_simos::{Uid, UserDb};
@@ -116,11 +120,30 @@ impl CredentialBroker {
         mfa: Option<MfaCode>,
     ) -> Result<SignedToken, CredError> {
         let assertion = self.idp.assert_identity(db, user, mfa, self.now)?;
-        let token = self.ca.mint_token(&assertion, self.now);
-        let cert = self.ca.mint_cert(&assertion, self.now);
-        self.sessions.entry(user).or_default().push(token);
-        self.certs.insert(user, cert);
-        Ok(token)
+        Ok(self.mint_session(&assertion))
+    }
+
+    /// Login with a single-use recovery code in place of the window code
+    /// (the lost-authenticator path); the code is burned on success.
+    pub fn login_recovery(
+        &mut self,
+        db: &UserDb,
+        user: Uid,
+        code: RecoveryCode,
+    ) -> Result<SignedToken, CredError> {
+        let assertion = self
+            .idp
+            .assert_identity_recovery(db, user, code, self.now)?;
+        Ok(self.mint_session(&assertion))
+    }
+
+    /// Mint and record the token + SSH certificate for an assertion.
+    fn mint_session(&mut self, assertion: &IdentityAssertion) -> SignedToken {
+        let token = self.ca.mint_token(assertion, self.now);
+        let cert = self.ca.mint_cert(assertion, self.now);
+        self.sessions.entry(assertion.user).or_default().push(token);
+        self.certs.insert(assertion.user, cert);
+        token
     }
 
     /// [`login`](Self::login) with the second factor supplied by the
@@ -258,19 +281,29 @@ impl CredentialBroker {
     // Revocation & lifecycle
     // ------------------------------------------------------------------
 
-    /// Revoke one serial (immediate; irreversible).
-    pub fn revoke_serial(&mut self, serial: CredSerial) {
-        self.revocations.revoke(serial);
+    /// Revoke one serial (immediate; irreversible). Returns true the first
+    /// time, false if it was already revoked.
+    pub fn revoke_serial(&mut self, serial: CredSerial) -> bool {
+        self.revocations.revoke(serial)
     }
 
     /// Revoke every live credential of a user (incident response / logout).
-    pub fn revoke_user(&mut self, user: Uid) {
+    /// Returns the serials newly revoked, in revocation order — the
+    /// sharded plane uses this to keep its plane-level delta log aligned
+    /// with the per-shard lists.
+    pub fn revoke_user(&mut self, user: Uid) -> Vec<CredSerial> {
+        let mut revoked = Vec::new();
         for t in self.sessions.remove(&user).unwrap_or_default() {
-            self.revocations.revoke(t.serial);
+            if self.revocations.revoke(t.serial) {
+                revoked.push(t.serial);
+            }
         }
         if let Some(c) = self.certs.remove(&user) {
-            self.revocations.revoke(c.serial);
+            if self.revocations.revoke(c.serial) {
+                revoked.push(c.serial);
+            }
         }
+        revoked
     }
 
     /// Drop expired *and revoked* sessions and certificates; returns how
@@ -348,10 +381,10 @@ impl CredentialPlane for CredentialBroker {
         CredentialBroker::current_token(self, user)
     }
     fn revoke_serial(&mut self, serial: CredSerial) {
-        CredentialBroker::revoke_serial(self, serial)
+        CredentialBroker::revoke_serial(self, serial);
     }
     fn revoke_user(&mut self, user: Uid) {
-        CredentialBroker::revoke_user(self, user)
+        CredentialBroker::revoke_user(self, user);
     }
     fn sweep_expired(&mut self) -> usize {
         CredentialBroker::sweep_expired(self)
@@ -359,15 +392,36 @@ impl CredentialPlane for CredentialBroker {
     fn live_sessions(&self) -> usize {
         CredentialBroker::live_sessions(self)
     }
-    fn enroll_mfa(&mut self, user: Uid, mfa: Option<MfaCode>) -> Result<MfaSecret, CredError> {
+    fn enroll_mfa(&mut self, user: Uid, mfa: Option<MfaCode>) -> Result<MfaEnrollment, CredError> {
         let now = self.now;
         self.idp.enroll_mfa_stepup(user, mfa, now)
+    }
+    fn login_recovery(
+        &mut self,
+        db: &UserDb,
+        user: Uid,
+        code: RecoveryCode,
+    ) -> Result<SignedToken, CredError> {
+        CredentialBroker::login_recovery(self, db, user, code)
+    }
+    fn unenroll_mfa(&mut self, user: Uid, mfa: Option<MfaCode>) -> Result<(), CredError> {
+        let now = self.now;
+        self.idp.unenroll_mfa(user, mfa, now)
     }
     fn mfa_challenged(&self, user: Uid) -> bool {
         self.idp.is_challenged(user)
     }
     fn current_mfa_code(&self, user: Uid) -> Option<MfaCode> {
         self.idp.current_code(user, self.now)
+    }
+    fn revocation_head(&self) -> u64 {
+        self.revocations.head()
+    }
+    fn revocations_since(&self, since: u64) -> Vec<CredSerial> {
+        self.revocations.entries_since(since).to_vec()
+    }
+    fn verifier(&self) -> RealmVerifier {
+        RealmVerifier::new(self.realm(), vec![self.ca.clone()])
     }
 }
 

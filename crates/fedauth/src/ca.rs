@@ -57,6 +57,24 @@ pub enum CredError {
     },
     /// No broker is registered for this realm in the federation directory.
     UnknownRealm(RealmId),
+    /// The verifying site *was* allow-listed for this realm, but the trust
+    /// entry's expiry has passed (time-boxed collaborations fail closed).
+    TrustExpired {
+        /// The credential's realm.
+        realm: RealmId,
+        /// When the trust entry lapsed.
+        expired_at: SimTime,
+    },
+    /// The local CRL replica for this realm is older than the verifying
+    /// site's staleness budget: without fresh-enough revocation data the
+    /// site refuses to judge the credential (bounded-staleness fail-closed,
+    /// `eus-revsync`).
+    StaleReplica {
+        /// The credential's realm (whose replica is stale).
+        realm: RealmId,
+        /// How far behind the replica is.
+        lag: SimDuration,
+    },
     /// Signature does not verify under this CA's key.
     BadSignature,
     /// Serial appears on the revocation list.
@@ -80,6 +98,12 @@ impl fmt::Display for CredError {
                 write!(f, "realm {theirs} not on {ours}'s trust allow-list")
             }
             CredError::UnknownRealm(r) => write!(f, "no broker registered for {r}"),
+            CredError::TrustExpired { realm, expired_at } => {
+                write!(f, "trust in {realm} expired at {expired_at}")
+            }
+            CredError::StaleReplica { realm, lag } => {
+                write!(f, "CRL replica for {realm} is {lag} stale (over budget)")
+            }
             CredError::BadSignature => f.write_str("signature verification failed"),
             CredError::Revoked(s) => write!(f, "credential {s} is revoked"),
             CredError::NoCredential(u) => write!(f, "no live credential for {u}"),
@@ -286,6 +310,63 @@ impl CertificateAuthority {
             return Err(CredError::BadSignature);
         }
         window_check(c.issued, c.expires, now)
+    }
+}
+
+/// A portable verification handle for one realm's credential plane: the
+/// realm's CA verification state, exported once at trust-establishment time
+/// so a *sister site* can verify this realm's signatures locally — no
+/// network round-trip to the issuer on the validate hot path.
+///
+/// In the simulation's keyed-MAC model the "public key" is the CA state
+/// itself (the MAC is symmetric); a real deployment would export the CA
+/// public keys. What matters structurally is identical: verification
+/// capability is distributed once, while *revocation* state keeps changing —
+/// which is exactly what `eus-revsync` replicates asynchronously.
+///
+/// For a sharded plane the verifier carries one CA per shard; a credential
+/// routes to its minting shard arithmetically (shard serials fill disjoint
+/// residue classes, `serial % shards == shard index`), so lookup stays O(1).
+#[derive(Debug, Clone)]
+pub struct RealmVerifier {
+    realm: RealmId,
+    cas: Vec<CertificateAuthority>,
+}
+
+impl RealmVerifier {
+    /// A verifier from the issuing plane's CAs, in shard order (a single
+    /// broker passes exactly one).
+    pub fn new(realm: RealmId, cas: Vec<CertificateAuthority>) -> Self {
+        assert!(!cas.is_empty(), "a realm has at least one CA");
+        assert!(
+            cas.iter().all(|ca| ca.realm == realm),
+            "every CA must belong to the verifier's realm"
+        );
+        RealmVerifier { realm, cas }
+    }
+
+    /// The realm this verifier judges.
+    pub fn realm(&self) -> RealmId {
+        self.realm
+    }
+
+    fn ca_for_serial(&self, serial: CredSerial) -> &CertificateAuthority {
+        &self.cas[(serial.0 % self.cas.len() as u64) as usize]
+    }
+
+    /// Verify a token's realm, signature, and validity window at `now`,
+    /// entirely locally. Revocation is *not* checked here — that is the
+    /// replica's job (the whole point of splitting verification from
+    /// revocation state).
+    pub fn verify_token(&self, t: &SignedToken, now: SimTime) -> Result<Uid, CredError> {
+        self.ca_for_serial(t.serial).verify_token(t, now)?;
+        Ok(t.user)
+    }
+
+    /// Verify an SSH certificate the same way.
+    pub fn verify_cert(&self, c: &SshCertificate, now: SimTime) -> Result<Uid, CredError> {
+        self.ca_for_serial(c.serial).verify_cert(c, now)?;
+        Ok(c.user)
     }
 }
 

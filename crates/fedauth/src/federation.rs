@@ -16,16 +16,21 @@ use crate::plane::SharedBroker;
 use crate::realm::RealmId;
 use eus_simcore::SimTime;
 use eus_simos::Uid;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A site's explicit realm allow-list: which sister realms' credentials it
 /// accepts. The home realm is always trusted; everything else is opt-in
-/// (fail closed).
+/// (fail closed). An entry may carry an expiry on the simulation clock —
+/// the time-boxed collaboration: once `expires_at` passes, the realm's
+/// credentials are refused with [`CredError::TrustExpired`] until trust is
+/// re-granted (rotation).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrustPolicy {
     home: RealmId,
-    trusted: BTreeSet<RealmId>,
+    /// Allow-listed sister realms; `None` = permanent, `Some(t)` = trusted
+    /// strictly before `t`.
+    trusted: BTreeMap<RealmId, Option<SimTime>>,
 }
 
 impl TrustPolicy {
@@ -33,20 +38,36 @@ impl TrustPolicy {
     pub fn home_only(home: RealmId) -> Self {
         TrustPolicy {
             home,
-            trusted: BTreeSet::new(),
+            trusted: BTreeMap::new(),
         }
     }
 
-    /// Builder: also trust a sister realm.
+    /// Builder: also trust a sister realm, permanently.
     pub fn with_trusted(mut self, realm: RealmId) -> Self {
         self.trust(realm);
         self
     }
 
-    /// Add a sister realm to the allow-list.
+    /// Builder: also trust a sister realm until `expires_at`.
+    pub fn with_trusted_until(mut self, realm: RealmId, expires_at: SimTime) -> Self {
+        self.trust_until(realm, expires_at);
+        self
+    }
+
+    /// Add a sister realm to the allow-list, permanently (replaces any
+    /// time-boxed entry — rotation extends, it never shortens by accident).
     pub fn trust(&mut self, realm: RealmId) {
         if realm != self.home {
-            self.trusted.insert(realm);
+            self.trusted.insert(realm, None);
+        }
+    }
+
+    /// Add a sister realm to the allow-list until `expires_at` (exclusive):
+    /// the time-boxed collaboration. Replaces any previous entry for the
+    /// realm, so re-granting with a later expiry is the rotation path.
+    pub fn trust_until(&mut self, realm: RealmId, expires_at: SimTime) {
+        if realm != self.home {
+            self.trusted.insert(realm, Some(expires_at));
         }
     }
 
@@ -55,25 +76,58 @@ impl TrustPolicy {
         self.home
     }
 
-    /// Is `realm` acceptable at this site?
-    pub fn trusts(&self, realm: RealmId) -> bool {
-        realm == self.home || self.trusted.contains(&realm)
+    /// Is `realm` acceptable at this site at instant `now`? Expired entries
+    /// answer no, exactly like realms never listed.
+    pub fn trusts_at(&self, realm: RealmId, now: SimTime) -> bool {
+        self.gate(realm, now).is_ok()
     }
 
-    /// The allow-listed sister realms (home excluded).
+    /// The full trust decision for a credential from `realm` presented at
+    /// `now`: `Ok` when allow-listed and unexpired, the precise refusal
+    /// otherwise (expired trust is distinguishable from never-granted trust
+    /// so operators can tell a lapsed collaboration from an attack).
+    pub fn gate(&self, realm: RealmId, now: SimTime) -> Result<(), CredError> {
+        if realm == self.home {
+            return Ok(());
+        }
+        match self.trusted.get(&realm) {
+            Some(None) => Ok(()),
+            Some(Some(expires_at)) if now < *expires_at => Ok(()),
+            Some(Some(expires_at)) => Err(CredError::TrustExpired {
+                realm,
+                expired_at: *expires_at,
+            }),
+            None => Err(CredError::UntrustedRealm {
+                ours: self.home,
+                theirs: realm,
+            }),
+        }
+    }
+
+    /// When trust in `realm` lapses: `Some(t)` for a time-boxed entry,
+    /// `None` for a permanent entry or a realm not listed at all.
+    pub fn trust_expires_at(&self, realm: RealmId) -> Option<SimTime> {
+        self.trusted.get(&realm).copied().flatten()
+    }
+
+    /// The allow-listed sister realms (home excluded), including entries
+    /// whose expiry has already passed.
     pub fn trusted_realms(&self) -> impl Iterator<Item = RealmId> + '_ {
-        self.trusted.iter().copied()
+        self.trusted.keys().copied()
     }
 }
 
 impl fmt::Display for TrustPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}→{{", self.home)?;
-        for (i, r) in self.trusted.iter().enumerate() {
+        for (i, (r, exp)) in self.trusted.iter().enumerate() {
             if i > 0 {
                 f.write_str(",")?;
             }
-            write!(f, "{r}")?;
+            match exp {
+                None => write!(f, "{r}")?,
+                Some(t) => write!(f, "{r}<{t}")?,
+            }
         }
         f.write_str("}")
     }
@@ -127,18 +181,43 @@ impl FederationDirectory {
         self.trust.get(&realm)
     }
 
+    /// The policy half of validation, exposed for replica-backed
+    /// validators: is a credential from `issuer` acceptable at `site`
+    /// *right now*? Fails closed for unregistered sites, realms off the
+    /// allow-list, and lapsed time-boxed trust. `now` is the site's plane
+    /// clock (the whole federation ticks on one simulated clock).
+    pub fn trust_gate(&self, site: RealmId, issuer: RealmId) -> Result<(), CredError> {
+        let policy = self.trust.get(&site).ok_or(CredError::UnknownRealm(site))?;
+        let now = self
+            .planes
+            .get(&site)
+            .map(|p| p.read().now())
+            .unwrap_or(SimTime::ZERO);
+        policy.gate(issuer, now)
+    }
+
+    /// Grant (or rotate) the `site` policy's trust in `realm` after
+    /// registration: permanent when `expires_at` is `None`, time-boxed
+    /// otherwise. Panics if the site is not registered.
+    pub fn trust_realm_until(
+        &mut self,
+        site: RealmId,
+        realm: RealmId,
+        expires_at: Option<SimTime>,
+    ) {
+        let policy = self.trust.get_mut(&site).expect("site must be registered");
+        match expires_at {
+            Some(t) => policy.trust_until(realm, t),
+            None => policy.trust(realm),
+        }
+    }
+
     /// The trust gate both validators share: resolve the issuing realm's
     /// plane for a credential presented at `site`, failing closed when the
-    /// site is unregistered, the issuer is off the site's allow-list, or
-    /// the issuer has no registered plane.
+    /// site is unregistered, the issuer is off the site's allow-list (or
+    /// its trust entry expired), or the issuer has no registered plane.
     fn issuer_for(&self, site: RealmId, issuer: RealmId) -> Result<&SharedBroker, CredError> {
-        let policy = self.trust.get(&site).ok_or(CredError::UnknownRealm(site))?;
-        if !policy.trusts(issuer) {
-            return Err(CredError::UntrustedRealm {
-                ours: site,
-                theirs: issuer,
-            });
-        }
+        self.trust_gate(site, issuer)?;
         self.planes
             .get(&issuer)
             .ok_or(CredError::UnknownRealm(issuer))
@@ -287,6 +366,45 @@ mod tests {
             dir.validate_token_at(RealmId(1), &forged),
             Err(CredError::BadSignature),
             "re-stamped realm must break the issuer signature"
+        );
+    }
+
+    #[test]
+    fn time_boxed_trust_expires_closed_and_rotates() {
+        use eus_simcore::SimDuration;
+        let (db, mut dir, alice) = federation();
+        let horizon = SimTime::from_secs(3600);
+        // Re-grant realm 3 as a time-boxed collaboration at the home site.
+        dir.trust_realm_until(RealmId(1), RealmId(3), Some(horizon));
+        let r3 = dir.plane(RealmId(3)).unwrap().clone();
+        let token = r3.write().login(&db, alice, None).unwrap();
+        assert_eq!(dir.validate_token_at(RealmId(1), &token).unwrap(), alice);
+
+        // The instant the box closes, the same token fails closed — with an
+        // error naming the lapsed trust, not a generic refusal.
+        dir.advance_to(horizon);
+        assert_eq!(
+            dir.validate_token_at(RealmId(1), &token),
+            Err(CredError::TrustExpired {
+                realm: RealmId(3),
+                expired_at: horizon,
+            })
+        );
+
+        // Rotation: re-granting with a later expiry restores acceptance.
+        dir.trust_realm_until(
+            RealmId(1),
+            RealmId(3),
+            Some(horizon + SimDuration::from_secs(3600)),
+        );
+        assert_eq!(dir.validate_token_at(RealmId(1), &token).unwrap(), alice);
+        // And a permanent upgrade never lapses.
+        dir.trust_realm_until(RealmId(1), RealmId(3), None);
+        assert_eq!(
+            dir.trust_policy(RealmId(1))
+                .unwrap()
+                .trust_expires_at(RealmId(3)),
+            None
         );
     }
 

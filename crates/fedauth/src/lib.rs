@@ -19,7 +19,8 @@
 //!   binding self-service enrollment).
 //! * [`ca`] — the certificate authority: signed tokens and SSH certificates
 //!   with validity windows on the simulation clock.
-//! * [`revocation`] — the O(1) revocation list.
+//! * [`revocation`] — the O(1) revocation list, plus the sequence-numbered
+//!   append-only delta log that `eus-revsync` replicates between realms.
 //! * [`broker`] — the [`CredentialBroker`] every enforcement point consults
 //!   (sshd PAM, scheduler submission, portal fetch).
 //! * [`plane`] — the [`CredentialPlane`] trait those enforcement points
@@ -57,11 +58,16 @@ pub mod revocation;
 pub mod shard;
 
 pub use broker::{BrokerPolicy, CredentialBroker};
-pub use ca::{CertificateAuthority, CredError, CredSerial, SignedToken, SshCertificate};
+pub use ca::{
+    CertificateAuthority, CredError, CredSerial, RealmVerifier, SignedToken, SshCertificate,
+};
 pub use federation::{FederationDirectory, TrustPolicy};
 pub use pam::PamFedAuth;
 pub use plane::{shared_broker, CredentialPlane, SharedBroker};
-pub use realm::{IdentityAssertion, IdentityProvider, MfaCode, MfaSecret, RealmId};
+pub use realm::{
+    IdentityAssertion, IdentityProvider, MfaCode, MfaEnrollment, MfaSecret, RealmId, RecoveryCode,
+    RECOVERY_CODE_COUNT,
+};
 pub use revocation::RevocationList;
 pub use shard::ShardedBroker;
 

@@ -8,8 +8,8 @@
 //! `Arc<RwLock<Box<dyn CredentialPlane>>>`, and the PAM stacks, scheduler,
 //! and portal all hold that handle.
 
-use crate::ca::{CredError, CredSerial, SignedToken, SshCertificate};
-use crate::realm::{MfaCode, MfaSecret, RealmId};
+use crate::ca::{CredError, CredSerial, RealmVerifier, SignedToken, SshCertificate};
+use crate::realm::{MfaCode, MfaEnrollment, RealmId, RecoveryCode};
 use eus_simcore::SimTime;
 use eus_simos::{Uid, UserDb};
 use parking_lot::RwLock;
@@ -97,7 +97,23 @@ pub trait CredentialPlane: fmt::Debug + Send + Sync {
     /// route): enforced from the next login on, regardless of realm policy.
     /// Re-enrollment of an already-challenged user is step-up-gated: the
     /// current one-time code must be presented, or the rebind is refused.
-    fn enroll_mfa(&mut self, user: Uid, mfa: Option<MfaCode>) -> Result<MfaSecret, CredError>;
+    /// Returns the secret plus single-use recovery codes, both shown once.
+    fn enroll_mfa(&mut self, user: Uid, mfa: Option<MfaCode>) -> Result<MfaEnrollment, CredError>;
+
+    /// Federated login with a single-use recovery code in place of the
+    /// window code (the lost-authenticator path); the code is burned on
+    /// success.
+    fn login_recovery(
+        &mut self,
+        db: &UserDb,
+        user: Uid,
+        code: RecoveryCode,
+    ) -> Result<SignedToken, CredError>;
+
+    /// Remove a user's second factor; step-up-gated like rebinding (the
+    /// current one-time code must be presented). Voids remaining recovery
+    /// codes.
+    fn unenroll_mfa(&mut self, user: Uid, mfa: Option<MfaCode>) -> Result<(), CredError>;
 
     /// Whether the user will be MFA-challenged at the next login.
     fn mfa_challenged(&self, user: Uid) -> bool;
@@ -111,6 +127,45 @@ pub trait CredentialPlane: fmt::Debug + Send + Sync {
     /// sequentially. Result order matches input order.
     fn validate_batch(&self, tokens: &[SignedToken]) -> Vec<Result<Uid, CredError>> {
         tokens.iter().map(|t| self.validate_token(t)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Revocation delta feed (eus-revsync)
+    // ------------------------------------------------------------------
+
+    /// Head of the plane's revocation delta log: how many serials have ever
+    /// been revoked here (sequence numbers are 1-based and dense, in the
+    /// order the revocations were applied through this plane's API).
+    fn revocation_head(&self) -> u64;
+
+    /// The delta after sequence number `since`: every serial revoked after
+    /// the `since`-th revocation, oldest first. `revocations_since(0)` is
+    /// the full log.
+    fn revocations_since(&self, since: u64) -> Vec<CredSerial>;
+
+    /// Export this plane's verification capability (realm CA state) so a
+    /// sister site can verify signatures locally — the trust-bootstrap key
+    /// exchange `eus-revsync` replicas build on.
+    fn verifier(&self) -> RealmVerifier;
+
+    // ------------------------------------------------------------------
+    // Shared-path mutation (per-shard locking)
+    // ------------------------------------------------------------------
+
+    /// Login through a shared (`&self`) borrow, for planes with interior
+    /// per-shard locking: concurrent logins that land on *different* shards
+    /// proceed in parallel while the caller holds the plane-wide lock only
+    /// for reading. Returns `None` when the plane has no interior locking
+    /// (the caller must fall back to the exclusive
+    /// [`login`](Self::login) path).
+    fn try_login_shared(
+        &self,
+        db: &UserDb,
+        user: Uid,
+        mfa: Option<MfaCode>,
+    ) -> Option<Result<SignedToken, CredError>> {
+        let _ = (db, user, mfa);
+        None
     }
 }
 

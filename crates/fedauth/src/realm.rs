@@ -28,6 +28,26 @@ pub struct MfaSecret(pub u64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MfaCode(pub u32);
 
+/// A single-use MFA recovery code, issued at enrollment and burned on use
+/// (the "print these and keep them in a drawer" codes real portals hand
+/// out for the lost-authenticator day).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RecoveryCode(pub u64);
+
+/// How many recovery codes each enrollment issues.
+pub const RECOVERY_CODE_COUNT: usize = 8;
+
+/// Everything a successful MFA enrollment hands back: the shared secret
+/// (the QR-code moment) and the single-use recovery codes, both shown
+/// exactly once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MfaEnrollment {
+    /// The TOTP seed.
+    pub secret: MfaSecret,
+    /// Single-use recovery codes; each works once, in any order.
+    pub recovery: Vec<RecoveryCode>,
+}
+
 /// Width of the one-time-code window.
 const MFA_WINDOW_US: u64 = 30_000_000;
 
@@ -78,6 +98,8 @@ pub struct IdentityProvider {
     /// Users whose enrollment is individually binding (portal self-service
     /// opt-in): challenged even when the realm policy does not require MFA.
     enforced: BTreeSet<Uid>,
+    /// Unburned recovery codes per user (issued at enrollment, single-use).
+    recovery: BTreeMap<Uid, BTreeSet<u64>>,
     rng: SimRng,
 }
 
@@ -89,6 +111,7 @@ impl IdentityProvider {
             require_mfa: false,
             enrolled: BTreeMap::new(),
             enforced: BTreeSet::new(),
+            recovery: BTreeMap::new(),
             rng: SimRng::seed_from_u64(seed ^ 0xFEDA_0001),
         }
     }
@@ -126,19 +149,72 @@ impl IdentityProvider {
     /// locking the owner out and downgrading the second factor to
     /// single-token security). First-time enrollment rides on the
     /// authenticated session alone, as real portals' security pages do.
+    ///
+    /// Issues a fresh set of [`RECOVERY_CODE_COUNT`] single-use recovery
+    /// codes; any codes from a previous enrollment are voided.
     pub fn enroll_mfa_stepup(
         &mut self,
         user: Uid,
         mfa: Option<MfaCode>,
         now: SimTime,
-    ) -> Result<MfaSecret, CredError> {
+    ) -> Result<MfaEnrollment, CredError> {
         if let Some(secret) = self.enrolled.get(&user).copied() {
             let presented = mfa.ok_or(CredError::MfaRequired)?;
             if !mfa_code_matches(secret, presented, now) {
                 return Err(CredError::MfaInvalid);
             }
         }
-        Ok(self.enroll_mfa_enforced(user))
+        let secret = self.enroll_mfa_enforced(user);
+        let recovery = self.mint_recovery_codes(user);
+        Ok(MfaEnrollment { secret, recovery })
+    }
+
+    /// Mint a fresh recovery-code set for a user, voiding any previous set.
+    fn mint_recovery_codes(&mut self, user: Uid) -> Vec<RecoveryCode> {
+        let mut set = BTreeSet::new();
+        while set.len() < RECOVERY_CODE_COUNT {
+            set.insert(self.rng.range_u64(1, u64::MAX));
+        }
+        let codes: Vec<RecoveryCode> = set.iter().map(|&c| RecoveryCode(c)).collect();
+        self.recovery.insert(user, set);
+        codes
+    }
+
+    /// Burn a recovery code: true exactly once per issued code. A burned,
+    /// foreign, or never-issued code returns false (and consumes nothing).
+    pub fn consume_recovery(&mut self, user: Uid, code: RecoveryCode) -> bool {
+        self.recovery
+            .get_mut(&user)
+            .is_some_and(|set| set.remove(&code.0))
+    }
+
+    /// Unburned recovery codes remaining for a user.
+    pub fn recovery_codes_left(&self, user: Uid) -> usize {
+        self.recovery.get(&user).map_or(0, BTreeSet::len)
+    }
+
+    /// Remove a user's second factor. Step-up-gated exactly like rebinding:
+    /// an enrolled user must present a current one-time code, so a stolen
+    /// session token alone cannot strip the account down to single-factor.
+    /// Unenrolling voids the remaining recovery codes. A no-op (Ok) for
+    /// users with no enrolled factor.
+    pub fn unenroll_mfa(
+        &mut self,
+        user: Uid,
+        mfa: Option<MfaCode>,
+        now: SimTime,
+    ) -> Result<(), CredError> {
+        let Some(secret) = self.enrolled.get(&user).copied() else {
+            return Ok(());
+        };
+        let presented = mfa.ok_or(CredError::MfaRequired)?;
+        if !mfa_code_matches(secret, presented, now) {
+            return Err(CredError::MfaInvalid);
+        }
+        self.enrolled.remove(&user);
+        self.enforced.remove(&user);
+        self.recovery.remove(&user);
+        Ok(())
     }
 
     /// Whether the user has an enrolled second factor.
@@ -191,6 +267,36 @@ impl IdentityProvider {
             user,
             asserted_at: now,
             mfa_verified,
+        })
+    }
+
+    /// Authenticate with a single-use recovery code in place of the window
+    /// code (the lost-authenticator path). The code is burned on success;
+    /// a wrong or already-burned code is [`CredError::MfaInvalid`]. Users
+    /// with no enrolled factor have no recovery codes and always fail —
+    /// recovery is strictly a downgrade path for an existing enrollment,
+    /// never a login bypass.
+    pub fn assert_identity_recovery(
+        &mut self,
+        db: &UserDb,
+        user: Uid,
+        code: RecoveryCode,
+        now: SimTime,
+    ) -> Result<IdentityAssertion, CredError> {
+        if db.user(user).is_none() {
+            return Err(CredError::UnknownUser(user));
+        }
+        if !self.is_enrolled(user) {
+            return Err(CredError::NoCredential(user));
+        }
+        if !self.consume_recovery(user, code) {
+            return Err(CredError::MfaInvalid);
+        }
+        Ok(IdentityAssertion {
+            realm: self.realm,
+            user,
+            asserted_at: now,
+            mfa_verified: true,
         })
     }
 }
@@ -321,8 +427,85 @@ mod tests {
         let rotated = idp
             .enroll_mfa_stepup(alice, Some(mfa_code_at(secret, now)), now)
             .unwrap();
-        assert_ne!(rotated, secret);
+        assert_ne!(rotated.secret, secret);
         assert!(idp.is_challenged(alice), "rotation is binding");
+        assert_eq!(rotated.recovery.len(), RECOVERY_CODE_COUNT);
+    }
+
+    #[test]
+    fn recovery_codes_burn_exactly_once() {
+        let (db, alice) = db_with_alice();
+        let mut idp = IdentityProvider::new(RealmId(1), 7);
+        let enr = idp.enroll_mfa_stepup(alice, None, SimTime::ZERO).unwrap();
+        assert_eq!(idp.recovery_codes_left(alice), RECOVERY_CODE_COUNT);
+        let code = enr.recovery[0];
+
+        let now = SimTime::from_secs(90);
+        let ok = idp.assert_identity_recovery(&db, alice, code, now).unwrap();
+        assert!(ok.mfa_verified, "recovery counts as a verified factor");
+        assert_eq!(idp.recovery_codes_left(alice), RECOVERY_CODE_COUNT - 1);
+        // Second use of the same code is dead.
+        assert_eq!(
+            idp.assert_identity_recovery(&db, alice, code, now),
+            Err(CredError::MfaInvalid)
+        );
+        // A made-up code never works.
+        assert_eq!(
+            idp.assert_identity_recovery(&db, alice, RecoveryCode(42), now),
+            Err(CredError::MfaInvalid)
+        );
+        // Re-enrollment voids the old set and issues a fresh one.
+        let now_code = mfa_code_at(enr.secret, now);
+        let enr2 = idp.enroll_mfa_stepup(alice, Some(now_code), now).unwrap();
+        assert_eq!(idp.recovery_codes_left(alice), RECOVERY_CODE_COUNT);
+        assert_eq!(
+            idp.assert_identity_recovery(&db, alice, enr.recovery[1], now),
+            Err(CredError::MfaInvalid),
+            "old-set codes are voided by re-enrollment"
+        );
+        assert!(idp
+            .assert_identity_recovery(&db, alice, enr2.recovery[0], now)
+            .is_ok());
+    }
+
+    #[test]
+    fn recovery_is_not_a_bypass_for_unenrolled_users() {
+        let (db, alice) = db_with_alice();
+        let mut idp = IdentityProvider::new(RealmId(1), 7);
+        assert_eq!(
+            idp.assert_identity_recovery(&db, alice, RecoveryCode(1), SimTime::ZERO),
+            Err(CredError::NoCredential(alice))
+        );
+    }
+
+    #[test]
+    fn unenroll_requires_stepup_and_voids_recovery() {
+        let (db, alice) = db_with_alice();
+        let mut idp = IdentityProvider::new(RealmId(1), 7);
+        let enr = idp.enroll_mfa_stepup(alice, None, SimTime::ZERO).unwrap();
+        let now = SimTime::from_secs(40);
+
+        // A stolen session alone cannot strip the factor.
+        assert_eq!(
+            idp.unenroll_mfa(alice, None, now),
+            Err(CredError::MfaRequired)
+        );
+        let wrong = MfaCode(mfa_code_at(enr.secret, now).0.wrapping_add(1) % 1_000_000);
+        assert_eq!(
+            idp.unenroll_mfa(alice, Some(wrong), now),
+            Err(CredError::MfaInvalid)
+        );
+
+        // With the current code the factor comes off, recovery codes die,
+        // and the next login is single-factor again.
+        idp.unenroll_mfa(alice, Some(mfa_code_at(enr.secret, now)), now)
+            .unwrap();
+        assert!(!idp.is_enrolled(alice));
+        assert!(!idp.is_challenged(alice));
+        assert_eq!(idp.recovery_codes_left(alice), 0);
+        assert!(idp.assert_identity(&db, alice, None, now).is_ok());
+        // Idempotent once unenrolled.
+        assert_eq!(idp.unenroll_mfa(alice, None, now), Ok(()));
     }
 
     #[test]

@@ -2,14 +2,25 @@
 //! irreversible by construction (no removal API — a revoked serial stays
 //! revoked for the life of the realm, exactly like a CRL entry for a
 //! credential that never leaves its validity window un-revoked).
+//!
+//! Beyond the membership set, the list keeps a **sequence-numbered,
+//! append-only delta log**: entry *k* (1-based) is the *k*-th serial ever
+//! revoked at this realm. The log is what `eus-revsync` ships between
+//! realms — a sister site holding entries `1..=n` asks for (or is pushed)
+//! everything after `n`, and because revocation is irreversible the log
+//! never rewrites history: replicas converge by append alone.
 
 use crate::ca::CredSerial;
 use std::collections::HashSet;
 
-/// The set of revoked credential serials.
+/// The set of revoked credential serials, plus the append-only delta log
+/// recording the order in which they were revoked.
 #[derive(Debug, Clone, Default)]
 pub struct RevocationList {
     revoked: HashSet<CredSerial>,
+    /// Insertion-ordered log: `log[k]` is the serial with sequence number
+    /// `k + 1`. Never truncated, never reordered.
+    log: Vec<CredSerial>,
 }
 
 impl RevocationList {
@@ -21,7 +32,11 @@ impl RevocationList {
     /// Revoke a serial. Returns true the first time, false if it was
     /// already revoked. There is deliberately no inverse operation.
     pub fn revoke(&mut self, serial: CredSerial) -> bool {
-        self.revoked.insert(serial)
+        let fresh = self.revoked.insert(serial);
+        if fresh {
+            self.log.push(serial);
+        }
+        fresh
     }
 
     /// O(1) hot-path check.
@@ -39,6 +54,20 @@ impl RevocationList {
     pub fn is_empty(&self) -> bool {
         self.revoked.is_empty()
     }
+
+    /// The log head: the sequence number of the newest entry (0 when the
+    /// log is empty). Sequence numbers are 1-based and dense.
+    pub fn head(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// The delta after sequence number `since`: every serial revoked after
+    /// the `since`-th revocation, oldest first. `entries_since(0)` is the
+    /// full log; `entries_since(head())` is empty.
+    pub fn entries_since(&self, since: u64) -> &[CredSerial] {
+        let from = (since as usize).min(self.log.len());
+        &self.log[from..]
+    }
 }
 
 #[cfg(test)]
@@ -54,5 +83,26 @@ mod tests {
         assert!(!rl.revoke(CredSerial(1)), "second revoke is a no-op");
         assert_eq!(rl.len(), 1);
         assert!(!rl.is_empty());
+    }
+
+    #[test]
+    fn delta_log_appends_in_order_and_dedupes() {
+        let mut rl = RevocationList::new();
+        assert_eq!(rl.head(), 0);
+        assert!(rl.entries_since(0).is_empty());
+        rl.revoke(CredSerial(5));
+        rl.revoke(CredSerial(3));
+        rl.revoke(CredSerial(5)); // duplicate: no log entry
+        rl.revoke(CredSerial(9));
+        assert_eq!(rl.head(), 3);
+        assert_eq!(
+            rl.entries_since(0),
+            &[CredSerial(5), CredSerial(3), CredSerial(9)]
+        );
+        assert_eq!(rl.entries_since(2), &[CredSerial(9)]);
+        assert!(rl.entries_since(3).is_empty());
+        // Asking past the head is not an error (a replica that somehow got
+        // ahead — impossible via the feed — just gets nothing).
+        assert!(rl.entries_since(99).is_empty());
     }
 }

@@ -8,6 +8,16 @@
 //! across shards (near-linear in shard count up to the core count, measured
 //! by `benches/broker_shard_throughput.rs`).
 //!
+//! **Per-shard locking.** Each shard sits behind its own `RwLock`, so the
+//! plane supports *shared-path mutation*: callers holding the plane-wide
+//! lock only for reading can still log users in through
+//! [`CredentialPlane::try_login_shared`] — concurrent logins that hash to
+//! different shards proceed in parallel instead of serializing on one
+//! plane-wide write lock (the ROADMAP follow-on;
+//! `benches/broker_shard_throughput.rs` has the measured win). The `&mut`
+//! trait methods use lock-free exclusive access (`get_mut`), so the
+//! single-threaded paths pay nothing for the locks.
+//!
 //! Correctness-by-construction details:
 //!
 //! * each shard's CA mints serials in a disjoint residue class
@@ -15,23 +25,32 @@
 //!   a serial's owning shard is recoverable without knowing the uid;
 //! * every shard shares the realm id, so realm binding (the
 //!   `CrossRealmSpoof` defense) is unchanged;
+//! * the plane keeps its own plane-level revocation delta log, appended in
+//!   the order revocations pass through the plane API — so the feed a
+//!   sister realm replicates (`eus-revsync`) is identical whether the
+//!   issuer runs one broker or N shards;
 //! * the plane is observationally equivalent to a single broker — the same
 //!   accept/reject decision for every login/validate/revoke/sweep sequence
 //!   (property-tested in `tests/federation_properties.rs`). Token *material*
 //!   differs (different seeded streams), decisions never do.
 
 use crate::broker::{BrokerPolicy, CredentialBroker};
-use crate::ca::{CredError, CredSerial, SignedToken, SshCertificate};
+use crate::ca::{CredError, CredSerial, RealmVerifier, SignedToken, SshCertificate};
 use crate::plane::CredentialPlane;
-use crate::realm::{MfaCode, MfaSecret, RealmId};
+use crate::realm::{MfaCode, MfaEnrollment, RealmId, RecoveryCode};
 use eus_simcore::SimTime;
 use eus_simos::{Uid, UserDb};
+use parking_lot::RwLock;
 use rayon::prelude::*;
 
-/// A credential plane partitioned across N uid-hashed shards.
+/// A credential plane partitioned across N uid-hashed shards, each behind
+/// its own lock.
 #[derive(Debug)]
 pub struct ShardedBroker {
-    shards: Vec<CredentialBroker>,
+    shards: Vec<RwLock<CredentialBroker>>,
+    /// Plane-level revocation delta log: serials in the order revocations
+    /// were applied through the plane API (the feed `eus-revsync` ships).
+    revocation_order: Vec<CredSerial>,
     /// Core count sampled once at construction: the batch-path dispatch
     /// decision, without a per-call affinity syscall.
     fanout_threads: usize,
@@ -47,12 +66,15 @@ impl ShardedBroker {
         assert!(shards >= 1, "at least one shard");
         let shards = (0..shards)
             .map(|i| {
-                CredentialBroker::new(realm, mix(seed ^ i as u64), policy)
-                    .with_serial_partition(i as u64, shards as u64)
+                RwLock::new(
+                    CredentialBroker::new(realm, mix(seed ^ i as u64), policy)
+                        .with_serial_partition(i as u64, shards as u64),
+                )
             })
             .collect();
         ShardedBroker {
             shards,
+            revocation_order: Vec::new(),
             fanout_threads: std::thread::available_parallelism().map_or(1, |v| v.get()),
         }
     }
@@ -67,7 +89,7 @@ impl ShardedBroker {
     pub fn largest_shard_sessions(&self) -> usize {
         self.shards
             .iter()
-            .map(CredentialBroker::live_sessions)
+            .map(|s| s.read().live_sessions())
             .max()
             .unwrap_or(0)
     }
@@ -77,15 +99,11 @@ impl ShardedBroker {
         (mix(user.0 as u64) % self.shards.len() as u64) as usize
     }
 
-    /// Borrow the shard for a user.
-    fn shard(&self, user: Uid) -> &CredentialBroker {
-        &self.shards[self.shard_of(user)]
-    }
-
-    /// Mutably borrow the shard for a user.
+    /// Exclusive lock-free access to the shard for a user (`&mut self`
+    /// paths never contend, so they skip the lock entirely).
     fn shard_mut(&mut self, user: Uid) -> &mut CredentialBroker {
         let i = self.shard_of(user);
-        &mut self.shards[i]
+        self.shards[i].get_mut()
     }
 
     /// The shard that minted `serial` (serials are partitioned into residue
@@ -110,8 +128,9 @@ impl ShardedBroker {
         let per_shard: Vec<Vec<(usize, Result<Uid, CredError>)>> = buckets
             .par_iter()
             .map(|(s, idxs)| {
+                let shard = self.shards[*s].read();
                 idxs.iter()
-                    .map(|&i| (i, self.shards[*s].validate_token(&tokens[i])))
+                    .map(|&i| (i, shard.validate_token(&tokens[i])))
                     .collect()
             })
             .collect();
@@ -128,16 +147,16 @@ impl ShardedBroker {
 
 impl CredentialPlane for ShardedBroker {
     fn realm(&self) -> RealmId {
-        self.shards[0].realm()
+        self.shards[0].read().realm()
     }
 
     fn now(&self) -> SimTime {
-        self.shards[0].now()
+        self.shards[0].read().now()
     }
 
     fn advance_to(&mut self, t: SimTime) {
         for s in &mut self.shards {
-            s.advance_to(t);
+            s.get_mut().advance_to(t);
         }
     }
 
@@ -163,35 +182,45 @@ impl CredentialPlane for ShardedBroker {
     }
 
     fn validate_token(&self, token: &SignedToken) -> Result<Uid, CredError> {
-        self.shard(token.user).validate_token(token)
+        self.shards[self.shard_of(token.user)]
+            .read()
+            .validate_token(token)
     }
 
     fn validate_cert(&self, cert: &SshCertificate) -> Result<Uid, CredError> {
-        self.shard(cert.user).validate_cert(cert)
+        self.shards[self.shard_of(cert.user)]
+            .read()
+            .validate_cert(cert)
     }
 
     fn validate_serial(&self, user: Uid, serial: CredSerial) -> Result<(), CredError> {
-        self.shard(user).validate_serial(user, serial)
+        self.shards[self.shard_of(user)]
+            .read()
+            .validate_serial(user, serial)
     }
 
     fn authorize_ssh(&self, user: Uid) -> Result<(), CredError> {
-        self.shard(user).authorize_ssh(user)
+        self.shards[self.shard_of(user)].read().authorize_ssh(user)
     }
 
     fn authorize_submit(&self, user: Uid) -> Result<(), CredError> {
-        self.shard(user).authorize_submit(user)
+        self.shards[self.shard_of(user)]
+            .read()
+            .authorize_submit(user)
     }
 
     fn authorize_submit_at(&self, user: Uid, at: SimTime) -> Result<(), CredError> {
-        self.shard(user).authorize_submit_at(user, at)
+        self.shards[self.shard_of(user)]
+            .read()
+            .authorize_submit_at(user, at)
     }
 
     fn current_cert(&self, user: Uid) -> Option<SshCertificate> {
-        self.shard(user).current_cert(user)
+        self.shards[self.shard_of(user)].read().current_cert(user)
     }
 
     fn current_token(&self, user: Uid) -> Option<SignedToken> {
-        self.shard(user).current_token(user)
+        self.shards[self.shard_of(user)].read().current_token(user)
     }
 
     fn revoke_serial(&mut self, serial: CredSerial) {
@@ -199,34 +228,85 @@ impl CredentialPlane for ShardedBroker {
         // and that shard's serials fill one residue class, so routing by
         // residue lands the revocation exactly where the token validates.
         let i = self.shard_of_serial(serial);
-        self.shards[i].revoke_serial(serial);
+        if self.shards[i].get_mut().revoke_serial(serial) {
+            self.revocation_order.push(serial);
+        }
     }
 
     fn revoke_user(&mut self, user: Uid) {
-        self.shard_mut(user).revoke_user(user);
+        let revoked = self.shard_mut(user).revoke_user(user);
+        self.revocation_order.extend(revoked);
     }
 
     fn sweep_expired(&mut self) -> usize {
-        self.shards.iter_mut().map(|s| s.sweep_expired()).sum()
+        self.shards
+            .iter_mut()
+            .map(|s| s.get_mut().sweep_expired())
+            .sum()
     }
 
     fn live_sessions(&self) -> usize {
-        self.shards.iter().map(|s| s.live_sessions()).sum()
+        self.shards.iter().map(|s| s.read().live_sessions()).sum()
     }
 
     // MFA routes delegate to the owning shard's own plane impl, so the
     // binding-enrollment policy is encoded exactly once (in
     // CredentialBroker's CredentialPlane impl).
-    fn enroll_mfa(&mut self, user: Uid, mfa: Option<MfaCode>) -> Result<MfaSecret, CredError> {
+    fn enroll_mfa(&mut self, user: Uid, mfa: Option<MfaCode>) -> Result<MfaEnrollment, CredError> {
         CredentialPlane::enroll_mfa(self.shard_mut(user), user, mfa)
     }
 
+    fn login_recovery(
+        &mut self,
+        db: &UserDb,
+        user: Uid,
+        code: RecoveryCode,
+    ) -> Result<SignedToken, CredError> {
+        self.shard_mut(user).login_recovery(db, user, code)
+    }
+
+    fn unenroll_mfa(&mut self, user: Uid, mfa: Option<MfaCode>) -> Result<(), CredError> {
+        CredentialPlane::unenroll_mfa(self.shard_mut(user), user, mfa)
+    }
+
     fn mfa_challenged(&self, user: Uid) -> bool {
-        CredentialPlane::mfa_challenged(self.shard(user), user)
+        CredentialPlane::mfa_challenged(&*self.shards[self.shard_of(user)].read(), user)
     }
 
     fn current_mfa_code(&self, user: Uid) -> Option<MfaCode> {
-        CredentialPlane::current_mfa_code(self.shard(user), user)
+        CredentialPlane::current_mfa_code(&*self.shards[self.shard_of(user)].read(), user)
+    }
+
+    fn revocation_head(&self) -> u64 {
+        self.revocation_order.len() as u64
+    }
+
+    fn revocations_since(&self, since: u64) -> Vec<CredSerial> {
+        let from = (since as usize).min(self.revocation_order.len());
+        self.revocation_order[from..].to_vec()
+    }
+
+    fn verifier(&self) -> RealmVerifier {
+        RealmVerifier::new(
+            self.realm(),
+            self.shards.iter().map(|s| s.read().ca.clone()).collect(),
+        )
+    }
+
+    /// Shared-path login through the owning shard's own write lock: the
+    /// plane-wide handle stays a *read* borrow, so logins landing on other
+    /// shards run concurrently (the per-shard-locking scale win).
+    fn try_login_shared(
+        &self,
+        db: &UserDb,
+        user: Uid,
+        mfa: Option<MfaCode>,
+    ) -> Option<Result<SignedToken, CredError>> {
+        Some(
+            self.shards[self.shard_of(user)]
+                .write()
+                .login(db, user, mfa),
+        )
     }
 
     /// Shard-parallel batch verification
@@ -268,7 +348,9 @@ mod tests {
             assert!(p.authorize_submit(*u).is_ok());
         }
         // Users actually spread over more than one shard.
-        let occupied = (0..4).filter(|&i| p.shards[i].live_sessions() > 0).count();
+        let occupied = (0..4)
+            .filter(|&i| p.shards[i].read().live_sessions() > 0)
+            .count();
         assert!(occupied > 1, "uid hash must spread users");
     }
 
@@ -293,9 +375,70 @@ mod tests {
         assert_eq!(p.validate_token(&t), Err(CredError::Revoked(t.serial)));
         // Only one shard carries the revocation entry.
         let lists = (0..4)
-            .filter(|&i| !p.shards[i].revocations.is_empty())
+            .filter(|&i| !p.shards[i].read().revocations.is_empty())
             .count();
         assert_eq!(lists, 1);
+    }
+
+    #[test]
+    fn plane_level_delta_log_tracks_revocations_in_api_order() {
+        let (db, mut p, users) = setup(4);
+        let t0 = p.login(&db, users[0], None).unwrap();
+        let t1 = p.login(&db, users[1], None).unwrap();
+        assert_eq!(p.revocation_head(), 0);
+        p.revoke_serial(t1.serial);
+        p.revoke_serial(t1.serial); // duplicate: no new entry
+        p.revoke_user(users[0]); // token + cert
+        let log = p.revocations_since(0);
+        assert_eq!(p.revocation_head(), 3);
+        assert_eq!(log[0], t1.serial, "API order, not shard order");
+        assert_eq!(log[1], t0.serial);
+        assert_eq!(p.revocations_since(2).len(), 1);
+        // The plane log and the shard lists agree on membership.
+        for s in &log {
+            assert!(p.shards[p.shard_of_serial(*s)]
+                .read()
+                .revocations
+                .is_revoked(*s));
+        }
+    }
+
+    #[test]
+    fn shared_path_login_matches_exclusive_login_decisions() {
+        let (db, mut p, users) = setup(4);
+        // Shared-path login under a &self borrow mints a live session...
+        let t = p.try_login_shared(&db, users[2], None).unwrap().unwrap();
+        assert_eq!(p.validate_token(&t).unwrap(), users[2]);
+        // ...and refuses exactly like the exclusive path.
+        let bad = p.try_login_shared(&db, Uid(4242), None).unwrap();
+        assert_eq!(bad, p.login(&db, Uid(4242), None));
+        // The single broker has no shared path (callers must fall back).
+        let single = CredentialBroker::new(RealmId(1), 5, BrokerPolicy::default());
+        assert!(CredentialPlane::try_login_shared(&single, &db, users[0], None).is_none());
+    }
+
+    #[test]
+    fn verifier_routes_serials_to_the_minting_shards_ca() {
+        let (db, mut p, users) = setup(4);
+        let tokens: Vec<SignedToken> = users
+            .iter()
+            .map(|&u| p.login(&db, u, None).unwrap())
+            .collect();
+        let v = p.verifier();
+        for (u, t) in users.iter().zip(&tokens) {
+            assert_eq!(v.verify_token(t, p.now()).unwrap(), *u);
+        }
+        // The verifier checks signatures only — revocation is the replica's
+        // job, so a revoked-at-issuer token still *verifies* here.
+        p.revoke_serial(tokens[0].serial);
+        assert!(v.verify_token(&tokens[0], p.now()).is_ok());
+        // Tampering still breaks the signature.
+        let mut forged = tokens[1];
+        forged.user = Uid(999);
+        assert_eq!(
+            v.verify_token(&forged, p.now()),
+            Err(CredError::BadSignature)
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //! [`login_mfa`]: PortalAuth::login_mfa
 //! [`SharedBroker`]: eus_fedauth::SharedBroker
 
-use eus_fedauth::{CredError, CredSerial, MfaCode, MfaSecret, SharedBroker};
+use eus_fedauth::{
+    CredError, CredSerial, MfaCode, MfaEnrollment, RecoveryCode, SharedBroker, SignedToken,
+};
 use eus_simcore::{SimDuration, SimRng, SimTime};
 use eus_simos::{Uid, UserDb};
 use std::collections::BTreeMap;
@@ -183,24 +185,7 @@ impl PortalAuth {
                 broker.advance_to(self.now);
                 broker.login(db, user, mfa).map_err(AuthError::Federated)?
             };
-            // Derive the 64-bit portal token from the *full* 128-bit bearer
-            // material — truncating to the low half used to discard 64 bits
-            // of entropy — mixed with the portal-private key, so services
-            // that legitimately see the bearer token cannot compute the web
-            // session token from it (a plain high^low fold would let any
-            // such observer hijack the portal session).
-            let folded = mix64((signed.material >> 64) as u64 ^ self.fold_key)
-                ^ mix64(signed.material as u64 ^ self.fold_key.rotate_left(21));
-            let t = self.mint_unused_token(Some(folded));
-            self.sessions.insert(
-                t,
-                SessionEntry {
-                    user,
-                    expires: Some(signed.expires),
-                    serial: Some(signed.serial),
-                },
-            );
-            return Ok(t);
+            return Ok(self.record_federated_session(user, &signed));
         }
         // Local minting: unguessable material, collision-checked.
         let t = self.mint_unused_token(None);
@@ -215,10 +200,58 @@ impl PortalAuth {
         Ok(t)
     }
 
+    /// [`login`](Self::login) with a single-use MFA recovery code in place
+    /// of the window code — the lost-authenticator path. The code is burned
+    /// on success; requires a federated broker (local sessions predate the
+    /// second factor entirely).
+    pub fn login_recovery(
+        &mut self,
+        db: &UserDb,
+        user: Uid,
+        code: RecoveryCode,
+    ) -> Result<Token, AuthError> {
+        if db.user(user).is_none() {
+            return Err(AuthError::NoSuchUser(user));
+        }
+        let broker = self.broker.clone().ok_or(AuthError::MfaUnavailable)?;
+        let signed = {
+            let mut broker = broker.write();
+            broker.advance_to(self.now);
+            broker
+                .login_recovery(db, user, code)
+                .map_err(AuthError::Federated)?
+        };
+        Ok(self.record_federated_session(user, &signed))
+    }
+
+    /// Record a broker-issued credential as a portal session. Derives the
+    /// 64-bit portal token from the *full* 128-bit bearer material —
+    /// truncating to the low half used to discard 64 bits of entropy —
+    /// mixed with the portal-private key, so services that legitimately see
+    /// the bearer token cannot compute the web session token from it (a
+    /// plain high^low fold would let any such observer hijack the portal
+    /// session).
+    fn record_federated_session(&mut self, user: Uid, signed: &SignedToken) -> Token {
+        let folded = mix64((signed.material >> 64) as u64 ^ self.fold_key)
+            ^ mix64(signed.material as u64 ^ self.fold_key.rotate_left(21));
+        let t = self.mint_unused_token(Some(folded));
+        self.sessions.insert(
+            t,
+            SessionEntry {
+                user,
+                expires: Some(signed.expires),
+                serial: Some(signed.serial),
+            },
+        );
+        t
+    }
+
     /// The portal's `enroll_mfa` route: a logged-in user enrolls a binding
-    /// second factor at the realm IdP. The returned secret is shown once
-    /// (the QR-code moment); from the next login on, this user must present
-    /// a current one-time code ([`login_mfa`](Self::login_mfa)).
+    /// second factor at the realm IdP. The returned secret and single-use
+    /// recovery codes are shown once (the QR-code moment); from the next
+    /// login on, this user must present a current one-time code
+    /// ([`login_mfa`](Self::login_mfa)) or burn a recovery code
+    /// ([`login_recovery`](Self::login_recovery)).
     ///
     /// Rebinding an existing factor is step-up-gated: an already-challenged
     /// user must present their *current* code (`mfa`) or the route refuses —
@@ -227,7 +260,7 @@ impl PortalAuth {
         &mut self,
         token: Token,
         mfa: Option<MfaCode>,
-    ) -> Result<MfaSecret, AuthError> {
+    ) -> Result<MfaEnrollment, AuthError> {
         let user = self.whoami(token)?;
         let broker = self.broker.as_ref().ok_or(AuthError::MfaUnavailable)?;
         let mut broker = broker.write();
@@ -235,6 +268,19 @@ impl PortalAuth {
         // judge the code against *now*, not the broker's last-seen time.
         broker.advance_to(self.now);
         broker.enroll_mfa(user, mfa).map_err(AuthError::Federated)
+    }
+
+    /// The portal's `unenroll_mfa` route: remove the session user's second
+    /// factor. Step-up-gated exactly like rebinding — the current one-time
+    /// code must be presented — so a stolen session token alone cannot
+    /// strip an account down to single-factor. Remaining recovery codes are
+    /// voided with the factor.
+    pub fn unenroll_mfa(&mut self, token: Token, mfa: Option<MfaCode>) -> Result<(), AuthError> {
+        let user = self.whoami(token)?;
+        let broker = self.broker.as_ref().ok_or(AuthError::MfaUnavailable)?;
+        let mut broker = broker.write();
+        broker.advance_to(self.now);
+        broker.unenroll_mfa(user, mfa).map_err(AuthError::Federated)
     }
 
     /// Resolve a token to its uid. Stale or centrally-revoked tokens are
@@ -471,7 +517,7 @@ mod tests {
         // Enroll through the portal route while logged in.
         let t = auth.login(&db, alice).unwrap();
         assert!(!broker.read().mfa_challenged(alice));
-        let secret = auth.enroll_mfa(t, None).unwrap();
+        let secret = auth.enroll_mfa(t, None).unwrap().secret;
         assert!(
             broker.read().mfa_challenged(alice),
             "portal enrollment is binding"
@@ -509,7 +555,7 @@ mod tests {
         auth.attach_broker(broker.clone());
 
         let t = auth.login(&db, alice).unwrap();
-        let secret = auth.enroll_mfa(t, None).unwrap();
+        let secret = auth.enroll_mfa(t, None).unwrap().secret;
 
         // Rebind attempts against the (still live) session: refused without
         // the current code, refused with a wrong code.
@@ -526,7 +572,7 @@ mod tests {
         );
         // The legitimate owner, holding the current code, can rotate the
         // factor; the old secret stops validating at the next login.
-        let secret2 = auth.enroll_mfa(t, Some(code)).unwrap();
+        let secret2 = auth.enroll_mfa(t, Some(code)).unwrap().secret;
         assert_ne!(secret, secret2);
         let now = broker.read().now();
         let stale = eus_fedauth::realm::mfa_code_at(secret, now);
@@ -547,6 +593,70 @@ mod tests {
             Err(AuthError::Federated(eus_fedauth::CredError::MfaInvalid))
         );
         assert!(auth.enroll_mfa(t, Some(current)).is_ok());
+    }
+
+    #[test]
+    fn recovery_codes_login_once_and_unenroll_is_stepup_gated() {
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let broker = shared_broker(CredentialBroker::new(
+            RealmId(1),
+            5,
+            BrokerPolicy::default(),
+        ));
+        let mut auth = PortalAuth::new();
+        auth.attach_broker(broker.clone());
+
+        let t = auth.login(&db, alice).unwrap();
+        let enrollment = auth.enroll_mfa(t, None).unwrap();
+        assert_eq!(
+            enrollment.recovery.len(),
+            eus_fedauth::RECOVERY_CODE_COUNT,
+            "enrollment hands out the one-time-shown recovery codes"
+        );
+
+        // Lost authenticator: a recovery code logs in where a missing TOTP
+        // would refuse — and burns.
+        assert_eq!(
+            auth.login(&db, alice),
+            Err(AuthError::Federated(CredError::MfaRequired))
+        );
+        let code = enrollment.recovery[0];
+        let t2 = auth.login_recovery(&db, alice, code).unwrap();
+        assert_eq!(auth.whoami(t2).unwrap(), alice);
+        assert_eq!(
+            auth.login_recovery(&db, alice, code),
+            Err(AuthError::Federated(CredError::MfaInvalid)),
+            "a recovery code works exactly once"
+        );
+        // Unenrolled users get no recovery backdoor.
+        let bob = db.create_user("bob").unwrap();
+        assert!(auth
+            .login_recovery(&db, bob, enrollment.recovery[1])
+            .is_err());
+        // And the route needs a broker at all.
+        let mut local = PortalAuth::new();
+        assert_eq!(
+            local.login_recovery(&db, alice, code),
+            Err(AuthError::MfaUnavailable)
+        );
+
+        // Unenroll: refused on the session alone, allowed with the current
+        // code; afterwards login is single-factor again and the remaining
+        // recovery codes are dead.
+        assert_eq!(
+            auth.unenroll_mfa(t2, None),
+            Err(AuthError::Federated(CredError::MfaRequired))
+        );
+        let now_code = eus_fedauth::realm::mfa_code_at(enrollment.secret, auth.now());
+        auth.unenroll_mfa(t2, Some(now_code)).unwrap();
+        assert!(!broker.read().mfa_challenged(alice));
+        assert!(auth.login(&db, alice).is_ok());
+        assert!(
+            auth.login_recovery(&db, alice, enrollment.recovery[2])
+                .is_err(),
+            "unenrolling voids the remaining codes"
+        );
     }
 
     #[test]

@@ -104,15 +104,30 @@ impl PortalGateway {
 
     /// The `enroll_mfa` route: a logged-in user binds a second factor at
     /// the realm IdP (self-service, like the real portal's security page).
-    /// Returns the one-time-shown shared secret; the next login must
-    /// present a current window code. Rebinding an existing factor
-    /// requires the current code (`mfa`) as step-up.
+    /// Returns the one-time-shown shared secret plus single-use recovery
+    /// codes; the next login must present a current window code or burn a
+    /// recovery code. Rebinding an existing factor requires the current
+    /// code (`mfa`) as step-up.
     pub fn enroll_mfa(
         &mut self,
         token: Token,
         mfa: Option<eus_fedauth::MfaCode>,
-    ) -> Result<eus_fedauth::MfaSecret, PortalError> {
+    ) -> Result<eus_fedauth::MfaEnrollment, PortalError> {
         self.auth.enroll_mfa(token, mfa).map_err(PortalError::Auth)
+    }
+
+    /// The `unenroll_mfa` route: remove the session user's second factor.
+    /// Step-up-gated like rebinding (the current window code must be
+    /// presented), so a stolen session alone cannot downgrade the account;
+    /// remaining recovery codes are voided with the factor.
+    pub fn unenroll_mfa(
+        &mut self,
+        token: Token,
+        mfa: Option<eus_fedauth::MfaCode>,
+    ) -> Result<(), PortalError> {
+        self.auth
+            .unenroll_mfa(token, mfa)
+            .map_err(PortalError::Auth)
     }
 
     /// Fetch a route's app content on behalf of an authenticated user.

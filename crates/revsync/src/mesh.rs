@@ -1,0 +1,616 @@
+//! [`RevSyncMesh`]: the inter-site revocation-propagation fabric.
+//!
+//! Every participating realm gets a host on a simulated WAN (a
+//! [`Fabric`] with wide-area latency constants), and revocation state
+//! travels two ways:
+//!
+//! * **push feeds** — every [`RevSyncConfig::feed_interval`], each issuer
+//!   ships the delta-log entries its subscriber has not been sent yet
+//!   (empty deltas are heartbeats, so freshness keeps advancing between
+//!   revocations). Feeds are fire-and-forget: a configurable fraction
+//!   ([`RevSyncConfig::push_loss`]) is lost in transit, and the issuer's
+//!   optimistic cursor does not notice — the subscriber sees a sequence
+//!   gap and refuses the next delta rather than silently skipping entries;
+//! * **pull anti-entropy** — every [`RevSyncConfig::anti_entropy`], each
+//!   subscriber asks its issuer for everything after its *applied*
+//!   frontier. The response is exact (no gap possible), so anti-entropy
+//!   repairs whatever loss broke, from any partial state.
+//!
+//! Deltas spend real simulated time on the wire (connection setup plus
+//! size-proportional transfer, per the fabric's [`LatencyModel`]), so a
+//! revocation minted at the issuer becomes visible at a sister site only
+//! after feed cadence + WAN latency — the propagation lag `exp_revsync`
+//! charts. Validation against a replica never touches the mesh: the mesh
+//! only moves state *between* validations, which is the whole point.
+//!
+//! The pump is tick-driven ([`RevSyncMesh::pump`], called from
+//! `SecureCluster::advance_to`): all exchanges due up to the new instant
+//! are processed in event-time order, so coarse ticks and fine ticks
+//! converge to the same history.
+
+use crate::replica::{ApplyOutcome, CrlDelta, CrlReplica};
+use crate::RevSyncConfig;
+use eus_fedauth::RealmId;
+use eus_fedauth::{CredError, SharedBroker, SignedToken, SshCertificate};
+use eus_simcore::{SimDuration, SimRng, SimTime};
+use eus_simnet::{Fabric, PeerInfo, Port, Proto, SocketAddr};
+use eus_simos::{Gid, NodeId, Uid};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The well-known port each realm's CRL feed daemon listens on.
+pub const CRL_FEED_PORT: Port = 9253;
+
+/// Counters the mesh keeps while it runs (all monotonic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RevSyncMetrics {
+    /// Push feeds that made it onto the wire.
+    pub pushes_sent: u64,
+    /// Push feeds lost in transit (the subscriber never sees them).
+    pub pushes_lost: u64,
+    /// Push attempts refused at connect time (partitioned link).
+    pub pushes_failed: u64,
+    /// Anti-entropy rounds completed (request + response on the wire).
+    pub pulls: u64,
+    /// Anti-entropy attempts refused at connect time (partitioned link).
+    pub pulls_failed: u64,
+    /// Deltas applied cleanly at replicas (including heartbeats).
+    pub deltas_applied: u64,
+    /// Serials newly learned by replicas.
+    pub serials_applied: u64,
+    /// Deltas refused because an earlier loss left a sequence gap.
+    pub gaps_refused: u64,
+    /// Feed payload bytes shipped (pushes + pull responses + bootstraps).
+    pub bytes_sent: u64,
+}
+
+/// One realm's presence on the WAN: its credential plane (the feed source)
+/// and the CRL replicas the *site* holds for realms it subscribes to.
+struct Site {
+    host: NodeId,
+    plane: SharedBroker,
+    replicas: BTreeMap<RealmId, CrlReplica>,
+}
+
+/// One (issuer → subscriber) feed relationship and its two schedules.
+struct FeedLink {
+    issuer: RealmId,
+    subscriber: RealmId,
+    /// The issuer's optimistic push cursor: highest log seq already pushed
+    /// (whether or not it arrived — fire-and-forget).
+    pushed_seq: u64,
+    next_push: SimTime,
+    next_pull: SimTime,
+}
+
+/// A delta on the wire.
+struct InFlight {
+    to: RealmId,
+    delta: CrlDelta,
+    arrives: SimTime,
+}
+
+/// The propagation mesh: realms, feed links, and deltas in flight.
+pub struct RevSyncMesh {
+    cfg: RevSyncConfig,
+    fabric: Fabric,
+    sites: BTreeMap<RealmId, Site>,
+    links: Vec<FeedLink>,
+    in_flight: Vec<InFlight>,
+    /// Links currently unable to exchange anything (site outage / WAN
+    /// partition), keyed (issuer, subscriber).
+    partitioned: BTreeSet<(RealmId, RealmId)>,
+    rng: SimRng,
+    now: SimTime,
+    /// Running counters.
+    pub metrics: RevSyncMetrics,
+}
+
+impl RevSyncMesh {
+    /// An empty mesh under `cfg`.
+    pub fn new(cfg: RevSyncConfig) -> Self {
+        assert!(
+            !cfg.feed_interval.is_zero(),
+            "feed interval must be positive"
+        );
+        assert!(
+            !cfg.anti_entropy.is_zero(),
+            "anti-entropy period must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.push_loss),
+            "push loss is a probability"
+        );
+        let mut fabric = Fabric::new();
+        fabric.latency = cfg.wan;
+        RevSyncMesh {
+            rng: SimRng::seed_from_u64(cfg.seed ^ 0x9EC5_11AD),
+            cfg,
+            fabric,
+            sites: BTreeMap::new(),
+            links: Vec::new(),
+            in_flight: Vec::new(),
+            partitioned: BTreeSet::new(),
+            now: SimTime::ZERO,
+            metrics: RevSyncMetrics::default(),
+        }
+    }
+
+    /// The mesh's configuration.
+    pub fn config(&self) -> &RevSyncConfig {
+        &self.cfg
+    }
+
+    /// The mesh's clock (the latest pump instant).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The WAN itself (latency constants, connect/transfer metrics).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Put a realm on the WAN: a host with the realm's CRL feed daemon
+    /// listening. Panics on double registration.
+    pub fn add_realm(&mut self, realm: RealmId, plane: SharedBroker) {
+        assert!(
+            !self.sites.contains_key(&realm),
+            "{realm} is already on the mesh"
+        );
+        assert_eq!(
+            plane.read().realm(),
+            realm,
+            "plane must be built for the realm it joins as"
+        );
+        let host = NodeId(900_000 + realm.0);
+        self.fabric.add_host(host);
+        let daemon = PeerInfo {
+            uid: Uid(0),
+            egid: Gid(0),
+            pid: None,
+        };
+        self.fabric
+            .listen(host, Proto::Tcp, CRL_FEED_PORT, daemon)
+            .expect("fresh host has a free feed port");
+        self.sites.insert(
+            realm,
+            Site {
+                host,
+                plane,
+                replicas: BTreeMap::new(),
+            },
+        );
+    }
+
+    /// Realms on the mesh, in order.
+    pub fn realms(&self) -> impl Iterator<Item = RealmId> + '_ {
+        self.sites.keys().copied()
+    }
+
+    /// Whether a realm is on the mesh.
+    pub fn has_realm(&self, realm: RealmId) -> bool {
+        self.sites.contains_key(&realm)
+    }
+
+    /// The plane a realm joined the mesh with, if registered.
+    pub fn plane(&self, realm: RealmId) -> Option<&SharedBroker> {
+        self.sites.get(&realm).map(|s| &s.plane)
+    }
+
+    /// Subscribe `subscriber` to `issuer`'s revocation feed: bootstrap a
+    /// full-CRL replica (the registration-time state transfer, charged to
+    /// the wire like everything else) and schedule the push/pull cadences.
+    /// Panics unless both realms are on the mesh.
+    pub fn subscribe(&mut self, subscriber: RealmId, issuer: RealmId) {
+        assert_ne!(subscriber, issuer, "a site never replicates itself");
+        assert!(self.sites.contains_key(&issuer), "{issuer} not on the mesh");
+        assert!(
+            self.sites.contains_key(&subscriber),
+            "{subscriber} not on the mesh"
+        );
+        assert!(
+            !self.sites[&subscriber].replicas.contains_key(&issuer),
+            "{subscriber} already subscribes to {issuer}"
+        );
+        let (verifier, serials) = {
+            let plane = self.sites[&issuer].plane.read();
+            (plane.verifier(), plane.revocations_since(0))
+        };
+        let head = serials.len() as u64;
+        let wire = CrlDelta::wire_bytes_for(serials.len());
+        // The registration-time state transfer crosses the WAN for real —
+        // one connection, the full CRL as payload — so the fabric's
+        // connect/byte metrics agree with the mesh's. Trust activation is
+        // synchronous with its completion: the replica only starts
+        // answering once it holds the full history, so there is never a
+        // window where an empty replica vouches for a realm with
+        // revocation entries it has not yet received.
+        let from = self.sites[&issuer].host;
+        let to = self.sites[&subscriber].host;
+        let daemon = PeerInfo {
+            uid: Uid(0),
+            egid: Gid(0),
+            pid: None,
+        };
+        let (conn, _setup) = self
+            .fabric
+            .connect(from, daemon, SocketAddr::new(to, CRL_FEED_PORT), Proto::Tcp)
+            .expect("mesh hosts listen on the feed port");
+        let body = bytes::Bytes::from(vec![0u8; wire]);
+        self.fabric.send(conn, &body).expect("just connected");
+        self.fabric.close(conn);
+        self.metrics.bytes_sent += wire as u64;
+        let replica = CrlReplica::bootstrap(issuer, verifier, serials, self.now);
+        let site = self.sites.get_mut(&subscriber).expect("checked above");
+        site.replicas.insert(issuer, replica);
+        self.links.push(FeedLink {
+            issuer,
+            subscriber,
+            pushed_seq: head,
+            next_push: self.now + self.cfg.feed_interval,
+            next_pull: self.now + self.cfg.anti_entropy,
+        });
+    }
+
+    /// Sever or restore the (issuer → subscriber) link. While partitioned,
+    /// pushes and pulls both fail at connect time, the replica stops
+    /// refreshing, and its lag grows — past
+    /// [`RevSyncConfig::max_lag`] validation fails closed (the bounded-
+    /// staleness guarantee under outage).
+    pub fn set_partitioned(&mut self, issuer: RealmId, subscriber: RealmId, down: bool) {
+        if down {
+            self.partitioned.insert((issuer, subscriber));
+        } else {
+            self.partitioned.remove(&(issuer, subscriber));
+        }
+    }
+
+    /// Drive every exchange due up to `t`, in event-time order (arrivals
+    /// before same-instant emissions, pushes before same-instant pulls).
+    /// Idempotent for `t <= now`.
+    pub fn pump(&mut self, t: SimTime) {
+        if t < self.now {
+            return;
+        }
+        loop {
+            // Earliest event at or before `t`: kind 0 = arrival, 1 = push,
+            // 2 = pull; ties break by kind then stable index.
+            let mut best: Option<(SimTime, u8, usize)> = None;
+            let consider = |cand: (SimTime, u8, usize), best: &mut Option<(SimTime, u8, usize)>| {
+                if cand.0 <= t && best.is_none_or(|b| cand < b) {
+                    *best = Some(cand);
+                }
+            };
+            for (i, f) in self.in_flight.iter().enumerate() {
+                consider((f.arrives, 0, i), &mut best);
+            }
+            for (i, l) in self.links.iter().enumerate() {
+                consider((l.next_push, 1, i), &mut best);
+                consider((l.next_pull, 2, i), &mut best);
+            }
+            let Some((when, kind, idx)) = best else { break };
+            match kind {
+                0 => self.deliver(idx),
+                1 => self.push(idx, when),
+                _ => self.pull(idx, when),
+            }
+        }
+        self.now = t;
+    }
+
+    /// Emit one push feed on link `idx` at instant `when`.
+    fn push(&mut self, idx: usize, when: SimTime) {
+        let (issuer, subscriber, since) = {
+            let l = &mut self.links[idx];
+            l.next_push = when + self.cfg.feed_interval;
+            (l.issuer, l.subscriber, l.pushed_seq)
+        };
+        if self.partitioned.contains(&(issuer, subscriber)) {
+            self.metrics.pushes_failed += 1;
+            return;
+        }
+        let (serials, head) = {
+            let plane = self.sites[&issuer].plane.read();
+            (plane.revocations_since(since), plane.revocation_head())
+        };
+        let delta = CrlDelta {
+            issuer,
+            first_seq: since + 1,
+            serials,
+            head,
+            as_of: when,
+        };
+        // Fire-and-forget: the cursor advances whether or not the delta
+        // survives the wire.
+        self.links[idx].pushed_seq = head;
+        if self.rng.chance(self.cfg.push_loss) {
+            self.metrics.pushes_lost += 1;
+            return;
+        }
+        self.ship(issuer, subscriber, delta, SimDuration::ZERO);
+        self.metrics.pushes_sent += 1;
+    }
+
+    /// Run one anti-entropy round on link `idx` at instant `when`.
+    fn pull(&mut self, idx: usize, when: SimTime) {
+        let (issuer, subscriber) = {
+            let l = &mut self.links[idx];
+            l.next_pull = when + self.cfg.anti_entropy;
+            (l.issuer, l.subscriber)
+        };
+        if self.partitioned.contains(&(issuer, subscriber)) {
+            self.metrics.pulls_failed += 1;
+            return;
+        }
+        // The subscriber asks from its *applied* frontier — whatever gaps
+        // loss tore open, the response is contiguous from there.
+        let since = self.sites[&subscriber].replicas[&issuer].applied_seq();
+        let (serials, head) = {
+            let plane = self.sites[&issuer].plane.read();
+            (plane.revocations_since(since), plane.revocation_head())
+        };
+        let delta = CrlDelta {
+            issuer,
+            first_seq: since + 1,
+            serials,
+            head,
+            as_of: when,
+        };
+        // The issuer now knows the subscriber's true frontier: realign the
+        // push cursor so post-repair pushes are contiguous again.
+        self.links[idx].pushed_seq = self.links[idx].pushed_seq.max(head);
+        // Request leg (one WAN round trip) precedes the response transfer.
+        self.ship(issuer, subscriber, delta, self.cfg.wan.base_rtt);
+        self.metrics.pulls += 1;
+    }
+
+    /// Put a delta on the wire from issuer to subscriber; `extra` models
+    /// any protocol time before the transfer starts (the pull request leg).
+    fn ship(&mut self, issuer: RealmId, subscriber: RealmId, delta: CrlDelta, extra: SimDuration) {
+        let from = self.sites[&issuer].host;
+        let to = self.sites[&subscriber].host;
+        let daemon = PeerInfo {
+            uid: Uid(0),
+            egid: Gid(0),
+            pid: None,
+        };
+        let (conn, setup) = self
+            .fabric
+            .connect(from, daemon, SocketAddr::new(to, CRL_FEED_PORT), Proto::Tcp)
+            .expect("mesh hosts listen on the feed port");
+        let body = bytes::Bytes::from(vec![0u8; delta.wire_bytes()]);
+        let xfer = self.fabric.send(conn, &body).expect("just connected");
+        self.fabric.close(conn);
+        self.metrics.bytes_sent += delta.wire_bytes() as u64;
+        self.in_flight.push(InFlight {
+            to: subscriber,
+            arrives: delta.as_of + extra + setup + xfer,
+            delta,
+        });
+    }
+
+    /// Deliver in-flight delta `idx` to its replica.
+    fn deliver(&mut self, idx: usize) {
+        let f = self.in_flight.swap_remove(idx);
+        let site = self.sites.get_mut(&f.to).expect("subscriber exists");
+        let replica = site
+            .replicas
+            .get_mut(&f.delta.issuer)
+            .expect("subscribed replica exists");
+        match replica.apply(&f.delta) {
+            ApplyOutcome::Applied(n) => {
+                self.metrics.deltas_applied += 1;
+                self.metrics.serials_applied += n as u64;
+            }
+            ApplyOutcome::Gap { .. } => self.metrics.gaps_refused += 1,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The validate hot path (no mesh traffic, no issuer contact)
+    // ------------------------------------------------------------------
+
+    /// Validate a foreign bearer token at `site` against its local replica
+    /// of the issuing realm, under the mesh's staleness budget. Fails
+    /// closed when the site holds no replica for the issuer
+    /// (`UnknownRealm`) or the replica is over budget (`StaleReplica`).
+    pub fn validate_token_at(
+        &self,
+        site: RealmId,
+        token: &SignedToken,
+        now: SimTime,
+    ) -> Result<Uid, CredError> {
+        self.subscribed_replica(site, token.realm)?
+            .validate_token(token, now, self.cfg.max_lag)
+    }
+
+    /// [`validate_token_at`](Self::validate_token_at) for SSH certificates.
+    pub fn validate_cert_at(
+        &self,
+        site: RealmId,
+        cert: &SshCertificate,
+        now: SimTime,
+    ) -> Result<Uid, CredError> {
+        self.subscribed_replica(site, cert.realm)?
+            .validate_cert(cert, now, self.cfg.max_lag)
+    }
+
+    /// The replica lookup with precise fail-closed attribution: an
+    /// `UnknownRealm` error names the realm that is actually missing — the
+    /// validating site when *it* is not on the mesh, the issuer when the
+    /// site holds no replica for it.
+    fn subscribed_replica(&self, site: RealmId, issuer: RealmId) -> Result<&CrlReplica, CredError> {
+        self.sites
+            .get(&site)
+            .ok_or(CredError::UnknownRealm(site))?
+            .replicas
+            .get(&issuer)
+            .ok_or(CredError::UnknownRealm(issuer))
+    }
+
+    /// The replica `site` holds for `issuer`, if subscribed.
+    pub fn replica(&self, site: RealmId, issuer: RealmId) -> Option<&CrlReplica> {
+        self.sites.get(&site)?.replicas.get(&issuer)
+    }
+
+    /// How stale `site`'s replica of `issuer` is at `now` (`None` when not
+    /// subscribed).
+    pub fn replica_lag(&self, site: RealmId, issuer: RealmId, now: SimTime) -> Option<SimDuration> {
+        Some(self.replica(site, issuer)?.lag(now))
+    }
+}
+
+impl std::fmt::Debug for RevSyncMesh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RevSyncMesh")
+            .field("realms", &self.sites.keys().collect::<Vec<_>>())
+            .field("links", &self.links.len())
+            .field("in_flight", &self.in_flight.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eus_fedauth::{shared_broker, BrokerPolicy, CredentialBroker};
+    use eus_simos::UserDb;
+
+    fn two_realm_mesh(
+        cfg: RevSyncConfig,
+    ) -> (UserDb, RevSyncMesh, SharedBroker, SharedBroker, Uid) {
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let home = shared_broker(CredentialBroker::new(
+            RealmId(1),
+            11,
+            BrokerPolicy::default(),
+        ));
+        let sister = shared_broker(CredentialBroker::new(
+            RealmId(2),
+            22,
+            BrokerPolicy::default(),
+        ));
+        let mut mesh = RevSyncMesh::new(cfg);
+        mesh.add_realm(RealmId(1), home.clone());
+        mesh.add_realm(RealmId(2), sister.clone());
+        mesh.subscribe(RealmId(1), RealmId(2));
+        (db, mesh, home, sister, alice)
+    }
+
+    #[test]
+    fn push_feed_propagates_a_revocation_within_one_interval() {
+        let cfg = RevSyncConfig::default();
+        let (db, mut mesh, _home, sister, alice) = two_realm_mesh(cfg);
+        let token = sister.write().login(&db, alice, None).unwrap();
+        // Visible (and valid) at home via the replica immediately.
+        assert_eq!(
+            mesh.validate_token_at(RealmId(1), &token, SimTime::ZERO)
+                .unwrap(),
+            alice
+        );
+        // Revoke at the issuer: home still accepts until a feed lands.
+        sister.write().revoke_user(alice);
+        assert!(mesh
+            .validate_token_at(RealmId(1), &token, SimTime::ZERO)
+            .is_ok());
+        // One feed interval (plus wire time) later, home rejects.
+        let after = SimTime::ZERO + cfg.feed_interval + SimDuration::from_secs(1);
+        mesh.pump(after);
+        assert_eq!(
+            mesh.validate_token_at(RealmId(1), &token, after),
+            Err(CredError::Revoked(token.serial))
+        );
+        assert!(mesh.metrics.pushes_sent >= 1);
+        assert!(mesh.metrics.serials_applied >= 1);
+        // The replica's lag is bounded by cadence + wire, well under budget.
+        let lag = mesh.replica_lag(RealmId(1), RealmId(2), after).unwrap();
+        assert!(lag <= cfg.feed_interval + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn lost_pushes_leave_gaps_that_anti_entropy_repairs() {
+        let cfg = RevSyncConfig {
+            push_loss: 1.0, // every push dies: only anti-entropy moves data
+            ..RevSyncConfig::default()
+        };
+        let (db, mut mesh, _home, sister, alice) = two_realm_mesh(cfg);
+        let token = sister.write().login(&db, alice, None).unwrap();
+        sister.write().revoke_user(alice);
+
+        // Many feed intervals pass: all pushes lost, replica unrefreshed.
+        let mid = SimTime::ZERO + cfg.feed_interval * 5;
+        mesh.pump(mid);
+        assert!(mesh.metrics.pushes_lost >= 4);
+        assert_eq!(mesh.metrics.serials_applied, 0);
+        assert!(mesh.validate_token_at(RealmId(1), &token, mid).is_ok());
+
+        // The anti-entropy round catches the replica all the way up.
+        let after_ae = SimTime::ZERO + cfg.anti_entropy + SimDuration::from_secs(2);
+        mesh.pump(after_ae);
+        assert!(mesh.metrics.pulls >= 1);
+        assert_eq!(
+            mesh.validate_token_at(RealmId(1), &token, after_ae),
+            Err(CredError::Revoked(token.serial))
+        );
+        let issuer_head = sister.read().revocation_head();
+        assert_eq!(
+            mesh.replica(RealmId(1), RealmId(2)).unwrap().applied_seq(),
+            issuer_head
+        );
+    }
+
+    #[test]
+    fn partition_grows_lag_until_validation_fails_closed() {
+        let cfg = RevSyncConfig::default();
+        let (db, mut mesh, _home, sister, alice) = two_realm_mesh(cfg);
+        let token = sister.write().login(&db, alice, None).unwrap();
+        mesh.set_partitioned(RealmId(2), RealmId(1), true);
+
+        // Inside the budget: stale but acceptable.
+        let inside = SimTime::ZERO + cfg.max_lag;
+        mesh.pump(inside);
+        assert_eq!(
+            mesh.validate_token_at(RealmId(1), &token, inside).unwrap(),
+            alice
+        );
+        // Past the budget: fail closed, naming the stale realm.
+        let outside = inside + SimDuration::from_secs(1);
+        mesh.pump(outside);
+        assert!(matches!(
+            mesh.validate_token_at(RealmId(1), &token, outside),
+            Err(CredError::StaleReplica {
+                realm: RealmId(2),
+                ..
+            })
+        ));
+        // Healing the partition restores validation at the next exchange.
+        mesh.set_partitioned(RealmId(2), RealmId(1), false);
+        let healed = outside + cfg.feed_interval + SimDuration::from_secs(1);
+        mesh.pump(healed);
+        assert_eq!(
+            mesh.validate_token_at(RealmId(1), &token, healed).unwrap(),
+            alice
+        );
+    }
+
+    #[test]
+    fn unsubscribed_realms_fail_closed() {
+        let cfg = RevSyncConfig::default();
+        let (db, mesh, _home, _sister, alice) = two_realm_mesh(cfg);
+        let mut rogue = CredentialBroker::new(RealmId(9), 9, BrokerPolicy::default());
+        let forged = rogue.login(&db, alice, None).unwrap();
+        assert_eq!(
+            mesh.validate_token_at(RealmId(1), &forged, SimTime::ZERO),
+            Err(CredError::UnknownRealm(RealmId(9)))
+        );
+        // A site not on the mesh cannot validate anything — and the error
+        // names the missing *site*, not the (possibly healthy) issuer.
+        let sister_token = forged;
+        assert_eq!(
+            mesh.validate_token_at(RealmId(42), &sister_token, SimTime::ZERO),
+            Err(CredError::UnknownRealm(RealmId(42)))
+        );
+    }
+}

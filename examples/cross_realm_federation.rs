@@ -58,10 +58,17 @@ fn main() {
         cluster.validate_federated_token(&spoof).unwrap_err()
     );
 
-    // 4. Revocation at the issuing site is honored here immediately.
+    // 4. Revocation at the issuing site propagates here asynchronously:
+    //    the sister's CRL delta feed (eus-revsync) lands within one feed
+    //    interval, and the local replica rejects from then on — see
+    //    examples/revocation_propagation.rs for the full timeline.
     lab.write().revoke_user(alice);
+    let next_feed = cluster.sched.read().now()
+        + cluster.config.revsync_feed_interval
+        + hpc_user_separation::simcore::SimDuration::from_secs(1);
+    cluster.advance_to(next_feed);
     println!(
-        "after realm2 incident response: {}",
+        "one feed interval after realm2 incident response: {}",
         cluster.validate_federated_token(&visiting).unwrap_err()
     );
 
@@ -69,7 +76,7 @@ fn main() {
     //    the portal's enroll_mfa route. The next login without a code is
     //    refused; with the current window code it succeeds.
     let session = cluster.portal_login(alice).unwrap();
-    let secret = cluster.portal_enroll_mfa(session, None).unwrap();
+    let secret = cluster.portal_enroll_mfa(session, None).unwrap().secret;
     println!("\nportal: alice enrolled MFA (secret shown once, QR-code style)");
     let refused = cluster.portal_login(alice).unwrap_err();
     assert!(matches!(refused, AuthError::Federated(_)));

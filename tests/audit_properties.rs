@@ -112,6 +112,7 @@ fn arb_config() -> impl Strategy<Value = SeparationConfig> {
                     federated_auth: fedauth,
                     broker_shards,
                     trusted_realms: Vec::new(),
+                    ..SeparationConfig::baseline()
                 }
             },
         )

@@ -31,6 +31,8 @@ fn shape<T>(r: &Result<T, CredError>) -> &'static str {
         Err(CredError::RealmMismatch { .. }) => "realm-mismatch",
         Err(CredError::UntrustedRealm { .. }) => "untrusted-realm",
         Err(CredError::UnknownRealm(_)) => "unknown-realm",
+        Err(CredError::TrustExpired { .. }) => "trust-expired",
+        Err(CredError::StaleReplica { .. }) => "stale-replica",
         Err(CredError::BadSignature) => "bad-signature",
         Err(CredError::Revoked(_)) => "revoked",
         Err(CredError::NoCredential(_)) => "no-credential",
