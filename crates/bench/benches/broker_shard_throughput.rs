@@ -134,10 +134,39 @@ fn bench_concurrent_login_paths(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_many_sessions_per_user(c: &mut Criterion) {
+    // The many-sessions-per-user shape: one principal holding hundreds of
+    // concurrent tokens (portal tabs + sbatch tokens). `validate_serial`
+    // must stay a map hit — flat across session counts — now that the
+    // session table is serial-keyed instead of a linearly-scanned Vec.
+    use eus_fedauth::CredentialBroker;
+    let mut g = c.benchmark_group("fedauth/many_sessions_validate");
+    for sessions in [1usize, 64, 1024] {
+        let mut db = UserDb::new();
+        let alice = db.create_user("alice").unwrap();
+        let mut broker = CredentialBroker::new(RealmId(1), 11, BrokerPolicy::default());
+        let tokens: Vec<SignedToken> = (0..sessions)
+            .map(|_| broker.login(&db, alice, None).unwrap())
+            .collect();
+        // The *oldest* serial is the old implementation's worst case (full
+        // reverse scan); for the index it is just another key.
+        let oldest = tokens[0].serial;
+        g.bench_with_input(BenchmarkId::new("sessions", sessions), &sessions, |b, _| {
+            b.iter(|| {
+                broker
+                    .validate_serial(black_box(alice), black_box(oldest))
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_batch_validate,
     bench_single_op_routing,
-    bench_concurrent_login_paths
+    bench_concurrent_login_paths,
+    bench_many_sessions_per_user
 );
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eus_bench::standard_trace;
-use eus_sched::{NodeSharing, SchedConfig, Scheduler};
+use eus_sched::{NodeSharing, ReferenceScheduler, SchedConfig, Scheduler};
 use std::hint::black_box;
 
 fn bench_policies(c: &mut Criterion) {
@@ -26,6 +26,53 @@ fn bench_policies(c: &mut Criterion) {
             })
         });
     }
+    g.finish();
+}
+
+/// The 256-node row: the optimized engine (incremental placement index +
+/// capacity-vector shadow) against the retained reference implementation on
+/// the identical trace — the ≥3× hot-path claim, measured every run.
+fn bench_256_nodes_vs_reference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched/replay_1h_trace");
+    g.sample_size(10);
+    let trace = standard_trace(60, 1, 99).to_shared();
+    let policy = NodeSharing::WholeNodeUser;
+    g.bench_with_input(
+        BenchmarkId::new("impl_256nodes", "optimized"),
+        &trace,
+        |b, trace| {
+            b.iter(|| {
+                let mut s = Scheduler::new(SchedConfig {
+                    policy,
+                    ..SchedConfig::default()
+                });
+                for _ in 0..256 {
+                    s.add_node(16, 65_536, 0);
+                }
+                trace.submit_all(&mut s);
+                black_box(s.run_to_completion())
+            })
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new("impl_256nodes", "reference"),
+        &trace,
+        |b, trace| {
+            b.iter(|| {
+                let mut s = ReferenceScheduler::new(SchedConfig {
+                    policy,
+                    ..SchedConfig::default()
+                });
+                for _ in 0..256 {
+                    s.add_node(16, 65_536, 0);
+                }
+                for (at, spec) in &trace.entries {
+                    s.submit_at_shared(*at, std::sync::Arc::clone(spec));
+                }
+                black_box(s.run_to_completion())
+            })
+        },
+    );
     g.finish();
 }
 
@@ -52,5 +99,10 @@ fn bench_backfill_cost(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_policies, bench_backfill_cost);
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_256_nodes_vs_reference,
+    bench_backfill_cost
+);
 criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! Scheduler scale experiment: submission storms replayed through the
+//! optimized engine from 256 to 10k nodes, reporting events/sec per
+//! node-sharing policy with backfill on and off — the measurement that
+//! keeps the hot-path overhaul honest (mitigations get adopted when their
+//! overhead is measured and driven to noise; the scheduler deserves the
+//! same discipline as the ~25 ns fedauth verify path).
+//!
+//! Emits `BENCH_sched.json` so the perf trajectory has a machine-readable
+//! first point; CI replays `--smoke` (small scale, same code paths).
+
+use eus_bench::table::{f, TextTable};
+use eus_sched::{NodeSharing, SchedConfig, Scheduler};
+use eus_simcore::{SimRng, SimTime};
+use eus_simos::UserDb;
+use eus_workloads::{submission_storm, SharedTrace, UserPopulation};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    nodes: u32,
+    jobs: usize,
+    policy: NodeSharing,
+    backfill: bool,
+    wall_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+    makespan_s: f64,
+    completed: u64,
+}
+
+fn storm_for(nodes_hint: u64, jobs: usize) -> SharedTrace {
+    let mut rng = SimRng::seed_from_u64(0x5c4ed ^ nodes_hint);
+    let mut db = UserDb::new();
+    let pop = UserPopulation::build(&mut db, 200, 40, 1.1, &mut rng);
+    submission_storm(&pop, jobs, SimTime::from_secs(600), &mut rng).to_shared()
+}
+
+fn replay(nodes: u32, policy: NodeSharing, backfill: bool, trace: &SharedTrace) -> Row {
+    let mut s = Scheduler::new(SchedConfig {
+        policy,
+        backfill,
+        ..SchedConfig::default()
+    });
+    for _ in 0..nodes {
+        s.add_node(16, 65_536, 0);
+    }
+    let t0 = Instant::now();
+    trace.submit_all(&mut s);
+    let end = s.run_to_completion();
+    let wall = t0.elapsed();
+    let terminal = s.metrics.completed.get() + s.metrics.failed.get() + s.metrics.timed_out.get();
+    assert_eq!(s.pending_count(), 0, "storm must drain (policy {policy})");
+    assert_eq!(s.running_count(), 0);
+    // One Submit event per job plus one JobEnd per terminal job.
+    let events = trace.len() as u64 + terminal;
+    Row {
+        nodes,
+        jobs: trace.len(),
+        policy,
+        backfill,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events,
+        events_per_sec: events as f64 / wall.as_secs_f64(),
+        makespan_s: end.since(SimTime::ZERO).as_secs_f64(),
+        completed: s.metrics.completed.get(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!("exp_sched_scale: submission-storm replay at cluster scale\n");
+    let scales: &[(u32, usize)] = if smoke {
+        &[(256, 5_000)]
+    } else {
+        &[
+            (256, 100_000),
+            (1_024, 100_000),
+            (4_096, 100_000),
+            (10_000, 100_000),
+        ]
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &(nodes, jobs) in scales {
+        println!("-- {nodes} nodes x 16 cores, {jobs}-job storm in a 600 s window");
+        let trace = storm_for(nodes as u64, jobs);
+        let mut table = TextTable::new(&[
+            "policy",
+            "backfill",
+            "wall ms",
+            "events",
+            "events/sec",
+            "makespan s",
+            "completed",
+        ]);
+        for policy in NodeSharing::all() {
+            for backfill in [false, true] {
+                let r = replay(nodes, policy, backfill, &trace);
+                table.row(&[
+                    r.policy.to_string(),
+                    if r.backfill { "easy" } else { "fcfs" }.to_string(),
+                    f(r.wall_ms, 1),
+                    r.events.to_string(),
+                    f(r.events_per_sec, 0),
+                    f(r.makespan_s, 0),
+                    r.completed.to_string(),
+                ]);
+                rows.push(r);
+            }
+        }
+        print!("{}", table.render());
+        println!();
+    }
+
+    // Acceptance: the 10k-node / 100k-job storm replays in seconds.
+    if !smoke {
+        let worst = rows
+            .iter()
+            .filter(|r| r.nodes == 10_000)
+            .map(|r| r.wall_ms)
+            .fold(0.0f64, f64::max);
+        println!(
+            "10k-node worst-case wall: {:.1} s (per-policy rows above)",
+            worst / 1e3
+        );
+        assert!(
+            worst < 120_000.0,
+            "10k-node storm must replay in seconds, took {worst} ms"
+        );
+    }
+
+    // Machine-readable trajectory point.
+    let mut json = String::new();
+    json.push_str("{\n  \"experiment\": \"sched_scale\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    json.push_str("  \"cluster\": { \"cores_per_node\": 16, \"mem_mib_per_node\": 65536 },\n");
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"nodes\": {}, \"jobs\": {}, \"policy\": \"{}\", \"backfill\": {}, \
+             \"wall_ms\": {:.2}, \"events\": {}, \"events_per_sec\": {:.0}, \
+             \"makespan_s\": {:.0}, \"completed\": {} }}{}",
+            r.nodes,
+            r.jobs,
+            r.policy,
+            r.backfill,
+            r.wall_ms,
+            r.events,
+            r.events_per_sec,
+            r.makespan_s,
+            r.completed,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    // Smoke runs write to a sibling path so CI cannot clobber the
+    // committed full-mode trajectory point.
+    let out = if smoke {
+        "BENCH_sched.smoke.json"
+    } else {
+        "BENCH_sched.json"
+    };
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out} ({} rows)", rows.len());
+}

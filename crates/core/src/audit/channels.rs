@@ -191,8 +191,8 @@ fn probe_proc_cmdline(c: &mut SecureCluster, attacker: Uid, victim: Uid) -> Outc
     let node = c.node(login);
     let procfs = node.procfs();
     // The attacker sweeps the pid space, as the CVE exploit would.
-    for pid in node.procs.iter().map(|p| p.pid).collect::<Vec<_>>() {
-        if let Ok(cmdline) = procfs.read_cmdline(&a_cred, pid) {
+    for proc in node.procs.iter() {
+        if let Ok(cmdline) = procfs.read_cmdline(&a_cred, proc.pid) {
             if cmdline.iter().any(|a| a.contains("SECRET123")) {
                 return Outcome::Leaked("secret read from a foreign cmdline".into());
             }

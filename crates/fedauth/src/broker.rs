@@ -53,9 +53,13 @@ pub struct CredentialBroker {
     /// The realm-wide revocation list.
     pub revocations: RevocationList,
     now: SimTime,
-    /// Live tokens per user, oldest first (concurrent sessions are real:
-    /// two portal tabs, a portal session plus an sbatch token, ...).
-    sessions: BTreeMap<Uid, Vec<SignedToken>>,
+    /// Live tokens per user, **keyed by serial** (serials are monotonic per
+    /// CA, so iteration order is still oldest-first). The serial key makes
+    /// `validate_serial` an O(log) map lookup instead of a linear scan of
+    /// the user's sessions — users with hundreds of concurrent portal tabs
+    /// and sbatch tokens are real (concurrent sessions are: two portal
+    /// tabs, a portal session plus an sbatch token, ...).
+    sessions: BTreeMap<Uid, BTreeMap<CredSerial, SignedToken>>,
     certs: BTreeMap<Uid, SshCertificate>,
 }
 
@@ -141,7 +145,10 @@ impl CredentialBroker {
     fn mint_session(&mut self, assertion: &IdentityAssertion) -> SignedToken {
         let token = self.ca.mint_token(assertion, self.now);
         let cert = self.ca.mint_cert(assertion, self.now);
-        self.sessions.entry(assertion.user).or_default().push(token);
+        self.sessions
+            .entry(assertion.user)
+            .or_default()
+            .insert(token.serial, token);
         self.certs.insert(assertion.user, cert);
         token
     }
@@ -177,7 +184,7 @@ impl CredentialBroker {
         let live = self
             .sessions
             .get(&user)
-            .and_then(|v| v.iter().rev().find(|t| self.validate_token(t).is_ok()));
+            .and_then(|v| v.values().rev().find(|t| self.validate_token(t).is_ok()));
         let token = match live {
             Some(t) => *t,
             // Re-login; enrolled users present their current window code.
@@ -219,17 +226,14 @@ impl CredentialBroker {
     }
 
     /// Validate a serial known to the broker (portal sessions keep only the
-    /// serial after login). O(live sessions of one user), which is O(1) for
-    /// any realistic per-user session count.
+    /// serial after login). O(log) via the serial-keyed session index —
+    /// constant-time in the user's concurrent-session count, however many
+    /// tabs and tokens they hold.
     pub fn validate_serial(&self, user: Uid, serial: CredSerial) -> Result<(), CredError> {
         if self.revocations.is_revoked(serial) {
             return Err(CredError::Revoked(serial));
         }
-        match self
-            .sessions
-            .get(&user)
-            .and_then(|v| v.iter().find(|t| t.serial == serial))
-        {
+        match self.sessions.get(&user).and_then(|v| v.get(&serial)) {
             Some(t) => self.ca.verify_token(t, self.now).map(|_| ()),
             None => Err(CredError::NoCredential(user)),
         }
@@ -254,7 +258,13 @@ impl CredentialBroker {
     pub fn authorize_submit_at(&self, user: Uid, at: SimTime) -> Result<(), CredError> {
         let when = if at > self.now { at } else { self.now };
         let mut last = CredError::NoCredential(user);
-        for token in self.sessions.get(&user).into_iter().flatten().rev() {
+        for token in self
+            .sessions
+            .get(&user)
+            .into_iter()
+            .flat_map(|v| v.values())
+            .rev()
+        {
             if self.revocations.is_revoked(token.serial) {
                 last = CredError::Revoked(token.serial);
                 continue;
@@ -272,9 +282,11 @@ impl CredentialBroker {
         self.certs.get(&user).copied()
     }
 
-    /// The user's most recent token, if any.
+    /// The user's most recent token, if any (highest serial = newest).
     pub fn current_token(&self, user: Uid) -> Option<SignedToken> {
-        self.sessions.get(&user).and_then(|v| v.last().copied())
+        self.sessions
+            .get(&user)
+            .and_then(|v| v.values().next_back().copied())
     }
 
     // ------------------------------------------------------------------
@@ -293,9 +305,9 @@ impl CredentialBroker {
     /// with the per-shard lists.
     pub fn revoke_user(&mut self, user: Uid) -> Vec<CredSerial> {
         let mut revoked = Vec::new();
-        for t in self.sessions.remove(&user).unwrap_or_default() {
-            if self.revocations.revoke(t.serial) {
-                revoked.push(t.serial);
+        for (serial, _) in self.sessions.remove(&user).unwrap_or_default() {
+            if self.revocations.revoke(serial) {
+                revoked.push(serial);
             }
         }
         if let Some(c) = self.certs.remove(&user) {
@@ -315,7 +327,7 @@ impl CredentialBroker {
         let now = self.now;
         let before = self.live_sessions() + self.certs.len();
         for tokens in self.sessions.values_mut() {
-            tokens.retain(|t| now < t.expires && !self.revocations.is_revoked(t.serial));
+            tokens.retain(|serial, t| now < t.expires && !self.revocations.is_revoked(*serial));
         }
         self.sessions.retain(|_, tokens| !tokens.is_empty());
         self.certs
@@ -325,7 +337,7 @@ impl CredentialBroker {
 
     /// Number of live (unswept) session tokens across all users.
     pub fn live_sessions(&self) -> usize {
-        self.sessions.values().map(Vec::len).sum()
+        self.sessions.values().map(BTreeMap::len).sum()
     }
 }
 
@@ -576,6 +588,37 @@ mod tests {
                 theirs: RealmId(2),
             })
         );
+    }
+
+    #[test]
+    fn many_concurrent_sessions_stay_indexed_by_serial() {
+        // The serial-keyed index must keep every behavior of the old Vec:
+        // oldest-first ordering, newest-token lookup, all-sessions revoke —
+        // while making per-serial validation a map hit.
+        let (db, mut b, alice) = setup();
+        let tokens: Vec<_> = (0..500)
+            .map(|_| b.login(&db, alice, None).unwrap())
+            .collect();
+        assert_eq!(b.live_sessions(), 500);
+        for t in &tokens {
+            assert!(b.validate_serial(alice, t.serial).is_ok());
+            assert_eq!(b.validate_token(t).unwrap(), alice);
+        }
+        assert_eq!(
+            b.current_token(alice).unwrap().serial,
+            tokens.last().unwrap().serial,
+            "newest token = highest serial"
+        );
+        // Revoking one serial touches only that session.
+        b.revoke_serial(tokens[250].serial);
+        assert!(b.validate_serial(alice, tokens[250].serial).is_err());
+        assert!(b.validate_serial(alice, tokens[251].serial).is_ok());
+        assert_eq!(b.sweep_expired(), 1);
+        assert_eq!(b.live_sessions(), 499);
+        // Incident response still kills everything.
+        b.revoke_user(alice);
+        assert_eq!(b.live_sessions(), 0);
+        assert!(tokens.iter().all(|t| b.validate_token(t).is_err()));
     }
 
     #[test]

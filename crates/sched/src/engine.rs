@@ -5,6 +5,47 @@
 //! the identical workload under `shared` / `exclusive` / `whole-node` and
 //! compare utilization, wait, and throughput — the trade-off Sec. IV-B
 //! describes qualitatively.
+//!
+//! # Scheduler internals (the hot path)
+//!
+//! At 10k-node scale the naive cycle — collect-and-sort every node per
+//! placement attempt, clone the whole node map per EASY shadow computation,
+//! shift a `Vec` queue — is quadratic-ish in cluster size and queue depth.
+//! This engine instead maintains **incremental indexes**, updated on every
+//! claim/release, so a scheduling cycle touches only viable state:
+//!
+//! * **Placement index** — three id-ordered sets replace the per-attempt
+//!   scan: `owned_nodes` (per-user sets of nodes the user solely owns, the
+//!   packing-affinity prefix of the old sort), `idle_nodes` (no running
+//!   jobs — the only admissible "other" nodes under `Exclusive`,
+//!   `WholeNodeUser`, and per-job `--exclusive`), and `avail_nodes` (Up with
+//!   free cores — the admissible "other" nodes under `Shared`). A placement
+//!   attempt walks the user's owned nodes first and then the relevant set,
+//!   reproducing the old `(owned, id)` candidate order exactly without
+//!   materializing or sorting a candidate list.
+//! * **Capacity-vector shadow** — the EASY shadow time replays running-job
+//!   releases in end-time order over a flat `Vec` of per-node free-capacity
+//!   counters (cores/mem/gpus + job count + sole owner), maintaining the
+//!   total task-fit sum incrementally and early-exiting the moment the head
+//!   job fits. No `SchedNode` clones; the two scratch vectors are reused
+//!   across cycles.
+//! * **Order-indexed queue** — the pending queue is a
+//!   `BTreeMap<enqueue-seq, JobId>` (+ reverse map for `cancel`), so head
+//!   dispatch and mid-queue backfill removals are O(log q) instead of
+//!   `Vec::remove` shifts, while preserving FIFO order and the EASY scan
+//!   order bit-for-bit.
+//! * **Shared specs** — `Job::spec` is `Arc<JobSpec>`, so scheduling cycles
+//!   and `squeue` views share the spec instead of deep-cloning cmdline/name
+//!   strings, and partition eligible-sets are borrowed rather than cloned
+//!   per cycle.
+//!
+//! The pre-overhaul implementation is retained verbatim in
+//! [`crate::reference`]; `tests/sched_equivalence.rs` proves the two
+//! observationally identical over random traces × policies, and
+//! `benches/sched_throughput.rs` + `exp_sched_scale` keep the speedup
+//! measured. One invariant to keep in mind: `config.policy` must not change
+//! mid-run (the index assumes placement decisions were made under the same
+//! policy — `SchedConfig` is documented immutable per run).
 
 use crate::job::{Job, JobId, JobSpec, JobState, TaskAlloc};
 use crate::node::{NodeState, SchedNode};
@@ -15,11 +56,15 @@ use eus_simcore::{Counter, Histogram, SimDuration, SimTime, TimeWeighted};
 use eus_simos::{Credentials, NodeId, Uid};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::ops::Bound;
+use std::sync::Arc;
 
 /// Scheduler configuration.
 #[derive(Debug, Clone)]
 pub struct SchedConfig {
-    /// Node-sharing policy.
+    /// Node-sharing policy. Must not change once jobs have run — the
+    /// placement index assumes all standing allocations were admitted under
+    /// this policy.
     pub policy: NodeSharing,
     /// Enable EASY backfill.
     pub backfill: bool,
@@ -109,6 +154,63 @@ pub struct SchedMetrics {
     pub timed_out: Counter,
 }
 
+/// One node's state in the EASY shadow replay: just the capacity deltas and
+/// the two bits admissibility depends on. `Copy`, so building the shadow is
+/// a flat memcpy-style pass — no `SchedNode` clones, no nested maps.
+#[derive(Debug, Clone, Copy)]
+struct ShadowNode {
+    id: NodeId,
+    free_cores: u32,
+    free_mem_mib: u64,
+    free_gpus: u32,
+    jobs: u32,
+    owner: Option<Uid>,
+    up: bool,
+}
+
+impl ShadowNode {
+    fn from_node(n: &SchedNode) -> Self {
+        ShadowNode {
+            id: n.id,
+            free_cores: n.free_cores(),
+            free_mem_mib: n.free_mem_mib(),
+            free_gpus: n.free_gpus(),
+            jobs: n.running.len() as u32,
+            owner: n.owner(),
+            up: n.state == NodeState::Up,
+        }
+    }
+
+    /// Tasks of `spec` this shadow node could host right now — the shadow
+    /// counterpart of `node_admits` + `tasks_that_fit`, capped at
+    /// `u32::MAX` exactly like the real fit computation.
+    fn fit(&self, spec: &JobSpec, policy: NodeSharing) -> u64 {
+        if !self.up {
+            return 0;
+        }
+        if (matches!(policy, NodeSharing::Exclusive) || spec.request_exclusive) && self.jobs > 0 {
+            return 0;
+        }
+        if matches!(policy, NodeSharing::WholeNodeUser) {
+            if let Some(owner) = self.owner {
+                if owner != spec.user {
+                    return 0;
+                }
+            }
+        }
+        let by_cores = (self.free_cores / spec.cpus_per_task.max(1)) as u64;
+        let by_mem = self
+            .free_mem_mib
+            .checked_div(spec.mem_per_task_mib)
+            .map_or(u32::MAX as u64, |n| n.min(u32::MAX as u64));
+        let by_gpus = self
+            .free_gpus
+            .checked_div(spec.gpus_per_task)
+            .map_or(u32::MAX, |n| n) as u64;
+        by_cores.min(by_mem).min(by_gpus)
+    }
+}
+
 /// The scheduler.
 #[derive(Debug)]
 pub struct Scheduler {
@@ -118,7 +220,47 @@ pub struct Scheduler {
     pub nodes: BTreeMap<NodeId, SchedNode>,
     /// Every job ever submitted.
     pub jobs: BTreeMap<JobId, Job>,
-    queue: Vec<JobId>,
+    /// Pending queue in FIFO order: enqueue-sequence → job.
+    queue: BTreeMap<u64, JobId>,
+    /// Reverse queue index for O(log q) `cancel`.
+    queue_pos: BTreeMap<JobId, u64>,
+    queue_seq: u64,
+    /// Running jobs keyed by scheduled end time (`started + duration`, the
+    /// EASY assumption) — the shadow replay walks this in order directly
+    /// instead of collecting and sorting every running job per cycle, and
+    /// its size is the running-job count.
+    running_ends: BTreeSet<(SimTime, JobId)>,
+    // ---- placement index, maintained on every claim/release ----
+    /// Up nodes with zero running jobs, id-ordered.
+    idle_nodes: BTreeSet<NodeId>,
+    /// Up nodes with at least one free core, id-ordered.
+    avail_nodes: BTreeSet<NodeId>,
+    /// Per-user sets of nodes the user *solely* owns (packing affinity).
+    owned_nodes: BTreeMap<Uid, BTreeSet<NodeId>>,
+    // ---- reusable shadow scratch (allocation-free steady state) ----
+    shadow_scratch: Vec<ShadowNode>,
+    /// Persistent per-node capacity mirror, id-ascending, maintained on
+    /// every claim/release/fail/repair — the partition-free shadow build is
+    /// a flat copy of this instead of an O(n) walk of the node `BTreeMap`.
+    shadow_mirror: Vec<ShadowNode>,
+    /// Bumped on every claim/release/fail/repair/add — anything that could
+    /// change a placement or shadow answer.
+    state_version: u64,
+    /// Memoized EASY shadow: `(head job, state_version, shadow)`. A
+    /// submission storm fires `try_schedule` per arrival while the head
+    /// stays blocked and node state is untouched — the shadow is a pure
+    /// function of (head spec, node state, running set), so those cycles
+    /// reuse it instead of replaying identically. Absolute times, so a
+    /// later `now` does not invalidate it.
+    shadow_cache: Option<(JobId, u64, SimTime)>,
+    /// Memoized failed head placement `(head job, state_version)`: while
+    /// nothing claims or releases, a blocked head stays blocked — skip the
+    /// re-attempt on pure arrival events.
+    head_fail_cache: Option<(JobId, u64)>,
+    /// Backfill candidates whose placement failed at `.0 == state_version`
+    /// — valid until any claim/release (the set is cleared when the
+    /// version moves). Saves re-walking the candidate window per arrival.
+    backfill_fails: (u64, BTreeSet<JobId>),
     events: BinaryHeap<Reverse<(SimTime, u64, Ev)>>,
     next_job: u64,
     next_node: u32,
@@ -130,7 +272,10 @@ pub struct Scheduler {
     /// Node-failure history.
     pub failures: Vec<FailureRecord>,
     /// Partition table (empty = partitioning disabled, all nodes eligible).
-    pub partitions: PartitionTable,
+    /// Private so every mutation goes through [`Scheduler::partitions_mut`],
+    /// which invalidates the placement/shadow memos — eligibility is part
+    /// of what they cache.
+    partitions: PartitionTable,
     admins: BTreeSet<Uid>,
 }
 
@@ -141,7 +286,19 @@ impl Scheduler {
             config,
             nodes: BTreeMap::new(),
             jobs: BTreeMap::new(),
-            queue: Vec::new(),
+            queue: BTreeMap::new(),
+            queue_pos: BTreeMap::new(),
+            queue_seq: 0,
+            running_ends: BTreeSet::new(),
+            idle_nodes: BTreeSet::new(),
+            avail_nodes: BTreeSet::new(),
+            owned_nodes: BTreeMap::new(),
+            shadow_scratch: Vec::new(),
+            shadow_mirror: Vec::new(),
+            state_version: 0,
+            shadow_cache: None,
+            head_fail_cache: None,
+            backfill_fails: (0, BTreeSet::new()),
             events: BinaryHeap::new(),
             next_job: 1,
             next_node: 1,
@@ -168,7 +325,24 @@ impl Scheduler {
         self.next_node += 1;
         self.nodes
             .insert(id, SchedNode::new(id, cores, mem_mib, gpus));
+        self.idle_nodes.insert(id);
+        if cores > 0 {
+            self.avail_nodes.insert(id);
+        }
+        self.shadow_mirror
+            .push(ShadowNode::from_node(&self.nodes[&id]));
+        self.state_version += 1;
         id
+    }
+
+    /// Refresh one node's entry in the persistent shadow mirror.
+    fn mirror_update(&mut self, nid: NodeId) {
+        let sn = ShadowNode::from_node(&self.nodes[&nid]);
+        let idx = self
+            .shadow_mirror
+            .binary_search_by_key(&nid, |m| m.id)
+            .expect("every node is mirrored");
+        self.shadow_mirror[idx] = sn;
     }
 
     /// Register an operator/coordinator exempt from PrivateData filtering.
@@ -179,6 +353,19 @@ impl Scheduler {
     /// Is this uid a registered operator?
     pub fn is_admin(&self, uid: Uid) -> bool {
         self.admins.contains(&uid)
+    }
+
+    /// The partition table.
+    pub fn partitions(&self) -> &PartitionTable {
+        &self.partitions
+    }
+
+    /// Mutable access to the partition table. Changing partitions changes
+    /// which nodes are eligible, so the memoized placement/shadow answers
+    /// are invalidated here.
+    pub fn partitions_mut(&mut self) -> &mut PartitionTable {
+        self.state_version += 1;
+        &mut self.partitions
     }
 
     /// Current simulated time.
@@ -217,12 +404,9 @@ impl Scheduler {
         self.queue.len()
     }
 
-    /// Number of running jobs.
+    /// Number of running jobs. O(1).
     pub fn running_count(&self) -> usize {
-        self.jobs
-            .values()
-            .filter(|j| j.state == JobState::Running)
-            .count()
+        self.running_ends.len()
     }
 
     fn push_event(&mut self, at: SimTime, ev: Ev) {
@@ -236,6 +420,13 @@ impl Scheduler {
     /// unknown partition are rejected at submission (state `Cancelled`),
     /// mirroring Slurm's submit-time validation.
     pub fn submit_at(&mut self, at: SimTime, spec: JobSpec) -> JobId {
+        self.submit_at_shared(at, Arc::new(spec))
+    }
+
+    /// Submit an already-shared spec. Trace replay and fan-out experiments
+    /// use this to hand the same `Arc<JobSpec>` to several schedulers
+    /// without a deep copy per submission.
+    pub fn submit_at_shared(&mut self, at: SimTime, spec: Arc<JobSpec>) -> JobId {
         let id = JobId(self.next_job);
         self.next_job += 1;
         let valid_partition: Result<_, PartitionError> =
@@ -281,7 +472,9 @@ impl Scheduler {
         }
         job.state = JobState::Cancelled;
         job.ended = Some(self.now);
-        self.queue.retain(|j| *j != id);
+        if let Some(key) = self.queue_pos.remove(&id) {
+            self.queue.remove(&key);
+        }
         true
     }
 
@@ -297,14 +490,13 @@ impl Scheduler {
     }
 
     /// Does `user` have a running job with an allocation on `node`? (The
-    /// `pam_slurm` question.)
+    /// `pam_slurm` question.) O(log) via the node's per-user job counts.
     pub fn has_running_job_on(&self, user: Uid, node: NodeId) -> bool {
-        self.jobs.values().any(|j| {
-            j.state == JobState::Running && j.spec.user == user && j.allocations.contains_key(&node)
-        })
+        self.nodes.get(&node).is_some_and(|n| n.has_user(user))
     }
 
     /// `squeue` as seen by `viewer` under the PrivateData configuration.
+    /// Rows are views over the shared spec — no name/cmdline deep clones.
     pub fn squeue(&self, viewer: &Credentials) -> Vec<JobView> {
         let admin = self.is_admin(viewer.uid);
         self.jobs
@@ -314,8 +506,7 @@ impl Scheduler {
             .map(|j| JobView {
                 id: j.id,
                 user: j.spec.user,
-                name: j.spec.name.clone(),
-                cmdline: j.spec.cmdline.clone(),
+                spec: Arc::clone(&j.spec),
                 state: j.state,
                 nodes: j.allocations.keys().copied().collect(),
             })
@@ -356,7 +547,10 @@ impl Scheduler {
         match ev {
             Ev::Submit(j) => {
                 if self.jobs[&j].state == JobState::Pending {
-                    self.queue.push(j);
+                    let key = self.queue_seq;
+                    self.queue_seq += 1;
+                    self.queue.insert(key, j);
+                    self.queue_pos.insert(j, key);
                     self.try_schedule();
                 }
             }
@@ -382,6 +576,16 @@ impl Scheduler {
                 if let Some(node) = self.nodes.get_mut(&n) {
                     if node.state == NodeState::Down {
                         node.state = NodeState::Up;
+                        self.state_version += 1;
+                        // Everything on it died at failure time, so it
+                        // rejoins idle.
+                        if node.is_idle() {
+                            self.idle_nodes.insert(n);
+                        }
+                        if node.free_cores() > 0 {
+                            self.avail_nodes.insert(n);
+                        }
+                        self.mirror_update(n);
                     }
                 }
                 self.try_schedule();
@@ -397,7 +601,11 @@ impl Scheduler {
             return;
         }
         node.state = NodeState::Down;
-        let victims: Vec<JobId> = node.running.keys().copied().collect();
+        self.state_version += 1;
+        self.idle_nodes.remove(&n);
+        self.avail_nodes.remove(&n);
+        let victims: Vec<JobId> = self.nodes[&n].running.keys().copied().collect();
+        self.mirror_update(n);
         let mut record = FailureRecord {
             node: n,
             at: self.now,
@@ -412,6 +620,66 @@ impl Scheduler {
         self.push_event(self.now + self.config.repair_time, Ev::NodeRepair(n));
     }
 
+    // ------------------------------------------------------------------
+    // Index maintenance: every resource transition funnels through these.
+    // ------------------------------------------------------------------
+
+    /// Move a node between per-user owned sets when its sole owner changed.
+    fn reindex_owner(&mut self, nid: NodeId, prev: Option<Uid>, new: Option<Uid>) {
+        if prev == new {
+            return;
+        }
+        if let Some(o) = prev {
+            if let Some(set) = self.owned_nodes.get_mut(&o) {
+                set.remove(&nid);
+                if set.is_empty() {
+                    self.owned_nodes.remove(&o);
+                }
+            }
+        }
+        if let Some(o) = new {
+            self.owned_nodes.entry(o).or_default().insert(nid);
+        }
+    }
+
+    /// Claim `alloc` on a node and keep the placement index current.
+    fn claim_on(&mut self, nid: NodeId, job: JobId, alloc: TaskAlloc, user: Uid) {
+        self.state_version += 1;
+        let node = self.nodes.get_mut(&nid).expect("placement on known node");
+        let prev_owner = node.owner();
+        node.claim(job, alloc, user);
+        let new_owner = node.owner();
+        self.idle_nodes.remove(&nid);
+        if node.free_cores() == 0 {
+            self.avail_nodes.remove(&nid);
+        }
+        self.reindex_owner(nid, prev_owner, new_owner);
+        self.mirror_update(nid);
+    }
+
+    /// Release a job's holdings on a node and keep the placement index
+    /// current. A Down node's capacity returns but it rejoins no candidate
+    /// set until repair.
+    fn release_on(&mut self, nid: NodeId, job: JobId) -> Option<TaskAlloc> {
+        self.state_version += 1;
+        let node = self.nodes.get_mut(&nid)?;
+        let prev_owner = node.owner();
+        let alloc = node.release(job)?;
+        let new_owner = node.owner();
+        self.reindex_owner(nid, prev_owner, new_owner);
+        let node = &self.nodes[&nid];
+        if node.state == NodeState::Up {
+            if node.free_cores() > 0 {
+                self.avail_nodes.insert(nid);
+            }
+            if node.is_idle() {
+                self.idle_nodes.insert(nid);
+            }
+        }
+        self.mirror_update(nid);
+        Some(alloc)
+    }
+
     fn finish_job(&mut self, id: JobId, state: JobState) {
         let job = self.jobs.get_mut(&id).expect("known job");
         debug_assert_eq!(job.state, JobState::Running);
@@ -421,11 +689,14 @@ impl Scheduler {
         let allocations: Vec<(NodeId, TaskAlloc)> =
             job.allocations.iter().map(|(n, a)| (*n, *a)).collect();
         let cpus_per_task = job.spec.cpus_per_task;
+        self.running_ends.remove(&(
+            job.started.expect("running has start") + job.spec.duration,
+            id,
+        ));
         let mut released_cores = 0u32;
         let mut released_used = 0u32;
         for (nid, alloc) in &allocations {
-            if let Some(node) = self.nodes.get_mut(nid) {
-                node.release(id);
+            if self.release_on(*nid, id).is_some() {
                 released_cores += alloc.cores;
                 released_used += alloc.tasks * cpus_per_task;
             }
@@ -470,10 +741,7 @@ impl Scheduler {
         let mut total_cores = 0u32;
         let mut used_cores = 0u32;
         for (nid, alloc) in &placement {
-            self.nodes
-                .get_mut(nid)
-                .expect("placement on known node")
-                .claim(id, *alloc, user);
+            self.claim_on(*nid, id, *alloc, user);
             total_cores += alloc.cores;
             used_cores += alloc.tasks * cpus_per_task;
         }
@@ -483,6 +751,7 @@ impl Scheduler {
             job.started = Some(now);
             job.allocations = placement.into_iter().collect();
         }
+        self.running_ends.insert((now + duration, id));
         self.metrics.busy_cores.add(now, total_cores as f64);
         self.metrics.used_cores.add(now, used_cores as f64);
         self.metrics
@@ -493,59 +762,113 @@ impl Scheduler {
         self.push_event(now + runtime, Ev::JobEnd(id));
     }
 
-    /// Try to place `spec` on a node map (free function over a map so the
-    /// backfill shadow simulation can reuse it on a cloned map).
-    fn placement_on(
-        nodes: &BTreeMap<NodeId, SchedNode>,
-        policy: NodeSharing,
+    // ------------------------------------------------------------------
+    // Placement over the incremental index
+    // ------------------------------------------------------------------
+
+    /// The greedy per-node allocation, identical to the reference's.
+    fn alloc_for(node: &SchedNode, spec: &JobSpec, policy: NodeSharing, fit: u32) -> TaskAlloc {
+        if policy.charges_whole_node(spec) {
+            // Exclusive: the job takes the whole node.
+            TaskAlloc {
+                tasks: fit,
+                cores: node.cores,
+                mem_mib: node.mem_mib,
+                gpus: node.gpus,
+            }
+        } else {
+            TaskAlloc {
+                tasks: fit,
+                cores: fit * spec.cpus_per_task,
+                mem_mib: fit as u64 * spec.mem_per_task_mib,
+                gpus: fit * spec.gpus_per_task,
+            }
+        }
+    }
+
+    /// Try to place `spec` using the maintained candidate index instead of
+    /// scanning and sorting every node. Candidate order reproduces the old
+    /// sort exactly: the user's solely-owned nodes first (packing
+    /// affinity), then the policy-relevant remainder, both in id order.
+    fn placement_for(
+        &self,
         spec: &JobSpec,
         eligible: Option<&BTreeSet<NodeId>>,
     ) -> Option<Vec<(NodeId, TaskAlloc)>> {
         let user = spec.user;
-        // Preference: nodes already owned by this user first (packing), then
-        // emptier nodes; id as the deterministic tiebreak.
-        let mut candidates: Vec<&SchedNode> = nodes
-            .values()
-            .filter(|n| eligible.is_none_or(|set| set.contains(&n.id)))
-            .filter(|n| policy.node_admits(n, user, spec))
-            .collect();
-        candidates.sort_by_key(|n| {
-            let owned = match n.owner() {
-                Some(o) if o == user => 0u8,
-                _ => 1u8,
-            };
-            (owned, n.id)
-        });
-
+        let policy = self.config.policy;
         let mut remaining = spec.tasks;
         let mut placement = Vec::new();
-        for node in candidates {
-            if remaining == 0 {
-                break;
+
+        let try_node = |nid: NodeId, remaining: &mut u32, placement: &mut Vec<_>| {
+            if eligible.is_some_and(|set| !set.contains(&nid)) {
+                return;
             }
-            let fit = tasks_that_fit(node, spec).min(remaining);
+            let node = &self.nodes[&nid];
+            if !policy.node_admits(node, user, spec) {
+                return;
+            }
+            let fit = tasks_that_fit(node, spec).min(*remaining);
             if fit == 0 {
-                continue;
+                return;
             }
-            let alloc = if policy.charges_whole_node(spec) {
-                // Exclusive: the job takes the whole node.
-                TaskAlloc {
-                    tasks: fit,
-                    cores: node.cores,
-                    mem_mib: node.mem_mib,
-                    gpus: node.gpus,
+            placement.push((nid, Self::alloc_for(node, spec, policy, fit)));
+            *remaining -= fit;
+        };
+
+        // Phase 1: nodes this user solely owns (admissibility still checked
+        // — under Exclusive / per-job --exclusive they are busy and refuse).
+        if let Some(owned) = self.owned_nodes.get(&user) {
+            for &nid in owned {
+                if remaining == 0 {
+                    break;
                 }
-            } else {
-                TaskAlloc {
-                    tasks: fit,
-                    cores: fit * spec.cpus_per_task,
-                    mem_mib: fit as u64 * spec.mem_per_task_mib,
-                    gpus: fit * spec.gpus_per_task,
-                }
-            };
-            placement.push((node.id, alloc));
-            remaining -= fit;
+                try_node(nid, &mut remaining, &mut placement);
+            }
         }
+
+        // Phase 2: the policy-relevant remainder. Under Shared (without a
+        // per-job --exclusive) any Up node with free cores is admissible;
+        // under every other policy only idle nodes are. Skip nodes already
+        // visited in phase 1.
+        if remaining > 0 {
+            let shared_path = matches!(policy, NodeSharing::Shared) && !spec.request_exclusive;
+            let source: &BTreeSet<NodeId> = if shared_path {
+                &self.avail_nodes
+            } else {
+                &self.idle_nodes
+            };
+            // Walk the smaller of (source, eligible); both are id-ordered
+            // so candidate order is preserved either way.
+            match eligible {
+                Some(set) if set.len() < source.len() => {
+                    for &nid in set {
+                        if remaining == 0 {
+                            break;
+                        }
+                        if !source.contains(&nid) {
+                            continue;
+                        }
+                        if shared_path && self.nodes[&nid].owner() == Some(user) {
+                            continue; // phase 1 already visited
+                        }
+                        try_node(nid, &mut remaining, &mut placement);
+                    }
+                }
+                _ => {
+                    for &nid in source {
+                        if remaining == 0 {
+                            break;
+                        }
+                        if shared_path && self.nodes[&nid].owner() == Some(user) {
+                            continue; // phase 1 already visited
+                        }
+                        try_node(nid, &mut remaining, &mut placement);
+                    }
+                }
+            }
+        }
+
         if remaining == 0 {
             Some(placement)
         } else {
@@ -555,38 +878,65 @@ impl Scheduler {
 
     /// Earliest time the head job could start, assuming running jobs end on
     /// schedule (the EASY shadow time).
-    fn shadow_time_for(&self, head: &JobSpec) -> SimTime {
-        let mut sim_nodes = self.nodes.clone();
+    ///
+    /// Replays running-job releases in end-time order over a flat capacity
+    /// vector, maintaining the total task-fit incrementally: placement for
+    /// the head exists **iff** the summed per-node fit reaches its task
+    /// count (per-node fits are independent), so the first release that
+    /// pushes the sum over the line is the shadow time. No node-map clone,
+    /// no repeated full placements, reusable scratch.
+    fn shadow_time_for(&mut self, head: &JobSpec) -> SimTime {
+        let mut snodes = std::mem::take(&mut self.shadow_scratch);
+        snodes.clear();
+        let result = self.shadow_compute(head, &mut snodes);
+        self.shadow_scratch = snodes;
+        result
+    }
+
+    fn shadow_compute(&self, head: &JobSpec, snodes: &mut Vec<ShadowNode>) -> SimTime {
+        let policy = self.config.policy;
         let eligible = self
             .partitions
             .eligible_nodes(head.partition.as_deref())
-            .expect("validated at submit")
-            .cloned();
-        if Self::placement_on(&sim_nodes, self.config.policy, head, eligible.as_ref()).is_some() {
-            return self.now;
-        }
-        // Release running jobs in end-time order.
-        let mut ends: Vec<(SimTime, JobId)> = self
-            .jobs
-            .values()
-            .filter(|j| j.state == JobState::Running)
-            .map(|j| {
-                (
-                    j.started.expect("running has start") + j.spec.duration,
-                    j.id,
-                )
-            })
-            .collect();
-        ends.sort();
-        for (end_t, jid) in ends {
-            let allocs: Vec<NodeId> = self.jobs[&jid].allocations.keys().copied().collect();
-            for nid in allocs {
-                if let Some(n) = sim_nodes.get_mut(&nid) {
-                    n.release(jid);
+            .expect("validated at submit");
+        // Build the capacity vector over eligible nodes, id order (so
+        // per-release lookups can binary-search). Down nodes carry `up:
+        // false` (fit 0). Without partitions this is a flat copy of the
+        // maintained mirror — no node-map walk at all.
+        match eligible {
+            Some(set) => {
+                for &nid in set {
+                    if let Some(n) = self.nodes.get(&nid) {
+                        snodes.push(ShadowNode::from_node(n));
+                    }
                 }
             }
-            if Self::placement_on(&sim_nodes, self.config.policy, head, eligible.as_ref()).is_some()
-            {
+            None => snodes.extend_from_slice(&self.shadow_mirror),
+        }
+        let needed = head.tasks as u64;
+        let mut total: u64 = snodes.iter().map(|sn| sn.fit(head, policy)).sum();
+        if total >= needed {
+            return self.now;
+        }
+        // Replay running-job releases in end-time order — `running_ends` is
+        // maintained in exactly that order, so no per-cycle collect + sort.
+        for &(end_t, jid) in &self.running_ends {
+            for (&nid, alloc) in &self.jobs[&jid].allocations {
+                let Ok(idx) = snodes.binary_search_by_key(&nid, |sn| sn.id) else {
+                    continue; // allocation on an ineligible node
+                };
+                let sn = &mut snodes[idx];
+                total -= sn.fit(head, policy);
+                sn.free_cores += alloc.cores;
+                sn.free_mem_mib += alloc.mem_mib;
+                sn.free_gpus += alloc.gpus;
+                sn.jobs -= 1;
+                if sn.jobs == 0 {
+                    sn.owner = None;
+                }
+                total += sn.fit(head, policy);
+            }
+            if total >= needed {
                 return end_t;
             }
         }
@@ -595,57 +945,89 @@ impl Scheduler {
 
     fn try_schedule(&mut self) {
         loop {
-            let Some(&head) = self.queue.first() else {
+            let Some((&head_key, &head)) = self.queue.iter().next() else {
                 return;
             };
-            let head_spec = self.jobs[&head].spec.clone();
-            let head_eligible = self
-                .partitions
-                .eligible_nodes(head_spec.partition.as_deref())
-                .expect("validated at submit")
-                .cloned();
-            if let Some(p) = Self::placement_on(
-                &self.nodes,
-                self.config.policy,
-                &head_spec,
-                head_eligible.as_ref(),
-            ) {
-                self.queue.remove(0);
+            let head_spec = Arc::clone(&self.jobs[&head].spec);
+            // While nothing claimed or released, a blocked head stays
+            // blocked (placement is a pure function of spec + node state):
+            // skip the re-attempt on pure arrival events.
+            let known_blocked = matches!(
+                self.head_fail_cache,
+                Some((j, v)) if j == head && v == self.state_version
+            );
+            let placement = if known_blocked {
+                None
+            } else {
+                let eligible = self
+                    .partitions
+                    .eligible_nodes(head_spec.partition.as_deref())
+                    .expect("validated at submit");
+                self.placement_for(&head_spec, eligible)
+            };
+            if let Some(p) = placement {
+                self.queue.remove(&head_key);
+                self.queue_pos.remove(&head);
                 self.start_job(head, p);
                 continue;
             }
+            self.head_fail_cache = Some((head, self.state_version));
             if !self.config.backfill {
                 return;
             }
             // EASY backfill: start later jobs only if they cannot delay the
-            // head job's shadow start.
-            let shadow = self.shadow_time_for(&head_spec);
-            let mut idx = 1;
+            // head job's shadow start. The shadow is memoized per (head,
+            // state-version): arrival-flood cycles that changed nothing on
+            // the nodes reuse the previous answer.
+            let shadow = match self.shadow_cache {
+                Some((j, v, s)) if j == head && v == self.state_version => s,
+                _ => {
+                    let s = self.shadow_time_for(&head_spec);
+                    self.shadow_cache = Some((head, self.state_version, s));
+                    s
+                }
+            };
             let mut scanned = 0;
-            while idx < self.queue.len() && scanned < self.config.backfill_depth {
+            let mut cursor = head_key;
+            while scanned < self.config.backfill_depth {
+                let Some((&key, &cand)) = self
+                    .queue
+                    .range((Bound::Excluded(cursor), Bound::Unbounded))
+                    .next()
+                else {
+                    break;
+                };
                 scanned += 1;
-                let cand = self.queue[idx];
-                let spec = self.jobs[&cand].spec.clone();
+                cursor = key;
+                let spec = Arc::clone(&self.jobs[&cand].spec);
                 let fits_before_shadow =
                     shadow == SimTime::MAX || self.now + spec.time_limit <= shadow;
                 if fits_before_shadow {
-                    let cand_eligible = self
-                        .partitions
-                        .eligible_nodes(spec.partition.as_deref())
-                        .expect("validated at submit")
-                        .cloned();
-                    if let Some(p) = Self::placement_on(
-                        &self.nodes,
-                        self.config.policy,
-                        &spec,
-                        cand_eligible.as_ref(),
-                    ) {
-                        self.queue.remove(idx);
+                    // Failed attempts are memoized per state version: while
+                    // nothing claimed or released, the same candidate fails
+                    // the same way (starting a candidate bumps the version
+                    // and invalidates the set).
+                    if self.backfill_fails.0 != self.state_version {
+                        self.backfill_fails = (self.state_version, BTreeSet::new());
+                    }
+                    if self.backfill_fails.1.contains(&cand) {
+                        continue;
+                    }
+                    let placement = {
+                        let eligible = self
+                            .partitions
+                            .eligible_nodes(spec.partition.as_deref())
+                            .expect("validated at submit");
+                        self.placement_for(&spec, eligible)
+                    };
+                    if let Some(p) = placement {
+                        self.queue.remove(&key);
+                        self.queue_pos.remove(&cand);
                         self.start_job(cand, p);
-                        continue; // same idx now holds the next candidate
+                    } else {
+                        self.backfill_fails.1.insert(cand);
                     }
                 }
-                idx += 1;
             }
             return;
         }
@@ -759,29 +1141,17 @@ mod tests {
 
     #[test]
     fn backfill_fills_hole_without_delaying_head() {
-        // 8-core node. Long job takes 8 cores for 100s. Head job (8 cores)
-        // must wait for it. A small 2-core/5s job CANNOT backfill in shared
-        // mode on a full node — so use two nodes: one busy 100s, one with 4
-        // free cores; head needs 8 on one node... Simplify: node A busy
-        // until t=100; head wants 8 cores (only node A can ever give 8? both
-        // are 8-core). Node B is free: head starts immediately on B. So to
-        // force waiting: occupy B with a 50s 8-core job. Then head(8c)
-        // shadow = 50 (B frees first). A 5s small job fits on... nothing.
-        // Simplest deterministic check: backfill starts a short job while
-        // head waits, and head still starts at its shadow time.
+        // 8-core node, fully busy 100s; head (8 cores) must wait to t=100; a
+        // tiny 2-core job cannot start either (node full) and, once the head
+        // takes the whole node at t=100, waits for the head too.
         let mut s = sched(NodeSharing::Shared, 1, 8);
         s.submit_at(SimTime::ZERO, job(1, 8, 100)); // fills the node
         let head = s.submit_at(SimTime::from_secs(1), job(2, 8, 50)); // must wait to t=100
-        let small = s.submit_at(SimTime::from_secs(2), job(3, 8, 99).with_cpus_per_task(0)); // zero? no — guard makes it 1.
-                                                                                             // small: 8 tasks × 1 core … that also needs the whole node; replace:
+        let small = s.submit_at(SimTime::from_secs(2), job(3, 8, 99).with_cpus_per_task(0));
         s.cancel(small);
         let tiny = s.submit_at(SimTime::from_secs(2), job(3, 2, 10));
-        // tiny needs 2 cores; node is full, so it can't start now either.
         s.run_until(SimTime::from_secs(3));
         assert_eq!(s.running_count(), 1);
-        // At t=100 the big job ends: head starts; tiny backfills... next to
-        // head? head takes all 8 cores, so tiny waits for head.
-        let _ = head;
         s.run_to_completion();
         assert_eq!(s.jobs[&head].started, Some(SimTime::from_secs(100)));
         assert_eq!(s.jobs[&tiny].started, Some(SimTime::from_secs(150)));
@@ -854,6 +1224,25 @@ mod tests {
     }
 
     #[test]
+    fn failed_node_rejoins_scheduling_after_repair() {
+        // Regression for the placement index: a repaired node must re-enter
+        // the idle/avail candidate sets and accept work again.
+        let mut s = sched(NodeSharing::Shared, 1, 8);
+        s.submit_at(SimTime::ZERO, job(1, 4, 1000));
+        s.schedule_node_failure(SimTime::from_secs(10), NodeId(1));
+        s.run_until(SimTime::from_secs(11));
+        let late = s.submit_at(SimTime::from_secs(20), job(2, 4, 10));
+        s.run_until(SimTime::from_secs(21));
+        assert_eq!(s.jobs[&late].state, JobState::Pending, "node still down");
+        s.run_to_completion();
+        assert_eq!(
+            s.jobs[&late].started,
+            Some(SimTime::from_secs(610)),
+            "starts at repair (10s failure + 600s repair_time)"
+        );
+    }
+
+    #[test]
     fn epilogs_emitted_with_user_departure_flag() {
         let mut s = sched(NodeSharing::WholeNodeUser, 1, 8);
         s.submit_at(SimTime::ZERO, job(1, 2, 10));
@@ -881,6 +1270,7 @@ mod tests {
         let views = s.squeue(&u1);
         assert_eq!(views.len(), 1, "only own jobs");
         assert_eq!(views[0].user, Uid(1));
+        assert_eq!(views[0].name(), "u1-job");
 
         let admin = Credentials::new(Uid(50), eus_simos::Gid(50));
         assert_eq!(s.squeue(&admin).len(), 2, "admins see all");
@@ -934,10 +1324,10 @@ mod tests {
     #[test]
     fn partition_confines_placement() {
         let mut s = sched(NodeSharing::Shared, 4, 8);
-        s.partitions
+        s.partitions_mut()
             .add("batch", [NodeId(1), NodeId(2)], true)
             .unwrap();
-        s.partitions.add("debug", [NodeId(3)], false).unwrap();
+        s.partitions_mut().add("debug", [NodeId(3)], false).unwrap();
         // Default-partition job lands on nodes 1-2 only, even when 3-4 idle.
         let a = s.submit_at(SimTime::ZERO, job(1, 16, 10)); // needs 2 nodes
                                                             // Debug job lands on node 3.
@@ -954,7 +1344,7 @@ mod tests {
     #[test]
     fn partition_queues_when_full_despite_free_foreign_nodes() {
         let mut s = sched(NodeSharing::Shared, 2, 8);
-        s.partitions.add("small", [NodeId(1)], true).unwrap();
+        s.partitions_mut().add("small", [NodeId(1)], true).unwrap();
         s.submit_at(SimTime::ZERO, job(1, 8, 100));
         let waiting = s.submit_at(SimTime::ZERO, job(2, 8, 10));
         s.run_until(SimTime::from_secs(1));
@@ -970,7 +1360,7 @@ mod tests {
     #[test]
     fn unknown_partition_rejected_at_submit() {
         let mut s = sched(NodeSharing::Shared, 1, 8);
-        s.partitions.add("batch", [NodeId(1)], true).unwrap();
+        s.partitions_mut().add("batch", [NodeId(1)], true).unwrap();
         let id = s.submit_at(SimTime::ZERO, job(1, 1, 10).with_partition("nope"));
         assert_eq!(s.jobs[&id].state, JobState::Cancelled);
         s.run_to_completion();

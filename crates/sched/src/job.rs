@@ -4,6 +4,7 @@ use eus_simcore::{SimDuration, SimTime};
 use eus_simos::{NodeId, Uid};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Job identifier, dense and increasing in submission order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -198,12 +199,16 @@ pub struct TaskAlloc {
 }
 
 /// A job as tracked by the scheduler.
+///
+/// The spec sits behind an [`Arc`] so scheduling cycles and view queries
+/// (`squeue`) share it instead of deep-cloning cmdline/name strings — field
+/// access is unchanged (`job.spec.user` auto-derefs).
 #[derive(Debug, Clone)]
 pub struct Job {
     /// Identifier.
     pub id: JobId,
-    /// The request.
-    pub spec: JobSpec,
+    /// The request (shared, immutable once submitted).
+    pub spec: Arc<JobSpec>,
     /// Lifecycle state.
     pub state: JobState,
     /// Submission time.
@@ -275,7 +280,7 @@ mod tests {
         let spec = JobSpec::new(Uid(1), "j", SimDuration::from_secs(10)).with_tasks(4);
         let mut job = Job {
             id: JobId(1),
-            spec,
+            spec: Arc::new(spec),
             state: JobState::Completed,
             submitted: SimTime::ZERO,
             started: Some(SimTime::from_secs(5)),

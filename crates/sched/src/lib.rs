@@ -15,6 +15,28 @@
 //!   `sacct` views,
 //! * [`pam_slurm`] — ssh-only-where-your-job-runs, as a PAM module over a
 //!   shared scheduler handle.
+//!
+//! # Scheduler internals
+//!
+//! The engine's scheduling cycle is built on incremental data structures
+//! rather than scan-the-world passes, so it holds up at 10k-node /
+//! 100k-job scale (see the module docs on [`engine`] for the full story):
+//!
+//! * a **placement index** — per-user solely-owned node sets (packing
+//!   affinity), the idle-node set, and the free-cores set — maintained on
+//!   every claim/release, reproducing the old sorted candidate order
+//!   without building it;
+//! * an **allocation-free EASY shadow**: running-job releases replayed in
+//!   end-time order over a flat per-node capacity vector with an
+//!   incrementally-maintained total-fit sum and early exit, instead of
+//!   cloning the node map and re-running full placement per release;
+//! * an **order-indexed queue** (enqueue-seq `BTreeMap`) instead of a
+//!   shifting `Vec`, and `Arc`-shared job specs instead of per-cycle deep
+//!   clones.
+//!
+//! The pre-overhaul engine is retained in [`reference`] as the oracle for
+//! `tests/sched_equivalence.rs` and the baseline for
+//! `benches/sched_throughput.rs` / `exp_sched_scale`.
 
 #![warn(missing_docs)]
 
@@ -26,6 +48,7 @@ pub mod pam_slurm;
 pub mod partition;
 pub mod policy;
 pub mod privatedata;
+pub mod reference;
 
 pub use accounting::{AcctRecord, UserUsage};
 pub use engine::{EpilogEvent, FailureRecord, SchedConfig, SchedMetrics, Scheduler};
@@ -35,3 +58,4 @@ pub use pam_slurm::{shared_scheduler, PamSlurm, SharedScheduler};
 pub use partition::{Partition, PartitionError, PartitionTable};
 pub use policy::{tasks_that_fit, NodeSharing};
 pub use privatedata::{may_view, JobView, PrivateData};
+pub use reference::ReferenceScheduler;

@@ -5,8 +5,9 @@
 //! unchanged — only the *views* (`squeue`, `sacct`) filter.
 
 use eus_simos::{Credentials, NodeId, Uid};
+use std::sync::Arc;
 
-use crate::job::{JobId, JobState};
+use crate::job::{JobId, JobSpec, JobState};
 
 /// Which record classes are private. (Slurm has more; these are the ones the
 /// paper's experiments exercise.)
@@ -34,22 +35,39 @@ impl PrivateData {
 }
 
 /// One `squeue` row as seen by a particular viewer.
+///
+/// The row is a *view* over the job's shared spec (`Arc<JobSpec>`): building
+/// it no longer deep-clones the name and command line per visible job per
+/// call. Rows only exist for jobs the viewer may see — the `PrivateData`
+/// redaction is whole-row (a hidden job contributes nothing), exactly as
+/// before the spec moved behind `Arc`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobView {
     /// Job id.
     pub id: JobId,
     /// Owner.
     pub user: Uid,
-    /// Job name — privacy-relevant (paper: "many job properties could
+    /// The job's spec, shared with the scheduler (name, cmdline, and the
+    /// rest are privacy-relevant — paper: "many job properties could
     /// contain private information including username, jobname, command,
     /// working directory path").
-    pub name: String,
-    /// Command line as submitted.
-    pub cmdline: Vec<String>,
+    pub spec: Arc<JobSpec>,
     /// State.
     pub state: JobState,
     /// Nodes allocated (running jobs).
     pub nodes: Vec<NodeId>,
+}
+
+impl JobView {
+    /// Job name, borrowed from the shared spec.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Command line as submitted, borrowed from the shared spec.
+    pub fn cmdline(&self) -> &[String] {
+        &self.spec.cmdline
+    }
 }
 
 /// May `viewer` see `owner`'s records of a class gated by `private_flag`?

@@ -21,6 +21,8 @@ pub mod population;
 pub mod swf;
 
 pub use jobs::{gpu_training, interactive_session, jupyter, monte_carlo, mpi_job, parameter_sweep};
-pub use mix::{hours, poisson_arrivals, Trace, TraceEntry, WorkloadMix};
+pub use mix::{
+    hours, poisson_arrivals, submission_storm, SharedTrace, Trace, TraceEntry, WorkloadMix,
+};
 pub use population::UserPopulation;
 pub use swf::{from_swf, to_swf, SwfError};

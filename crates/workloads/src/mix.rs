@@ -10,6 +10,7 @@ use crate::jobs;
 use crate::population::UserPopulation;
 use eus_sched::{JobSpec, Scheduler};
 use eus_simcore::{SimDuration, SimRng, SimTime};
+use std::sync::Arc;
 
 /// One dated submission.
 #[derive(Debug, Clone)]
@@ -54,6 +55,92 @@ impl Trace {
             .iter()
             .sum()
     }
+
+    /// Convert into a replayable trace whose specs sit behind `Arc` — each
+    /// subsequent replay submits with zero deep clones (the shape the
+    /// throughput benches and `exp_sched_scale` replay repeatedly).
+    pub fn to_shared(&self) -> SharedTrace {
+        SharedTrace {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| (e.at, Arc::new(e.spec.clone())))
+                .collect(),
+        }
+    }
+}
+
+/// A trace with `Arc`-shared specs: built once, replayed many times (or
+/// into many schedulers) without per-submission deep copies.
+#[derive(Debug, Clone, Default)]
+pub struct SharedTrace {
+    /// Entries in arrival order.
+    pub entries: Vec<(SimTime, Arc<JobSpec>)>,
+}
+
+impl SharedTrace {
+    /// Submit every entry into a scheduler, sharing the spec.
+    pub fn submit_all(&self, sched: &mut Scheduler) {
+        for (at, spec) in &self.entries {
+            sched.submit_at_shared(*at, Arc::clone(spec));
+        }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A **submission storm**: `jobs` individual submissions packed into
+/// `window` — the everyone-hits-sbatch-at-once shape (morning logins, a
+/// sweep script gone wide) that stresses the scheduler's per-cycle cost
+/// rather than steady-state capacity. Dominated by short single-task jobs
+/// with a tail of gangs, like the LLSC-like mix but compressed in time.
+pub fn submission_storm(
+    pop: &UserPopulation,
+    jobs: usize,
+    window: SimTime,
+    rng: &mut SimRng,
+) -> Trace {
+    let window_s = window.as_secs_f64();
+    let mut entries: Vec<TraceEntry> = (0..jobs)
+        .map(|i| {
+            let at = SimTime::from_micros((rng.f64() * window_s * 1e6) as u64);
+            let user = pop.active_user(rng);
+            let draw = rng.f64();
+            let spec = if draw < 0.60 {
+                // Short single-task sweep point.
+                let secs = 30.0 + rng.f64() * 270.0;
+                JobSpec::new(user, format!("storm-{i}"), SimDuration::from_secs_f64(secs))
+                    .with_cpus_per_task(1)
+                    .with_mem_per_task(1024)
+            } else if draw < 0.85 {
+                // Small gang.
+                let tasks = 4 + (rng.range_u64(0, 13) as u32);
+                let secs = 300.0 + rng.f64() * 1500.0;
+                JobSpec::new(user, format!("gang-{i}"), SimDuration::from_secs_f64(secs))
+                    .with_tasks(tasks)
+                    .with_cpus_per_task(1)
+                    .with_mem_per_task(2048)
+            } else if draw < 0.95 {
+                // MPI job.
+                let ranks = 16 + (rng.range_u64(0, 49) as u32);
+                let secs = 600.0 + rng.f64() * 3000.0;
+                jobs::mpi_job(user, ranks, secs)
+            } else {
+                jobs::interactive_session(user, 0.5 + rng.f64())
+            };
+            TraceEntry { at, spec }
+        })
+        .collect();
+    entries.sort_by_key(|e| e.at);
+    Trace { entries }
 }
 
 /// Batch-type weights and parameters.
@@ -220,6 +307,41 @@ mod tests {
             "mostly short jobs: {short}/{}",
             t.len()
         );
+    }
+
+    #[test]
+    fn storm_is_deterministic_sorted_and_shaped() {
+        let gen = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let (_db, p) = pop(&mut rng);
+            submission_storm(&p, 2_000, SimTime::from_secs(600), &mut rng)
+        };
+        let a = gen(9);
+        let b = gen(9);
+        assert_eq!(a.len(), 2_000);
+        assert_eq!(a.total_core_seconds(), b.total_core_seconds(), "seeded");
+        assert!(
+            a.entries.windows(2).all(|w| w[0].at <= w[1].at),
+            "arrival order"
+        );
+        assert!(
+            a.entries.iter().all(|e| e.at < SimTime::from_secs(600)),
+            "inside the window"
+        );
+        let singles = a.entries.iter().filter(|e| e.spec.tasks == 1).count();
+        assert!(
+            singles as f64 / a.len() as f64 > 0.5,
+            "storms are mostly single-task: {singles}"
+        );
+        // Shared replay preserves the job set without per-submission clones.
+        let shared = a.to_shared();
+        assert_eq!(shared.len(), a.len());
+        let mut s = Scheduler::new(eus_sched::SchedConfig::default());
+        for _ in 0..64 {
+            s.add_node(16, 64_000, 0);
+        }
+        shared.submit_all(&mut s);
+        assert_eq!(s.jobs.len(), a.len());
     }
 
     #[test]

@@ -113,8 +113,8 @@ fn apps_reachable_on_any_partition_through_portal() {
         let mut sched = c.sched.write();
         let batch = c.compute_ids[0];
         let debug = c.compute_ids[1];
-        sched.partitions.add("batch", [batch], true).unwrap();
-        sched.partitions.add("debug", [debug], false).unwrap();
+        sched.partitions_mut().add("batch", [batch], true).unwrap();
+        sched.partitions_mut().add("debug", [debug], false).unwrap();
     }
     // A web-app job routed to the non-default debug partition.
     let job = c.submit(
