@@ -76,6 +76,38 @@ fn bench_256_nodes_vs_reference(c: &mut Criterion) {
     g.finish();
 }
 
+/// The policy plane's replay cost: the identical trace through the engine
+/// with every plane knob off (the reference-identical path) vs all three
+/// on (fair-share + preemption + an 8-deep reservation calendar). Keeps
+/// the "policy is opt-in, the hot path doesn't pay for it" claim measured.
+fn bench_policy_plane_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched/policy_plane");
+    g.sample_size(10);
+    let trace = standard_trace(20, 1, 99).to_shared();
+    for (label, fair_share, preemption, reservations) in [
+        ("plane_off", false, false, 0usize),
+        ("plane_on", true, true, 8),
+    ] {
+        g.bench_with_input(BenchmarkId::new("mode", label), &trace, |b, trace| {
+            b.iter(|| {
+                let mut s = Scheduler::new(SchedConfig {
+                    policy: NodeSharing::WholeNodeUser,
+                    fair_share,
+                    preemption,
+                    reservations,
+                    ..SchedConfig::default()
+                });
+                for _ in 0..16 {
+                    s.add_node(16, 65_536, 0);
+                }
+                trace.submit_all(&mut s);
+                black_box(s.run_to_completion())
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_backfill_cost(c: &mut Criterion) {
     let mut g = c.benchmark_group("sched/backfill");
     g.sample_size(10);
@@ -103,6 +135,7 @@ criterion_group!(
     benches,
     bench_policies,
     bench_256_nodes_vs_reference,
+    bench_policy_plane_cost,
     bench_backfill_cost
 );
 criterion_main!(benches);

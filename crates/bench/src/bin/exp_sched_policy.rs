@@ -1,0 +1,393 @@
+//! Scheduler policy-plane experiment: measures the three PR-5 knobs on the
+//! workload shapes they exist for, and asserts the acceptance criteria.
+//!
+//! * **interactive-vs-bulk storm** (preemption): a bulk front saturates the
+//!   cluster for the whole window while short urgent sessions arrive
+//!   throughout. Replayed with `preemption` off/on; asserts the mean
+//!   interactive wait drops by ≥10×.
+//! * **multi-partition storm** (fair-share): one partition is buried under
+//!   a deep backlog while the others receive steady light work. Replayed
+//!   with `fair_share` off/on; asserts that with it on, every partition
+//!   with eligible work starts ≥1 job in every replay window (no
+//!   starvation), and prints the off-mode starvation for contrast.
+//! * **reservation calendar** (conservative backfill): a blocked queue gets
+//!   planned starts — the "when will my job run?" answer EASY cannot give.
+//!
+//! Emits `BENCH_sched_policy.json` (smoke runs write the `.smoke` sibling
+//! so CI never clobbers the committed full-mode trajectory point).
+
+use eus_bench::table::{f, TextTable};
+use eus_sched::{JobState, NodeSharing, QosClass, SchedConfig, Scheduler};
+use eus_simcore::{SimDuration, SimRng, SimTime};
+use eus_simos::UserDb;
+use eus_workloads::{interactive_vs_bulk, multi_partition_storm, UserPopulation};
+use std::fmt::Write as _;
+
+struct PreemptRow {
+    mode: &'static str,
+    interactive_jobs: usize,
+    mean_wait_s: f64,
+    p95_wait_s: f64,
+    max_wait_s: f64,
+    preemptions: usize,
+    bulk_completed: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Scenario A: the interactive-vs-bulk storm, with and without preemption.
+fn run_preemption(nodes: u32, bulk: usize, interactive: usize, window: SimTime) -> Vec<PreemptRow> {
+    let mut rows = Vec::new();
+    for (mode, preemption) in [("no-preempt", false), ("preempt", true)] {
+        // Identical trace per mode: same seed end to end.
+        let mut rng = SimRng::seed_from_u64(0x9e05);
+        let mut db = UserDb::new();
+        let pop = UserPopulation::build(&mut db, 60, 10, 1.1, &mut rng);
+        let trace = interactive_vs_bulk(&pop, bulk, interactive, window, &mut rng);
+
+        let mut s = Scheduler::new(SchedConfig {
+            policy: NodeSharing::WholeNodeUser,
+            preemption,
+            ..SchedConfig::default()
+        });
+        for _ in 0..nodes {
+            s.add_node(16, 65_536, 0);
+        }
+        trace.submit_all(&mut s);
+        s.run_to_completion();
+
+        let mut waits: Vec<f64> = s
+            .jobs
+            .values()
+            .filter(|j| j.spec.qos == QosClass::Urgent)
+            .map(|j| {
+                j.started
+                    .expect("storm drains")
+                    .since(j.submitted)
+                    .as_secs_f64()
+            })
+            .collect();
+        waits.sort_by(f64::total_cmp);
+        let bulk_completed = s
+            .jobs
+            .values()
+            .filter(|j| j.spec.qos == QosClass::Bulk && j.state == JobState::Completed)
+            .count() as u64;
+        rows.push(PreemptRow {
+            mode,
+            interactive_jobs: waits.len(),
+            mean_wait_s: waits.iter().sum::<f64>() / waits.len().max(1) as f64,
+            p95_wait_s: percentile(&waits, 0.95),
+            max_wait_s: waits.last().copied().unwrap_or(0.0),
+            preemptions: s.preemptions.len(),
+            bulk_completed,
+        });
+    }
+    rows
+}
+
+struct FairShareRow {
+    mode: &'static str,
+    /// `starts[partition][window]`
+    starts: Vec<Vec<u64>>,
+    starved_windows: usize,
+}
+
+/// Scenario B: the multi-partition storm, with and without fair-share.
+/// Returns per-partition per-window start counts; a "starved" window is one
+/// where a partition had eligible pending work at the window start yet
+/// started nothing.
+fn run_fair_share(
+    jobs: usize,
+    window: SimTime,
+    windows: usize,
+    partitions: &[(&str, u32)],
+) -> Vec<FairShareRow> {
+    let names: Vec<&str> = partitions.iter().map(|(n, _)| *n).collect();
+    let mut rows = Vec::new();
+    for (mode, fair_share) in [("fcfs", false), ("fair-share", true)] {
+        let mut rng = SimRng::seed_from_u64(0xfa15);
+        let mut db = UserDb::new();
+        let pop = UserPopulation::build(&mut db, 80, 12, 1.1, &mut rng);
+        let trace = multi_partition_storm(&pop, &names, jobs, 0.8, window, &mut rng);
+
+        let mut s = Scheduler::new(SchedConfig {
+            policy: NodeSharing::Shared,
+            fair_share,
+            ..SchedConfig::default()
+        });
+        let mut next = 1u32;
+        {
+            let mut ranges: Vec<(&str, Vec<eus_simos::NodeId>)> = Vec::new();
+            for (name, count) in partitions {
+                let ids: Vec<eus_simos::NodeId> =
+                    (next..next + count).map(eus_simos::NodeId).collect();
+                next += count;
+                ranges.push((name, ids));
+            }
+            for _ in 1..next {
+                s.add_node(16, 65_536, 0);
+            }
+            for (i, (name, ids)) in ranges.into_iter().enumerate() {
+                s.partitions_mut().add(name, ids, i == 0).unwrap();
+            }
+        }
+        trace.submit_all(&mut s);
+
+        // Replay in windows, sampling starts per partition per window.
+        let win = SimDuration::from_secs_f64(window.as_secs_f64() / windows as f64);
+        let mut starts = vec![vec![0u64; windows]; names.len()];
+        let mut starved = 0usize;
+        let mut started_before: Vec<std::collections::BTreeSet<eus_sched::JobId>> =
+            vec![Default::default(); names.len()];
+        #[allow(clippy::needless_range_loop)] // w also drives the horizon
+        for w in 0..windows {
+            // Eligibility check at window start: pending jobs per partition.
+            let pending_at_start: Vec<bool> = names
+                .iter()
+                .map(|name| {
+                    s.jobs.values().any(|j| {
+                        j.state == JobState::Pending && j.spec.partition.as_deref() == Some(*name)
+                    })
+                })
+                .collect();
+            s.run_until(SimTime::ZERO + win * (w as u64 + 1));
+            for (pi, name) in names.iter().enumerate() {
+                let now_started: std::collections::BTreeSet<eus_sched::JobId> = s
+                    .jobs
+                    .values()
+                    .filter(|j| j.spec.partition.as_deref() == Some(*name) && j.started.is_some())
+                    .map(|j| j.id)
+                    .collect();
+                let new = now_started.difference(&started_before[pi]).count() as u64;
+                starts[pi][w] = new;
+                if pending_at_start[pi] && new == 0 {
+                    starved += 1;
+                }
+                started_before[pi] = now_started;
+            }
+        }
+        rows.push(FairShareRow {
+            mode,
+            starts,
+            starved_windows: starved,
+        });
+    }
+    rows
+}
+
+/// Scenario C: the reservation calendar answering "earliest start".
+fn run_reservations() -> Vec<(u64, f64)> {
+    let mut s = Scheduler::new(SchedConfig {
+        policy: NodeSharing::Shared,
+        reservations: 8,
+        ..SchedConfig::default()
+    });
+    for _ in 0..4 {
+        s.add_node(16, 65_536, 0);
+    }
+    // Fill all four nodes until t=600.
+    for _ in 0..4 {
+        s.submit_at(
+            SimTime::ZERO,
+            eus_sched::JobSpec::new(eus_simos::Uid(1), "wall", SimDuration::from_secs(600))
+                .with_tasks(16)
+                .with_mem_per_task(1024),
+        );
+    }
+    // Queue three full-cluster jobs: planned back to back.
+    let mut queued = Vec::new();
+    for i in 0..3 {
+        queued.push(
+            s.submit_at(
+                SimTime::from_secs(1),
+                eus_sched::JobSpec::new(
+                    eus_simos::Uid(2 + i),
+                    format!("queued-{i}"),
+                    SimDuration::from_secs(300),
+                )
+                .with_tasks(64)
+                .with_mem_per_task(1024),
+            ),
+        );
+    }
+    s.run_until(SimTime::from_secs(2));
+    let mut out = Vec::new();
+    for (i, id) in queued.iter().enumerate() {
+        let est = s.earliest_start(*id).expect("queued job has an estimate");
+        out.push((i as u64, est.since(SimTime::ZERO).as_secs_f64()));
+    }
+    // Back-to-back plan: 600, 900, 1200.
+    assert_eq!(out[0].1, 600.0, "first reservation at the wall release");
+    assert!(out[1].1 >= 900.0 && out[2].1 >= 1200.0, "{out:?}");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!("exp_sched_policy: scheduler policy plane (fair-share, preemption, reservations)\n");
+
+    // ---- Scenario A: preemption --------------------------------------
+    let (nodes, bulk, interactive, window) = if smoke {
+        (16, 20, 30, SimTime::from_secs(900))
+    } else {
+        (32, 40, 60, SimTime::from_secs(1200))
+    };
+    println!(
+        "-- interactive-vs-bulk storm: {nodes} nodes x 16 cores, {bulk} bulk + \
+         {interactive} urgent jobs, {} s window, whole-node policy",
+        window.as_secs_f64()
+    );
+    let prows = run_preemption(nodes, bulk, interactive, window);
+    let mut table = TextTable::new(&[
+        "mode",
+        "interactive",
+        "mean wait s",
+        "p95 wait s",
+        "max wait s",
+        "preemptions",
+        "bulk done",
+    ]);
+    for r in &prows {
+        table.row(&[
+            r.mode.to_string(),
+            r.interactive_jobs.to_string(),
+            f(r.mean_wait_s, 1),
+            f(r.p95_wait_s, 1),
+            f(r.max_wait_s, 1),
+            r.preemptions.to_string(),
+            r.bulk_completed.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    let wait_ratio = prows[0].mean_wait_s / prows[1].mean_wait_s.max(1.0);
+    println!("interactive mean-wait improvement: {:.0}x\n", wait_ratio);
+    assert!(
+        wait_ratio >= 10.0,
+        "preemption must cut interactive wait by >=10x, got {wait_ratio:.1}x"
+    );
+    assert!(prows[1].preemptions > 0, "preemption must actually fire");
+    assert_eq!(prows[0].preemptions, 0, "no preemptions with the knob off");
+
+    // ---- Scenario B: multi-partition fair-share ----------------------
+    let (jobs, fwindow, windows) = if smoke {
+        (200, SimTime::from_secs(900), 4)
+    } else {
+        (600, SimTime::from_secs(1800), 6)
+    };
+    let partitions: &[(&str, u32)] = &[("batch", 24), ("short", 4), ("debug", 4)];
+    println!(
+        "-- multi-partition storm: {} jobs (80% backlog into 'batch'), {} s window, \
+         partitions batch=24/short=4/debug=4 nodes",
+        jobs,
+        fwindow.as_secs_f64()
+    );
+    let frows = run_fair_share(jobs, fwindow, windows, partitions);
+    for r in &frows {
+        let mut t = TextTable::new(&["partition", "starts per window", "total"]);
+        for (pi, (name, _)) in partitions.iter().enumerate() {
+            let per: Vec<String> = r.starts[pi].iter().map(u64::to_string).collect();
+            t.row(&[
+                name.to_string(),
+                per.join(" "),
+                r.starts[pi].iter().sum::<u64>().to_string(),
+            ]);
+        }
+        println!("mode = {} (starved windows: {})", r.mode, r.starved_windows);
+        print!("{}", t.render());
+    }
+    let fcfs = &frows[0];
+    let fair = &frows[1];
+    assert_eq!(
+        fair.starved_windows, 0,
+        "with fair-share on, every partition with eligible work starts >=1 job per window"
+    );
+    println!(
+        "head-of-line starvation: fcfs {} starved windows -> fair-share {}\n",
+        fcfs.starved_windows, fair.starved_windows
+    );
+
+    // ---- Scenario C: reservation calendar ----------------------------
+    println!("-- reservation calendar: 4 busy nodes, 3 full-cluster jobs queued");
+    let planned = run_reservations();
+    let mut t = TextTable::new(&["queued job", "planned start s"]);
+    for (i, start) in &planned {
+        t.row(&[format!("queued-{i}"), f(*start, 0)]);
+    }
+    print!("{}", t.render());
+    println!("(EASY alone answers only the head; the calendar answers all three)\n");
+
+    // ---- Machine-readable trajectory point ---------------------------
+    let mut json = String::new();
+    json.push_str("{\n  \"experiment\": \"sched_policy\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    json.push_str("  \"preemption\": [\n");
+    for (i, r) in prows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"mode\": \"{}\", \"interactive_jobs\": {}, \"mean_wait_s\": {:.2}, \
+             \"p95_wait_s\": {:.2}, \"max_wait_s\": {:.2}, \"preemptions\": {}, \
+             \"bulk_completed\": {} }}{}",
+            r.mode,
+            r.interactive_jobs,
+            r.mean_wait_s,
+            r.p95_wait_s,
+            r.max_wait_s,
+            r.preemptions,
+            r.bulk_completed,
+            if i + 1 == prows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"interactive_wait_improvement\": {:.1},",
+        wait_ratio
+    );
+    json.push_str("  \"fair_share\": [\n");
+    for (i, r) in frows.iter().enumerate() {
+        let starts: Vec<String> = partitions
+            .iter()
+            .enumerate()
+            .map(|(pi, (name, _))| {
+                let per: Vec<String> = r.starts[pi].iter().map(u64::to_string).collect();
+                format!("\"{}\": [{}]", name, per.join(", "))
+            })
+            .collect();
+        let _ = writeln!(
+            json,
+            "    {{ \"mode\": \"{}\", \"starved_windows\": {}, \"starts\": {{ {} }} }}{}",
+            r.mode,
+            r.starved_windows,
+            starts.join(", "),
+            if i + 1 == frows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    let planned_json: Vec<String> = planned
+        .iter()
+        .map(|(i, s)| format!("{{ \"job\": {i}, \"planned_start_s\": {s:.0} }}"))
+        .collect();
+    let _ = writeln!(
+        json,
+        "  \"reservations\": [ {} ]\n}}",
+        planned_json.join(", ")
+    );
+    let out = if smoke {
+        "BENCH_sched_policy.smoke.json"
+    } else {
+        "BENCH_sched_policy.json"
+    };
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}

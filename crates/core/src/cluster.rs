@@ -146,10 +146,13 @@ impl SecureCluster {
             .expect("fresh db has no such group");
         let db = shared_user_db(udb);
 
-        // Scheduler with the configured policy.
+        // Scheduler with the configured policy (+ policy plane knobs).
         let mut scheduler = Scheduler::new(SchedConfig {
             policy: config.node_policy,
             private_data: config.private_data_flags(),
+            fair_share: config.sched_fair_share,
+            preemption: config.sched_preemption,
+            reservations: config.sched_reservations as usize,
             ..SchedConfig::default()
         });
         let compute_ids: Vec<NodeId> = (0..spec.compute_nodes)
@@ -720,6 +723,13 @@ impl SecureCluster {
         }
         let (started, epilogs): (Vec<Started>, Vec<EpilogEvent>) = {
             let mut sched = self.sched.write();
+            let epilogs = sched.drain_epilogs();
+            // A job with an epilog left its nodes (ended — or was
+            // preempted and will run again): un-materialize it first so a
+            // preempted-and-restarted job re-materializes below.
+            for e in &epilogs {
+                self.materialized.remove(&e.job);
+            }
             let started = sched
                 .jobs
                 .values()
@@ -737,35 +747,13 @@ impl SecureCluster {
                     allocs: j.allocations.iter().map(|(n, a)| (*n, a.gpus)).collect(),
                 })
                 .collect();
-            (started, sched.drain_epilogs())
+            (started, epilogs)
         };
 
-        // Prolog work: processes + GPU assignment.
-        for s in started {
-            self.materialized.insert(s.job);
-            let cred = self.credentials(s.user);
-            let upg = self.db.read().user(s.user).expect("known").private_group;
-            let mut pids = Vec::new();
-            for (nid, gpu_count) in &s.allocs {
-                let node = self.nodes.get_mut(nid).expect("allocated node exists");
-                let pid = node.procs.spawn_with_env(
-                    cred.clone(),
-                    s.cmdline.clone(),
-                    s.environ.clone(),
-                    None,
-                    s.started,
-                );
-                pids.push((*nid, pid));
-                if *gpu_count > 0 && self.config.gpu_dev_perms {
-                    self.gpus
-                        .assign(*nid, *gpu_count as u16, s.user, upg, &node.local_fs)
-                        .expect("device files exist");
-                }
-            }
-            self.job_procs.insert(s.job, pids);
-        }
-
-        // Epilog work.
+        // Epilog work FIRST: a departed (or preempted) tenant's cleanup —
+        // kill strays, revoke device perms, scrub GPU memory — must land
+        // before any new tenant's prolog touches the same node. This is
+        // the ordering the preemption path's separation guarantee rests on.
         for e in epilogs {
             // Web-app routes die with their job.
             self.portal.routes.remove_job(e.job);
@@ -808,6 +796,31 @@ impl SecureCluster {
                     }
                 }
             }
+        }
+
+        // Prolog work: processes + GPU assignment.
+        for s in started {
+            self.materialized.insert(s.job);
+            let cred = self.credentials(s.user);
+            let upg = self.db.read().user(s.user).expect("known").private_group;
+            let mut pids = Vec::new();
+            for (nid, gpu_count) in &s.allocs {
+                let node = self.nodes.get_mut(nid).expect("allocated node exists");
+                let pid = node.procs.spawn_with_env(
+                    cred.clone(),
+                    s.cmdline.clone(),
+                    s.environ.clone(),
+                    None,
+                    s.started,
+                );
+                pids.push((*nid, pid));
+                if *gpu_count > 0 && self.config.gpu_dev_perms {
+                    self.gpus
+                        .assign(*nid, *gpu_count as u16, s.user, upg, &node.local_fs)
+                        .expect("device files exist");
+                }
+            }
+            self.job_procs.insert(s.job, pids);
         }
     }
 

@@ -63,6 +63,22 @@ pub struct SeparationConfig {
     /// trusting possibly-revoked credentials. Ignored when
     /// `federated_auth` is off.
     pub revsync_max_lag: SimDuration,
+    /// Scheduler policy plane: multi-partition fair-share head selection
+    /// over the decayed usage ledger. Off in both presets (a scheduling
+    /// *policy* choice, not a separation mechanism — it never appears in
+    /// the ablation sweep); with it off the engine is observationally
+    /// identical to the reference scheduler.
+    pub sched_fair_share: bool,
+    /// Scheduler policy plane: QoS preemption — latency-sensitive jobs may
+    /// kill-and-requeue strictly-lower-class bulk work. The victim leaves
+    /// through the full separation epilog (process cleanup, GPU scrub)
+    /// before the preemptor's prolog, so every separation guarantee
+    /// survives urgency. Off in both presets.
+    pub sched_preemption: bool,
+    /// Scheduler policy plane: conservative-backfill reservation depth
+    /// (top-K queued jobs get planned starts; backfill may not collide
+    /// with any of them). 0 = plain EASY. Off in both presets.
+    pub sched_reservations: u32,
 }
 
 /// Default `eus-revsync` cadences: feeds every 10 s, anti-entropy every
@@ -93,6 +109,9 @@ impl SeparationConfig {
             revsync_feed_interval: REVSYNC_FEED_INTERVAL,
             revsync_anti_entropy: REVSYNC_ANTI_ENTROPY,
             revsync_max_lag: REVSYNC_MAX_LAG,
+            sched_fair_share: false,
+            sched_preemption: false,
+            sched_reservations: 0,
         }
     }
 
@@ -117,7 +136,29 @@ impl SeparationConfig {
             revsync_feed_interval: REVSYNC_FEED_INTERVAL,
             revsync_anti_entropy: REVSYNC_ANTI_ENTROPY,
             revsync_max_lag: REVSYNC_MAX_LAG,
+            sched_fair_share: false,
+            sched_preemption: false,
+            sched_reservations: 0,
         }
+    }
+
+    /// Builder: enable multi-partition fair-share scheduling.
+    pub fn with_fair_share(mut self) -> Self {
+        self.sched_fair_share = true;
+        self
+    }
+
+    /// Builder: enable QoS preemption.
+    pub fn with_preemption(mut self) -> Self {
+        self.sched_preemption = true;
+        self
+    }
+
+    /// Builder: hold conservative-backfill reservations for the top-`k`
+    /// queued jobs.
+    pub fn with_reservations(mut self, k: u32) -> Self {
+        self.sched_reservations = k;
+        self
     }
 
     /// Builder: allow-list sister realms at the home site.
@@ -215,6 +256,15 @@ impl SeparationConfig {
                     self.revsync_feed_interval, self.revsync_anti_entropy, self.revsync_max_lag
                 ));
             }
+        }
+        if self.sched_fair_share {
+            on.push("fairshare".into());
+        }
+        if self.sched_preemption {
+            on.push("preempt".into());
+        }
+        if self.sched_reservations > 0 {
+            on.push(format!("resv{}", self.sched_reservations));
         }
         if on.is_empty() {
             "baseline".to_string()
@@ -376,6 +426,23 @@ mod tests {
         assert!(label.contains("trust[2,3]"), "{label}");
         // Presets keep their short names.
         assert_eq!(SeparationConfig::llsc().label(), "llsc");
+    }
+
+    #[test]
+    fn policy_plane_knobs_render_and_stay_out_of_ablations() {
+        let c = SeparationConfig::llsc()
+            .with_fair_share()
+            .with_preemption()
+            .with_reservations(8);
+        let label = c.label();
+        assert!(label.contains("fairshare"), "{label}");
+        assert!(label.contains("preempt"), "{label}");
+        assert!(label.contains("resv8"), "{label}");
+        // The plane is policy, not a separation mechanism: presets keep it
+        // off and the ablation sweep never toggles it.
+        assert!(!SeparationConfig::llsc().sched_fair_share);
+        assert!(!SeparationConfig::baseline().sched_preemption);
+        assert_eq!(SeparationConfig::ablations().len(), 10);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! sshd's PAM account phase ([`crate::PamFedAuth`]), the scheduler's
 //! submission path, and the portal's session layer all hold a
-//! [`SharedBroker`] and ask it one O(1) question — "does this principal hold
+//! [`crate::SharedBroker`] and ask it one O(1) question — "does this principal hold
 //! a live, unrevoked credential of the right kind *right now*?" — keeping
 //! issuance, expiry, and revocation in one place (the companion paper's
 //! central identity plane).

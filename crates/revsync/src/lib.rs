@@ -15,7 +15,7 @@
 //!   **delta log** (`eus_fedauth::RevocationList`); the log is the unit of
 //!   replication — revocation is irreversible, so history only appends;
 //! * sites hold local [`CrlReplica`]s for the realms they trust, built
-//!   from the realm's exported [`RealmVerifier`] (signature checks become
+//!   from the realm's exported [`eus_fedauth::RealmVerifier`] (signature checks become
 //!   local) plus the replicated revoked-set;
 //! * a [`RevSyncMesh`] moves deltas over a simulated WAN
 //!   (`eus_simnet::Fabric` with wide-area latency constants): **push

@@ -17,7 +17,7 @@
 //!   repairs whatever loss broke, from any partial state.
 //!
 //! Deltas spend real simulated time on the wire (connection setup plus
-//! size-proportional transfer, per the fabric's [`LatencyModel`]), so a
+//! size-proportional transfer, per the fabric's [`eus_simnet::LatencyModel`]), so a
 //! revocation minted at the issuer becomes visible at a sister site only
 //! after feed cadence + WAN latency — the propagation lag `exp_revsync`
 //! charts. Validation against a replica never touches the mesh: the mesh

@@ -28,6 +28,61 @@ pub enum JobKind {
     WebApp,
 }
 
+/// Quality-of-service class: the priority band a job submits under, and the
+/// input to the scheduler's preemption rule (`SchedConfig::preemption`).
+///
+/// Classes are ordered. A job may displace (kill-and-requeue, with the full
+/// separation epilog — node scrub, process cleanup — between the victim and
+/// the new tenant) only jobs of a *strictly lower* class, and only the two
+/// latency-sensitive classes ([`Interactive`](QosClass::Interactive) and
+/// [`Urgent`](QosClass::Urgent)) are preemptors at all: `Normal` work never
+/// preempts `Bulk` work, it just outranks it in fair-share ties. With
+/// `SchedConfig::preemption` off (the default) the class is carried but
+/// ignored, so traces decorated with QoS stay bit-identical to the
+/// reference scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QosClass {
+    /// Throughput work: sweeps, long MPI production runs. Preemptible by
+    /// every higher class.
+    Bulk,
+    /// The default band.
+    Normal,
+    /// Latency-sensitive interactive/debug sessions. May preempt `Bulk`.
+    Interactive,
+    /// On-demand / operational urgency (the LLSC "rapid response" shape).
+    /// May preempt `Bulk`, `Normal`, and `Interactive`.
+    Urgent,
+}
+
+impl QosClass {
+    /// Numeric rank: higher outranks lower.
+    pub fn rank(self) -> u8 {
+        match self {
+            QosClass::Bulk => 0,
+            QosClass::Normal => 1,
+            QosClass::Interactive => 2,
+            QosClass::Urgent => 3,
+        }
+    }
+
+    /// May a job of this class displace a running job of `victim`'s class?
+    /// Only latency-sensitive classes preempt, and only strictly downward.
+    pub fn may_preempt(self, victim: QosClass) -> bool {
+        self >= QosClass::Interactive && victim < self
+    }
+}
+
+impl fmt::Display for QosClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            QosClass::Bulk => "bulk",
+            QosClass::Normal => "normal",
+            QosClass::Interactive => "interactive",
+            QosClass::Urgent => "urgent",
+        })
+    }
+}
+
 /// What a job asks for and how it behaves once started.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
@@ -60,6 +115,9 @@ pub struct JobSpec {
     pub environ: BTreeMap<String, String>,
     /// If true, the job requests `--exclusive` at submission.
     pub request_exclusive: bool,
+    /// QoS class: priority band and preemption standing. Ignored unless the
+    /// scheduler's policy plane (`SchedConfig::preemption`) is enabled.
+    pub qos: QosClass,
 }
 
 impl JobSpec {
@@ -79,6 +137,7 @@ impl JobSpec {
             cmdline: Vec::new(),
             environ: BTreeMap::new(),
             request_exclusive: false,
+            qos: QosClass::Normal,
         }
     }
 
@@ -139,6 +198,12 @@ impl JobSpec {
     /// Builder: request `--exclusive`.
     pub fn exclusive(mut self) -> Self {
         self.request_exclusive = true;
+        self
+    }
+
+    /// Builder: QoS class.
+    pub fn with_qos(mut self, qos: QosClass) -> Self {
+        self.qos = qos;
         self
     }
 
@@ -264,6 +329,27 @@ mod tests {
             .with_cpus_per_task(0);
         assert_eq!(s.tasks, 1);
         assert_eq!(s.cpus_per_task, 1);
+    }
+
+    #[test]
+    fn qos_preemption_lattice() {
+        use QosClass::*;
+        assert_eq!(
+            JobSpec::new(Uid(1), "j", SimDuration::from_secs(1)).qos,
+            Normal
+        );
+        // Only latency-sensitive classes preempt, strictly downward.
+        assert!(Urgent.may_preempt(Interactive));
+        assert!(Urgent.may_preempt(Normal));
+        assert!(Urgent.may_preempt(Bulk));
+        assert!(Interactive.may_preempt(Bulk));
+        assert!(Interactive.may_preempt(Normal));
+        assert!(!Interactive.may_preempt(Interactive));
+        assert!(!Interactive.may_preempt(Urgent));
+        assert!(!Normal.may_preempt(Bulk), "Normal is not a preemptor");
+        assert!(!Bulk.may_preempt(Bulk));
+        assert!(Bulk.rank() < Normal.rank() && Normal.rank() < Interactive.rank());
+        assert_eq!(Urgent.to_string(), "urgent");
     }
 
     #[test]

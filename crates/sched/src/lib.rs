@@ -34,13 +34,39 @@
 //!   shifting `Vec`, and `Arc`-shared job specs instead of per-cycle deep
 //!   clones.
 //!
-//! The pre-overhaul engine is retained in [`reference`] as the oracle for
+//! The pre-overhaul engine is retained in [`mod@reference`] as the oracle for
 //! `tests/sched_equivalence.rs` and the baseline for
 //! `benches/sched_throughput.rs` / `exp_sched_scale`.
+//!
+//! # The policy plane
+//!
+//! Three opt-in [`engine::SchedConfig`] knobs — all **off** by default, in
+//! which case the engine is observationally identical to [`mod@reference`]:
+//!
+//! * `fair_share` — per-partition queues ordered by a decayed
+//!   per-user/per-partition usage ledger ([`accounting::FairShareLedger`]),
+//!   so one partition's backlog cannot starve another's dispatch or
+//!   backfill, and heavy recent users yield to light ones;
+//! * `preemption` — jobs carry a [`job::QosClass`]; blocked
+//!   latency-sensitive heads may kill-and-requeue strictly-lower-class
+//!   work, with the full separation epilog (scrub, cleanup) between the
+//!   victim and the new tenant ([`engine::PreemptionRecord`] is the audit
+//!   trail);
+//! * `reservations = K` — the EASY shadow generalizes into a
+//!   [`calendar::ReservationCalendar`]: planned starts (with concrete
+//!   capacity holds) for the top-K queued jobs, an
+//!   [`engine::Scheduler::earliest_start`] answer for any job, and
+//!   *conservative* backfill that refuses to collide with any held
+//!   reservation.
+//!
+//! `exp_sched_policy` measures the plane (interactive-vs-bulk preemption
+//! storm, multi-partition fairness storm); `tests/sched_policy_properties.rs`
+//! property-checks its separation invariants.
 
 #![warn(missing_docs)]
 
 pub mod accounting;
+pub mod calendar;
 pub mod engine;
 pub mod job;
 pub mod node;
@@ -50,9 +76,12 @@ pub mod policy;
 pub mod privatedata;
 pub mod reference;
 
-pub use accounting::{AcctRecord, UserUsage};
-pub use engine::{EpilogEvent, FailureRecord, SchedConfig, SchedMetrics, Scheduler};
-pub use job::{Job, JobId, JobKind, JobSpec, JobState, TaskAlloc};
+pub use accounting::{AcctRecord, FairShareLedger, UserUsage, FAIR_SHARE_HALF_LIFE};
+pub use calendar::{Reservation, ReservationCalendar};
+pub use engine::{
+    EpilogEvent, FailureRecord, PreemptionRecord, SchedConfig, SchedMetrics, Scheduler,
+};
+pub use job::{Job, JobId, JobKind, JobSpec, JobState, QosClass, TaskAlloc};
 pub use node::{NodeState, SchedNode};
 pub use pam_slurm::{shared_scheduler, PamSlurm, SharedScheduler};
 pub use partition::{Partition, PartitionError, PartitionTable};

@@ -3,6 +3,29 @@
 //!
 //! Implemented as a [`PamModule`] holding a shared handle to the scheduler;
 //! the account phase consults the live allocation state at login time.
+//!
+//! # How the decision is made
+//!
+//! The module answers exactly one question per login —
+//! [`Scheduler::has_running_job_on`] — which is O(log n) against the
+//! node's cached per-user job counts (no allocation-map scan), so a
+//! login-storm on a busy cluster costs the PAM stack nothing measurable.
+//! Root and registered operators ([`Scheduler::add_admin`]) bypass the
+//! check, mirroring the production exemption for administrators.
+//!
+//! # Interaction with the rest of the separation story
+//!
+//! * **Lifecycle** — access appears when the job starts and disappears
+//!   with its epilog; `tests` below pin the revoked-after-completion path.
+//! * **Preemption** (`SchedConfig::preemption`) — a kill-and-requeue
+//!   releases the victim's allocations *before* its epilog events are
+//!   drained, so a preempted user's ssh access to the node dies at the
+//!   preemption instant, exactly as if the job had completed. The cluster
+//!   layer then kills any session processes they had left
+//!   (`pam_slurm_adopt`-style) before the preemptor's prolog runs.
+//! * **Whole-node policy** — under `NodeSharing::WholeNodeUser` this gate
+//!   means at most one non-admin user can ever ssh to a compute node,
+//!   which is what shrinks the paper's failure "blast radius" to one user.
 
 use crate::engine::Scheduler;
 use eus_simos::pam::{PamContext, PamModule, PamVerdict};

@@ -3,6 +3,28 @@
 //! debug partitions (multi-user by nature — one reason `hidepid` stays
 //! necessary under whole-node scheduling), and notes that the LLSC portal
 //! can reach apps "on any compute node in any partition" (Sec. IV-E).
+//!
+//! # Role in the scheduler
+//!
+//! Partitions feed the engine at three points:
+//!
+//! * **submit-time validation** — a job naming an unknown partition is
+//!   rejected (`Cancelled`) before it ever queues, mirroring Slurm;
+//! * **placement eligibility** — [`PartitionTable::eligible_nodes`] returns
+//!   the node set a job may use (`None` = unpartitioned cluster, all
+//!   nodes), which the placement index and the EASY-shadow/reservation
+//!   machinery filter against;
+//! * **the policy plane** — with `SchedConfig::fair_share` on, the engine
+//!   keys its per-partition queues and the decayed usage ledger by
+//!   [`PartitionTable::resolve`]d partition name, so one partition's
+//!   backlog cannot head-of-line-block another partition's dispatch or
+//!   backfill budget. The per-partition capacity mirrors that give
+//!   partitioned shadow builds their flat-copy path are keyed the same way.
+//!
+//! The table is expected to be configured once, before jobs run (like
+//! `SchedConfig::policy`); `Scheduler::partitions_mut` invalidates every
+//! derived structure (memoized placements, shadows, capacity mirrors) to
+//! keep mid-run edits safe, at the cost of a rebuild.
 
 use eus_simos::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
@@ -116,6 +138,30 @@ impl PartitionTable {
         }
     }
 
+    /// Resolve a job's requested partition to the partition *name* it will
+    /// actually run in: `None` in, the default partition's name out. With
+    /// an empty table returns `None`, meaning "the whole, unpartitioned
+    /// cluster". This is the key the policy plane's per-partition queues,
+    /// usage ledger, and capacity mirrors are indexed by.
+    pub fn resolve(&self, partition: Option<&str>) -> Result<Option<&str>, PartitionError> {
+        if self.partitions.is_empty() {
+            return Ok(None);
+        }
+        match partition {
+            Some(name) => self
+                .partitions
+                .get(name)
+                .map(|p| Some(p.name.as_str()))
+                .ok_or_else(|| PartitionError::Unknown(name.to_string())),
+            None => self
+                .partitions
+                .values()
+                .find(|p| p.is_default)
+                .map(|p| Some(p.name.as_str()))
+                .ok_or(PartitionError::NoDefault),
+        }
+    }
+
     /// Iterate partitions.
     pub fn iter(&self) -> impl Iterator<Item = &Partition> {
         self.partitions.values()
@@ -151,6 +197,21 @@ mod tests {
             Err(PartitionError::Unknown(_))
         ));
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resolve_names_match_eligible_sets() {
+        let mut t = PartitionTable::new();
+        assert_eq!(t.resolve(None).unwrap(), None, "empty table = all nodes");
+        assert_eq!(t.resolve(Some("x")).unwrap(), None);
+        t.add("batch", [NodeId(1)], true).unwrap();
+        t.add("gpu", [NodeId(2)], false).unwrap();
+        assert_eq!(t.resolve(None).unwrap(), Some("batch"));
+        assert_eq!(t.resolve(Some("gpu")).unwrap(), Some("gpu"));
+        assert!(matches!(
+            t.resolve(Some("nope")),
+            Err(PartitionError::Unknown(_))
+        ));
     }
 
     #[test]

@@ -10,6 +10,25 @@
 //!   user's job lands on a node, only *that user's* jobs may fill the
 //!   remaining capacity. One user per node at any instant, without giving
 //!   up intra-user packing.
+//!
+//! # Where these rules are consulted
+//!
+//! [`NodeSharing::node_admits`] is the single admissibility predicate: the
+//! engine's placement walk, the EASY-shadow / reservation-calendar replays
+//! (via their capacity-vector `fit`, which mirrors this logic exactly —
+//! placement exists **iff** the summed per-node fit covers the task
+//! count), and the preemption feasibility check all answer through it or
+//! its mirror. [`tasks_that_fit`] is the capacity half: how many tasks of
+//! a spec the node's *cached* free counters admit, O(1) per node.
+//!
+//! Orthogonal axes that compose with the policy:
+//!
+//! * a per-job `--exclusive` request ([`crate::job::JobSpec::exclusive`])
+//!   tightens any policy to an empty node and charges the whole node;
+//! * the QoS class ([`crate::job::QosClass`]) never changes *where* a job
+//!   may run — preemption frees capacity and then places through the same
+//!   `node_admits` gate, so no policy invariant (e.g. one user per node)
+//!   is ever violated by urgency.
 
 use crate::job::JobSpec;
 use crate::node::{NodeState, SchedNode};

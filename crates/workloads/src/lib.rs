@@ -22,7 +22,8 @@ pub mod swf;
 
 pub use jobs::{gpu_training, interactive_session, jupyter, monte_carlo, mpi_job, parameter_sweep};
 pub use mix::{
-    hours, poisson_arrivals, submission_storm, SharedTrace, Trace, TraceEntry, WorkloadMix,
+    hours, interactive_vs_bulk, multi_partition_storm, poisson_arrivals, submission_storm,
+    SharedTrace, Trace, TraceEntry, WorkloadMix,
 };
 pub use population::UserPopulation;
 pub use swf::{from_swf, to_swf, SwfError};

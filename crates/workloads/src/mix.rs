@@ -8,7 +8,7 @@
 
 use crate::jobs;
 use crate::population::UserPopulation;
-use eus_sched::{JobSpec, Scheduler};
+use eus_sched::{JobKind, JobSpec, Scheduler};
 use eus_simcore::{SimDuration, SimRng, SimTime};
 use std::sync::Arc;
 
@@ -139,6 +139,140 @@ pub fn submission_storm(
             TraceEntry { at, spec }
         })
         .collect();
+    entries.sort_by_key(|e| e.at);
+    Trace { entries }
+}
+
+/// An **interactive-vs-bulk storm**: the workload shape the scheduler's
+/// preemption knob exists for. A front of wide, long `QosClass::Bulk` jobs
+/// lands in the first seconds and saturates the cluster for the whole
+/// window; short, narrow `QosClass::Urgent` interactive sessions then
+/// arrive throughout. Without preemption every interactive job waits out a
+/// bulk completion; with it they displace the cheapest bulk victim and
+/// start in seconds. Entries are in arrival order; tell the two
+/// populations apart by `spec.qos` (bulk = `Bulk`, interactive =
+/// `Urgent`).
+pub fn interactive_vs_bulk(
+    pop: &UserPopulation,
+    bulk_jobs: usize,
+    interactive_jobs: usize,
+    window: SimTime,
+    rng: &mut SimRng,
+) -> Trace {
+    use eus_sched::QosClass;
+    let window_s = window.as_secs_f64();
+    let mut entries: Vec<TraceEntry> = Vec::with_capacity(bulk_jobs + interactive_jobs);
+    for i in 0..bulk_jobs {
+        // Wide and long: each bulk job spans several nodes and outlives
+        // the window, so the cluster never drains on its own.
+        let at = SimTime::from_micros((rng.f64() * 30.0 * 1e6) as u64);
+        let tasks = 16 + (rng.range_u64(0, 49) as u32);
+        let secs = window_s * (1.5 + rng.f64());
+        entries.push(TraceEntry {
+            at,
+            spec: JobSpec::new(
+                pop.active_user(rng),
+                format!("bulk-{i}"),
+                SimDuration::from_secs_f64(secs),
+            )
+            .with_tasks(tasks)
+            .with_cpus_per_task(1)
+            .with_mem_per_task(2048)
+            .with_qos(QosClass::Bulk),
+        });
+    }
+    for i in 0..interactive_jobs {
+        // Arrive after the bulk front owns the cluster.
+        let at = SimTime::from_micros(((60.0 + rng.f64() * (window_s - 60.0)) * 1e6) as u64);
+        let secs = 120.0 + rng.f64() * 480.0;
+        entries.push(TraceEntry {
+            at,
+            spec: JobSpec::new(
+                pop.active_user(rng),
+                format!("int-{i}"),
+                SimDuration::from_secs_f64(secs),
+            )
+            .with_tasks(4)
+            .with_cpus_per_task(1)
+            .with_mem_per_task(2048)
+            .with_kind(JobKind::Interactive)
+            .with_qos(QosClass::Urgent),
+        });
+    }
+    entries.sort_by_key(|e| e.at);
+    Trace { entries }
+}
+
+/// A **multi-partition storm**: one partition drowns under a deep backlog
+/// while the others receive steady light work — the head-of-line-blocking
+/// shape multi-partition fair-share exists for. `partitions[0]` receives
+/// `backlog_share` of the jobs as long, wide work submitted up front; the
+/// remaining partitions share short jobs spread over the window. Under
+/// global FCFS the backlog partition's blocked head (plus a bounded
+/// backfill budget) starves the others; with fair-share each partition
+/// dispatches independently.
+pub fn multi_partition_storm(
+    pop: &UserPopulation,
+    partitions: &[&str],
+    jobs: usize,
+    backlog_share: f64,
+    window: SimTime,
+    rng: &mut SimRng,
+) -> Trace {
+    assert!(
+        partitions.len() >= 2,
+        "needs a backlog and a victim partition"
+    );
+    let window_s = window.as_secs_f64();
+    let backlog_jobs = ((jobs as f64) * backlog_share.clamp(0.0, 1.0)) as usize;
+    let mut entries: Vec<TraceEntry> = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        let (partition, spec) = if i < backlog_jobs {
+            // The backlog: wide jobs, all submitted in the first seconds,
+            // long enough to keep the partition's queue deep for the whole
+            // window but short enough that releases churn — so the
+            // partition always *could* dispatch (starvation measurements
+            // stay meaningful).
+            let at = SimTime::from_micros((rng.f64() * 10.0 * 1e6) as u64);
+            let tasks = 8 + (rng.range_u64(0, 25) as u32);
+            let secs = window_s * (0.3 + 0.7 * rng.f64());
+            (
+                partitions[0],
+                TraceEntry {
+                    at,
+                    spec: JobSpec::new(
+                        pop.active_user(rng),
+                        format!("backlog-{i}"),
+                        SimDuration::from_secs_f64(secs),
+                    )
+                    .with_tasks(tasks)
+                    .with_cpus_per_task(1)
+                    .with_mem_per_task(1024),
+                },
+            )
+        } else {
+            // Steady light work for the other partitions.
+            let at = SimTime::from_micros((rng.f64() * window_s * 1e6) as u64);
+            let p = partitions[1 + (rng.range_u64(0, partitions.len() as u64 - 1) as usize)];
+            let secs = 30.0 + rng.f64() * 270.0;
+            (
+                p,
+                TraceEntry {
+                    at,
+                    spec: JobSpec::new(
+                        pop.active_user(rng),
+                        format!("light-{i}"),
+                        SimDuration::from_secs_f64(secs),
+                    )
+                    .with_cpus_per_task(1)
+                    .with_mem_per_task(1024),
+                },
+            )
+        };
+        let mut e = spec;
+        e.spec = e.spec.with_partition(partition);
+        entries.push(e);
+    }
     entries.sort_by_key(|e| e.at);
     Trace { entries }
 }
@@ -342,6 +476,66 @@ mod tests {
         }
         shared.submit_all(&mut s);
         assert_eq!(s.jobs.len(), a.len());
+    }
+
+    #[test]
+    fn interactive_vs_bulk_is_shaped_and_deterministic() {
+        use eus_sched::QosClass;
+        let gen = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let (_db, p) = pop(&mut rng);
+            interactive_vs_bulk(&p, 40, 60, SimTime::from_secs(1200), &mut rng)
+        };
+        let t = gen(7);
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.total_core_seconds(), gen(7).total_core_seconds());
+        let bulk: Vec<_> = t
+            .entries
+            .iter()
+            .filter(|e| e.spec.qos == QosClass::Bulk)
+            .collect();
+        let inter: Vec<_> = t
+            .entries
+            .iter()
+            .filter(|e| e.spec.qos == QosClass::Urgent)
+            .collect();
+        assert_eq!((bulk.len(), inter.len()), (40, 60));
+        // Bulk front lands early and outlives the window; interactive work
+        // arrives after it and is short.
+        assert!(bulk.iter().all(|e| e.at < SimTime::from_secs(30)));
+        assert!(bulk
+            .iter()
+            .all(|e| e.spec.duration > SimDuration::from_secs(1200)));
+        assert!(inter.iter().all(|e| e.at >= SimTime::from_secs(60)));
+        assert!(inter
+            .iter()
+            .all(|e| e.spec.duration <= SimDuration::from_secs(600)));
+        assert!(inter.iter().all(|e| e.spec.kind == JobKind::Interactive));
+    }
+
+    #[test]
+    fn multi_partition_storm_routes_and_backlogs() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let (_db, p) = pop(&mut rng);
+        let parts = ["batch", "short", "debug"];
+        let t = multi_partition_storm(&p, &parts, 200, 0.7, SimTime::from_secs(600), &mut rng);
+        assert_eq!(t.len(), 200);
+        let by_part = |name: &str| {
+            t.entries
+                .iter()
+                .filter(|e| e.spec.partition.as_deref() == Some(name))
+                .count()
+        };
+        assert_eq!(by_part("batch"), 140, "70% backlog share");
+        assert!(by_part("short") > 0 && by_part("debug") > 0);
+        // Backlog is front-loaded; light work spreads across the window.
+        let backlog_late = t
+            .entries
+            .iter()
+            .filter(|e| e.spec.partition.as_deref() == Some("batch"))
+            .filter(|e| e.at > SimTime::from_secs(10))
+            .count();
+        assert_eq!(backlog_late, 0);
     }
 
     #[test]

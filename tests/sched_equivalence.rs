@@ -10,7 +10,8 @@
 //! scheduling data structures themselves — exactly what this suite guards.
 
 use hpc_user_separation::sched::{
-    JobSpec, JobState, NodeSharing, PrivateData, ReferenceScheduler, SchedConfig, Scheduler,
+    JobSpec, JobState, NodeSharing, PrivateData, QosClass, ReferenceScheduler, SchedConfig,
+    Scheduler,
 };
 use hpc_user_separation::simcore::{SimDuration, SimRng, SimTime};
 use hpc_user_separation::simos::{Credentials, Gid, NodeId, Uid, UserDb};
@@ -37,8 +38,9 @@ fn policy_from(i: u8) -> NodeSharing {
 
 /// A randomized trace decorated with the request shapes the engines must
 /// agree on: per-job `--exclusive`, tight wall-time limits (Timeout path +
-/// backfill bounds), and partition routing (including a submit-time
-/// reject).
+/// backfill bounds), QoS classes (carried but inert with the policy plane
+/// off — the default config under test), and partition routing (including
+/// a submit-time reject).
 fn decorated_trace(seed: u64, with_partitions: bool) -> Vec<(SimTime, Arc<JobSpec>)> {
     let mut rng = SimRng::seed_from_u64(seed);
     let mut db = UserDb::new();
@@ -53,6 +55,12 @@ fn decorated_trace(seed: u64, with_partitions: bool) -> Vec<(SimTime, Arc<JobSpe
             if i % 7 == 3 {
                 spec.request_exclusive = true;
             }
+            spec.qos = match i % 9 {
+                0..=4 => QosClass::Bulk,
+                5 | 6 => QosClass::Normal,
+                7 => QosClass::Interactive,
+                _ => QosClass::Urgent,
+            };
             if i % 11 == 5 {
                 // Requested limit under the true runtime: slurmstepd kills
                 // at the limit (and backfill reasons over the limit).

@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use std::fmt::Debug;
 use std::ops::Range;
 
-/// Accepted size specifications for [`vec`].
+/// Accepted size specifications for [`fn@vec`].
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     min: usize,
