@@ -1,0 +1,200 @@
+//! Observability overhead experiment: the number that keeps `eus-obs`
+//! honest about "zero-overhead when off".
+//!
+//! The instrumentation is compiled into the hot path unconditionally —
+//! there is no uninstrumented build to diff against — so the disabled-path
+//! cost is bounded from measurements we *can* make:
+//!
+//! 1. Replay a 1 h submission storm with obs **disabled** (the default)
+//!    and time it. This is the production configuration.
+//! 2. Replay the same storm with obs **enabled**; the recorder's
+//!    [`ops_estimate`](eus_obs::Recorder::ops_estimate) counts exactly how
+//!    many record calls the replay issued (each enabled record is one
+//!    disabled never-taken branch in the quiet run).
+//! 3. Microbenchmark the disabled record call in isolation (a tight loop
+//!    over a disabled recorder) to get a per-call upper bound.
+//!
+//! `ops × per_call / quiet_wall` then bounds the disabled-path share of
+//! the replay, and the acceptance gate asserts it stays **< 1%**. The
+//! loud replay doubles as the no-perturbation proof: identical makespan
+//! and completion counts, or instrumentation changed a scheduling
+//! decision. Emits `BENCH_obs_overhead.json` (smoke mode writes a sibling
+//! path so CI cannot clobber the committed trajectory point).
+
+use eus_obs::{ObsConfig, Recorder};
+use eus_sched::{SchedConfig, Scheduler};
+use eus_simcore::{SimRng, SimTime};
+use eus_simos::UserDb;
+use eus_workloads::{submission_storm, SharedTrace, UserPopulation};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One hour of submissions — the paper-scale replay window.
+const WINDOW_S: u64 = 3_600;
+
+fn storm(jobs: usize) -> SharedTrace {
+    let mut rng = SimRng::seed_from_u64(0x0b5_0e4);
+    let mut db = UserDb::new();
+    let pop = UserPopulation::build(&mut db, 200, 40, 1.1, &mut rng);
+    submission_storm(&pop, jobs, SimTime::from_secs(WINDOW_S), &mut rng).to_shared()
+}
+
+struct Replay {
+    wall_s: f64,
+    makespan: SimTime,
+    completed: u64,
+}
+
+fn replay(nodes: u32, trace: &SharedTrace, obs: Option<ObsConfig>) -> (Replay, Option<Scheduler>) {
+    let mut s = Scheduler::new(SchedConfig::default());
+    if let Some(cfg) = obs {
+        s.enable_obs(cfg);
+    }
+    for _ in 0..nodes {
+        s.add_node(16, 65_536, 0);
+    }
+    let t0 = Instant::now();
+    trace.submit_all(&mut s);
+    let makespan = s.run_to_completion();
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(s.pending_count(), 0, "storm must drain");
+    let r = Replay {
+        wall_s,
+        makespan,
+        completed: s.metrics.completed.get(),
+    };
+    (r, obs.map(|_| s))
+}
+
+/// Per-call cost of a *disabled* record, measured in isolation: one
+/// counter bump plus one span start/end pair per iteration, averaged over
+/// the three calls. The recorder is `black_box`ed so the enabled check
+/// cannot be hoisted out of the loop.
+fn disabled_per_call_ns(iters: u64) -> f64 {
+    let mut rec = Recorder::disabled();
+    let c = rec.counter("bench.disabled.counter");
+    let sp = rec.span("bench.disabled.span");
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let r = black_box(&mut rec);
+        r.incr(c);
+        let tok = black_box(r.span_start());
+        r.span_end(sp, tok);
+    }
+    let per_iter = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    assert_eq!(
+        rec.ops_estimate(),
+        0,
+        "disabled recorder must record nothing"
+    );
+    per_iter / 3.0
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (nodes, jobs, reps) = if smoke {
+        (256u32, 3_000usize, 2usize)
+    } else {
+        (1_024, 60_000, 3)
+    };
+    println!(
+        "exp_obs_overhead: {jobs}-job / {WINDOW_S} s storm on {nodes} nodes ({} mode)\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    let trace = storm(jobs);
+
+    // Quiet replays (production configuration): best-of-N wall time.
+    let mut quiet_wall = f64::INFINITY;
+    let mut quiet: Option<Replay> = None;
+    for _ in 0..reps {
+        let (r, _) = replay(nodes, &trace, None);
+        quiet_wall = quiet_wall.min(r.wall_s);
+        quiet = Some(r);
+    }
+    let quiet = quiet.unwrap();
+    println!("quiet replay:   {:.3} s wall (best of {reps})", quiet_wall);
+
+    // Loud replay: same storm, obs on. Must not perturb the schedule.
+    let (loud, s) = replay(nodes, &trace, Some(ObsConfig::enabled()));
+    let s = s.unwrap();
+    assert_eq!(
+        loud.makespan, quiet.makespan,
+        "enabling obs must not change the makespan"
+    );
+    assert_eq!(
+        loud.completed, quiet.completed,
+        "enabling obs must not change job outcomes"
+    );
+    println!(
+        "loud replay:    {:.3} s wall, outcomes identical",
+        loud.wall_s
+    );
+
+    // Every enabled record call was a disabled branch in the quiet run.
+    let ops = s.obs.rec.ops_estimate();
+    let per_call_ns = disabled_per_call_ns(if smoke { 5_000_000 } else { 20_000_000 });
+    let disabled_cost_s = ops as f64 * per_call_ns / 1e9;
+    let disabled_pct = 100.0 * disabled_cost_s / quiet_wall;
+    let enabled_pct = 100.0 * (loud.wall_s - quiet_wall) / quiet_wall;
+    println!("record calls:   {ops} (from the loud run's ops_estimate)");
+    println!("disabled call:  {per_call_ns:.3} ns (isolated microbench, upper bound)");
+    println!(
+        "disabled path:  {disabled_cost_s:.6} s of {quiet_wall:.3} s = {disabled_pct:.4}% of the replay"
+    );
+    println!("enabled path:   {enabled_pct:+.1}% wall vs quiet (informational)");
+
+    // Acceptance: the disabled instrumentation path costs < 1% of the
+    // 1 h-trace replay.
+    assert!(
+        disabled_pct < 1.0,
+        "disabled-path overhead must stay below 1%, measured {disabled_pct:.4}%"
+    );
+
+    // Phase breakdown from the loud run, for the artifact.
+    let snap = s.obs.snapshot();
+    let mut phases = String::from("{ ");
+    let mut first = true;
+    for sp in &snap.spans {
+        if sp.count == 0 {
+            continue;
+        }
+        let _ = write!(
+            phases,
+            "{}\"{}\": {{ \"count\": {}, \"total_ns\": {} }}",
+            if first { "" } else { ", " },
+            sp.name,
+            sp.count,
+            sp.total_ns
+        );
+        first = false;
+    }
+    phases.push_str(" }");
+
+    let mut json = String::new();
+    json.push_str("{\n  \"experiment\": \"obs_overhead\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(
+        json,
+        "  \"nodes\": {nodes}, \"jobs\": {jobs}, \"window_s\": {WINDOW_S},"
+    );
+    let _ = writeln!(json, "  \"quiet_wall_s\": {quiet_wall:.4},");
+    let _ = writeln!(json, "  \"loud_wall_s\": {:.4},", loud.wall_s);
+    let _ = writeln!(json, "  \"record_calls\": {ops},");
+    let _ = writeln!(json, "  \"disabled_call_ns\": {per_call_ns:.4},");
+    let _ = writeln!(json, "  \"disabled_overhead_pct\": {disabled_pct:.5},");
+    let _ = writeln!(json, "  \"enabled_overhead_pct\": {enabled_pct:.3},");
+    let _ = writeln!(json, "  \"phases\": {phases}");
+    json.push_str("}\n");
+    let out = if smoke {
+        "BENCH_obs_overhead.smoke.json"
+    } else {
+        "BENCH_obs_overhead.json"
+    };
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+}

@@ -7,8 +7,16 @@
 //!
 //! Emits `BENCH_sched.json` so the perf trajectory has a machine-readable
 //! first point; CI replays `--smoke` (small scale, same code paths).
+//!
+//! Every row additionally carries a `"phases"` breakdown (cycle-phase span
+//! totals, memo/backfill counters, derived ratios) from a second,
+//! obs-enabled replay of the same storm. The timed pass stays quiet so the
+//! wall numbers measure the engine, not the instrumentation; the loud pass
+//! doubles as an equivalence check (identical makespan and completion
+//! counts, or the instrumentation perturbed the schedule).
 
 use eus_bench::table::{f, TextTable};
+use eus_obs::ObsConfig;
 use eus_sched::{NodeSharing, SchedConfig, Scheduler};
 use eus_simcore::{SimRng, SimTime};
 use eus_simos::UserDb;
@@ -26,6 +34,11 @@ struct Row {
     events_per_sec: f64,
     makespan_s: f64,
     completed: u64,
+    /// Pre-rendered JSON for the row's `"phases"`, `"counters"`, and
+    /// `"ratios"` fields, from the obs-enabled pass.
+    obs_json: String,
+    shadow_memo_ratio: f64,
+    backfill_accept_ratio: f64,
 }
 
 fn storm_for(nodes_hint: u64, jobs: usize) -> SharedTrace {
@@ -53,6 +66,27 @@ fn replay(nodes: u32, policy: NodeSharing, backfill: bool, trace: &SharedTrace) 
     assert_eq!(s.running_count(), 0);
     // One Submit event per job plus one JobEnd per terminal job.
     let events = trace.len() as u64 + terminal;
+
+    // Second, obs-enabled pass over the same storm: per-phase breakdowns
+    // for the JSON row. Replaying loud also proves the instrumentation
+    // does not perturb the schedule — identical makespan and outcomes.
+    let mut loud = Scheduler::new(SchedConfig {
+        policy,
+        backfill,
+        ..SchedConfig::default()
+    });
+    loud.enable_obs(ObsConfig::enabled());
+    for _ in 0..nodes {
+        loud.add_node(16, 65_536, 0);
+    }
+    trace.submit_all(&mut loud);
+    let loud_end = loud.run_to_completion();
+    assert_eq!(
+        loud_end, end,
+        "obs-enabled replay must match (policy {policy})"
+    );
+    assert_eq!(loud.metrics.completed.get(), s.metrics.completed.get());
+
     Row {
         nodes,
         jobs: trace.len(),
@@ -63,7 +97,50 @@ fn replay(nodes: u32, policy: NodeSharing, backfill: bool, trace: &SharedTrace) 
         events_per_sec: events as f64 / wall.as_secs_f64(),
         makespan_s: end.since(SimTime::ZERO).as_secs_f64(),
         completed: s.metrics.completed.get(),
+        obs_json: obs_fields(&loud),
+        shadow_memo_ratio: loud.obs.shadow_memo_ratio(),
+        backfill_accept_ratio: loud.obs.backfill_accept_ratio(),
     }
+}
+
+/// Render the obs-enabled pass's breakdown as the row's `"phases"` (span
+/// count + total ns), `"counters"` (every non-zero `sched.*` counter), and
+/// `"ratios"` fields.
+fn obs_fields(s: &Scheduler) -> String {
+    let snap = s.obs.snapshot();
+    let mut out = String::from("\"phases\": { ");
+    let mut first = true;
+    for sp in &snap.spans {
+        if sp.count == 0 {
+            continue;
+        }
+        let _ = write!(
+            out,
+            "{}\"{}\": {{ \"count\": {}, \"total_ns\": {} }}",
+            if first { "" } else { ", " },
+            sp.name,
+            sp.count,
+            sp.total_ns
+        );
+        first = false;
+    }
+    out.push_str(" }, \"counters\": { ");
+    first = true;
+    for (name, v) in &snap.counters {
+        if *v == 0 {
+            continue;
+        }
+        let _ = write!(out, "{}\"{}\": {}", if first { "" } else { ", " }, name, v);
+        first = false;
+    }
+    let _ = write!(
+        out,
+        " }}, \"ratios\": {{ \"shadow_memo\": {:.4}, \"shadow_early_exit\": {:.4}, \"backfill_accept\": {:.4} }}",
+        s.obs.shadow_memo_ratio(),
+        s.obs.shadow_early_exit_ratio(),
+        s.obs.backfill_accept_ratio()
+    );
+    out
 }
 
 fn main() {
@@ -92,6 +169,8 @@ fn main() {
             "events/sec",
             "makespan s",
             "completed",
+            "memo hit",
+            "bf accept",
         ]);
         for policy in NodeSharing::all() {
             for backfill in [false, true] {
@@ -104,6 +183,8 @@ fn main() {
                     f(r.events_per_sec, 0),
                     f(r.makespan_s, 0),
                     r.completed.to_string(),
+                    f(r.shadow_memo_ratio, 3),
+                    f(r.backfill_accept_ratio, 3),
                 ]);
                 rows.push(r);
             }
@@ -144,7 +225,7 @@ fn main() {
             json,
             "    {{ \"nodes\": {}, \"jobs\": {}, \"policy\": \"{}\", \"backfill\": {}, \
              \"wall_ms\": {:.2}, \"events\": {}, \"events_per_sec\": {:.0}, \
-             \"makespan_s\": {:.0}, \"completed\": {} }}{}",
+             \"makespan_s\": {:.0}, \"completed\": {}, {} }}{}",
             r.nodes,
             r.jobs,
             r.policy,
@@ -154,6 +235,7 @@ fn main() {
             r.events_per_sec,
             r.makespan_s,
             r.completed,
+            r.obs_json,
             if i + 1 == rows.len() { "" } else { "," }
         );
     }

@@ -9,6 +9,7 @@
 //! this type.
 
 use crate::config::SeparationConfig;
+use crate::obs::{CoreObs, ObsConfig};
 use eus_accel::GpuPool;
 use eus_containers::{ContainerRegistry, HpcRuntime};
 use eus_fedauth::{
@@ -135,6 +136,10 @@ pub struct SecureCluster {
     seepid_gid: Gid,
     materialized: BTreeSet<JobId>,
     job_procs: BTreeMap<JobId, Vec<(NodeId, Pid)>>,
+    /// Cluster-plane observability (reconcile span, prolog/epilog
+    /// counters, federated-validate stats). Disabled by default; pure
+    /// measurement — never consulted by any enforcement decision.
+    pub obs: CoreObs,
 }
 
 impl SecureCluster {
@@ -307,6 +312,26 @@ impl SecureCluster {
             seepid_gid,
             materialized: BTreeSet::new(),
             job_procs: BTreeMap::new(),
+            obs: CoreObs::disabled(),
+        }
+    }
+
+    /// Turn on observability across every plane at once: the cluster's own
+    /// recorder, the scheduler's [`eus_sched::SchedObs`], the broker's
+    /// atomic [`eus_fedauth::ValidateStats`] (sharded planes), and the
+    /// revsync mesh's [`eus_revsync::MeshObs`]. Each plane keeps its own
+    /// namespace (`core.*`, `sched.*`, `cred.*`, `revsync.*`); snapshots
+    /// are read per plane.
+    pub fn enable_obs(&mut self, cfg: ObsConfig) {
+        self.obs = CoreObs::new(&cfg);
+        self.sched.write().enable_obs(cfg);
+        if let Some(b) = &self.broker {
+            if let Some(stats) = b.read().validate_stats() {
+                stats.set_enabled(cfg.enabled);
+            }
+        }
+        if let Some(mesh) = &mut self.revsync {
+            mesh.enable_obs(cfg);
         }
     }
 
@@ -673,6 +698,16 @@ impl SecureCluster {
         &self,
         token: &SignedToken,
     ) -> Result<Uid, eus_fedauth::CredError> {
+        let t0 = self.obs.begin_fed_validate();
+        let r = self.validate_federated_token_inner(token);
+        self.obs.finish_fed_validate(t0, &r);
+        r
+    }
+
+    fn validate_federated_token_inner(
+        &self,
+        token: &SignedToken,
+    ) -> Result<Uid, eus_fedauth::CredError> {
         let Some(dir) = &self.federation else {
             return Err(eus_fedauth::CredError::UnknownRealm(HOME_REALM));
         };
@@ -712,6 +747,7 @@ impl SecureCluster {
     }
 
     fn reconcile(&mut self) {
+        let sweep_tok = self.obs.rec.span_start();
         // Snapshot what we need from the scheduler, then drop the guard.
         struct Started {
             job: JobId,
@@ -721,8 +757,10 @@ impl SecureCluster {
             started: SimTime,
             allocs: Vec<(NodeId, u32 /*gpus*/)>,
         }
+        let now;
         let (started, epilogs): (Vec<Started>, Vec<EpilogEvent>) = {
             let mut sched = self.sched.write();
+            now = sched.now();
             let epilogs = sched.drain_epilogs();
             // A job with an epilog left its nodes (ended — or was
             // preempted and will run again): un-materialize it first so a
@@ -755,6 +793,10 @@ impl SecureCluster {
         // before any new tenant's prolog touches the same node. This is
         // the ordering the preemption path's separation guarantee rests on.
         for e in epilogs {
+            self.obs.rec.incr(self.obs.c_epilogs);
+            self.obs
+                .rec
+                .event(now, "core.epilog", e.job.0, e.node.0 as u64, e.gpus as u64);
             // Web-app routes die with their job.
             self.portal.routes.remove_job(e.job);
             // Kill the job's own processes.
@@ -791,6 +833,7 @@ impl SecureCluster {
                         for idx in 0..self.spec.gpus_per_node {
                             if let Some(gpu) = self.gpus.get_mut(e.node, idx) {
                                 gpu.scrub();
+                                self.obs.rec.incr(self.obs.c_gpu_scrubs);
                             }
                         }
                     }
@@ -800,6 +843,14 @@ impl SecureCluster {
 
         // Prolog work: processes + GPU assignment.
         for s in started {
+            self.obs.rec.incr(self.obs.c_prologs);
+            self.obs.rec.event(
+                now,
+                "core.prolog",
+                s.job.0,
+                s.allocs.len() as u64,
+                s.allocs.iter().map(|(_, g)| *g as u64).sum(),
+            );
             self.materialized.insert(s.job);
             let cred = self.credentials(s.user);
             let upg = self.db.read().user(s.user).expect("known").private_group;
@@ -818,10 +869,13 @@ impl SecureCluster {
                     self.gpus
                         .assign(*nid, *gpu_count as u16, s.user, upg, &node.local_fs)
                         .expect("device files exist");
+                    self.obs.rec.incr(self.obs.c_gpu_assigns);
                 }
             }
             self.job_procs.insert(s.job, pids);
         }
+        self.obs.rec.incr(self.obs.c_reconciles);
+        self.obs.rec.span_end(self.obs.sp_reconcile, sweep_tok);
     }
 
     // ------------------------------------------------------------------
@@ -1052,6 +1106,80 @@ mod tests {
         c.run_to_completion();
         assert_eq!(c.node(node).procs.count_for(alice), 0);
         assert_eq!(c.gpus.get(node, 0).unwrap().assigned_to, None);
+    }
+
+    #[test]
+    fn enable_obs_lights_up_every_plane_without_changing_outcomes() {
+        let run = |obs: bool| {
+            let mut c = llsc_tiny();
+            if obs {
+                c.enable_obs(ObsConfig::enabled());
+            }
+            let alice = c.add_user("alice").unwrap();
+            let spec = JobSpec::new(alice, "train", SimDuration::from_secs(100))
+                .with_gpus_per_task(1)
+                .with_cmdline(["python", "train.py"]);
+            c.submit(spec);
+            // Mid-run advance so the running job's prolog materializes
+            // before the completion sweep runs its epilog.
+            c.advance_to(SimTime::from_secs(1));
+            let end = c.run_to_completion();
+            (c, end)
+        };
+        let (quiet, end_quiet) = run(false);
+        let (loud, end_loud) = run(true);
+
+        // Same simulation either way: obs is pure measurement.
+        assert_eq!(end_quiet, end_loud);
+        assert_eq!(
+            quiet.sched.read().metrics.completed.get(),
+            loud.sched.read().metrics.completed.get()
+        );
+        // The quiet cluster recorded nothing.
+        assert_eq!(quiet.obs.rec.counter_value(quiet.obs.c_reconciles), 0);
+        // The loud one saw the sweep, the prolog, the epilog, and GPU work.
+        assert!(loud.obs.rec.counter_value(loud.obs.c_reconciles) >= 1);
+        assert!(loud.obs.rec.counter_value(loud.obs.c_prologs) >= 1);
+        assert!(loud.obs.rec.counter_value(loud.obs.c_epilogs) >= 1);
+        assert!(loud.obs.rec.counter_value(loud.obs.c_gpu_assigns) >= 1);
+        assert!(loud.obs.rec.counter_value(loud.obs.c_gpu_scrubs) >= 1);
+        assert!(loud.obs.rec.span_stats(loud.obs.sp_reconcile).count >= 1);
+        let kinds: Vec<&str> = loud
+            .obs
+            .rec
+            .flight
+            .events()
+            .iter()
+            .map(|e| e.kind)
+            .collect();
+        assert!(kinds.contains(&"core.prolog"));
+        assert!(kinds.contains(&"core.epilog"));
+        // The scheduler plane lit up through the same switch.
+        let sched = loud.sched.read();
+        assert!(sched.obs.rec.counter_value(sched.obs.c_starts) >= 1);
+        // And the broker's atomic validate stats are recording.
+        let broker = loud.broker.as_ref().expect("llsc has fedauth").read();
+        let stats = broker.validate_stats().expect("built-in planes keep stats");
+        assert!(stats.enabled());
+    }
+
+    #[test]
+    fn fed_validate_stats_count_accepts_and_rejects() {
+        let mut c = llsc_tiny();
+        c.enable_obs(ObsConfig::enabled());
+        let alice = c.add_user("alice").unwrap();
+        let token = c
+            .broker
+            .as_ref()
+            .unwrap()
+            .write()
+            .login(&c.db.read(), alice, None)
+            .unwrap();
+        assert_eq!(c.validate_federated_token(&token).unwrap(), alice);
+        c.broker.as_ref().unwrap().write().revoke_user(alice);
+        assert!(c.validate_federated_token(&token).is_err());
+        assert_eq!(c.obs.fed_validate_calls(), 2);
+        assert_eq!(c.obs.fed_validate_rejects(), 1);
     }
 
     #[test]

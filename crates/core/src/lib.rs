@@ -36,11 +36,13 @@
 pub mod audit;
 pub mod cluster;
 pub mod config;
+pub mod obs;
 pub mod support;
 
 pub use audit::{expected_residuals, run_audit, AuditReport, Channel, Outcome};
 pub use cluster::{ClusterSpec, SecureCluster, HOME_REALM};
 pub use config::SeparationConfig;
+pub use obs::CoreObs;
 pub use support::{attribute_load, LoadReport};
 
 // Re-export the substrate crates so downstream users need one dependency.

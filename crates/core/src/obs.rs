@@ -1,0 +1,160 @@
+//! Cluster-plane observability: the pre-registered handle set for
+//! [`crate::SecureCluster`].
+//!
+//! The cluster's own hot loop is [`reconcile`](crate::SecureCluster) — the
+//! epilog/prolog sweep that runs after every scheduler advance and carries
+//! the separation guarantee (departed tenant scrubbed before the next
+//! tenant's prolog). [`CoreObs`] times it (`core.cluster.reconcile` span),
+//! counts its work items, and flight-records the separation-relevant
+//! moments (epilog scrubs, prolog materializations). The federated
+//! verification path ([`crate::SecureCluster::validate_federated_token`])
+//! is `&self`, so its outcome counts go through atomic
+//! [`SharedStats`] slots.
+//!
+//! [`crate::SecureCluster::enable_obs`] turns on every plane at once:
+//! this recorder, the scheduler's [`eus_sched::SchedObs`], the broker's
+//! [`eus_fedauth::ValidateStats`], and the mesh's
+//! [`eus_revsync::MeshObs`].
+
+use eus_fedauth::CredError;
+use eus_simos::Uid;
+use std::time::Instant;
+
+// `pub use` so facade users reach the substrate types through
+// `eus_core::obs::…` like the other planes.
+pub use eus_obs::{
+    CounterId, FlightEvent, FlightRecorder, ObsConfig, ObsSnapshot, Recorder, SharedId,
+    SharedStats, SpanId,
+};
+
+/// The cluster's recorder plus every handle it records through.
+#[derive(Debug, Clone)]
+pub struct CoreObs {
+    /// The registry + flight recorder (`core.*` namespace).
+    pub rec: Recorder,
+    /// One reconcile sweep (epilogs then prologs).
+    pub sp_reconcile: SpanId,
+    /// Reconcile sweeps run.
+    pub c_reconciles: CounterId,
+    /// Epilog events processed (cleanup for a departed/preempted tenant).
+    pub c_epilogs: CounterId,
+    /// Prologs run (newly started jobs materialized: procs + GPUs).
+    pub c_prologs: CounterId,
+    /// GPU memory scrubs performed by epilogs.
+    pub c_gpu_scrubs: CounterId,
+    /// GPU device-permission assignments performed by prologs.
+    pub c_gpu_assigns: CounterId,
+    stats: SharedStats,
+    s_fed_calls: SharedId,
+    s_fed_ok: SharedId,
+    s_fed_rejects: SharedId,
+    s_fed_ns: SharedId,
+}
+
+impl CoreObs {
+    /// Register the full cluster handle set under `cfg`.
+    pub fn new(cfg: &ObsConfig) -> Self {
+        let mut rec = Recorder::new(cfg);
+        let mut stats = SharedStats::new();
+        if cfg.enabled {
+            stats.set_enabled(true);
+        }
+        CoreObs {
+            sp_reconcile: rec.span("core.cluster.reconcile"),
+            c_reconciles: rec.counter("core.reconcile.sweeps"),
+            c_epilogs: rec.counter("core.reconcile.epilogs"),
+            c_prologs: rec.counter("core.reconcile.prologs"),
+            c_gpu_scrubs: rec.counter("core.gpu.scrubs"),
+            c_gpu_assigns: rec.counter("core.gpu.assigns"),
+            s_fed_calls: stats.slot("core.fed_validate.calls"),
+            s_fed_ok: stats.slot("core.fed_validate.ok"),
+            s_fed_rejects: stats.slot("core.fed_validate.rejects"),
+            s_fed_ns: stats.slot("core.fed_validate.ns"),
+            stats,
+            rec,
+        }
+    }
+
+    /// A disabled handle set (the default inside every cluster).
+    pub fn disabled() -> Self {
+        Self::new(&ObsConfig::default())
+    }
+
+    /// Start timing one federated validation. `None` (free) when disabled.
+    pub fn begin_fed_validate(&self) -> Option<Instant> {
+        if self.stats.enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Finish one federated validation started by
+    /// [`begin_fed_validate`](Self::begin_fed_validate).
+    pub fn finish_fed_validate(&self, started: Option<Instant>, r: &Result<Uid, CredError>) {
+        if let Some(t0) = started {
+            self.stats
+                .add(self.s_fed_ns, t0.elapsed().as_nanos() as u64);
+            self.stats.incr(self.s_fed_calls);
+            self.stats.incr(if r.is_ok() {
+                self.s_fed_ok
+            } else {
+                self.s_fed_rejects
+            });
+        }
+    }
+
+    /// Federated validations recorded at the cluster boundary.
+    pub fn fed_validate_calls(&self) -> u64 {
+        self.stats.value(self.s_fed_calls)
+    }
+
+    /// Federated validations that refused the credential.
+    pub fn fed_validate_rejects(&self) -> u64 {
+        self.stats.value(self.s_fed_rejects)
+    }
+
+    /// Snapshot every metric (counters, gauges, span histograms).
+    pub fn snapshot(&self) -> ObsSnapshot {
+        self.rec.snapshot()
+    }
+
+    /// Validate-path slots as `(name, value)`.
+    pub fn validate_snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.stats.snapshot()
+    }
+}
+
+impl Default for CoreObs {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        let obs = CoreObs::default();
+        assert!(!obs.rec.enabled());
+        assert!(obs.begin_fed_validate().is_none());
+        obs.finish_fed_validate(None, &Ok(Uid(1)));
+        assert_eq!(obs.fed_validate_calls(), 0);
+    }
+
+    #[test]
+    fn fed_validate_outcomes_count() {
+        let obs = CoreObs::new(&ObsConfig::enabled());
+        let t = obs.begin_fed_validate();
+        obs.finish_fed_validate(t, &Ok(Uid(1)));
+        let t = obs.begin_fed_validate();
+        obs.finish_fed_validate(t, &Err(CredError::NoCredential(Uid(2))));
+        assert_eq!(obs.fed_validate_calls(), 2);
+        assert_eq!(obs.fed_validate_rejects(), 1);
+        assert!(obs
+            .validate_snapshot()
+            .contains(&("core.fed_validate.ok", 1)));
+    }
+}

@@ -11,6 +11,7 @@
 use crate::ca::{
     CertificateAuthority, CredError, CredSerial, RealmVerifier, SignedToken, SshCertificate,
 };
+use crate::obs::ValidateStats;
 use crate::plane::CredentialPlane;
 use crate::realm::{
     IdentityAssertion, IdentityProvider, MfaCode, MfaEnrollment, RealmId, RecoveryCode,
@@ -61,6 +62,10 @@ pub struct CredentialBroker {
     /// tabs, a portal session plus an sbatch token, ...).
     sessions: BTreeMap<Uid, BTreeMap<CredSerial, SignedToken>>,
     certs: BTreeMap<Uid, SshCertificate>,
+    /// Verify-path statistics (atomic; off by default). Recorded only by
+    /// the plane-level trait methods, so a broker serving as a
+    /// [`crate::ShardedBroker`] shard stays silent — the plane counts once.
+    pub stats: ValidateStats,
 }
 
 impl CredentialBroker {
@@ -79,6 +84,7 @@ impl CredentialBroker {
             now: SimTime::ZERO,
             sessions: BTreeMap::new(),
             certs: BTreeMap::new(),
+            stats: ValidateStats::new(),
         }
     }
 
@@ -369,13 +375,22 @@ impl CredentialPlane for CredentialBroker {
         CredentialBroker::ensure_session(self, db, user)
     }
     fn validate_token(&self, token: &SignedToken) -> Result<Uid, CredError> {
-        CredentialBroker::validate_token(self, token)
+        let t0 = self.stats.begin();
+        let r = CredentialBroker::validate_token(self, token);
+        self.stats.finish(t0, r.is_ok());
+        r
     }
     fn validate_cert(&self, cert: &SshCertificate) -> Result<Uid, CredError> {
-        CredentialBroker::validate_cert(self, cert)
+        let t0 = self.stats.begin();
+        let r = CredentialBroker::validate_cert(self, cert);
+        self.stats.finish(t0, r.is_ok());
+        r
     }
     fn validate_serial(&self, user: Uid, serial: CredSerial) -> Result<(), CredError> {
         CredentialBroker::validate_serial(self, user, serial)
+    }
+    fn validate_stats(&self) -> Option<&ValidateStats> {
+        Some(&self.stats)
     }
     fn authorize_ssh(&self, user: Uid) -> Result<(), CredError> {
         CredentialBroker::authorize_ssh(self, user)

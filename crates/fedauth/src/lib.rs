@@ -51,6 +51,7 @@
 pub mod broker;
 pub mod ca;
 pub mod federation;
+pub mod obs;
 pub mod pam;
 pub mod plane;
 pub mod realm;
@@ -62,6 +63,7 @@ pub use ca::{
     CertificateAuthority, CredError, CredSerial, RealmVerifier, SignedToken, SshCertificate,
 };
 pub use federation::{FederationDirectory, TrustPolicy};
+pub use obs::ValidateStats;
 pub use pam::PamFedAuth;
 pub use plane::{shared_broker, CredentialPlane, SharedBroker};
 pub use realm::{

@@ -9,6 +9,7 @@
 //! and portal all hold that handle.
 
 use crate::ca::{CredError, CredSerial, RealmVerifier, SignedToken, SshCertificate};
+use crate::obs::ValidateStats;
 use crate::realm::{MfaCode, MfaEnrollment, RealmId, RecoveryCode};
 use eus_simcore::SimTime;
 use eus_simos::{Uid, UserDb};
@@ -165,6 +166,13 @@ pub trait CredentialPlane: fmt::Debug + Send + Sync {
         mfa: Option<MfaCode>,
     ) -> Option<Result<SignedToken, CredError>> {
         let _ = (db, user, mfa);
+        None
+    }
+
+    /// The plane's verify-path statistics ([`ValidateStats`], atomic and
+    /// `&self`-recordable), when it keeps any. Both built-in planes do;
+    /// the default is `None` so third-party planes owe nothing.
+    fn validate_stats(&self) -> Option<&ValidateStats> {
         None
     }
 }

@@ -36,6 +36,7 @@
 
 use crate::broker::{BrokerPolicy, CredentialBroker};
 use crate::ca::{CredError, CredSerial, RealmVerifier, SignedToken, SshCertificate};
+use crate::obs::ValidateStats;
 use crate::plane::CredentialPlane;
 use crate::realm::{MfaCode, MfaEnrollment, RealmId, RecoveryCode};
 use eus_simcore::SimTime;
@@ -54,6 +55,9 @@ pub struct ShardedBroker {
     /// Core count sampled once at construction: the batch-path dispatch
     /// decision, without a per-call affinity syscall.
     fanout_threads: usize,
+    /// Verify-path statistics (atomic; off by default). Pure measurement —
+    /// never consulted by an accept/reject decision.
+    pub stats: ValidateStats,
 }
 
 use crate::splitmix64 as mix;
@@ -76,6 +80,7 @@ impl ShardedBroker {
             shards,
             revocation_order: Vec::new(),
             fanout_threads: std::thread::available_parallelism().map_or(1, |v| v.get()),
+            stats: ValidateStats::new(),
         }
     }
 
@@ -182,15 +187,21 @@ impl CredentialPlane for ShardedBroker {
     }
 
     fn validate_token(&self, token: &SignedToken) -> Result<Uid, CredError> {
-        self.shards[self.shard_of(token.user)]
+        let t0 = self.stats.begin();
+        let r = self.shards[self.shard_of(token.user)]
             .read()
-            .validate_token(token)
+            .validate_token(token);
+        self.stats.finish(t0, r.is_ok());
+        r
     }
 
     fn validate_cert(&self, cert: &SshCertificate) -> Result<Uid, CredError> {
-        self.shards[self.shard_of(cert.user)]
+        let t0 = self.stats.begin();
+        let r = self.shards[self.shard_of(cert.user)]
             .read()
-            .validate_cert(cert)
+            .validate_cert(cert);
+        self.stats.finish(t0, r.is_ok());
+        r
     }
 
     fn validate_serial(&self, user: Uid, serial: CredSerial) -> Result<(), CredError> {
@@ -315,9 +326,15 @@ impl CredentialPlane for ShardedBroker {
     /// (bucketing only pays when threads exist to fan out to).
     fn validate_batch(&self, tokens: &[SignedToken]) -> Vec<Result<Uid, CredError>> {
         if self.shards.len() == 1 || self.fanout_threads == 1 || tokens.len() < 2 {
+            self.stats.batch(false);
             return tokens.iter().map(|t| self.validate_token(t)).collect();
         }
+        self.stats.batch(true);
         self.validate_batch_fanout(tokens)
+    }
+
+    fn validate_stats(&self) -> Option<&ValidateStats> {
+        Some(&self.stats)
     }
 }
 

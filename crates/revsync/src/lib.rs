@@ -60,9 +60,11 @@
 #![warn(missing_docs)]
 
 pub mod mesh;
+pub mod obs;
 pub mod replica;
 
 pub use mesh::{RevSyncMesh, RevSyncMetrics, CRL_FEED_PORT};
+pub use obs::MeshObs;
 pub use replica::{ApplyOutcome, CrlDelta, CrlReplica};
 
 use eus_simcore::SimDuration;

@@ -28,6 +28,7 @@
 //! are processed in event-time order, so coarse ticks and fine ticks
 //! converge to the same history.
 
+use crate::obs::MeshObs;
 use crate::replica::{ApplyOutcome, CrlDelta, CrlReplica};
 use crate::RevSyncConfig;
 use eus_fedauth::RealmId;
@@ -103,6 +104,11 @@ pub struct RevSyncMesh {
     now: SimTime,
     /// Running counters.
     pub metrics: RevSyncMetrics,
+    /// Observability (span/counters for the pump, atomic validate stats,
+    /// staleness-edge flight events). Disabled by default; pure
+    /// measurement — never consulted by a propagation or accept/reject
+    /// decision.
+    pub obs: MeshObs,
 }
 
 impl RevSyncMesh {
@@ -132,7 +138,13 @@ impl RevSyncMesh {
             partitioned: BTreeSet::new(),
             now: SimTime::ZERO,
             metrics: RevSyncMetrics::default(),
+            obs: MeshObs::disabled(),
         }
+    }
+
+    /// Turn on observability with `cfg` (replaces the disabled default).
+    pub fn enable_obs(&mut self, cfg: eus_obs::ObsConfig) {
+        self.obs = MeshObs::new(&cfg);
     }
 
     /// The mesh's configuration.
@@ -272,6 +284,7 @@ impl RevSyncMesh {
         if t < self.now {
             return;
         }
+        let pump_tok = self.obs.rec.span_start();
         loop {
             // Earliest event at or before `t`: kind 0 = arrival, 1 = push,
             // 2 = pull; ties break by kind then stable index.
@@ -296,6 +309,52 @@ impl RevSyncMesh {
             }
         }
         self.now = t;
+        self.obs.rec.span_end(self.obs.sp_pump, pump_tok);
+        self.record_staleness_edges();
+    }
+
+    /// Flight-record every replica that crossed the staleness budget in
+    /// either direction since the last pump (no-op when obs is off). Edges
+    /// — not levels — are what an incident timeline needs: the instant a
+    /// partitioned feed pushes a replica over `max_lag` (validation starts
+    /// failing closed) and the instant an exchange pulls it back under.
+    fn record_staleness_edges(&mut self) {
+        if !self.obs.rec.enabled() {
+            return;
+        }
+        let mut edges: Vec<(RealmId, RealmId, bool, u64)> = Vec::new();
+        for (site_id, site) in &self.sites {
+            for (issuer, replica) in &site.replicas {
+                let lag = replica.lag(self.now);
+                let over = lag > self.cfg.max_lag;
+                if over != self.obs.stale.contains(&(*site_id, *issuer)) {
+                    edges.push((*site_id, *issuer, over, lag.as_secs_f64() as u64));
+                }
+            }
+        }
+        for (site, issuer, over, lag_secs) in edges {
+            if over {
+                self.obs.stale.insert((site, issuer));
+                self.obs.rec.incr(self.obs.c_stale_enters);
+                self.obs.rec.event(
+                    self.now,
+                    "replica.stale",
+                    site.0 as u64,
+                    issuer.0 as u64,
+                    lag_secs,
+                );
+            } else {
+                self.obs.stale.remove(&(site, issuer));
+                self.obs.rec.incr(self.obs.c_stale_exits);
+                self.obs.rec.event(
+                    self.now,
+                    "replica.fresh",
+                    site.0 as u64,
+                    issuer.0 as u64,
+                    lag_secs,
+                );
+            }
+        }
     }
 
     /// Emit one push feed on link `idx` at instant `when`.
@@ -329,6 +388,7 @@ impl RevSyncMesh {
         }
         self.ship(issuer, subscriber, delta, SimDuration::ZERO);
         self.metrics.pushes_sent += 1;
+        self.obs.rec.incr(self.obs.c_pushes);
     }
 
     /// Run one anti-entropy round on link `idx` at instant `when`.
@@ -362,6 +422,7 @@ impl RevSyncMesh {
         // Request leg (one WAN round trip) precedes the response transfer.
         self.ship(issuer, subscriber, delta, self.cfg.wan.base_rtt);
         self.metrics.pulls += 1;
+        self.obs.rec.incr(self.obs.c_pulls);
     }
 
     /// Put a delta on the wire from issuer to subscriber; `extra` models
@@ -401,8 +462,20 @@ impl RevSyncMesh {
             ApplyOutcome::Applied(n) => {
                 self.metrics.deltas_applied += 1;
                 self.metrics.serials_applied += n as u64;
+                self.obs.rec.incr(self.obs.c_deliveries);
             }
-            ApplyOutcome::Gap { .. } => self.metrics.gaps_refused += 1,
+            ApplyOutcome::Gap { .. } => {
+                self.metrics.gaps_refused += 1;
+                self.obs.rec.incr(self.obs.c_gaps);
+                let issuer = f.delta.issuer;
+                self.obs.rec.event(
+                    self.now,
+                    "crl.gap",
+                    f.to.0 as u64,
+                    issuer.0 as u64,
+                    f.delta.first_seq,
+                );
+            }
         }
     }
 
@@ -420,8 +493,12 @@ impl RevSyncMesh {
         token: &SignedToken,
         now: SimTime,
     ) -> Result<Uid, CredError> {
-        self.subscribed_replica(site, token.realm)?
-            .validate_token(token, now, self.cfg.max_lag)
+        let t0 = self.obs.begin_validate();
+        let r = self
+            .subscribed_replica(site, token.realm)
+            .and_then(|rep| rep.validate_token(token, now, self.cfg.max_lag));
+        self.obs.finish_validate(t0, &r);
+        r
     }
 
     /// [`validate_token_at`](Self::validate_token_at) for SSH certificates.
@@ -431,8 +508,12 @@ impl RevSyncMesh {
         cert: &SshCertificate,
         now: SimTime,
     ) -> Result<Uid, CredError> {
-        self.subscribed_replica(site, cert.realm)?
-            .validate_cert(cert, now, self.cfg.max_lag)
+        let t0 = self.obs.begin_validate();
+        let r = self
+            .subscribed_replica(site, cert.realm)
+            .and_then(|rep| rep.validate_cert(cert, now, self.cfg.max_lag));
+        self.obs.finish_validate(t0, &r);
+        r
     }
 
     /// The replica lookup with precise fail-closed attribution: an
@@ -593,6 +674,41 @@ mod tests {
             mesh.validate_token_at(RealmId(1), &token, healed).unwrap(),
             alice
         );
+    }
+
+    #[test]
+    fn obs_records_pump_counters_and_staleness_edges() {
+        let cfg = RevSyncConfig::default();
+        let (db, mut mesh, _home, sister, alice) = two_realm_mesh(cfg);
+        mesh.enable_obs(eus_obs::ObsConfig::enabled());
+        let token = sister.write().login(&db, alice, None).unwrap();
+        mesh.set_partitioned(RealmId(2), RealmId(1), true);
+
+        // Partition outlives the budget: exactly one stale edge in.
+        let outside = SimTime::ZERO + cfg.max_lag + SimDuration::from_secs(1);
+        mesh.pump(outside);
+        assert_eq!(mesh.obs.rec.counter_value(mesh.obs.c_stale_enters), 1);
+        assert!(mesh.validate_token_at(RealmId(1), &token, outside).is_err());
+        assert!(mesh.obs.validate_stale() >= 1);
+        assert!(mesh.obs.validate_calls() >= 1);
+
+        // Healing produces exactly one fresh edge out.
+        mesh.set_partitioned(RealmId(2), RealmId(1), false);
+        let healed = outside + cfg.feed_interval + SimDuration::from_secs(1);
+        mesh.pump(healed);
+        assert_eq!(mesh.obs.rec.counter_value(mesh.obs.c_stale_exits), 1);
+        assert!(mesh.obs.rec.counter_value(mesh.obs.c_pushes) >= 1);
+        let kinds: Vec<&str> = mesh
+            .obs
+            .rec
+            .flight
+            .events()
+            .iter()
+            .map(|e| e.kind)
+            .collect();
+        assert!(kinds.contains(&"replica.stale"));
+        assert!(kinds.contains(&"replica.fresh"));
+        assert!(mesh.obs.rec.span_stats(mesh.obs.sp_pump).count >= 2);
     }
 
     #[test]

@@ -45,6 +45,25 @@ use crate::job::{JobId, TaskAlloc};
 use eus_simcore::SimTime;
 use eus_simos::{NodeId, Uid};
 
+/// One signed capacity transition in a planning profile: a running job's
+/// release (+) or a reservation's claim (−) / release (+) on one node.
+/// The engine builds a time-sorted `Vec<CapDelta>` per calendar rebuild
+/// and retains it on the calendar so `earliest_start` can probe-plan
+/// beyond-top-K jobs against the very same profile.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CapDelta {
+    /// When the transition happens.
+    pub(crate) at: SimTime,
+    /// The node it happens on.
+    pub(crate) node: NodeId,
+    /// Core delta (claims negative).
+    pub(crate) cores: i64,
+    /// Memory delta, MiB (claims negative).
+    pub(crate) mem: i64,
+    /// GPU delta (claims negative).
+    pub(crate) gpus: i64,
+}
+
 /// One planned future start: the calendar's row for a queued job.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reservation {
@@ -86,6 +105,11 @@ pub struct ReservationCalendar {
     /// this list unchanged (and no capacity moved), the standing plan is
     /// still exact and is re-tagged instead of re-derived.
     pub(crate) planned_for: Vec<JobId>,
+    /// The final capacity-delta profile the plan settled on (running
+    /// releases + every reservation's claim/release, time-sorted). Valid
+    /// exactly as long as `built_version` matches; `earliest_start` plans
+    /// one-off probes for beyond-top-K jobs against it.
+    pub(crate) profile: Vec<CapDelta>,
 }
 
 impl ReservationCalendar {
@@ -166,6 +190,7 @@ mod tests {
             reservations: vec![res(1, 1, 100, 200)],
             built_version: Some((0, 0)),
             planned_for: vec![JobId(1)],
+            profile: Vec::new(),
         };
         let placement = vec![(NodeId(1), alloc(2))];
         // Ends before the reservation starts: no conflict.
@@ -185,6 +210,7 @@ mod tests {
             reservations: vec![res(1, 1, 100, 200), res(2, 2, 50, 80)],
             built_version: Some((3, 0)),
             planned_for: vec![JobId(1), JobId(2)],
+            profile: Vec::new(),
         };
         assert_eq!(cal.len(), 2);
         assert!(!cal.is_empty());

@@ -87,9 +87,10 @@
 //! and the partition table are immutable once jobs are queued.
 
 use crate::accounting::FairShareLedger;
-use crate::calendar::{Reservation, ReservationCalendar};
+use crate::calendar::{CapDelta, Reservation, ReservationCalendar};
 use crate::job::{Job, JobId, JobSpec, JobState, TaskAlloc};
 use crate::node::{NodeState, SchedNode};
+use crate::obs::SchedObs;
 use crate::partition::{PartitionError, PartitionTable};
 use crate::policy::{tasks_that_fit, NodeSharing};
 use crate::privatedata::{may_view, JobView, PrivateData};
@@ -439,6 +440,11 @@ pub struct Scheduler {
     /// of what they cache.
     partitions: PartitionTable,
     admins: BTreeSet<Uid>,
+    /// Observability: phase spans, memo/backfill/preemption counters, and
+    /// the flight recorder. Disabled by default (every record call is one
+    /// never-taken branch); [`Scheduler::enable_obs`] turns it on. Pure
+    /// measurement — never consulted by a scheduling decision.
+    pub obs: SchedObs,
 }
 
 /// The head whose total task-fit is being maintained incrementally.
@@ -506,7 +512,16 @@ impl Scheduler {
             failures: Vec::new(),
             partitions: PartitionTable::new(),
             admins: BTreeSet::new(),
+            obs: SchedObs::disabled(),
         }
+    }
+
+    /// Turn on (or reconfigure) observability. Replaces the standing
+    /// recorder, so counters restart from zero. Recording never influences
+    /// scheduling decisions — `tests/sched_equivalence.rs` pins the engine
+    /// against the reference with instrumentation compiled in.
+    pub fn enable_obs(&mut self, cfg: eus_obs::ObsConfig) {
+        self.obs = SchedObs::new(&cfg);
     }
 
     /// Add a node with auto-assigned id.
@@ -691,8 +706,13 @@ impl Scheduler {
     /// * running / finished jobs → their actual start;
     /// * queued jobs inside the reservation calendar's top-K → the planned
     ///   (queue-aware) reserved start;
-    /// * other queued jobs → the optimistic bound from a generalized
-    ///   shadow replay of this spec alone (ignores queued work ahead);
+    /// * queued jobs beyond the top-K (reservations on) → a one-off probe
+    ///   reservation planned against the standing calendar profile — still
+    ///   queue-aware (every hold ahead of the job is charged), visible as
+    ///   `sched.calendar.probes` under the `sched.calendar.plan` span;
+    /// * other queued jobs (reservations off) → the optimistic bound from
+    ///   a generalized shadow replay of this spec alone (ignores queued
+    ///   work ahead);
     /// * cancelled jobs → `None`.
     pub fn earliest_start(&mut self, job: JobId) -> Option<SimTime> {
         let j = self.jobs.get(&job)?;
@@ -712,6 +732,31 @@ impl Scheduler {
                 if let Some(r) = self.calendars.get(&ckey).and_then(|c| c.get(job)) {
                     return Some(r.start);
                 }
+                // Beyond the top-K: plan a one-off probe reservation on
+                // top of the finished profile (all held starts charged),
+                // instead of the optimistic single-job shadow bound. The
+                // probe is read-only — nothing is held for the job.
+                if let Some(p) = &class {
+                    self.part_mirror(p);
+                }
+                let base: Vec<ShadowNode> = match &class {
+                    Some(p) => self.part_mirrors[p].clone(),
+                    None => self.shadow_mirror.clone(),
+                };
+                let profile = self
+                    .calendars
+                    .get(&ckey)
+                    .map(|c| c.profile.clone())
+                    .unwrap_or_default();
+                let tok = self.obs.rec.span_start();
+                let planned = self.plan_reservation(job, &base, &profile);
+                self.obs.rec.incr(self.obs.c_cal_probes);
+                self.obs.rec.span_end(self.obs.sp_calendar, tok);
+                if let Some(r) = planned {
+                    return Some(r.start);
+                }
+                // Fits at no anchor (too big to ever start): fall through
+                // — the shadow probe reports the same `MAX` answer.
             }
         }
         Some(self.shadow_probe(job, &spec))
@@ -956,6 +1001,13 @@ impl Scheduler {
         match ev {
             Ev::Submit(j) => {
                 if self.jobs[&j].state == JobState::Pending {
+                    self.obs.rec.event(
+                        self.now,
+                        "job.submit",
+                        j.0,
+                        self.jobs[&j].spec.tasks as u64,
+                        0,
+                    );
                     self.enqueue(j);
                     self.try_schedule();
                 }
@@ -985,6 +1037,9 @@ impl Scheduler {
                 if let Some(node) = self.nodes.get_mut(&n) {
                     if node.state == NodeState::Down {
                         node.state = NodeState::Up;
+                        self.obs
+                            .rec
+                            .event(self.now, "node.repair", n.0 as u64, 0, 0);
                         self.state_version += 1;
                         // Everything on it died at failure time, so it
                         // rejoins idle.
@@ -1020,6 +1075,9 @@ impl Scheduler {
             at: self.now,
             failed_jobs: Vec::new(),
         };
+        self.obs
+            .rec
+            .event(self.now, "node.fail", n.0 as u64, victims.len() as u64, 0);
         for j in victims {
             let user = self.jobs[&j].spec.user;
             record.failed_jobs.push((j, user));
@@ -1120,6 +1178,16 @@ impl Scheduler {
             JobState::Timeout => self.metrics.timed_out.incr(),
             _ => {}
         }
+        self.obs.rec.incr(self.obs.c_finishes);
+        let outcome = match state {
+            JobState::Completed => 0,
+            JobState::Failed => 1,
+            JobState::Timeout => 2,
+            _ => 3,
+        };
+        self.obs
+            .rec
+            .event(self.now, "job.end", id.0, outcome, released_cores as u64);
         self.charge_fair_share(id, released_cores, started);
         // Epilog per node, with the "is the user gone from this node" bit.
         for (nid, alloc) in &allocations {
@@ -1178,6 +1246,14 @@ impl Scheduler {
             job.allocations = placement.into_iter().collect();
         }
         self.running_ends.insert((now + duration, id));
+        self.obs.rec.incr(self.obs.c_starts);
+        self.obs.rec.event(
+            now,
+            "job.start",
+            id.0,
+            self.jobs[&id].allocations.len() as u64,
+            total_cores as u64,
+        );
         self.metrics.busy_cores.add(now, total_cores as f64);
         self.metrics.used_cores.add(now, used_cores as f64);
         let epoch = self.run_epoch(id);
@@ -1398,8 +1474,10 @@ impl Scheduler {
         let needed = spec.tasks as u64;
         let mut total = self.head_total_fit(head, spec, part, track, snodes);
         if total >= needed {
+            self.obs.rec.incr(self.obs.c_shadow_early_exit);
             return self.now;
         }
+        self.obs.rec.incr(self.obs.c_shadow_replays);
         // Replay running-job releases in end-time order — `running_ends` is
         // maintained in exactly that order, so no per-cycle collect + sort.
         for &(end_t, jid) in &self.running_ends {
@@ -1440,13 +1518,18 @@ impl Scheduler {
                 Some((j, v)) if j == head && v == self.state_version
             );
             let placement = if known_blocked {
+                self.obs.rec.incr(self.obs.c_head_memo_hit);
                 None
             } else {
+                self.obs.rec.incr(self.obs.c_head_memo_miss);
+                let tok = self.obs.rec.span_start();
                 let eligible = self
                     .partitions
                     .eligible_nodes(head_spec.partition.as_deref())
                     .expect("validated at submit");
-                self.placement_for(&head_spec, eligible)
+                let p = self.placement_for(&head_spec, eligible);
+                self.obs.rec.span_end(self.obs.sp_dispatch, tok);
+                p
             };
             if let Some(p) = placement {
                 self.dequeue(head);
@@ -1462,13 +1545,20 @@ impl Scheduler {
             // state-version): arrival-flood cycles that changed nothing on
             // the nodes reuse the previous answer.
             let shadow = match self.shadow_cache {
-                Some((j, v, s)) if j == head && v == self.state_version => s,
+                Some((j, v, s)) if j == head && v == self.state_version => {
+                    self.obs.rec.incr(self.obs.c_shadow_memo_hit);
+                    s
+                }
                 _ => {
+                    self.obs.rec.incr(self.obs.c_shadow_memo_miss);
+                    let tok = self.obs.rec.span_start();
                     let s = self.shadow_time_for(head, &head_spec);
+                    self.obs.rec.span_end(self.obs.sp_shadow, tok);
                     self.shadow_cache = Some((head, self.state_version, s));
                     s
                 }
             };
+            let bf_tok = self.obs.rec.span_start();
             let mut scanned = 0;
             let mut cursor = head_key;
             while scanned < self.config.backfill_depth {
@@ -1493,8 +1583,10 @@ impl Scheduler {
                         self.backfill_fails = (self.state_version, BTreeSet::new());
                     }
                     if self.backfill_fails.1.contains(&cand) {
+                        self.obs.rec.incr(self.obs.c_bf_memo_rejects);
                         continue;
                     }
+                    self.obs.rec.incr(self.obs.c_bf_attempts);
                     let placement = {
                         let eligible = self
                             .partitions
@@ -1503,13 +1595,17 @@ impl Scheduler {
                         self.placement_for(&spec, eligible)
                     };
                     if let Some(p) = placement {
+                        self.obs.rec.incr(self.obs.c_bf_accepts);
                         self.dequeue(cand);
                         self.start_job(cand, p);
                     } else {
                         self.backfill_fails.1.insert(cand);
                     }
+                } else {
+                    self.obs.rec.incr(self.obs.c_bf_shadow_rejects);
                 }
             }
+            self.obs.rec.span_end(self.obs.sp_backfill, bf_tok);
             return;
         }
     }
@@ -1591,7 +1687,10 @@ impl Scheduler {
     fn schedule_class(&mut self, class: Option<String>) {
         let ckey = class.clone().unwrap_or_default();
         let head = loop {
-            let Some(head) = self.select_head(class.as_deref()) else {
+            let sel_tok = self.obs.rec.span_start();
+            let selected = self.select_head(class.as_deref());
+            self.obs.rec.span_end(self.obs.sp_select, sel_tok);
+            let Some(head) = selected else {
                 return;
             };
             let head_spec = Arc::clone(&self.jobs[&head].spec);
@@ -1600,11 +1699,15 @@ impl Scheduler {
                 .get(&ckey)
                 .is_some_and(|&(j, v)| j == head && v == self.state_version);
             if !known_blocked {
+                self.obs.rec.incr(self.obs.c_head_memo_miss);
+                let tok = self.obs.rec.span_start();
                 let eligible = self
                     .partitions
                     .eligible_nodes(head_spec.partition.as_deref())
                     .expect("validated at submit");
-                if let Some(p) = self.placement_for(&head_spec, eligible) {
+                let placed = self.placement_for(&head_spec, eligible);
+                self.obs.rec.span_end(self.obs.sp_dispatch, tok);
+                if let Some(p) = placed {
                     self.dequeue(head);
                     self.start_job(head, p);
                     continue;
@@ -1612,7 +1715,11 @@ impl Scheduler {
                 // The head would wait: a latency-sensitive class may
                 // displace the cheapest lower-QoS victim set instead.
                 if self.config.preemption {
-                    if let Some(p) = self.try_preempt_for(head, &head_spec) {
+                    self.obs.rec.incr(self.obs.c_preempt_searches);
+                    let pre_tok = self.obs.rec.span_start();
+                    let preempted = self.try_preempt_for(head, &head_spec);
+                    self.obs.rec.span_end(self.obs.sp_preempt, pre_tok);
+                    if let Some(p) = preempted {
                         self.dequeue(head);
                         self.start_job(head, p);
                         continue;
@@ -1620,6 +1727,8 @@ impl Scheduler {
                 }
                 self.policy_head_cache
                     .insert(ckey.clone(), (head, self.state_version));
+            } else {
+                self.obs.rec.incr(self.obs.c_head_memo_hit);
             }
             break head;
         };
@@ -1628,9 +1737,15 @@ impl Scheduler {
         }
         let head_spec = Arc::clone(&self.jobs[&head].spec);
         let shadow = match self.policy_shadow_cache.get(&ckey) {
-            Some(&(j, v, s)) if j == head && v == self.state_version => s,
+            Some(&(j, v, s)) if j == head && v == self.state_version => {
+                self.obs.rec.incr(self.obs.c_shadow_memo_hit);
+                s
+            }
             _ => {
+                self.obs.rec.incr(self.obs.c_shadow_memo_miss);
+                let tok = self.obs.rec.span_start();
                 let s = self.shadow_time_for(head, &head_spec);
+                self.obs.rec.span_end(self.obs.sp_shadow, tok);
                 self.policy_shadow_cache
                     .insert(ckey.clone(), (head, self.state_version, s));
                 s
@@ -1639,7 +1754,9 @@ impl Scheduler {
         if self.config.reservations > 0 {
             self.rebuild_calendar(class.as_deref(), head);
         }
+        let bf_tok = self.obs.rec.span_start();
         self.backfill_class(class.as_deref(), head, shadow);
+        self.obs.rec.span_end(self.obs.sp_backfill, bf_tok);
     }
 
     /// Backfill scan for one class: candidates in enqueue order (skipping
@@ -1699,14 +1816,17 @@ impl Scheduler {
             let cand_end = self.now + spec.time_limit;
             let fits_before_shadow = shadow == SimTime::MAX || cand_end <= shadow;
             if !fits_before_shadow {
+                self.obs.rec.incr(self.obs.c_bf_shadow_rejects);
                 continue;
             }
             if self.backfill_fails.0 != self.state_version {
                 self.backfill_fails = (self.state_version, BTreeSet::new());
             }
             if self.backfill_fails.1.contains(&cand) {
+                self.obs.rec.incr(self.obs.c_bf_memo_rejects);
                 continue;
             }
+            self.obs.rec.incr(self.obs.c_bf_attempts);
             let placement = {
                 let eligible = self
                     .partitions
@@ -1721,8 +1841,10 @@ impl Scheduler {
                         // reservation: conservative backfill refuses. Not
                         // memoized — the memo records placement failures,
                         // and this isn't one.
+                        self.obs.rec.incr(self.obs.c_bf_rsv_refusals);
                         continue;
                     }
+                    self.obs.rec.incr(self.obs.c_bf_accepts);
                     self.dequeue(cand);
                     self.start_job(cand, p);
                 }
@@ -1884,6 +2006,14 @@ impl Scheduler {
             });
         }
         self.enqueue(id);
+        self.obs.rec.incr(self.obs.c_preempt_kills);
+        self.obs.rec.event(
+            self.now,
+            "preempt.kill",
+            id.0,
+            by.0,
+            allocations.len() as u64,
+        );
         self.preemptions.push(PreemptionRecord {
             victim: id,
             victim_user: user,
@@ -1989,6 +2119,7 @@ impl Scheduler {
             .get(&ckey)
             .is_some_and(|c| c.built_version == Some((self.state_version, self.queue_seq)))
         {
+            self.obs.rec.incr(self.obs.c_cal_memo_hits);
             return;
         }
         let order = self.class_top_k(class, head, self.config.reservations);
@@ -2001,10 +2132,10 @@ impl Scheduler {
                 && c.planned_for == order
             {
                 c.built_version = Some((self.state_version, self.queue_seq));
+                self.obs.rec.incr(self.obs.c_cal_retags);
                 return;
             }
         }
-        let policy = self.config.policy;
         if let Some(p) = class {
             self.part_mirror(p);
         }
@@ -2012,20 +2143,13 @@ impl Scheduler {
             Some(p) => self.part_mirrors[p].clone(),
             None => self.shadow_mirror.clone(),
         };
+        let tok = self.obs.rec.span_start();
         // Capacity deltas over time: running releases (+), reservation
         // claims (−) and releases (+). Kept time-sorted.
-        #[derive(Clone, Copy)]
-        struct Delta {
-            at: SimTime,
-            node: NodeId,
-            cores: i64,
-            mem: i64,
-            gpus: i64,
-        }
-        let mut deltas: Vec<Delta> = Vec::new();
+        let mut deltas: Vec<CapDelta> = Vec::new();
         for &(end_t, jid) in &self.running_ends {
             for (&nid, alloc) in &self.jobs[&jid].allocations {
-                deltas.push(Delta {
+                deltas.push(CapDelta {
                     at: end_t,
                     node: nid,
                     cores: alloc.cores as i64,
@@ -2040,165 +2164,21 @@ impl Scheduler {
         deltas.sort_by_key(|d| d.at);
         let mut cal = ReservationCalendar::new();
         for &job in &order {
-            let spec = Arc::clone(&self.jobs[&job].spec);
-            let needed = spec.tasks as u64;
-            let eligible = self
-                .partitions
-                .eligible_nodes(spec.partition.as_deref())
-                .expect("validated at submit");
-            // Anchors: now, then every future delta instant.
-            let mut anchors: Vec<SimTime> = vec![self.now];
-            anchors.extend(deltas.iter().map(|d| d.at).filter(|&t| t > self.now));
-            anchors.dedup();
-            let mut snodes = base.clone();
-            // Two-pointer sweep: `applied` deltas are folded into `snodes`
-            // (at ≤ anchor); claims with index in [applied, win_end) sit in
-            // the `win` overlay (the future claims inside the current
-            // window, subtracted for the conservative minimum). Each delta
-            // enters and leaves each structure exactly once, and per-node
-            // fits update incrementally — O(deltas log n) per job instead
-            // of an O(deltas²) rescan.
-            let mut win: BTreeMap<NodeId, (u64, u64, u64)> = BTreeMap::new();
-            let fit_with = |sn: &ShadowNode, win: &BTreeMap<NodeId, (u64, u64, u64)>| -> u64 {
-                if eligible.is_some_and(|set| !set.contains(&sn.id)) {
-                    return 0;
-                }
-                let mut s = *sn;
-                if let Some(&(c, m, g)) = win.get(&sn.id) {
-                    s.free_cores = s.free_cores.saturating_sub(c as u32);
-                    s.free_mem_mib = s.free_mem_mib.saturating_sub(m);
-                    s.free_gpus = s.free_gpus.saturating_sub(g as u32);
-                    // A reserved slice makes the node non-idle for
-                    // exclusive-style admission.
-                    s.jobs += 1;
-                }
-                s.fit(&spec, policy)
-            };
-            let mut fits: Vec<u64> = Vec::new();
-            let mut total = 0u64;
-            let mut applied = 0usize;
-            let mut win_end = 0usize;
-            let mut planned: Option<Reservation> = None;
-            for (ai, &t) in anchors.iter().enumerate() {
-                let window_end = t + spec.time_limit;
-                while applied < deltas.len() && deltas[applied].at <= t {
-                    let d = deltas[applied];
-                    if let Ok(i) = snodes.binary_search_by_key(&d.node, |sn| sn.id) {
-                        // Leaving the window overlay (if it was a claim
-                        // that had been counted as "future").
-                        if d.cores < 0 && applied < win_end {
-                            if let Some(w) = win.get_mut(&d.node) {
-                                w.0 -= (-d.cores) as u64;
-                                w.1 -= (-d.mem) as u64;
-                                w.2 -= (-d.gpus) as u64;
-                                if *w == (0, 0, 0) {
-                                    win.remove(&d.node);
-                                }
-                            }
-                        }
-                        let sn = &mut snodes[i];
-                        sn.free_cores = (sn.free_cores as i64 + d.cores).max(0) as u32;
-                        sn.free_mem_mib = (sn.free_mem_mib as i64 + d.mem).max(0) as u64;
-                        sn.free_gpus = (sn.free_gpus as i64 + d.gpus).max(0) as u32;
-                        if d.cores > 0 && sn.jobs > 0 {
-                            sn.jobs -= 1;
-                            if sn.jobs == 0 {
-                                sn.owner = None;
-                            }
-                        } else if d.cores < 0 {
-                            sn.jobs += 1;
-                        }
-                        if !fits.is_empty() {
-                            let f = fit_with(&snodes[i], &win);
-                            total = total + f - fits[i];
-                            fits[i] = f;
-                        }
-                    }
-                    applied += 1;
-                    win_end = win_end.max(applied);
-                }
-                // New future claims entering the window's far edge.
-                while win_end < deltas.len() && deltas[win_end].at < window_end {
-                    let d = deltas[win_end];
-                    if d.cores < 0 {
-                        if let Ok(i) = snodes.binary_search_by_key(&d.node, |sn| sn.id) {
-                            let w = win.entry(d.node).or_insert((0, 0, 0));
-                            w.0 += (-d.cores) as u64;
-                            w.1 += (-d.mem) as u64;
-                            w.2 += (-d.gpus) as u64;
-                            if !fits.is_empty() {
-                                let f = fit_with(&snodes[i], &win);
-                                total = total + f - fits[i];
-                                fits[i] = f;
-                            }
-                        }
-                    }
-                    win_end += 1;
-                }
-                if ai == 0 {
-                    // One full pass to seed the incremental fits.
-                    fits = snodes.iter().map(|sn| fit_with(sn, &win)).collect();
-                    total = fits.iter().sum();
-                }
-                if total < needed {
-                    continue;
-                }
-                let fit_at = |sn: &ShadowNode| -> u64 { fit_with(sn, &win) };
-                // Feasible: pick the concrete allocation greedily in id
-                // order against the window-minimum capacity.
-                let mut remaining = spec.tasks;
-                let mut allocs: Vec<(NodeId, TaskAlloc)> = Vec::new();
-                for sn in &snodes {
-                    if remaining == 0 {
-                        break;
-                    }
-                    let fit = (fit_at(sn) as u32).min(remaining);
-                    if fit == 0 {
-                        continue;
-                    }
-                    let alloc = if policy.charges_whole_node(&spec) {
-                        let node = &self.nodes[&sn.id];
-                        TaskAlloc {
-                            tasks: fit,
-                            cores: node.cores,
-                            mem_mib: node.mem_mib,
-                            gpus: node.gpus,
-                        }
-                    } else {
-                        TaskAlloc {
-                            tasks: fit,
-                            cores: fit * spec.cpus_per_task,
-                            mem_mib: fit as u64 * spec.mem_per_task_mib,
-                            gpus: fit * spec.gpus_per_task,
-                        }
-                    };
-                    allocs.push((sn.id, alloc));
-                    remaining -= fit;
-                }
-                debug_assert_eq!(remaining, 0, "fit-sum promised a full placement");
-                planned = Some(Reservation {
-                    job,
-                    user: spec.user,
-                    start: t,
-                    end: window_end,
-                    allocs,
-                });
-                break;
-            }
+            let planned = self.plan_reservation(job, &base, &deltas);
             if let Some(r) = planned {
-                let mut insert_sorted = |d: Delta| {
+                let mut insert_sorted = |d: CapDelta| {
                     let at = deltas.partition_point(|e| e.at <= d.at);
                     deltas.insert(at, d);
                 };
                 for (nid, a) in &r.allocs {
-                    insert_sorted(Delta {
+                    insert_sorted(CapDelta {
                         at: r.start,
                         node: *nid,
                         cores: -(a.cores as i64),
                         mem: -(a.mem_mib as i64),
                         gpus: -(a.gpus as i64),
                     });
-                    insert_sorted(Delta {
+                    insert_sorted(CapDelta {
                         at: r.end,
                         node: *nid,
                         cores: a.cores as i64,
@@ -2210,8 +2190,173 @@ impl Scheduler {
             }
         }
         cal.planned_for = order;
+        cal.profile = deltas;
         cal.built_version = Some((self.state_version, self.queue_seq));
         self.calendars.insert(ckey, cal);
+        self.obs.rec.incr(self.obs.c_cal_plans);
+        self.obs.rec.span_end(self.obs.sp_calendar, tok);
+    }
+
+    /// Plan the earliest conservative reservation for one job against a
+    /// base capacity snapshot plus a time-sorted delta profile. Pure with
+    /// respect to scheduler state — [`rebuild_calendar`](Self::rebuild_calendar)
+    /// calls it per top-K job (folding each plan back into the profile),
+    /// and [`earliest_start`](Self::earliest_start) calls it once against
+    /// a finished profile to answer beyond-top-K jobs. `None` = the job
+    /// fits at no anchor (it would never start even after every release).
+    fn plan_reservation(
+        &self,
+        job: JobId,
+        base: &[ShadowNode],
+        deltas: &[CapDelta],
+    ) -> Option<Reservation> {
+        let policy = self.config.policy;
+        let spec = Arc::clone(&self.jobs[&job].spec);
+        let needed = spec.tasks as u64;
+        let eligible = self
+            .partitions
+            .eligible_nodes(spec.partition.as_deref())
+            .expect("validated at submit");
+        // Anchors: now, then every future delta instant.
+        let mut anchors: Vec<SimTime> = vec![self.now];
+        anchors.extend(deltas.iter().map(|d| d.at).filter(|&t| t > self.now));
+        anchors.dedup();
+        let mut snodes = base.to_vec();
+        // Two-pointer sweep: `applied` deltas are folded into `snodes`
+        // (at ≤ anchor); claims with index in [applied, win_end) sit in
+        // the `win` overlay (the future claims inside the current
+        // window, subtracted for the conservative minimum). Each delta
+        // enters and leaves each structure exactly once, and per-node
+        // fits update incrementally — O(deltas log n) per job instead
+        // of an O(deltas²) rescan.
+        let mut win: BTreeMap<NodeId, (u64, u64, u64)> = BTreeMap::new();
+        let fit_with = |sn: &ShadowNode, win: &BTreeMap<NodeId, (u64, u64, u64)>| -> u64 {
+            if eligible.is_some_and(|set| !set.contains(&sn.id)) {
+                return 0;
+            }
+            let mut s = *sn;
+            if let Some(&(c, m, g)) = win.get(&sn.id) {
+                s.free_cores = s.free_cores.saturating_sub(c as u32);
+                s.free_mem_mib = s.free_mem_mib.saturating_sub(m);
+                s.free_gpus = s.free_gpus.saturating_sub(g as u32);
+                // A reserved slice makes the node non-idle for
+                // exclusive-style admission.
+                s.jobs += 1;
+            }
+            s.fit(&spec, policy)
+        };
+        let mut fits: Vec<u64> = Vec::new();
+        let mut total = 0u64;
+        let mut applied = 0usize;
+        let mut win_end = 0usize;
+        let mut planned: Option<Reservation> = None;
+        for (ai, &t) in anchors.iter().enumerate() {
+            let window_end = t + spec.time_limit;
+            while applied < deltas.len() && deltas[applied].at <= t {
+                let d = deltas[applied];
+                if let Ok(i) = snodes.binary_search_by_key(&d.node, |sn| sn.id) {
+                    // Leaving the window overlay (if it was a claim
+                    // that had been counted as "future").
+                    if d.cores < 0 && applied < win_end {
+                        if let Some(w) = win.get_mut(&d.node) {
+                            w.0 -= (-d.cores) as u64;
+                            w.1 -= (-d.mem) as u64;
+                            w.2 -= (-d.gpus) as u64;
+                            if *w == (0, 0, 0) {
+                                win.remove(&d.node);
+                            }
+                        }
+                    }
+                    let sn = &mut snodes[i];
+                    sn.free_cores = (sn.free_cores as i64 + d.cores).max(0) as u32;
+                    sn.free_mem_mib = (sn.free_mem_mib as i64 + d.mem).max(0) as u64;
+                    sn.free_gpus = (sn.free_gpus as i64 + d.gpus).max(0) as u32;
+                    if d.cores > 0 && sn.jobs > 0 {
+                        sn.jobs -= 1;
+                        if sn.jobs == 0 {
+                            sn.owner = None;
+                        }
+                    } else if d.cores < 0 {
+                        sn.jobs += 1;
+                    }
+                    if !fits.is_empty() {
+                        let f = fit_with(&snodes[i], &win);
+                        total = total + f - fits[i];
+                        fits[i] = f;
+                    }
+                }
+                applied += 1;
+                win_end = win_end.max(applied);
+            }
+            // New future claims entering the window's far edge.
+            while win_end < deltas.len() && deltas[win_end].at < window_end {
+                let d = deltas[win_end];
+                if d.cores < 0 {
+                    if let Ok(i) = snodes.binary_search_by_key(&d.node, |sn| sn.id) {
+                        let w = win.entry(d.node).or_insert((0, 0, 0));
+                        w.0 += (-d.cores) as u64;
+                        w.1 += (-d.mem) as u64;
+                        w.2 += (-d.gpus) as u64;
+                        if !fits.is_empty() {
+                            let f = fit_with(&snodes[i], &win);
+                            total = total + f - fits[i];
+                            fits[i] = f;
+                        }
+                    }
+                }
+                win_end += 1;
+            }
+            if ai == 0 {
+                // One full pass to seed the incremental fits.
+                fits = snodes.iter().map(|sn| fit_with(sn, &win)).collect();
+                total = fits.iter().sum();
+            }
+            if total < needed {
+                continue;
+            }
+            let fit_at = |sn: &ShadowNode| -> u64 { fit_with(sn, &win) };
+            // Feasible: pick the concrete allocation greedily in id
+            // order against the window-minimum capacity.
+            let mut remaining = spec.tasks;
+            let mut allocs: Vec<(NodeId, TaskAlloc)> = Vec::new();
+            for sn in &snodes {
+                if remaining == 0 {
+                    break;
+                }
+                let fit = (fit_at(sn) as u32).min(remaining);
+                if fit == 0 {
+                    continue;
+                }
+                let alloc = if policy.charges_whole_node(&spec) {
+                    let node = &self.nodes[&sn.id];
+                    TaskAlloc {
+                        tasks: fit,
+                        cores: node.cores,
+                        mem_mib: node.mem_mib,
+                        gpus: node.gpus,
+                    }
+                } else {
+                    TaskAlloc {
+                        tasks: fit,
+                        cores: fit * spec.cpus_per_task,
+                        mem_mib: fit as u64 * spec.mem_per_task_mib,
+                        gpus: fit * spec.gpus_per_task,
+                    }
+                };
+                allocs.push((sn.id, alloc));
+                remaining -= fit;
+            }
+            debug_assert_eq!(remaining, 0, "fit-sum promised a full placement");
+            planned = Some(Reservation {
+                job,
+                user: spec.user,
+                start: t,
+                end: window_end,
+                allocs,
+            });
+            break;
+        }
+        planned
     }
 }
 
@@ -2805,5 +2950,90 @@ mod tests {
         assert!(s.has_running_job_on(Uid(1), NodeId(1)));
         assert!(!s.has_running_job_on(Uid(1), NodeId(2)));
         assert!(!s.has_running_job_on(Uid(2), NodeId(1)));
+    }
+
+    #[test]
+    fn obs_disabled_by_default_and_enabled_records_phases() {
+        // Disabled: a full run records nothing, retains no events.
+        let mut s = sched(NodeSharing::Shared, 2, 8);
+        s.submit_at(SimTime::ZERO, job(1, 4, 10));
+        s.submit_at(SimTime::ZERO, job(2, 4, 10));
+        s.run_to_completion();
+        assert!(!s.obs.rec.enabled());
+        assert_eq!(s.obs.rec.counter_value(s.obs.c_starts), 0);
+        assert!(s.obs.rec.flight.is_empty());
+
+        // Enabled: the same trace leaves starts/finishes, span entries,
+        // and a flight-recorder trail — and the scheduling outcome is
+        // identical (observability must not perturb decisions).
+        let mut e = sched(NodeSharing::Shared, 2, 8);
+        e.enable_obs(eus_obs::ObsConfig::enabled());
+        let a = e.submit_at(SimTime::ZERO, job(1, 4, 10));
+        let b = e.submit_at(SimTime::ZERO, job(2, 4, 10));
+        let end = e.run_to_completion();
+        assert_eq!(end, SimTime::from_secs(10));
+        assert_eq!(e.jobs[&a].state, JobState::Completed);
+        assert_eq!(e.jobs[&b].state, JobState::Completed);
+        assert_eq!(e.obs.rec.counter_value(e.obs.c_starts), 2);
+        assert_eq!(e.obs.rec.counter_value(e.obs.c_finishes), 2);
+        let kinds: Vec<&str> = e.obs.rec.flight.events().iter().map(|ev| ev.kind).collect();
+        assert!(kinds.contains(&"job.submit"));
+        assert!(kinds.contains(&"job.start"));
+        assert!(kinds.contains(&"job.end"));
+        let snap = e.obs.snapshot();
+        assert!(snap.span("sched.cycle.dispatch").unwrap().count > 0);
+        assert!(snap.to_json().contains("sched.jobs.starts"));
+    }
+
+    #[test]
+    fn obs_counts_backfill_and_shadow_memo() {
+        let mut s = sched(NodeSharing::Shared, 1, 8);
+        s.enable_obs(eus_obs::ObsConfig::enabled());
+        // Head blocks (needs more cores than are free), filler backfills
+        // into the one-core hole.
+        s.submit_at(SimTime::ZERO, job(1, 7, 100));
+        s.submit_at(SimTime::from_secs(1), job(2, 8, 50)); // blocked head
+        s.submit_at(SimTime::from_secs(2), job(3, 1, 10)); // backfill candidate
+        s.run_until(SimTime::from_secs(3));
+        assert!(s.obs.rec.counter_value(s.obs.c_bf_attempts) >= 1);
+        assert!(s.obs.rec.counter_value(s.obs.c_bf_accepts) >= 1);
+        // The arrival at t=2 re-fires the cycle with node state untouched:
+        // both the head-fail and shadow memos must have hit at least once.
+        assert!(s.obs.rec.counter_value(s.obs.c_head_memo_hit) >= 1);
+        assert!(s.obs.rec.counter_value(s.obs.c_shadow_memo_hit) >= 1);
+        assert!(s.obs.shadow_memo_ratio() > 0.0);
+    }
+
+    #[test]
+    fn earliest_start_beyond_top_k_is_reservation_backed() {
+        // One 8-core node; K=1 so only the head gets a standing
+        // reservation. Three FIFO jobs, each filling the node for 100 s:
+        // the optimistic single-job shadow would answer t=100 for BOTH
+        // queued jobs, but the probe plan must charge the head's hold and
+        // answer t=200 for the job behind it.
+        let mut s = Scheduler::new(SchedConfig {
+            policy: NodeSharing::Shared,
+            reservations: 1,
+            ..SchedConfig::default()
+        });
+        s.add_node(8, 64_000, 0);
+        s.submit_at(SimTime::ZERO, job(1, 8, 100)); // runs now
+        let second = s.submit_at(SimTime::ZERO, job(2, 8, 100)); // head (top-K)
+        let third = s.submit_at(SimTime::ZERO, job(3, 8, 100)); // beyond top-K
+        s.run_until(SimTime::from_secs(1));
+        assert_eq!(s.earliest_start(second), Some(SimTime::from_secs(100)));
+        assert_eq!(
+            s.earliest_start(third),
+            Some(SimTime::from_secs(200)),
+            "beyond-top-K answer must account for the held reservation"
+        );
+        s.enable_obs(eus_obs::ObsConfig::enabled());
+        let _ = s.earliest_start(third);
+        assert_eq!(s.obs.rec.counter_value(s.obs.c_cal_probes), 1);
+        // The probe held nothing: the calendar still covers only the head.
+        assert_eq!(s.held_reservations().len(), 1);
+        // And the probe answer is consistent with what actually happens.
+        s.run_to_completion();
+        assert_eq!(s.jobs[&third].started, Some(SimTime::from_secs(200)));
     }
 }

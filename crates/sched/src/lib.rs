@@ -70,6 +70,7 @@ pub mod calendar;
 pub mod engine;
 pub mod job;
 pub mod node;
+pub mod obs;
 pub mod pam_slurm;
 pub mod partition;
 pub mod policy;
@@ -83,6 +84,7 @@ pub use engine::{
 };
 pub use job::{Job, JobId, JobKind, JobSpec, JobState, QosClass, TaskAlloc};
 pub use node::{NodeState, SchedNode};
+pub use obs::SchedObs;
 pub use pam_slurm::{shared_scheduler, PamSlurm, SharedScheduler};
 pub use partition::{Partition, PartitionError, PartitionTable};
 pub use policy::{tasks_that_fit, NodeSharing};

@@ -23,6 +23,7 @@ use crate::node::{NodeState, SchedNode};
 use crate::partition::{PartitionError, PartitionTable};
 use crate::policy::{tasks_that_fit, NodeSharing};
 use crate::privatedata::{may_view, JobView};
+use eus_obs::FlightRecorder;
 use eus_simcore::{Counter, Histogram, SimTime, TimeWeighted};
 use eus_simos::{Credentials, NodeId, Uid};
 use std::cmp::Reverse;
@@ -62,6 +63,10 @@ pub struct ReferenceScheduler {
     /// Partition table.
     pub partitions: PartitionTable,
     admins: BTreeSet<Uid>,
+    /// Optional flight recorder, mirroring the engine's event kinds so the
+    /// equivalence suite can print both engines' tails on a failure.
+    /// `None` (the default) costs one never-taken branch per event site.
+    pub flight: Option<FlightRecorder>,
 }
 
 impl ReferenceScheduler {
@@ -89,6 +94,20 @@ impl ReferenceScheduler {
             failures: Vec::new(),
             partitions: PartitionTable::new(),
             admins: BTreeSet::new(),
+            flight: None,
+        }
+    }
+
+    /// Attach a flight recorder (capacity-bounded ring) recording the same
+    /// event kinds as the engine: `job.submit`, `job.start`, `job.end`,
+    /// `node.fail`, `node.repair`.
+    pub fn enable_flight(&mut self, capacity: usize) {
+        self.flight = Some(FlightRecorder::new(capacity));
+    }
+
+    fn flight_event(&mut self, kind: &'static str, a: u64, b: u64, c: u64) {
+        if let Some(fr) = &mut self.flight {
+            fr.push(self.now, kind, a, b, c);
         }
     }
 
@@ -254,6 +273,7 @@ impl ReferenceScheduler {
         match ev {
             Ev::Submit(j) => {
                 if self.jobs[&j].state == JobState::Pending {
+                    self.flight_event("job.submit", j.0, self.jobs[&j].spec.tasks as u64, 0);
                     self.queue.push(j);
                     self.try_schedule();
                 }
@@ -278,6 +298,7 @@ impl ReferenceScheduler {
                 if let Some(node) = self.nodes.get_mut(&n) {
                     if node.state == NodeState::Down {
                         node.state = NodeState::Up;
+                        self.flight_event("node.repair", n.0 as u64, 0, 0);
                     }
                 }
                 self.try_schedule();
@@ -299,6 +320,7 @@ impl ReferenceScheduler {
             at: self.now,
             failed_jobs: Vec::new(),
         };
+        self.flight_event("node.fail", n.0 as u64, victims.len() as u64, 0);
         for j in victims {
             let user = self.jobs[&j].spec.user;
             record.failed_jobs.push((j, user));
@@ -338,6 +360,13 @@ impl ReferenceScheduler {
             JobState::Timeout => self.metrics.timed_out.incr(),
             _ => {}
         }
+        let outcome = match state {
+            JobState::Completed => 0,
+            JobState::Failed => 1,
+            JobState::Timeout => 2,
+            _ => 3,
+        };
+        self.flight_event("job.end", id.0, outcome, released_cores as u64);
         for (nid, alloc) in &allocations {
             let still_active = self.has_running_job_on(user, *nid);
             self.epilogs.push(EpilogEvent {
@@ -378,6 +407,8 @@ impl ReferenceScheduler {
             job.started = Some(now);
             job.allocations = placement.into_iter().collect();
         }
+        let nodes_used = self.jobs[&id].allocations.len() as u64;
+        self.flight_event("job.start", id.0, nodes_used, total_cores as u64);
         self.metrics.busy_cores.add(now, total_cores as f64);
         self.metrics.used_cores.add(now, used_cores as f64);
         self.metrics

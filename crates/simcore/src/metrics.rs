@@ -8,6 +8,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A monotonically increasing event counter.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -40,14 +41,38 @@ impl Counter {
     }
 }
 
-/// Sampled-value histogram retaining all observations.
+/// Sampled-value histogram with exact aggregates and optional bounded
+/// sample retention.
 ///
-/// Experiments here run at most a few hundred thousand samples, so keeping
-/// the raw values (8 bytes each) is cheap and buys *exact* quantiles rather
-/// than bucketed approximations. `summary()` sorts a copy on demand.
+/// The default (exact) mode retains every observation, buying *exact*
+/// quantiles rather than bucketed approximations — fine for the few
+/// hundred thousand samples typical experiments produce. Million-event
+/// storms instead use [`Histogram::with_reservoir`]: a fixed-capacity
+/// uniform reservoir (Algorithm R with a deterministic generator) bounds
+/// memory while `count`, `mean`, `std_dev`, `min`, and `max` stay exact
+/// from running aggregates; only the quantiles become estimates.
+///
+/// `summary()` sorts at most once per mutation: the sorted view is cached
+/// in a [`OnceLock`] (kept `Sync`) and invalidated whenever a sample
+/// lands.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
     samples: Vec<f64>,
+    /// Reservoir capacity; `None` retains everything (exact mode).
+    cap: Option<usize>,
+    /// Items offered to the reservoir (Algorithm R index), ≥ retained.
+    offered: u64,
+    /// Deterministic LCG state for reservoir eviction.
+    rng: u64,
+    // Exact running aggregates, valid in both modes.
+    count: u64,
+    sum: f64,
+    sumsq: f64,
+    min: f64,
+    max: f64,
+    /// Sorted copy of `samples`, built lazily by `summary()` and dropped
+    /// on every mutation.
+    sorted: OnceLock<Vec<f64>>,
 }
 
 /// Point-in-time summary of a [`Histogram`].
@@ -72,16 +97,75 @@ pub struct Summary {
 }
 
 impl Histogram {
-    /// An empty histogram.
+    /// An empty histogram retaining every observation (exact quantiles).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty histogram retaining at most `cap` samples (min 1) in a
+    /// uniform reservoir. Aggregates stay exact; quantiles are estimated
+    /// from the reservoir.
+    pub fn with_reservoir(cap: usize) -> Self {
+        Histogram {
+            cap: Some(cap.max(1)),
+            // Fixed odd seed: runs are reproducible without threading a
+            // generator through every recording site.
+            rng: 0x9e37_79b9_7f4a_7c15,
+            ..Self::default()
+        }
+    }
+
+    /// Reservoir capacity, `None` in exact mode.
+    pub fn reservoir_capacity(&self) -> Option<usize> {
+        self.cap
     }
 
     /// Record one observation. Non-finite values are rejected loudly: they
     /// always indicate a harness bug.
     pub fn record(&mut self, v: f64) {
         assert!(v.is_finite(), "non-finite sample {v}");
-        self.samples.push(v);
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        self.sumsq += v * v;
+        self.retain(v);
+    }
+
+    /// Keep (or reservoir-sample) one value into `samples`.
+    fn retain(&mut self, v: f64) {
+        self.sorted.take();
+        let i = self.offered;
+        self.offered += 1;
+        match self.cap {
+            None => self.samples.push(v),
+            Some(cap) => {
+                if self.samples.len() < cap {
+                    self.samples.push(v);
+                } else {
+                    // Algorithm R: replace a uniform slot in [0, i].
+                    let j = self.next_u64() % (i + 1);
+                    if (j as usize) < cap {
+                        self.samples[j as usize] = v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deterministic xorshift step for reservoir eviction.
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
     }
 
     /// Record a simulated duration, in microseconds.
@@ -89,59 +173,81 @@ impl Histogram {
         self.record(d.as_micros() as f64);
     }
 
-    /// Number of observations.
+    /// Number of observations (exact, even when retention is sampled).
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.count as usize
     }
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.count == 0
     }
 
-    /// Raw samples, in arrival order.
+    /// Retained samples, in retention order (all of them in exact mode).
     pub fn samples(&self) -> &[f64] {
         &self.samples
     }
 
-    /// Mean of the samples (0 when empty).
+    /// Mean of the observations (0 when empty); exact in both modes.
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return 0.0;
         }
-        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        self.sum / self.count as f64
     }
 
-    /// Full summary; `None` when empty.
+    /// Full summary; `None` when empty. Count, mean, std-dev, min, and max
+    /// are exact; quantiles come from the retained samples. The sorted
+    /// view is cached across calls and rebuilt only after a mutation.
     pub fn summary(&self) -> Option<Summary> {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return None;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let sorted = self.sorted.get_or_init(|| {
+            let mut s = self.samples.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            s
+        });
         let n = sorted.len();
         let mean = self.mean();
-        let var = sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = (self.sumsq / self.count as f64 - mean * mean).max(0.0);
         let q = |p: f64| -> f64 {
-            // Nearest-rank on the sorted samples.
+            // Nearest-rank on the sorted retained samples.
             let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
             sorted[idx]
         };
         Some(Summary {
-            count: n,
+            count: self.count as usize,
             mean,
             std_dev: var.sqrt(),
-            min: sorted[0],
+            min: self.min,
             p50: q(0.50),
             p95: q(0.95),
             p99: q(0.99),
-            max: sorted[n - 1],
+            max: self.max,
         })
     }
 
-    /// Merge another histogram's samples into this one.
+    /// Merge another histogram into this one. Aggregates merge exactly;
+    /// the other side's retained samples are offered to this side's
+    /// retention (so a reservoir stays bounded).
     pub fn merge(&mut self, other: &Histogram) {
-        self.samples.extend_from_slice(&other.samples);
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sumsq += other.sumsq;
+        for &v in &other.samples {
+            self.retain(v);
+        }
     }
 }
 
@@ -302,5 +408,118 @@ mod tests {
     fn time_weighted_empty_window() {
         let tw = TimeWeighted::new(SimTime::from_secs(5), 3.0);
         assert_eq!(tw.average(SimTime::from_secs(5)), 0.0);
+    }
+
+    #[test]
+    fn histogram_reservoir_bounds_memory_keeps_aggregates_exact() {
+        let mut h = Histogram::with_reservoir(64);
+        for v in 1..=100_000u64 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.samples().len(), 64); // retention bounded
+        assert_eq!(h.len(), 100_000); // count exact
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 100_000);
+        assert!((s.mean - 50_000.5).abs() < 1e-6);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100_000.0);
+        // Uniform reservoir over a uniform stream: the median estimate
+        // should land in the broad middle of the range.
+        assert!(s.p50 > 20_000.0 && s.p50 < 80_000.0, "p50={}", s.p50);
+    }
+
+    #[test]
+    fn histogram_reservoir_below_capacity_is_exact() {
+        let mut h = Histogram::with_reservoir(128);
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p99, 99.0);
+    }
+
+    #[test]
+    fn histogram_summary_cache_invalidated_on_record() {
+        let mut h = Histogram::new();
+        h.record(10.0);
+        assert_eq!(h.summary().unwrap().max, 10.0);
+        // A second record must drop the cached sorted view.
+        h.record(20.0);
+        let s = h.summary().unwrap();
+        assert_eq!(s.max, 20.0);
+        assert_eq!(s.count, 2);
+        // Repeated summaries on an unchanged histogram agree (cache hit).
+        assert_eq!(h.summary(), h.summary());
+    }
+
+    #[test]
+    fn histogram_summary_cache_invalidated_on_merge() {
+        let mut a = Histogram::new();
+        a.record(1.0);
+        assert_eq!(a.summary().unwrap().max, 1.0);
+        let mut b = Histogram::new();
+        b.record(9.0);
+        a.merge(&b);
+        assert_eq!(a.summary().unwrap().max, 9.0);
+        assert_eq!(a.summary().unwrap().count, 2);
+    }
+
+    #[test]
+    fn histogram_merge_into_reservoir_stays_bounded() {
+        let mut a = Histogram::with_reservoir(8);
+        let mut b = Histogram::new();
+        for v in 1..=100 {
+            b.record(v as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.samples().len(), 8);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.summary().unwrap().min, 1.0);
+        assert_eq!(a.summary().unwrap().max, 100.0);
+    }
+
+    #[test]
+    fn time_weighted_zero_duration_interval() {
+        // Two value changes at the same instant: the intermediate value
+        // contributes nothing; only the final one integrates forward.
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        tw.set(SimTime::from_secs(5), 100.0);
+        tw.set(SimTime::from_secs(5), 2.0); // zero-duration spike
+        assert!((tw.integral(SimTime::from_secs(10)) - (1.0 * 5.0 + 2.0 * 5.0)).abs() < 1e-9);
+        // …but the spike still registers as the peak.
+        assert_eq!(tw.peak(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn time_weighted_out_of_order_update_panics() {
+        let mut tw = TimeWeighted::new(SimTime::from_secs(10), 1.0);
+        tw.set(SimTime::from_secs(5), 2.0);
+    }
+
+    #[test]
+    fn time_weighted_out_of_order_finalize_saturates() {
+        // Reading the integral *before* the last change must not go
+        // negative: `since` saturates, so the pending interval contributes
+        // zero rather than rewinding accumulated area.
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 4.0);
+        tw.set(SimTime::from_secs(10), 0.0); // integral now 40
+        assert!((tw.integral(SimTime::from_secs(5)) - 40.0).abs() < 1e-9);
+        assert!((tw.average(SimTime::from_secs(5)) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_change_at_exact_sample_boundary() {
+        // Value changes at t=10; sampling the integral at exactly t=10
+        // must attribute [0,10) to the old value and nothing to the new,
+        // whether read before or after the change lands.
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 3.0);
+        assert!((tw.integral(SimTime::from_secs(10)) - 30.0).abs() < 1e-9);
+        tw.set(SimTime::from_secs(10), 7.0);
+        assert!((tw.integral(SimTime::from_secs(10)) - 30.0).abs() < 1e-9);
+        // One second later the new value has taken over.
+        assert!((tw.integral(SimTime::from_secs(11)) - 37.0).abs() < 1e-9);
+        assert!((tw.average(SimTime::from_secs(11)) - 37.0 / 11.0).abs() < 1e-9);
     }
 }

@@ -9,6 +9,7 @@
 //! The two engines share job/node/policy types, so any divergence is in the
 //! scheduling data structures themselves — exactly what this suite guards.
 
+use hpc_user_separation::obs::ObsConfig;
 use hpc_user_separation::sched::{
     JobSpec, JobState, NodeSharing, PrivateData, QosClass, ReferenceScheduler, SchedConfig,
     Scheduler,
@@ -125,6 +126,13 @@ fn build_pair(
 /// Drive both schedulers through the same trace + failure schedule and
 /// assert identical observable behavior, both in lockstep (squeue views,
 /// counts) and at the end (states, start/end times, placements, epilogs).
+///
+/// Both engines run with their flight recorders on (the optimized engine
+/// via full `enable_obs`, so every green run here is also a proof that
+/// instrumentation does not perturb scheduling decisions). On any
+/// divergence the last events of **both** recorders are printed —
+/// replayable forensics instead of an opaque mismatch. Set
+/// `SCHED_EQUIV_FORCE_FAIL=1` to force a failure and see the tails.
 fn assert_equivalent(
     seed: u64,
     policy: NodeSharing,
@@ -149,6 +157,29 @@ fn assert_equivalent(
         with_partitions,
         private_data,
     );
+    pair.opt
+        .enable_obs(ObsConfig::enabled().with_flight_capacity(256));
+    pair.reference.enable_flight(256);
+    let result = drive_pair(&mut pair, seed, nodes, failures, with_partitions);
+    if result.is_err() {
+        eprintln!(
+            "{}",
+            pair.opt.obs.rec.flight.render_tail("optimized engine", 48)
+        );
+        if let Some(fr) = &pair.reference.flight {
+            eprintln!("{}", fr.render_tail("reference engine", 48));
+        }
+    }
+    result
+}
+
+fn drive_pair(
+    pair: &mut Pair,
+    seed: u64,
+    nodes: u32,
+    failures: u32,
+    with_partitions: bool,
+) -> Result<(), TestCaseError> {
     let trace = decorated_trace(seed, with_partitions);
     for (at, spec) in &trace {
         let a = pair.opt.submit_at_shared(*at, Arc::clone(spec));
@@ -227,6 +258,14 @@ fn assert_equivalent(
         pair.opt.metrics.wait_times.len(),
         pair.reference.metrics.wait_times.len()
     );
+    // Forced-failure hook: proves the flight tails actually print on a red
+    // run (`SCHED_EQUIV_FORCE_FAIL=1 cargo test --test sched_equivalence`).
+    if std::env::var_os("SCHED_EQUIV_FORCE_FAIL").is_some() {
+        prop_assert!(
+            false,
+            "forced failure via SCHED_EQUIV_FORCE_FAIL — flight-recorder tails follow"
+        );
+    }
     Ok(())
 }
 

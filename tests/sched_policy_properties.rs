@@ -18,6 +18,7 @@
 //!   engine and the retained `ReferenceScheduler` (QoS is carried, not
 //!   acted on).
 
+use hpc_user_separation::obs::ObsConfig;
 use hpc_user_separation::sched::{
     JobSpec, JobState, NodeSharing, QosClass, ReferenceScheduler, SchedConfig, Scheduler,
 };
@@ -100,12 +101,29 @@ fn plane_scheduler(policy: NodeSharing, nodes: u32, with_partitions: bool) -> Sc
 }
 
 /// Separation + accounting invariants under the full plane.
+///
+/// Runs with the flight recorder on (so every green case also re-proves
+/// that instrumentation does not perturb the policy plane); on failure the
+/// recorder tail is printed for forensics.
 fn assert_plane_invariants(
     seed: u64,
     policy: NodeSharing,
     with_partitions: bool,
 ) -> Result<(), TestCaseError> {
     let mut s = plane_scheduler(policy, 8, with_partitions);
+    s.enable_obs(ObsConfig::enabled().with_flight_capacity(256));
+    let result = run_plane_invariants(&mut s, seed, with_partitions);
+    if result.is_err() {
+        eprintln!("{}", s.obs.rec.flight.render_tail("policy plane", 48));
+    }
+    result
+}
+
+fn run_plane_invariants(
+    s: &mut Scheduler,
+    seed: u64,
+    with_partitions: bool,
+) -> Result<(), TestCaseError> {
     for (at, spec) in qos_trace(seed, with_partitions) {
         s.submit_at_shared(at, spec);
     }
@@ -205,9 +223,18 @@ fn assert_no_double_booking(seed: u64) -> Result<(), TestCaseError> {
         reservations: 6,
         ..SchedConfig::default()
     });
+    s.enable_obs(ObsConfig::enabled().with_flight_capacity(256));
     for _ in 0..6 {
         s.add_node(8, 16_384, 0);
     }
+    let result = run_no_double_booking(&mut s, seed);
+    if result.is_err() {
+        eprintln!("{}", s.obs.rec.flight.render_tail("reservations", 48));
+    }
+    result
+}
+
+fn run_no_double_booking(s: &mut Scheduler, seed: u64) -> Result<(), TestCaseError> {
     for (at, spec) in qos_trace(seed, false) {
         s.submit_at_shared(at, spec);
     }
@@ -278,10 +305,27 @@ fn assert_off_matches_reference(seed: u64, policy: NodeSharing) -> Result<(), Te
     assert!(!config.policy_plane_active());
     let mut opt = Scheduler::new(config.clone());
     let mut reference = ReferenceScheduler::new(config);
+    opt.enable_obs(ObsConfig::enabled().with_flight_capacity(256));
+    reference.enable_flight(256);
     for _ in 0..8 {
         opt.add_node(8, 16_384, 2);
         reference.add_node(8, 16_384, 2);
     }
+    let result = run_off_matches_reference(&mut opt, &mut reference, seed);
+    if result.is_err() {
+        eprintln!("{}", opt.obs.rec.flight.render_tail("optimized engine", 48));
+        if let Some(fr) = &reference.flight {
+            eprintln!("{}", fr.render_tail("reference engine", 48));
+        }
+    }
+    result
+}
+
+fn run_off_matches_reference(
+    opt: &mut Scheduler,
+    reference: &mut ReferenceScheduler,
+    seed: u64,
+) -> Result<(), TestCaseError> {
     for (at, spec) in qos_trace(seed, false) {
         let a = opt.submit_at_shared(at, Arc::clone(&spec));
         let b = reference.submit_at_shared(at, spec);
