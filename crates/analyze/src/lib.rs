@@ -1,0 +1,147 @@
+//! `eus-analyze` — the workspace invariant linter.
+//!
+//! The repo's value rests on invariants no compiler checks: sim-clock
+//! determinism, panic-free hot kernels, the `plane.subsystem.name` obs
+//! convention, ARCHITECTURE.md tables that match the code, and deadlock-
+//! free lock nesting. This crate machine-checks all five with a
+//! self-contained scanner — a hand-rolled lexer ([`lexer`]), a per-file
+//! model with test/hot/suppression overlays ([`source`]), and five rule
+//! passes ([`rules`]) — no dependencies, same offline discipline as
+//! `vendor/`.
+//!
+//! | rule id | invariant |
+//! |---|---|
+//! | `sim-determinism` | no wall-clock/sleep/hash-iteration in engine crates |
+//! | `hot-path-panic` | no unwrap/expect/panic!/indexing in annotated hot regions |
+//! | `obs-naming` | dotted obs names, registered exactly once |
+//! | `docs-sync` | ARCHITECTURE.md audit + span tables match the code |
+//! | `lock-discipline` | no nested lock scopes (static half of the check) |
+//!
+//! Suppress a finding on one line with
+//! `// analyze:allow(rule-id): justification`; bracket hot regions with
+//! `// analyze:hot-path-begin(label)` … `// analyze:hot-path-end`.
+//! CI runs `cargo run -p eus-analyze -- --deny`, which exits non-zero on
+//! any finding. The dynamic half of the lock rule lives in the vendored
+//! `parking_lot` shim behind `--cfg lock_order_check`.
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use diag::{render_json, Diag};
+
+use source::SourceFile;
+use std::path::Path;
+
+/// Result of a workspace scan.
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub diags: Vec<Diag>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Scan the workspace rooted at `root` (the directory holding
+/// `ARCHITECTURE.md` and `crates/`) with every rule.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = source::collect_sources(root)?;
+    let mut parsed = Vec::with_capacity(files.len());
+    for (rel, path) in &files {
+        let text = std::fs::read_to_string(path)?;
+        parsed.push(SourceFile::parse(rel, &text));
+    }
+    let mut diags = Vec::new();
+    let mut regs = Vec::new();
+    for f in &parsed {
+        diags.extend(f.pre_diags.iter().cloned());
+        rules::determinism::check(f, &mut diags);
+        rules::hotpath::check(f, &mut diags);
+        rules::locks::check(f, &mut diags);
+        regs.extend(rules::obsnames::collect(f, &mut diags));
+    }
+    rules::obsnames::check_unique(&regs, &mut diags);
+
+    let arch_path = root.join("ARCHITECTURE.md");
+    let channels_path = root.join("crates/core/src/audit/channels.rs");
+    let arch = std::fs::read_to_string(&arch_path).unwrap_or_default();
+    let channels = std::fs::read_to_string(&channels_path).unwrap_or_default();
+    rules::docsync::check(
+        &arch,
+        "ARCHITECTURE.md",
+        &channels,
+        "crates/core/src/audit/channels.rs",
+        &regs,
+        &mut diags,
+    );
+
+    let diags = finish(diags, &parsed);
+    Ok(Report {
+        diags,
+        files_scanned: parsed.len(),
+    })
+}
+
+/// Lint a single source text as if it lived at `rel` in the workspace —
+/// the per-file rules only (R1, R2, R5, plus R3 name-format and in-file
+/// uniqueness). Used by the fixture tests and handy for editor
+/// integration.
+pub fn lint_source(rel: &str, text: &str) -> Vec<Diag> {
+    let f = SourceFile::parse(rel, text);
+    let mut diags = f.pre_diags.clone();
+    rules::determinism::check(&f, &mut diags);
+    rules::hotpath::check(&f, &mut diags);
+    rules::locks::check(&f, &mut diags);
+    let regs = rules::obsnames::collect(&f, &mut diags);
+    rules::obsnames::check_unique(&regs, &mut diags);
+    finish(diags, std::slice::from_ref(&f))
+}
+
+/// Apply per-line suppressions and sort deterministically.
+fn finish(diags: Vec<Diag>, files: &[SourceFile]) -> Vec<Diag> {
+    let mut out: Vec<Diag> = diags
+        .into_iter()
+        .filter(|d| {
+            !files
+                .iter()
+                .find(|f| f.rel == d.file)
+                .is_some_and(|f| f.allowed(d.line, d.rule))
+        })
+        .collect();
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_runs_per_file_rules() {
+        let diags = lint_source(
+            "crates/sched/src/x.rs",
+            "fn f() { let t = Instant::now(); }\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, diag::R1_SIM_DETERMINISM);
+    }
+
+    #[test]
+    fn suppressions_filter_findings() {
+        let diags = lint_source(
+            "crates/sched/src/x.rs",
+            "fn f() { let t = Instant::now(); } // analyze:allow(sim-determinism): test shim\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_exempt() {
+        assert!(lint_source(
+            "crates/bench/src/x.rs",
+            "fn f() { let t = Instant::now(); }\n"
+        )
+        .is_empty());
+    }
+}

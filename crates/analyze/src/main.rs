@@ -1,0 +1,67 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! eus-analyze [--root <dir>] [--json] [--deny]
+//! ```
+//!
+//! `--deny` exits non-zero when any finding survives suppression — the CI
+//! mode. `--json` emits the machine-readable findings array instead of
+//! the human rendering.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("eus-analyze: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: eus-analyze [--root <dir>] [--json] [--deny]");
+                println!("rules: {}", eus_analyze::diag::ALL_RULES.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("eus-analyze: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match eus_analyze::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("eus-analyze: failed to scan {} — {e}", root.display());
+            eprintln!("hint: run from the workspace root or pass --root <dir>");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", eus_analyze::render_json(&report.diags));
+    } else {
+        for d in &report.diags {
+            println!("{}", d.human());
+        }
+        println!(
+            "eus-analyze: {} finding{} across {} files",
+            report.diags.len(),
+            if report.diags.len() == 1 { "" } else { "s" },
+            report.files_scanned
+        );
+    }
+    if deny && !report.diags.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

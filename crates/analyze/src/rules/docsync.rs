@@ -1,0 +1,256 @@
+//! R4 `docs-sync`: the two load-bearing tables in ARCHITECTURE.md must
+//! match the code, in both directions.
+//!
+//! - The **audit-channel table** mirrors `enum Channel` in
+//!   `crates/core/src/audit/channels.rs`. A variant added without a doc
+//!   row loses its paper cross-reference; a doc row whose variant was
+//!   renamed documents a channel that no longer exists.
+//! - The **obs span table** mirrors the workspace's `Recorder::span`
+//!   registrations. Spans are the phase vocabulary every perf
+//!   investigation starts from, so a missing or stale row misdirects
+//!   whoever reads the table first.
+
+use crate::diag::{Diag, R4_DOCS_SYNC as RULE};
+use crate::lexer::{lex, TokKind};
+use crate::rules::obsnames::Registration;
+use std::collections::BTreeMap;
+
+/// Cross-check both tables. `arch` is the ARCHITECTURE.md text, `channels`
+/// the source of `crates/core/src/audit/channels.rs`, `spans` the span
+/// registrations collected by R3.
+pub fn check(
+    arch: &str,
+    arch_path: &str,
+    channels: &str,
+    channels_path: &str,
+    spans: &[Registration],
+    out: &mut Vec<Diag>,
+) {
+    // --- audit channels ---
+    let code_channels = channel_variants(channels);
+    let (audit_header, audit_rows) = table_rows(arch, "channel");
+    if code_channels.is_empty() {
+        out.push(Diag {
+            file: channels_path.to_string(),
+            line: 1,
+            rule: RULE,
+            msg: "could not find `enum Channel` variants to cross-check".into(),
+            hint: "keep the audit channel enum in crates/core/src/audit/channels.rs".into(),
+        });
+    }
+    if audit_rows.is_empty() {
+        out.push(Diag {
+            file: arch_path.to_string(),
+            line: 1,
+            rule: RULE,
+            msg: "ARCHITECTURE.md has no audit-channel table (header cell `channel`)".into(),
+            hint: "restore the `| channel | … |` table".into(),
+        });
+    }
+    for (variant, _line) in &code_channels {
+        if !audit_rows.contains_key(variant) {
+            out.push(Diag {
+                file: arch_path.to_string(),
+                line: audit_header.unwrap_or(1),
+                rule: RULE,
+                msg: format!(
+                    "audit channel `{variant}` ({channels_path}) has no row in the \
+                     ARCHITECTURE.md audit table"
+                ),
+                hint: "add a row documenting the paper section and llsc/closed-by status".into(),
+            });
+        }
+    }
+    for (name, line) in &audit_rows {
+        if !code_channels.iter().any(|(v, _)| v == name) {
+            out.push(Diag {
+                file: arch_path.to_string(),
+                line: *line,
+                rule: RULE,
+                msg: format!(
+                    "ARCHITECTURE.md documents audit channel `{name}` which does not exist \
+                     in {channels_path}"
+                ),
+                hint: "remove the row or rename it to the current Channel variant".into(),
+            });
+        }
+    }
+
+    // --- obs spans ---
+    let (span_header, span_rows) = table_rows(arch, "span");
+    if span_rows.is_empty() {
+        out.push(Diag {
+            file: arch_path.to_string(),
+            line: 1,
+            rule: RULE,
+            msg: "ARCHITECTURE.md has no obs span table (header cell `span`)".into(),
+            hint: "restore the `| span | covers |` table".into(),
+        });
+    }
+    let registered: BTreeMap<&str, &Registration> = spans
+        .iter()
+        .filter(|r| r.kind == "span")
+        .map(|r| (r.name.as_str(), r))
+        .collect();
+    for (name, reg) in &registered {
+        if !span_rows.contains_key(*name) {
+            out.push(Diag {
+                file: arch_path.to_string(),
+                line: span_header.unwrap_or(1),
+                rule: RULE,
+                msg: format!(
+                    "obs span `{name}` (registered at {}:{}) has no row in the \
+                     ARCHITECTURE.md span table",
+                    reg.file, reg.line
+                ),
+                hint: "add a row describing what the span covers".into(),
+            });
+        }
+    }
+    for (name, line) in &span_rows {
+        if !registered.contains_key(name.as_str()) {
+            out.push(Diag {
+                file: arch_path.to_string(),
+                line: *line,
+                rule: RULE,
+                msg: format!(
+                    "ARCHITECTURE.md documents obs span `{name}` which is not registered \
+                     anywhere in the workspace"
+                ),
+                hint: "remove the row or restore the rec.span(\"…\") registration".into(),
+            });
+        }
+    }
+}
+
+/// Parse the fieldless variants of `pub enum Channel { … }` with their
+/// lines.
+fn channel_variants(src: &str) -> Vec<(String, u32)> {
+    let toks = lex(src).toks;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text == "enum"
+            && toks.get(i + 1).is_some_and(|t| t.text == "Channel")
+        {
+            // Walk the variant list at brace depth 1; attributes are
+            // skipped, variants are idents directly followed by `,` or `}`.
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return out;
+                            }
+                        }
+                        _ => {}
+                    }
+                } else if t.kind == TokKind::Ident && depth == 1 {
+                    let next_is_sep = toks.get(j + 1).is_some_and(|n| {
+                        n.kind == TokKind::Punct && (n.text == "," || n.text == "}")
+                    });
+                    if next_is_sep {
+                        out.push((t.text.clone(), t.line));
+                    }
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Extract `first-cell -> line` for the markdown table whose header's
+/// first cell is `header_cell`. Rows run until the first non-`|` line;
+/// the `|---|` separator is skipped; cells are stripped of backticks.
+fn table_rows(md: &str, header_cell: &str) -> (Option<u32>, BTreeMap<String, u32>) {
+    let mut rows = BTreeMap::new();
+    let mut header_line = None;
+    let mut in_table = false;
+    for (idx, raw) in md.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = raw.trim();
+        if !line.starts_with('|') {
+            if in_table {
+                break;
+            }
+            continue;
+        }
+        let first = line
+            .trim_start_matches('|')
+            .split('|')
+            .next()
+            .unwrap_or("")
+            .trim()
+            .trim_matches('`')
+            .to_string();
+        if !in_table {
+            if first == header_cell {
+                in_table = true;
+                header_line = Some(line_no);
+            }
+            continue;
+        }
+        if first.chars().all(|c| c == '-' || c == ':') {
+            continue; // separator row
+        }
+        if !first.is_empty() {
+            rows.insert(first, line_no);
+        }
+    }
+    (header_line, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHANNELS: &str = "pub enum Channel {\n    ProcList,\n    NetTcp,\n}\n";
+    const ARCH: &str = "# arch\n\n| channel | sect |\n|---|---|\n| `ProcList` | 1 |\n| `NetTcp` | 2 |\n\n| span | covers |\n|---|---|\n| `sched.cycle.select` | x |\n";
+
+    fn span_reg(name: &str) -> Registration {
+        Registration {
+            name: name.into(),
+            kind: "span".into(),
+            file: "crates/sched/src/obs.rs".into(),
+            line: 10,
+        }
+    }
+
+    #[test]
+    fn in_sync_is_clean() {
+        let mut out = Vec::new();
+        check(
+            ARCH,
+            "ARCHITECTURE.md",
+            CHANNELS,
+            "channels.rs",
+            &[span_reg("sched.cycle.select")],
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn drift_is_caught_both_directions() {
+        let mut out = Vec::new();
+        // Code has a channel the docs lack, docs have a span the code lacks.
+        check(
+            ARCH,
+            "ARCHITECTURE.md",
+            "pub enum Channel { ProcList, NetTcp, GpuRemanence }",
+            "channels.rs",
+            &[],
+            &mut out,
+        );
+        assert!(out.iter().any(|d| d.msg.contains("GpuRemanence")));
+        assert!(out.iter().any(|d| d.msg.contains("sched.cycle.select")));
+    }
+}

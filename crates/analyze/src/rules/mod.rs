@@ -1,0 +1,22 @@
+//! The rule passes. R1/R2/R5 are per-file token scans; R3 collects obs
+//! registrations per file and checks uniqueness across the workspace; R4
+//! cross-checks ARCHITECTURE.md tables against the code.
+
+pub mod determinism;
+pub mod docsync;
+pub mod hotpath;
+pub mod locks;
+pub mod obsnames;
+
+use crate::source::SourceFile;
+
+/// Crates whose *purpose* exempts them from the engine-invariant rules:
+/// `bench` is wall-clock measurement by definition, and `analyze` is the
+/// linter itself (its fixtures and scanners mention every banned pattern).
+pub fn engine_scope(file: &SourceFile) -> bool {
+    match file.crate_name.as_deref() {
+        Some("bench") | Some("analyze") => false,
+        Some(_) => true,
+        None => false,
+    }
+}

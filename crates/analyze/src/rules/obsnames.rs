@@ -1,0 +1,130 @@
+//! R3 `obs-naming`: every obs registration (`Recorder::counter/gauge/span`,
+//! `SharedStats::slot`) uses the dotted `plane.subsystem.name` convention
+//! (at least three lowercase dot-separated segments) and each name is
+//! registered at exactly one source site — duplicate registrations split
+//! one logical metric across two ids and corrupt dashboards silently.
+//!
+//! Scope: engine crates, excluding `crates/obs` itself (the framework's
+//! internals and doctests exercise arbitrary names) and `bench`
+//! (microbench probes are deliberately outside the plane taxonomy).
+
+use crate::diag::{Diag, R3_OBS_NAMING as RULE};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+const REGISTER_METHODS: &[&str] = &["counter", "gauge", "span", "slot"];
+
+/// One obs registration site.
+#[derive(Debug, Clone)]
+pub struct Registration {
+    /// The registered dotted name.
+    pub name: String,
+    /// Which method registered it (`counter`/`gauge`/`span`/`slot`).
+    pub kind: String,
+    pub file: String,
+    pub line: u32,
+}
+
+/// Scan one file for registrations, emitting naming-format findings and
+/// returning the sites for the workspace-level uniqueness pass (and for
+/// R4's span-table cross-check).
+pub fn collect(file: &SourceFile, out: &mut Vec<Diag>) -> Vec<Registration> {
+    let mut regs = Vec::new();
+    if !super::engine_scope(file) || file.rel.starts_with("crates/obs/") {
+        return regs;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || !REGISTER_METHODS.contains(&t.text.as_str())
+            || i == 0
+            || !file.punct(i - 1, '.')
+            || !file.punct(i + 1, '(')
+        {
+            continue;
+        }
+        let Some(arg) = toks.get(i + 2) else { continue };
+        if arg.kind != TokKind::Str {
+            // Not an obs registration (e.g. an unrelated `.slot(idx)`):
+            // obs names are literal strings by construction.
+            continue;
+        }
+        let name = arg.text.clone();
+        if !well_formed(&name) {
+            out.push(Diag {
+                file: file.rel.clone(),
+                line: arg.line,
+                rule: RULE,
+                msg: format!(
+                    "obs {} name `{name}` does not match the plane.subsystem.name convention",
+                    t.text
+                ),
+                hint: "use >= 3 dot-separated segments of [a-z0-9_], e.g. sched.cycle.select"
+                    .into(),
+            });
+        }
+        regs.push(Registration {
+            name,
+            kind: t.text.clone(),
+            file: file.rel.clone(),
+            line: arg.line,
+        });
+    }
+    regs
+}
+
+/// Workspace pass: each name registered at exactly one site.
+pub fn check_unique(regs: &[Registration], out: &mut Vec<Diag>) {
+    let mut by_name: BTreeMap<&str, Vec<&Registration>> = BTreeMap::new();
+    for r in regs {
+        by_name.entry(&r.name).or_default().push(r);
+    }
+    for (name, sites) in by_name {
+        if sites.len() < 2 {
+            continue;
+        }
+        let first = sites[0];
+        for dup in &sites[1..] {
+            out.push(Diag {
+                file: dup.file.clone(),
+                line: dup.line,
+                rule: RULE,
+                msg: format!(
+                    "obs name `{name}` registered more than once (first at {}:{})",
+                    first.file, first.line
+                ),
+                hint: "register each metric exactly once and share the returned id".into(),
+            });
+        }
+    }
+}
+
+/// `plane.subsystem.name`: >= 3 non-empty lowercase segments.
+fn well_formed(name: &str) -> bool {
+    let segs: Vec<&str> = name.split('.').collect();
+    segs.len() >= 3
+        && segs.iter().all(|s| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_names() {
+        assert!(well_formed("sched.cycle.select"));
+        assert!(well_formed("revsync.validate.unknown_realm"));
+        assert!(!well_formed("sched.cycle"));
+        assert!(!well_formed("Sched.Cycle.Select"));
+        assert!(!well_formed("sched..select"));
+    }
+}

@@ -1,0 +1,15 @@
+//! R1 fixture: deterministic equivalents of everything `r1_bad.rs` does.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn sim_clock(now: u64) -> u64 {
+    now + 1
+}
+
+pub fn stable_order(sorted: &BTreeMap<u32, u32>) -> Vec<u32> {
+    sorted.keys().copied().collect()
+}
+
+pub fn point_lookup(hashed: &HashMap<u32, u32>, k: u32) -> Option<u32> {
+    hashed.get(&k).copied()
+}

@@ -1,0 +1,12 @@
+//! R2 fixture: the panic vocabulary inside an annotated hot region.
+
+// analyze:hot-path-begin(fixture-kernel)
+pub fn kernel(xs: &[u64], i: usize) -> u64 {
+    let head = xs[i];
+    let parsed: u64 = "7".parse().unwrap();
+    if head == 0 {
+        panic!("zero head");
+    }
+    head + parsed
+}
+// analyze:hot-path-end

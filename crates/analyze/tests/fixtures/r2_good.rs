@@ -1,0 +1,15 @@
+//! R2 fixture: the same kernel, panic-free (and `debug_assert!` stays
+//! legal — it compiles out of release builds).
+
+// analyze:hot-path-begin(fixture-kernel)
+pub fn kernel(xs: &[u64], i: usize) -> u64 {
+    debug_assert!(i <= xs.len());
+    let head = xs.get(i).copied().unwrap_or(0);
+    let parsed: u64 = "7".parse().unwrap_or(0);
+    head.saturating_add(parsed)
+}
+// analyze:hot-path-end
+
+pub fn setup(xs: &[u64]) -> u64 {
+    xs[0]
+}

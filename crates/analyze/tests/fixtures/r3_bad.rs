@@ -1,0 +1,10 @@
+//! R3 fixture: malformed and duplicate obs registrations.
+
+pub fn register(rec: &mut Recorder) -> (CounterId, SpanId, CounterId, CounterId) {
+    (
+        rec.counter("malformed name"),
+        rec.span("sched.cycle"),
+        rec.counter("sched.fixture.dup"),
+        rec.counter("sched.fixture.dup"),
+    )
+}

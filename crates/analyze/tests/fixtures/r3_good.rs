@@ -1,0 +1,10 @@
+//! R3 fixture: well-formed `plane.subsystem.name` registrations, each
+//! registered exactly once.
+
+pub fn register(rec: &mut Recorder) -> (CounterId, SpanId, GaugeId) {
+    (
+        rec.counter("sched.fixture.hits"),
+        rec.span("sched.fixture.scan"),
+        rec.gauge("sched.fixture.depth"),
+    )
+}

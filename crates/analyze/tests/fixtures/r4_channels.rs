@@ -1,0 +1,6 @@
+//! R4 fixture: the audit-channel enum the doc tables mirror.
+
+pub enum Channel {
+    ProcList,
+    NetTcp,
+}

@@ -1,0 +1,15 @@
+//! R5 fixture: a second lock acquired while a guard is still live.
+
+use parking_lot::{Mutex, RwLock};
+
+pub struct S {
+    a: Mutex<u32>,
+    b: RwLock<u32>,
+}
+
+impl S {
+    pub fn nested(&self) -> u32 {
+        let ga = self.a.lock();
+        *ga + *self.b.read()
+    }
+}

@@ -1,0 +1,24 @@
+//! R5 fixture: the same data, locks taken one scope at a time.
+
+use parking_lot::{Mutex, RwLock};
+
+pub struct S {
+    a: Mutex<u32>,
+    b: RwLock<u32>,
+}
+
+impl S {
+    pub fn sequential(&self) -> u32 {
+        let x = *self.a.lock();
+        let y = *self.b.read();
+        x + y
+    }
+
+    pub fn scoped(&self) -> u32 {
+        let x = {
+            let ga = self.a.lock();
+            *ga
+        };
+        x + *self.b.read()
+    }
+}

@@ -21,6 +21,7 @@
 //! decision. Emits `BENCH_obs_overhead.json` (smoke mode writes a sibling
 //! path so CI cannot clobber the committed trajectory point).
 
+use eus_bench::assert_or_dump;
 use eus_obs::{ObsConfig, Recorder};
 use eus_sched::{SchedConfig, Scheduler};
 use eus_simcore::{SimRng, SimTime};
@@ -118,13 +119,19 @@ fn main() {
     // Loud replay: same storm, obs on. Must not perturb the schedule.
     let (loud, s) = replay(nodes, &trace, Some(ObsConfig::enabled()));
     let s = s.unwrap();
-    assert_eq!(
-        loud.makespan, quiet.makespan,
-        "enabling obs must not change the makespan"
+    assert_or_dump!(
+        loud.makespan == quiet.makespan,
+        s.obs.rec.flight.render_tail("obs-overhead", 64),
+        "enabling obs must not change the makespan: loud {:?} vs quiet {:?}",
+        loud.makespan,
+        quiet.makespan
     );
-    assert_eq!(
-        loud.completed, quiet.completed,
-        "enabling obs must not change job outcomes"
+    assert_or_dump!(
+        loud.completed == quiet.completed,
+        s.obs.rec.flight.render_tail("obs-overhead", 64),
+        "enabling obs must not change job outcomes: loud {} vs quiet {}",
+        loud.completed,
+        quiet.completed
     );
     println!(
         "loud replay:    {:.3} s wall, outcomes identical",
@@ -146,8 +153,9 @@ fn main() {
 
     // Acceptance: the disabled instrumentation path costs < 1% of the
     // 1 h-trace replay.
-    assert!(
+    assert_or_dump!(
         disabled_pct < 1.0,
+        s.obs.rec.flight.render_tail("obs-overhead", 64),
         "disabled-path overhead must stay below 1%, measured {disabled_pct:.4}%"
     );
 

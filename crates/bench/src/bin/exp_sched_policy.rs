@@ -16,7 +16,9 @@
 //! Emits `BENCH_sched_policy.json` (smoke runs write the `.smoke` sibling
 //! so CI never clobbers the committed full-mode trajectory point).
 
+use eus_bench::assert_or_dump;
 use eus_bench::table::{f, TextTable};
+use eus_obs::ObsConfig;
 use eus_sched::{JobState, NodeSharing, QosClass, SchedConfig, Scheduler};
 use eus_simcore::{SimDuration, SimRng, SimTime};
 use eus_simos::UserDb;
@@ -31,6 +33,8 @@ struct PreemptRow {
     max_wait_s: f64,
     preemptions: usize,
     bulk_completed: u64,
+    /// Rendered flight-recorder tail, dumped if an acceptance gate fails.
+    flight_tail: String,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -56,6 +60,7 @@ fn run_preemption(nodes: u32, bulk: usize, interactive: usize, window: SimTime) 
             preemption,
             ..SchedConfig::default()
         });
+        s.enable_obs(ObsConfig::enabled());
         for _ in 0..nodes {
             s.add_node(16, 65_536, 0);
         }
@@ -87,6 +92,7 @@ fn run_preemption(nodes: u32, bulk: usize, interactive: usize, window: SimTime) 
             max_wait_s: waits.last().copied().unwrap_or(0.0),
             preemptions: s.preemptions.len(),
             bulk_completed,
+            flight_tail: s.obs.rec.flight.render_tail(mode, 48),
         });
     }
     rows
@@ -97,6 +103,8 @@ struct FairShareRow {
     /// `starts[partition][window]`
     starts: Vec<Vec<u64>>,
     starved_windows: usize,
+    /// Rendered flight-recorder tail, dumped if an acceptance gate fails.
+    flight_tail: String,
 }
 
 /// Scenario B: the multi-partition storm, with and without fair-share.
@@ -122,6 +130,7 @@ fn run_fair_share(
             fair_share,
             ..SchedConfig::default()
         });
+        s.enable_obs(ObsConfig::enabled());
         let mut next = 1u32;
         {
             let mut ranges: Vec<(&str, Vec<eus_simos::NodeId>)> = Vec::new();
@@ -177,6 +186,7 @@ fn run_fair_share(
             mode,
             starts,
             starved_windows: starved,
+            flight_tail: s.obs.rec.flight.render_tail(mode, 48),
         });
     }
     rows
@@ -189,6 +199,7 @@ fn run_reservations() -> Vec<(u64, f64)> {
         reservations: 8,
         ..SchedConfig::default()
     });
+    s.enable_obs(ObsConfig::enabled());
     for _ in 0..4 {
         s.add_node(16, 65_536, 0);
     }
@@ -224,8 +235,16 @@ fn run_reservations() -> Vec<(u64, f64)> {
         out.push((i as u64, est.since(SimTime::ZERO).as_secs_f64()));
     }
     // Back-to-back plan: 600, 900, 1200.
-    assert_eq!(out[0].1, 600.0, "first reservation at the wall release");
-    assert!(out[1].1 >= 900.0 && out[2].1 >= 1200.0, "{out:?}");
+    assert_or_dump!(
+        out[0].1 == 600.0,
+        s.obs.rec.flight.render_tail("reservations", 48),
+        "first reservation at the wall release, got {out:?}"
+    );
+    assert_or_dump!(
+        out[1].1 >= 900.0 && out[2].1 >= 1200.0,
+        s.obs.rec.flight.render_tail("reservations", 48),
+        "{out:?}"
+    );
     out
 }
 
@@ -268,12 +287,22 @@ fn main() {
     print!("{}", table.render());
     let wait_ratio = prows[0].mean_wait_s / prows[1].mean_wait_s.max(1.0);
     println!("interactive mean-wait improvement: {:.0}x\n", wait_ratio);
-    assert!(
+    assert_or_dump!(
         wait_ratio >= 10.0,
+        prows[1].flight_tail,
         "preemption must cut interactive wait by >=10x, got {wait_ratio:.1}x"
     );
-    assert!(prows[1].preemptions > 0, "preemption must actually fire");
-    assert_eq!(prows[0].preemptions, 0, "no preemptions with the knob off");
+    assert_or_dump!(
+        prows[1].preemptions > 0,
+        prows[1].flight_tail,
+        "preemption must actually fire"
+    );
+    assert_or_dump!(
+        prows[0].preemptions == 0,
+        prows[0].flight_tail,
+        "no preemptions with the knob off, got {}",
+        prows[0].preemptions
+    );
 
     // ---- Scenario B: multi-partition fair-share ----------------------
     let (jobs, fwindow, windows) = if smoke {
@@ -304,9 +333,12 @@ fn main() {
     }
     let fcfs = &frows[0];
     let fair = &frows[1];
-    assert_eq!(
-        fair.starved_windows, 0,
-        "with fair-share on, every partition with eligible work starts >=1 job per window"
+    assert_or_dump!(
+        fair.starved_windows == 0,
+        fair.flight_tail,
+        "with fair-share on, every partition with eligible work starts >=1 job per window \
+         (got {} starved)",
+        fair.starved_windows
     );
     println!(
         "head-of-line starvation: fcfs {} starved windows -> fair-share {}\n",

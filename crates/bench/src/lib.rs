@@ -7,6 +7,20 @@
 
 pub mod table;
 
+/// Assert with forensics: when `cond` fails, print the prepared dump (a
+/// rendered [`eus_obs::FlightRecorder::render_tail`], typically) to stderr
+/// before panicking, so a failed acceptance gate ships with the event
+/// history that led to it instead of a bare number mismatch.
+#[macro_export]
+macro_rules! assert_or_dump {
+    ($cond:expr, $forensics:expr, $($arg:tt)+) => {
+        if !$cond {
+            eprintln!("{}", $forensics);
+            panic!($($arg)+);
+        }
+    };
+}
+
 use eus_core::{ClusterSpec, SecureCluster, SeparationConfig};
 use eus_sched::{NodeSharing, SchedConfig, Scheduler};
 use eus_simcore::{SimRng, SimTime};

@@ -393,10 +393,13 @@ impl SecureCluster {
         if let Some(b) = &self.broker {
             // Account provisioning includes the first federated login, so a
             // fresh user holds a live token + SSH certificate (the real
-            // system does this when the user first connects).
-            b.write()
-                .login(&self.db.read(), uid, None)
-                .expect("just created user");
+            // system does this when the user first connects). Global lock
+            // order: user db before broker, matching the portal auth
+            // routes; the parking_lot lock_order_check cfg enforces that
+            // this order stays acyclic.
+            let db = self.db.read();
+            // analyze:allow(lock-discipline): db -> broker is the documented global order
+            b.write().login(&db, uid, None).expect("just created user");
         }
         Ok(uid)
     }
@@ -552,7 +555,11 @@ impl SecureCluster {
     /// broker; unknown users fall through to the gate's denial).
     fn refresh_credentials(&mut self, user: Uid) {
         if let Some(b) = &self.broker {
-            let _ = b.write().ensure_session(&self.db.read(), user);
+            // Global lock order: user db before broker (see create_user);
+            // the lock_order_check cfg enforces acyclicity at runtime.
+            let db = self.db.read();
+            // analyze:allow(lock-discipline): db -> broker is the documented global order
+            let _ = b.write().ensure_session(&db, user);
         }
     }
 

@@ -212,6 +212,7 @@ impl CredentialBroker {
     // Verification (hot path)
     // ------------------------------------------------------------------
 
+    // analyze:hot-path-begin(broker-validate)
     /// Validate a presented bearer token: signature, realm, window,
     /// revocation. Returns the authenticated uid.
     pub fn validate_token(&self, token: &SignedToken) -> Result<Uid, CredError> {
@@ -282,6 +283,7 @@ impl CredentialBroker {
         }
         Err(last)
     }
+    // analyze:hot-path-end
 
     /// The user's live certificate, if any (probes use this to model theft).
     pub fn current_cert(&self, user: Uid) -> Option<SshCertificate> {

@@ -104,6 +104,14 @@ impl ShardedBroker {
         (mix(user.0 as u64) % self.shards.len() as u64) as usize
     }
 
+    /// The lock guarding `user`'s shard — the one indexing site the hot
+    /// validate paths share. The index is structurally in bounds:
+    /// [`shard_of`](Self::shard_of) reduces modulo `shards.len()` and the
+    /// constructor asserts at least one shard.
+    fn shard(&self, user: Uid) -> &RwLock<CredentialBroker> {
+        &self.shards[self.shard_of(user)]
+    }
+
     /// Exclusive lock-free access to the shard for a user (`&mut self`
     /// paths never contend, so they skip the lock entirely).
     fn shard_mut(&mut self, user: Uid) -> &mut CredentialBroker {
@@ -186,52 +194,44 @@ impl CredentialPlane for ShardedBroker {
         self.shard_mut(user).ensure_session(db, user)
     }
 
+    // analyze:hot-path-begin(sharded-validate)
     fn validate_token(&self, token: &SignedToken) -> Result<Uid, CredError> {
         let t0 = self.stats.begin();
-        let r = self.shards[self.shard_of(token.user)]
-            .read()
-            .validate_token(token);
+        let r = self.shard(token.user).read().validate_token(token);
         self.stats.finish(t0, r.is_ok());
         r
     }
 
     fn validate_cert(&self, cert: &SshCertificate) -> Result<Uid, CredError> {
         let t0 = self.stats.begin();
-        let r = self.shards[self.shard_of(cert.user)]
-            .read()
-            .validate_cert(cert);
+        let r = self.shard(cert.user).read().validate_cert(cert);
         self.stats.finish(t0, r.is_ok());
         r
     }
 
     fn validate_serial(&self, user: Uid, serial: CredSerial) -> Result<(), CredError> {
-        self.shards[self.shard_of(user)]
-            .read()
-            .validate_serial(user, serial)
+        self.shard(user).read().validate_serial(user, serial)
     }
 
     fn authorize_ssh(&self, user: Uid) -> Result<(), CredError> {
-        self.shards[self.shard_of(user)].read().authorize_ssh(user)
+        self.shard(user).read().authorize_ssh(user)
     }
 
     fn authorize_submit(&self, user: Uid) -> Result<(), CredError> {
-        self.shards[self.shard_of(user)]
-            .read()
-            .authorize_submit(user)
+        self.shard(user).read().authorize_submit(user)
     }
 
     fn authorize_submit_at(&self, user: Uid, at: SimTime) -> Result<(), CredError> {
-        self.shards[self.shard_of(user)]
-            .read()
-            .authorize_submit_at(user, at)
+        self.shard(user).read().authorize_submit_at(user, at)
     }
+    // analyze:hot-path-end
 
     fn current_cert(&self, user: Uid) -> Option<SshCertificate> {
-        self.shards[self.shard_of(user)].read().current_cert(user)
+        self.shard(user).read().current_cert(user)
     }
 
     fn current_token(&self, user: Uid) -> Option<SignedToken> {
-        self.shards[self.shard_of(user)].read().current_token(user)
+        self.shard(user).read().current_token(user)
     }
 
     fn revoke_serial(&mut self, serial: CredSerial) {
@@ -281,11 +281,11 @@ impl CredentialPlane for ShardedBroker {
     }
 
     fn mfa_challenged(&self, user: Uid) -> bool {
-        CredentialPlane::mfa_challenged(&*self.shards[self.shard_of(user)].read(), user)
+        CredentialPlane::mfa_challenged(&*self.shard(user).read(), user)
     }
 
     fn current_mfa_code(&self, user: Uid) -> Option<MfaCode> {
-        CredentialPlane::current_mfa_code(&*self.shards[self.shard_of(user)].read(), user)
+        CredentialPlane::current_mfa_code(&*self.shard(user).read(), user)
     }
 
     fn revocation_head(&self) -> u64 {
@@ -313,11 +313,7 @@ impl CredentialPlane for ShardedBroker {
         user: Uid,
         mfa: Option<MfaCode>,
     ) -> Option<Result<SignedToken, CredError>> {
-        Some(
-            self.shards[self.shard_of(user)]
-                .write()
-                .login(db, user, mfa),
-        )
+        Some(self.shard(user).write().login(db, user, mfa))
     }
 
     /// Shard-parallel batch verification

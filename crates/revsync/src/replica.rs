@@ -168,6 +168,7 @@ impl CrlReplica {
         ApplyOutcome::Applied(fresh)
     }
 
+    // analyze:hot-path-begin(replica-lookup)
     /// Validate a bearer token against the replica with a staleness budget:
     /// refuse outright when the replica is older than `max_lag` (bounded
     /// staleness fails closed), otherwise verify the signature/window
@@ -211,6 +212,7 @@ impl CrlReplica {
         }
         Ok(())
     }
+    // analyze:hot-path-end
 }
 
 #[cfg(test)]

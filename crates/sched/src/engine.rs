@@ -270,6 +270,7 @@ impl ShadowNode {
         }
     }
 
+    // analyze:hot-path-begin(sched-shadow-fit)
     /// Tasks of `spec` this shadow node could host right now — the shadow
     /// counterpart of `node_admits` + `tasks_that_fit`, capped at
     /// `u32::MAX` exactly like the real fit computation.
@@ -321,6 +322,7 @@ impl ShadowNode {
         }
         *total += self.fit(spec, policy);
     }
+    // analyze:hot-path-end
 }
 
 /// The scheduler.
@@ -1273,6 +1275,7 @@ impl Scheduler {
     // Placement over the incremental index
     // ------------------------------------------------------------------
 
+    // analyze:hot-path-begin(sched-placement)
     /// The greedy per-node allocation, identical to the reference's.
     fn alloc_for(node: &SchedNode, spec: &JobSpec, policy: NodeSharing, fit: u32) -> TaskAlloc {
         if policy.charges_whole_node(spec) {
@@ -1311,7 +1314,9 @@ impl Scheduler {
             if eligible.is_some_and(|set| !set.contains(&nid)) {
                 return;
             }
-            let node = &self.nodes[&nid];
+            let Some(node) = self.nodes.get(&nid) else {
+                return; // stale index entry: node was removed this cycle
+            };
             if !policy.node_admits(node, user, spec) {
                 return;
             }
@@ -1356,7 +1361,8 @@ impl Scheduler {
                         if !source.contains(&nid) {
                             continue;
                         }
-                        if shared_path && self.nodes[&nid].owner() == Some(user) {
+                        if shared_path && self.nodes.get(&nid).and_then(|n| n.owner()) == Some(user)
+                        {
                             continue; // phase 1 already visited
                         }
                         try_node(nid, &mut remaining, &mut placement);
@@ -1367,7 +1373,8 @@ impl Scheduler {
                         if remaining == 0 {
                             break;
                         }
-                        if shared_path && self.nodes[&nid].owner() == Some(user) {
+                        if shared_path && self.nodes.get(&nid).and_then(|n| n.owner()) == Some(user)
+                        {
                             continue; // phase 1 already visited
                         }
                         try_node(nid, &mut remaining, &mut placement);
@@ -1382,6 +1389,7 @@ impl Scheduler {
             None
         }
     }
+    // analyze:hot-path-end
 
     /// Earliest time the head job could start, assuming running jobs end on
     /// schedule (the EASY shadow time).
@@ -1426,6 +1434,7 @@ impl Scheduler {
         result
     }
 
+    // analyze:hot-path-begin(sched-shadow-replay)
     /// The maintained `Σ fit` for `head` over `snodes`, establishing the
     /// incremental tracker on first sight of this head (unless `track` is
     /// off — ad-hoc probes read, never evict).
@@ -1481,11 +1490,16 @@ impl Scheduler {
         // Replay running-job releases in end-time order — `running_ends` is
         // maintained in exactly that order, so no per-cycle collect + sort.
         for &(end_t, jid) in &self.running_ends {
-            for (&nid, alloc) in &self.jobs[&jid].allocations {
+            let Some(job) = self.jobs.get(&jid) else {
+                continue; // jobs retains every submission; miss is impossible
+            };
+            for (&nid, alloc) in &job.allocations {
                 let Ok(idx) = snodes.binary_search_by_key(&nid, |sn| sn.id) else {
                     continue; // allocation on an ineligible node
                 };
-                snodes[idx].fold_release(alloc, spec, policy, &mut total);
+                if let Some(sn) = snodes.get_mut(idx) {
+                    sn.fold_release(alloc, spec, policy, &mut total);
+                }
             }
             if total >= needed {
                 return end_t;
@@ -1493,6 +1507,7 @@ impl Scheduler {
         }
         SimTime::MAX
     }
+    // analyze:hot-path-end
 
     fn try_schedule(&mut self) {
         if self.config.policy_plane_active() {

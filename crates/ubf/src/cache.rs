@@ -50,6 +50,7 @@ impl DecisionCache {
         }
     }
 
+    // analyze:hot-path-begin(ubf-cache)
     /// Cached decision, if present.
     pub fn get(&self, key: &CacheKey) -> Option<bool> {
         self.map.get(key).copied()
@@ -69,6 +70,7 @@ impl DecisionCache {
             }
         }
     }
+    // analyze:hot-path-end
 
     /// Drop everything (group membership changed).
     pub fn invalidate_all(&mut self) {

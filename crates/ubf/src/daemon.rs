@@ -126,6 +126,7 @@ impl QueueHandler for UbfDaemon {
         "ubf-daemon"
     }
 
+    // analyze:hot-path-begin(ubf-match)
     fn judge(&mut self, ctx: &mut QueueCtx<'_>) -> Verdict {
         // Local lookup of our own endpoint (one daemon lookup).
         ctx.costs.daemon_lookups += 1;
@@ -175,6 +176,7 @@ impl QueueHandler for UbfDaemon {
             Verdict::Drop
         }
     }
+    // analyze:hot-path-end
 }
 
 #[cfg(test)]

@@ -58,6 +58,7 @@ impl Default for UbfPolicy {
     }
 }
 
+// analyze:hot-path-begin(ubf-decide)
 /// Decide a (initiator → listener) connection against the user database.
 pub fn decide(
     policy: &UbfPolicy,
@@ -76,6 +77,7 @@ pub fn decide(
     }
     Decision::Deny
 }
+// analyze:hot-path-end
 
 #[cfg(test)]
 mod tests {

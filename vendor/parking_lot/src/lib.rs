@@ -3,13 +3,164 @@
 //! implemented over `std::sync`. Panics while holding a lock abort the wait
 //! chain exactly as parking_lot's poison-free semantics would mask, which is
 //! acceptable for this deterministic simulation workspace.
+//!
+//! # Lock-order checking (`--cfg lock_order_check`)
+//!
+//! Built with `RUSTFLAGS="--cfg lock_order_check"`, every acquisition is
+//! recorded in a per-thread held stack and a process-global order graph:
+//! observing thread-side order A→B adds the edge A→B, and an acquisition
+//! that would close a cycle (B held while taking A after A→B was ever
+//! observed, on *any* thread) panics with a `lock order violation` message
+//! *before* blocking — so latent deadlocks surface deterministically even
+//! in runs where the interleaving never actually deadlocks. Shared (read)
+//! re-acquisition of a lock this thread already holds shared is permitted,
+//! matching real parking_lot; any other same-lock re-entry is reported as a
+//! self-deadlock. The checker costs one atomic load per acquisition when
+//! the graph is warm; without the cfg it compiles away entirely.
 
 use std::fmt;
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+#[cfg(lock_order_check)]
+use std::sync::atomic::AtomicUsize;
+
+#[cfg(lock_order_check)]
+mod order {
+    //! The dynamic lock-order checker: per-thread acquisition stacks feeding
+    //! a global ordering graph, cycle-checked on every edge insertion.
+
+    use std::cell::RefCell;
+    use std::collections::{HashMap, HashSet};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    /// Ids start at 1 so 0 can mean "not yet assigned" in each lock's slot.
+    static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
+
+    /// Lazily assign a process-unique id to a lock (CAS so the first
+    /// concurrent acquirer wins and everyone agrees).
+    pub(crate) fn lock_id(slot: &AtomicUsize) -> usize {
+        let cur = slot.load(Ordering::Relaxed);
+        if cur != 0 {
+            return cur;
+        }
+        let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        match slot.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => fresh,
+            Err(winner) => winner,
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct Held {
+        id: usize,
+        shared: bool,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Observed acquisition orders: an edge a→b means some thread held `a`
+    /// while acquiring `b`. Guarded by a `std::sync::Mutex` directly (never
+    /// a shim lock — the checker must not recurse into itself).
+    fn graph() -> &'static Mutex<HashMap<usize, HashSet<usize>>> {
+        static GRAPH: OnceLock<Mutex<HashMap<usize, HashSet<usize>>>> = OnceLock::new();
+        GRAPH.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// Is `to` reachable from `from` along observed edges?
+    fn reaches(g: &HashMap<usize, HashSet<usize>>, from: usize, to: usize) -> bool {
+        let mut stack = vec![from];
+        let mut seen = HashSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if seen.insert(n) {
+                if let Some(next) = g.get(&n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    }
+
+    /// Record that the current thread is about to acquire lock `id`.
+    /// Panics (before the caller blocks) on same-lock re-entry that is not
+    /// shared/shared, or on an acquisition that closes an order cycle.
+    pub(crate) fn acquire(id: usize, shared: bool) -> HeldToken {
+        HELD.with(|cell| {
+            let outer: Vec<Held> = cell.borrow().clone();
+            for h in &outer {
+                if h.id == id {
+                    if shared && h.shared {
+                        continue; // read-read re-entrancy is legal
+                    }
+                    panic!(
+                        "lock order violation: self-deadlock — thread re-enters lock #{id} \
+                         it already holds ({} then {})",
+                        mode(h.shared),
+                        mode(shared)
+                    );
+                }
+            }
+            if !outer.is_empty() {
+                let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+                for h in &outer {
+                    if h.id == id {
+                        continue;
+                    }
+                    if reaches(&g, id, h.id) {
+                        panic!(
+                            "lock order violation: acquiring lock #{id} while holding \
+                             lock #{held}, but the order #{id} -> #{held} was observed \
+                             earlier — a deadlock-prone inversion",
+                            held = h.id
+                        );
+                    }
+                    g.entry(h.id).or_default().insert(id);
+                }
+            }
+            cell.borrow_mut().push(Held { id, shared });
+        });
+        HeldToken { id }
+    }
+
+    fn mode(shared: bool) -> &'static str {
+        if shared {
+            "shared"
+        } else {
+            "exclusive"
+        }
+    }
+
+    /// Proof of a recorded acquisition; dropping it pops the record. Stored
+    /// after the real guard in each wrapper so the lock is released first.
+    pub(crate) struct HeldToken {
+        id: usize,
+    }
+
+    impl Drop for HeldToken {
+        fn drop(&mut self) {
+            // try_with: the thread-local may already be gone during thread
+            // teardown, and an unwind must not turn into a double panic.
+            let _ = HELD.try_with(|cell| {
+                let mut held = cell.borrow_mut();
+                if let Some(pos) = held.iter().rposition(|h| h.id == self.id) {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+}
 
 /// A mutual-exclusion lock without poisoning.
 #[derive(Default)]
 pub struct Mutex<T: ?Sized> {
+    #[cfg(lock_order_check)]
+    order_id: AtomicUsize,
     inner: sync::Mutex<T>,
 }
 
@@ -17,6 +168,8 @@ impl<T> Mutex<T> {
     /// Wrap a value.
     pub const fn new(value: T) -> Self {
         Mutex {
+            #[cfg(lock_order_check)]
+            order_id: AtomicUsize::new(0),
             inner: sync::Mutex::new(value),
         }
     }
@@ -30,7 +183,13 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        #[cfg(lock_order_check)]
+        let token = order::acquire(order::lock_id(&self.order_id), false);
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+            #[cfg(lock_order_check)]
+            _token: token,
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -48,9 +207,37 @@ impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+/// RAII guard from [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+    #[cfg(lock_order_check)]
+    _token: order::HeldToken,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
 /// A reader–writer lock without poisoning.
 #[derive(Default)]
 pub struct RwLock<T: ?Sized> {
+    #[cfg(lock_order_check)]
+    order_id: AtomicUsize,
     inner: sync::RwLock<T>,
 }
 
@@ -58,6 +245,8 @@ impl<T> RwLock<T> {
     /// Wrap a value.
     pub const fn new(value: T) -> Self {
         RwLock {
+            #[cfg(lock_order_check)]
+            order_id: AtomicUsize::new(0),
             inner: sync::RwLock::new(value),
         }
     }
@@ -71,12 +260,24 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquire shared read access, blocking.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+        #[cfg(lock_order_check)]
+        let token = order::acquire(order::lock_id(&self.order_id), true);
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            #[cfg(lock_order_check)]
+            _token: token,
+        }
     }
 
     /// Acquire exclusive write access, blocking.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+        #[cfg(lock_order_check)]
+        let token = order::acquire(order::lock_id(&self.order_id), false);
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            #[cfg(lock_order_check)]
+            _token: token,
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -91,6 +292,52 @@ impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
             Ok(v) => f.debug_tuple("RwLock").field(&&*v).finish(),
             Err(_) => f.write_str("RwLock(<locked>)"),
         }
+    }
+}
+
+/// RAII shared guard from [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    #[cfg(lock_order_check)]
+    _token: order::HeldToken,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// RAII exclusive guard from [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    #[cfg(lock_order_check)]
+    _token: order::HeldToken,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
     }
 }
 
@@ -116,5 +363,83 @@ mod tests {
         }
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+}
+
+#[cfg(all(test, lock_order_check))]
+mod order_tests {
+    use super::*;
+
+    #[test]
+    fn consistent_nesting_is_quiet() {
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        for _ in 0..3 {
+            let ga = a.lock();
+            let gb = b.lock();
+            assert_eq!(*ga + *gb, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lock order violation")]
+    fn inverted_acquisition_order_panics() {
+        let a = Mutex::new(0u32);
+        let b = RwLock::new(0u32);
+        {
+            let _ga = a.lock();
+            let _gb = b.read(); // establishes a → b
+        }
+        let _gb = b.write();
+        let _ga = a.lock(); // b → a closes the cycle: must panic, not hang
+    }
+
+    #[test]
+    #[should_panic(expected = "lock order violation")]
+    fn transitive_inversion_panics() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let c = Mutex::new(());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // a → b
+        }
+        {
+            let _gb = b.lock();
+            let _gc = c.lock(); // b → c
+        }
+        let _gc = c.lock();
+        let _ga = a.lock(); // c → a closes a → b → c → a
+    }
+
+    #[test]
+    #[should_panic(expected = "lock order violation")]
+    fn same_lock_reentry_is_self_deadlock() {
+        let m = Mutex::new(0u32);
+        let _g1 = m.lock();
+        let _g2 = m.lock(); // would deadlock for real; checker reports it
+    }
+
+    #[test]
+    fn cross_thread_order_is_global() {
+        // Thread 1 observes a → b; thread 2's b → a is an inversion even
+        // though thread 2 never saw the first ordering itself.
+        let a = std::sync::Arc::new(Mutex::new(()));
+        let b = std::sync::Arc::new(Mutex::new(()));
+        {
+            let (a, b) = (a.clone(), b.clone());
+            std::thread::spawn(move || {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            })
+            .join()
+            .unwrap();
+        }
+        let inverted = std::thread::spawn(move || {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        })
+        .join();
+        assert!(inverted.is_err(), "cross-thread inversion must panic");
     }
 }
