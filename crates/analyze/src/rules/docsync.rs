@@ -1,4 +1,4 @@
-//! R4 `docs-sync`: the two load-bearing tables in ARCHITECTURE.md must
+//! R4 `docs-sync`: the load-bearing tables in ARCHITECTURE.md must
 //! match the code, in both directions.
 //!
 //! - The **audit-channel table** mirrors `enum Channel` in
@@ -9,15 +9,20 @@
 //!   registrations. Spans are the phase vocabulary every perf
 //!   investigation starts from, so a missing or stale row misdirects
 //!   whoever reads the table first.
+//! - The **SLO table** mirrors the workspace's `SloPlane::slo`
+//!   registrations. An undocumented objective pages with no runbook; a
+//!   documented objective that was deleted promises alerting that will
+//!   never fire.
 
 use crate::diag::{Diag, R4_DOCS_SYNC as RULE};
 use crate::lexer::{lex, TokKind};
 use crate::rules::obsnames::Registration;
 use std::collections::BTreeMap;
 
-/// Cross-check both tables. `arch` is the ARCHITECTURE.md text, `channels`
-/// the source of `crates/core/src/audit/channels.rs`, `spans` the span
-/// registrations collected by R3.
+/// Cross-check all three tables. `arch` is the ARCHITECTURE.md text,
+/// `channels` the source of `crates/core/src/audit/channels.rs`, `spans`
+/// the registrations collected by R3 (spans and SLOs are filtered out of
+/// it here).
 pub fn check(
     arch: &str,
     arch_path: &str,
@@ -121,6 +126,52 @@ pub fn check(
             });
         }
     }
+
+    // --- SLOs ---
+    let (slo_header, slo_rows) = table_rows(arch, "slo");
+    let slo_regs: BTreeMap<&str, &Registration> = spans
+        .iter()
+        .filter(|r| r.kind == "slo")
+        .map(|r| (r.name.as_str(), r))
+        .collect();
+    if slo_rows.is_empty() && !slo_regs.is_empty() {
+        out.push(Diag {
+            file: arch_path.to_string(),
+            line: 1,
+            rule: RULE,
+            msg: "ARCHITECTURE.md has no SLO table (header cell `slo`)".into(),
+            hint: "restore the `| slo | target | windows |` table".into(),
+        });
+    }
+    for (name, reg) in &slo_regs {
+        if !slo_rows.contains_key(*name) {
+            out.push(Diag {
+                file: arch_path.to_string(),
+                line: slo_header.unwrap_or(1),
+                rule: RULE,
+                msg: format!(
+                    "SLO `{name}` (registered at {}:{}) has no row in the \
+                     ARCHITECTURE.md SLO table",
+                    reg.file, reg.line
+                ),
+                hint: "add a row with the target, aggregation and burn-rate windows".into(),
+            });
+        }
+    }
+    for (name, line) in &slo_rows {
+        if !slo_regs.contains_key(name.as_str()) {
+            out.push(Diag {
+                file: arch_path.to_string(),
+                line: *line,
+                rule: RULE,
+                msg: format!(
+                    "ARCHITECTURE.md documents SLO `{name}` which is not registered \
+                     anywhere in the workspace"
+                ),
+                hint: "remove the row or restore the slo.slo(\"…\", …) registration".into(),
+            });
+        }
+    }
 }
 
 /// Parse the fieldless variants of `pub enum Channel { … }` with their
@@ -213,15 +264,19 @@ mod tests {
     use super::*;
 
     const CHANNELS: &str = "pub enum Channel {\n    ProcList,\n    NetTcp,\n}\n";
-    const ARCH: &str = "# arch\n\n| channel | sect |\n|---|---|\n| `ProcList` | 1 |\n| `NetTcp` | 2 |\n\n| span | covers |\n|---|---|\n| `sched.cycle.select` | x |\n";
+    const ARCH: &str = "# arch\n\n| channel | sect |\n|---|---|\n| `ProcList` | 1 |\n| `NetTcp` | 2 |\n\n| span | covers |\n|---|---|\n| `sched.cycle.select` | x |\n\n| slo | target |\n|---|---|\n| `cred.validate.latency` | 10ms |\n";
 
-    fn span_reg(name: &str) -> Registration {
+    fn reg(name: &str, kind: &str) -> Registration {
         Registration {
             name: name.into(),
-            kind: "span".into(),
+            kind: kind.into(),
             file: "crates/sched/src/obs.rs".into(),
             line: 10,
         }
+    }
+
+    fn span_reg(name: &str) -> Registration {
+        reg(name, "span")
     }
 
     #[test]
@@ -232,7 +287,10 @@ mod tests {
             "ARCHITECTURE.md",
             CHANNELS,
             "channels.rs",
-            &[span_reg("sched.cycle.select")],
+            &[
+                span_reg("sched.cycle.select"),
+                reg("cred.validate.latency", "slo"),
+            ],
             &mut out,
         );
         assert!(out.is_empty(), "{out:?}");
@@ -241,7 +299,8 @@ mod tests {
     #[test]
     fn drift_is_caught_both_directions() {
         let mut out = Vec::new();
-        // Code has a channel the docs lack, docs have a span the code lacks.
+        // Code has a channel the docs lack, docs have a span and an SLO the
+        // code lacks.
         check(
             ARCH,
             "ARCHITECTURE.md",
@@ -252,5 +311,27 @@ mod tests {
         );
         assert!(out.iter().any(|d| d.msg.contains("GpuRemanence")));
         assert!(out.iter().any(|d| d.msg.contains("sched.cycle.select")));
+        assert!(out.iter().any(|d| d.msg.contains("cred.validate.latency")));
+    }
+
+    #[test]
+    fn unregistered_slo_and_undocumented_slo_both_flagged() {
+        let mut out = Vec::new();
+        // Registration with no doc row.
+        check(
+            ARCH,
+            "ARCHITECTURE.md",
+            CHANNELS,
+            "channels.rs",
+            &[
+                span_reg("sched.cycle.select"),
+                reg("cred.validate.latency", "slo"),
+                reg("revsync.replica.lag", "slo"),
+            ],
+            &mut out,
+        );
+        assert!(out
+            .iter()
+            .any(|d| d.msg.contains("revsync.replica.lag") && d.msg.contains("no row")));
     }
 }

@@ -1,5 +1,6 @@
 //! R3 `obs-naming`: every obs registration (`Recorder::counter/gauge/span`,
-//! `SharedStats::slot`) uses the dotted `plane.subsystem.name` convention
+//! `SharedStats::slot`, `SloPlane::slo`) uses the dotted
+//! `plane.subsystem.name` convention
 //! (at least three lowercase dot-separated segments) and each name is
 //! registered at exactly one source site — duplicate registrations split
 //! one logical metric across two ids and corrupt dashboards silently.
@@ -13,14 +14,14 @@ use crate::lexer::TokKind;
 use crate::source::SourceFile;
 use std::collections::BTreeMap;
 
-const REGISTER_METHODS: &[&str] = &["counter", "gauge", "span", "slot"];
+const REGISTER_METHODS: &[&str] = &["counter", "gauge", "span", "slot", "slo"];
 
 /// One obs registration site.
 #[derive(Debug, Clone)]
 pub struct Registration {
     /// The registered dotted name.
     pub name: String,
-    /// Which method registered it (`counter`/`gauge`/`span`/`slot`).
+    /// Which method registered it (`counter`/`gauge`/`span`/`slot`/`slo`).
     pub kind: String,
     pub file: String,
     pub line: u32,
@@ -28,7 +29,7 @@ pub struct Registration {
 
 /// Scan one file for registrations, emitting naming-format findings and
 /// returning the sites for the workspace-level uniqueness pass (and for
-/// R4's span-table cross-check).
+/// R4's span- and SLO-table cross-checks).
 pub fn collect(file: &SourceFile, out: &mut Vec<Diag>) -> Vec<Registration> {
     let mut regs = Vec::new();
     if !super::engine_scope(file) || file.rel.starts_with("crates/obs/") {

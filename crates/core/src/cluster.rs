@@ -13,8 +13,8 @@ use crate::obs::{CoreObs, ObsConfig};
 use eus_accel::GpuPool;
 use eus_containers::{ContainerRegistry, HpcRuntime};
 use eus_fedauth::{
-    shared_broker, BrokerPolicy, CredentialBroker, FederationDirectory, PamFedAuth, RealmId,
-    ShardedBroker, SharedBroker, SignedToken, TrustPolicy,
+    shared_broker, BrokerPolicy, CredSerial, CredentialBroker, FederationDirectory, PamFedAuth,
+    RealmId, ShardedBroker, SharedBroker, SignedToken, TrustPolicy,
 };
 use eus_fsperm::{apply_kernel_patches_handle, FilePermissionHandler, PamSmask, LLSC_SMASK};
 use eus_portal::{PortalGateway, RouteKey, WebAppRegistry};
@@ -31,7 +31,9 @@ use eus_simos::{
     Credentials, FsCtx, FsError, FsResult, Gid, Mode, NodeId, NodeOs, Pid, SessionId, Uid, UserDb,
     UserDbError, Vfs,
 };
-use eus_ubf::{deploy_ubf, shared_user_db, SharedUserDb, UbfConfig, UbfStats};
+use eus_ubf::{
+    deploy_ubf_observed, shared_user_db, SharedUserDb, UbfConfig, UbfPacketStats, UbfStats,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Hardware shape of the cluster.
@@ -118,6 +120,11 @@ pub struct SecureCluster {
     pub containers: ContainerRegistry,
     /// Per-host UBF statistics handles (empty when UBF off).
     pub ubf_stats: Vec<UbfStats>,
+    /// One shared packet-path slot registry wired into every UBF daemon
+    /// (cache hit ratios, denies, ident round trips, occupancy peak).
+    /// Disabled until `enable_obs`; the handle reaches daemons already
+    /// moved into the fabric.
+    pub ubf_pkt: UbfPacketStats,
     /// The federated credential plane (`Some` when `config.federated_auth`):
     /// sshd PAM, job submission, and the portal all consult it. A single
     /// broker when `config.broker_shards == 1`, a uid-hashed
@@ -136,6 +143,12 @@ pub struct SecureCluster {
     seepid_gid: Gid,
     materialized: BTreeSet<JobId>,
     job_procs: BTreeMap<JobId, Vec<(NodeId, Pid)>>,
+    // Last-sampled totals for boundary SLO deltas (monotone counters read
+    // at each `advance_to`; the difference feeds the SLO rings).
+    prev_validate_calls: u64,
+    prev_validate_ns: u64,
+    prev_iwait_us: u64,
+    prev_iwaits: u64,
     /// Cluster-plane observability (reconcile span, prolog/epilog
     /// counters, federated-validate stats). Disabled by default; pure
     /// measurement — never consulted by any enforcement decision.
@@ -229,6 +242,7 @@ impl SecureCluster {
             .collect();
         let mut fabric = Fabric::new();
         let mut ubf_stats = Vec::new();
+        let ubf_pkt = UbfPacketStats::disabled();
         let mut gpus = GpuPool::new();
 
         for (idx, id) in compute_ids
@@ -264,7 +278,12 @@ impl SecureCluster {
             }
             let host = fabric.add_host(id);
             if config.ubf {
-                ubf_stats.push(deploy_ubf(host, db.clone(), UbfConfig::default()));
+                ubf_stats.push(deploy_ubf_observed(
+                    host,
+                    db.clone(),
+                    UbfConfig::default(),
+                    ubf_pkt.clone(),
+                ));
             }
             if is_compute && spec.gpus_per_node > 0 {
                 gpus.install(id, spec.gpus_per_node, spec.gpu_mem_bytes, &node.local_fs)
@@ -306,28 +325,46 @@ impl SecureCluster {
             runtime: HpcRuntime,
             containers: ContainerRegistry::new(),
             ubf_stats,
+            ubf_pkt,
             broker,
             federation,
             revsync,
             seepid_gid,
             materialized: BTreeSet::new(),
             job_procs: BTreeMap::new(),
+            prev_validate_calls: 0,
+            prev_validate_ns: 0,
+            prev_iwait_us: 0,
+            prev_iwaits: 0,
             obs: CoreObs::disabled(),
         }
     }
 
     /// Turn on observability across every plane at once: the cluster's own
-    /// recorder, the scheduler's [`eus_sched::SchedObs`], the broker's
-    /// atomic [`eus_fedauth::ValidateStats`] (sharded planes), and the
-    /// revsync mesh's [`eus_revsync::MeshObs`]. Each plane keeps its own
-    /// namespace (`core.*`, `sched.*`, `cred.*`, `revsync.*`); snapshots
-    /// are read per plane.
+    /// recorder (plus its trace ring and SLO plane), the scheduler's
+    /// [`eus_sched::SchedObs`], the broker's atomic
+    /// [`eus_fedauth::ValidateStats`] and trace ring, the revsync mesh's
+    /// [`eus_revsync::MeshObs`], the portal's [`eus_portal::PortalObs`],
+    /// and every UBF daemon's shared packet slots. Each plane keeps its own
+    /// namespace (`core.*`, `sched.*`, `cred.*`, `revsync.*`, `portal.*`,
+    /// `ubf.*`); snapshots are read per plane. The `revsync.replica.lag`
+    /// SLO is re-aimed to half the configured staleness budget.
     pub fn enable_obs(&mut self, cfg: ObsConfig) {
         self.obs = CoreObs::new(&cfg);
+        self.obs.slo.set_target(
+            self.obs.slo_replica_lag,
+            self.config.revsync_max_lag.as_micros() as f64 / 2.0,
+        );
         self.sched.write().enable_obs(cfg);
+        self.portal.obs = eus_portal::PortalObs::new(&cfg);
+        self.ubf_pkt.set_enabled(cfg.enabled);
         if let Some(b) = &self.broker {
-            if let Some(stats) = b.read().validate_stats() {
+            let guard = b.read();
+            if let Some(stats) = guard.validate_stats() {
                 stats.set_enabled(cfg.enabled);
+            }
+            if let Some(tb) = guard.trace_buffer() {
+                tb.set_enabled(cfg.enabled);
             }
         }
         if let Some(mesh) = &mut self.revsync {
@@ -532,10 +569,8 @@ impl SecureCluster {
     /// With the broker deployed, an expired/revoked/absent credential is
     /// refused — the path audit probes use to model stolen-uid submissions.
     pub fn try_submit(&mut self, spec: JobSpec) -> Result<JobId, eus_fedauth::CredError> {
-        if let Some(b) = &self.broker {
-            b.read().authorize_submit(spec.user)?;
-        }
-        Ok(self.sched.write().submit(spec))
+        let now = self.sched.read().now();
+        self.try_submit_traced(now, spec, false)
     }
 
     /// [`try_submit`](Self::try_submit) for a job arriving at `at`: the
@@ -545,10 +580,50 @@ impl SecureCluster {
         at: SimTime,
         spec: JobSpec,
     ) -> Result<JobId, eus_fedauth::CredError> {
+        self.try_submit_traced(at, spec, true)
+    }
+
+    /// The shared gate + submit path, minting the `core.submit.try` trace
+    /// root. The context chains through the broker's `cred.validate.submit`
+    /// point span and is left with the scheduler, which stitches the
+    /// eventual `sched.job.dispatch` onto it. All of it is a handful of
+    /// never-taken branches when tracing is off.
+    fn try_submit_traced(
+        &mut self,
+        at: SimTime,
+        spec: JobSpec,
+        arrival_at: bool,
+    ) -> Result<JobId, eus_fedauth::CredError> {
+        let tok = self.obs.trace.root("core.submit.try", at);
+        let mut ctx = tok.ctx();
         if let Some(b) = &self.broker {
-            b.read().authorize_submit_at(spec.user, at)?;
+            let guard = b.read();
+            let r = if arrival_at {
+                guard.authorize_submit_at(spec.user, at)
+            } else {
+                guard.authorize_submit(spec.user)
+            };
+            if let Some(tb) = guard.trace_buffer() {
+                if tb.enabled() {
+                    ctx = tb.hit(ctx, "cred.validate.submit", at, spec.user.0 as u64);
+                }
+            }
+            if let Err(e) = r {
+                drop(guard);
+                self.obs.trace.finish(tok, at);
+                return Err(e);
+            }
         }
-        Ok(self.sched.write().submit_at(at, spec))
+        let mut sched = self.sched.write();
+        let id = if arrival_at {
+            sched.submit_at(at, spec)
+        } else {
+            sched.submit(spec)
+        };
+        sched.note_submit_trace(id, ctx);
+        drop(sched);
+        self.obs.trace.finish_with(tok, at, id.0);
+        Ok(id)
     }
 
     /// Transparent credential refresh for a known user (no-op without the
@@ -569,6 +644,7 @@ impl SecureCluster {
         self.sched.write().run_until(t);
         self.sync_credential_clocks(t);
         self.reconcile();
+        self.observe_boundary(t);
     }
 
     /// Run everything to completion and reconcile.
@@ -576,6 +652,7 @@ impl SecureCluster {
         let end = self.sched.write().run_to_completion();
         self.sync_credential_clocks(end);
         self.reconcile();
+        self.observe_boundary(end);
         end
     }
 
@@ -750,6 +827,172 @@ impl SecureCluster {
     pub fn partition_sister_feed(&mut self, realm: RealmId, down: bool) {
         if let Some(mesh) = &mut self.revsync {
             mesh.set_partitioned(realm, HOME_REALM, down);
+        }
+    }
+
+    /// The portal's administrative revoke route: revoke one credential
+    /// serial at its issuing realm, minting the `portal.route.revoke`
+    /// trace root that follows the revocation across the WAN — issuer log
+    /// entry, push delta, replica apply, and any later fail-closed deny all
+    /// chain onto this context. Returns whether the serial was freshly
+    /// revoked (false: already revoked or no such realm).
+    pub fn portal_revoke_serial(&mut self, realm: RealmId, serial: CredSerial) -> bool {
+        let now = self
+            .broker
+            .as_ref()
+            .map(|b| b.read().now())
+            .unwrap_or(SimTime::ZERO);
+        self.portal.obs.rec.incr(self.portal.obs.c_revokes);
+        let tok = self.portal.obs.trace.root("portal.route.revoke", now);
+        let fresh = match &mut self.revsync {
+            Some(mesh) => mesh.revoke_serial_traced(realm, serial, tok.ctx(), now),
+            None => false,
+        };
+        self.portal.obs.trace.finish_with(tok, now, serial.0);
+        fresh
+    }
+
+    /// Gather every completed span of one trace across all plane rings
+    /// (core, portal, scheduler, broker, revsync), ordered parents-first.
+    pub fn collect_trace(&self, trace: u64) -> Vec<crate::obs::TraceSpan> {
+        let mut rings: Vec<Vec<crate::obs::TraceSpan>> = vec![
+            self.obs.trace.spans_for(trace),
+            self.portal.obs.trace.spans_for(trace),
+            self.sched.read().obs.trace.spans_for(trace),
+        ];
+        if let Some(b) = &self.broker {
+            if let Some(tb) = b.read().trace_buffer() {
+                rings.push(tb.spans_for(trace));
+            }
+        }
+        if let Some(mesh) = &self.revsync {
+            rings.push(mesh.obs.trace.spans_for(trace));
+            // Sister site planes carry their own cred rings (the issuer-side
+            // `cred.revoke.serial` hit and the subscriber-side apply live
+            // there). Skip the home broker — already gathered above.
+            for realm in mesh.realms().collect::<Vec<_>>() {
+                let Some(plane) = mesh.plane(realm) else {
+                    continue;
+                };
+                if self
+                    .broker
+                    .as_ref()
+                    .is_some_and(|b| std::sync::Arc::ptr_eq(b, plane))
+                {
+                    continue;
+                }
+                if let Some(tb) = plane.read().trace_buffer() {
+                    rings.push(tb.spans_for(trace));
+                }
+            }
+        }
+        crate::obs::assemble_trace(trace, &rings)
+    }
+
+    /// The tree view of one cross-plane trace (see
+    /// [`collect_trace`](Self::collect_trace)).
+    pub fn render_trace(&self, trace: u64) -> String {
+        crate::obs::render_trace(trace, &self.collect_trace(trace))
+    }
+
+    /// Push every plane's ring dumps into the `EUS_FLIGHT_DUMP` panic sink
+    /// (no-op unless the env hook is armed). Called at every cycle
+    /// boundary while observability is on, so a panicking test or
+    /// experiment leaves its full flight state on disk.
+    pub fn publish_flight_dumps(&self) {
+        use crate::obs::panicdump;
+        if !panicdump::armed() {
+            return;
+        }
+        panicdump::publish("core.trace", self.obs.trace.dump_json());
+        panicdump::publish("core.alerts", self.obs.slo.alerts().dump_json());
+        panicdump::publish("portal.trace", self.portal.obs.trace.dump_json());
+        panicdump::publish("sched.trace", self.sched.read().obs.trace.dump_json());
+        if let Some(b) = &self.broker {
+            if let Some(tb) = b.read().trace_buffer() {
+                panicdump::publish("cred.trace", tb.dump_json());
+            }
+        }
+        if let Some(mesh) = &self.revsync {
+            panicdump::publish("revsync.trace", mesh.obs.trace.dump_json());
+        }
+    }
+
+    /// Boundary observation pass, run after every reconcile: sample the
+    /// flow-table gauge and tracked time-series, feed the SLO rings from
+    /// monotone counter deltas, evaluate every objective (two-window
+    /// burn-rate), flight-record fired/cleared alerts, and refresh the
+    /// panic-dump sink when armed. Entirely skipped while observability is
+    /// off.
+    fn observe_boundary(&mut self, t: SimTime) {
+        if self.obs.rec.enabled() {
+            let flows = self.fabric.flows_tracked() as i64;
+            self.obs.rec.gauge_set(self.obs.g_flows, flows);
+            self.obs.rec.ts_tick(t);
+        }
+        if self.obs.slo.enabled() {
+            // cred.validate.latency: mean broker validate ns this boundary.
+            if let Some(b) = &self.broker {
+                if let Some(stats) = b.read().validate_stats() {
+                    let calls = stats.calls();
+                    let ns = stats.total_ns();
+                    let dc = calls.saturating_sub(self.prev_validate_calls);
+                    let dns = ns.saturating_sub(self.prev_validate_ns);
+                    self.prev_validate_calls = calls;
+                    self.prev_validate_ns = ns;
+                    if dc > 0 {
+                        self.obs
+                            .slo
+                            .record(self.obs.slo_validate, t, dns as f64 / dc as f64);
+                    }
+                }
+            }
+            // revsync.replica.lag: the worst replica's staleness, in µs.
+            if let Some(mesh) = &self.revsync {
+                let mut worst: Option<SimDuration> = None;
+                for realm in mesh.realms().collect::<Vec<_>>() {
+                    if realm == HOME_REALM {
+                        continue;
+                    }
+                    if let Some(lag) = mesh.replica_lag(HOME_REALM, realm, t) {
+                        worst = Some(worst.map_or(lag, |w| w.max(lag)));
+                    }
+                }
+                if let Some(lag) = worst {
+                    self.obs
+                        .slo
+                        .record(self.obs.slo_replica_lag, t, lag.as_micros() as f64);
+                }
+            }
+            // sched.interactive.wait: mean queue wait of interactive-QoS
+            // starts this boundary, in µs.
+            {
+                let sched = self.sched.read();
+                let wait_us = sched.obs.rec.counter_value(sched.obs.c_interactive_wait_us);
+                let n = sched.obs.rec.counter_value(sched.obs.c_interactive_waits);
+                drop(sched);
+                let dn = n.saturating_sub(self.prev_iwaits);
+                let dw = wait_us.saturating_sub(self.prev_iwait_us);
+                self.prev_iwaits = n;
+                self.prev_iwait_us = wait_us;
+                if dn > 0 {
+                    self.obs
+                        .slo
+                        .record(self.obs.slo_interactive_wait, t, dw as f64 / dn as f64);
+                }
+            }
+            for a in self.obs.slo.evaluate(t) {
+                self.obs.rec.event(
+                    t,
+                    "core.slo.alert",
+                    matches!(a.kind, crate::obs::AlertKind::Fire) as u64,
+                    a.value_short as u64,
+                    a.target as u64,
+                );
+            }
+        }
+        if self.obs.rec.enabled() {
+            self.publish_flight_dumps();
         }
     }
 
@@ -1168,6 +1411,124 @@ mod tests {
         let broker = loud.broker.as_ref().expect("llsc has fedauth").read();
         let stats = broker.validate_stats().expect("built-in planes keep stats");
         assert!(stats.enabled());
+    }
+
+    #[test]
+    fn portal_revoke_traces_across_the_wan_to_the_fail_closed_deny() {
+        let cfg = SeparationConfig::llsc().with_trusted_realms([2u32]);
+        let mut c = SecureCluster::new(cfg, ClusterSpec::tiny());
+        c.enable_obs(ObsConfig::enabled());
+        let alice = c.add_user("alice").unwrap();
+        let sister = shared_broker(CredentialBroker::new(
+            RealmId(2),
+            0x7ACE,
+            BrokerPolicy::default(),
+        ));
+        // Sister trace ring on too, so `cred.revoke.serial` lands.
+        if let Some(tb) = sister.read().trace_buffer() {
+            tb.set_enabled(true);
+        }
+        c.register_sister_realm(RealmId(2), sister.clone());
+        let db = c.db.read().clone();
+        let token = sister.write().login(&db, alice, None).unwrap();
+        assert_eq!(c.validate_federated_token(&token).unwrap(), alice);
+
+        // Operator clicks revoke at the portal.
+        assert!(c.portal_revoke_serial(RealmId(2), token.serial));
+        let t = c.config.revsync_feed_interval + SimDuration::from_secs(1);
+        c.advance_to(SimTime::ZERO + t);
+        assert_eq!(
+            c.validate_federated_token(&token),
+            Err(eus_fedauth::CredError::Revoked(token.serial))
+        );
+
+        // One trace covers the whole causal chain, across four planes.
+        let root = c
+            .portal
+            .obs
+            .trace
+            .spans()
+            .into_iter()
+            .find(|s| s.name == "portal.route.revoke")
+            .expect("portal minted the revoke root");
+        let spans = c.collect_trace(root.trace);
+        crate::obs::check_well_formed(&spans).expect("well-formed tree");
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        for expect in [
+            "portal.route.revoke",
+            "cred.revoke.serial",
+            "revsync.mesh.push",
+            "revsync.replica.apply",
+            "revsync.replica.deny",
+        ] {
+            assert!(names.contains(&expect), "missing {expect} in {names:?}");
+        }
+        let tree = c.render_trace(root.trace);
+        assert!(tree.contains("revsync.replica.deny"), "tree:\n{tree}");
+    }
+
+    #[test]
+    fn forced_replica_lag_fires_exactly_the_lag_slo() {
+        let cfg = SeparationConfig::llsc().with_trusted_realms([2u32]);
+        let mut c = SecureCluster::new(cfg, ClusterSpec::tiny());
+        c.enable_obs(ObsConfig::enabled());
+        let sister = shared_broker(CredentialBroker::new(
+            RealmId(2),
+            0x510,
+            BrokerPolicy::default(),
+        ));
+        c.register_sister_realm(RealmId(2), sister);
+
+        // Clean baseline: pump a while with the feed healthy — no alerts.
+        for s in 1..=6 {
+            c.advance_to(SimTime::from_secs(s * 10));
+        }
+        assert_eq!(
+            c.obs.slo.alerts().fired(),
+            0,
+            "clean baseline must be quiet"
+        );
+
+        // Sever the feed; lag grows past the re-aimed max_lag/2 target.
+        c.partition_sister_feed(RealmId(2), true);
+        let budget = c.config.revsync_max_lag;
+        let mut t = SimTime::from_secs(60);
+        while t < SimTime::ZERO + budget {
+            t += SimDuration::from_secs(10);
+            c.advance_to(t);
+        }
+        let fired: Vec<&str> = c
+            .obs
+            .slo
+            .alerts()
+            .entries()
+            .iter()
+            .filter(|a| a.kind == crate::obs::AlertKind::Fire)
+            .map(|a| a.slo)
+            .collect();
+        assert_eq!(fired, vec!["revsync.replica.lag"], "exactly the lag SLO");
+        // The alert is also a flight event.
+        assert!(c
+            .obs
+            .rec
+            .flight
+            .events()
+            .iter()
+            .any(|e| e.kind == "core.slo.alert"));
+        // Healing clears it (edge-triggered Clear) once the short window
+        // holds only healthy samples again.
+        c.partition_sister_feed(RealmId(2), false);
+        for _ in 0..6 {
+            t += SimDuration::from_secs(10);
+            c.advance_to(t);
+        }
+        assert!(c
+            .obs
+            .slo
+            .alerts()
+            .entries()
+            .iter()
+            .any(|a| a.slo == "revsync.replica.lag" && a.kind == crate::obs::AlertKind::Clear));
     }
 
     #[test]

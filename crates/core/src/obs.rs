@@ -13,19 +13,39 @@
 //!
 //! [`crate::SecureCluster::enable_obs`] turns on every plane at once:
 //! this recorder, the scheduler's [`eus_sched::SchedObs`], the broker's
-//! [`eus_fedauth::ValidateStats`], and the mesh's
-//! [`eus_revsync::MeshObs`].
+//! [`eus_fedauth::ValidateStats`], the mesh's [`eus_revsync::MeshObs`],
+//! the portal's [`eus_portal::PortalObs`], and the UBF daemons'
+//! [`eus_ubf::UbfPacketStats`].
+//!
+//! Obs v2 adds two cluster-level pillars on top of the counters:
+//!
+//! * **Causal tracing** — entry points mint [`TraceCtx`]s (`core.submit.try`
+//!   here, `portal.route.revoke` on the portal ring, `cred.pam.account` on
+//!   the broker ring) that flow by value through the credential plane, the
+//!   scheduler dispatch path, and across the simulated WAN inside revocation
+//!   deltas. [`crate::SecureCluster::collect_trace`] reassembles one trace
+//!   from every plane's ring; [`render_trace`] draws the tree.
+//! * **SLOs** — declarative objectives over sim-time-bucketed rings,
+//!   evaluated at cycle boundaries with two-window burn-rate semantics
+//!   (short and long windows must both breach). Alerts are edge-triggered
+//!   into the [`AlertLog`] and flight-recorded as `core.slo.alert` events.
 
 use eus_fedauth::CredError;
+use eus_simcore::SimDuration;
 use eus_simos::Uid;
 use std::time::Instant;
 
 // `pub use` so facade users reach the substrate types through
 // `eus_core::obs::…` like the other planes.
 pub use eus_obs::{
-    CounterId, FlightEvent, FlightRecorder, ObsConfig, ObsSnapshot, Recorder, SharedId,
-    SharedStats, SpanId,
+    assemble_trace, check_well_formed, panicdump, render_trace, Alert, AlertKind, AlertLog,
+    CounterId, FlightEvent, FlightRecorder, GaugeId, ObsConfig, ObsSnapshot, Recorder, SharedId,
+    SharedStats, SloAgg, SloId, SloPlane, SloSpec, SpanId, TraceBuffer, TraceCtx, TraceSpan,
+    TraceToken, TsId, TsRing, WindowAgg,
 };
+
+/// Plane code baked into cluster-level trace ids (see [`TraceBuffer::new`]).
+pub const CORE_TRACE_CODE: u8 = 1;
 
 /// The cluster's recorder plus every handle it records through.
 #[derive(Debug, Clone)]
@@ -44,6 +64,22 @@ pub struct CoreObs {
     pub c_gpu_scrubs: CounterId,
     /// GPU device-permission assignments performed by prologs.
     pub c_gpu_assigns: CounterId,
+    /// Cluster-wide conntrack occupancy, sampled at cycle boundaries.
+    pub g_flows: GaugeId,
+    /// Time-series ring behind [`g_flows`](Self::g_flows).
+    pub ts_flows: TsId,
+    /// Causal trace ring for cluster entry points (`core.submit.try`).
+    pub trace: TraceBuffer,
+    /// Declarative service-level objectives, evaluated at cycle
+    /// boundaries with two-window burn-rate semantics.
+    pub slo: SloPlane,
+    /// `cred.validate.latency`: mean validate latency per boundary (ns).
+    pub slo_validate: SloId,
+    /// `revsync.replica.lag`: worst replica staleness (µs); re-aimed to
+    /// `revsync_max_lag / 2` by `enable_obs`.
+    pub slo_replica_lag: SloId,
+    /// `sched.interactive.wait`: mean queue wait of interactive starts (µs).
+    pub slo_interactive_wait: SloId,
     stats: SharedStats,
     s_fed_calls: SharedId,
     s_fed_ok: SharedId,
@@ -59,6 +95,36 @@ impl CoreObs {
         if cfg.enabled {
             stats.set_enabled(true);
         }
+        let g_flows = rec.gauge("core.fabric.flows");
+        let ts_flows = rec.track_gauge(g_flows, SimDuration::from_secs(10), 360);
+        let mut slo = SloPlane::new(SimDuration::from_secs(10), cfg.enabled);
+        let slo_validate = slo.slo(
+            "cred.validate.latency",
+            SloSpec {
+                target: 1e7, // 10ms mean — pathology only; re-aim per deployment
+                agg: SloAgg::Mean,
+                short_buckets: 3,
+                long_buckets: 18,
+            },
+        );
+        let slo_replica_lag = slo.slo(
+            "revsync.replica.lag",
+            SloSpec {
+                target: f64::MAX, // re-aimed to revsync_max_lag/2 at enable_obs
+                agg: SloAgg::Max,
+                short_buckets: 3,
+                long_buckets: 18,
+            },
+        );
+        let slo_interactive_wait = slo.slo(
+            "sched.interactive.wait",
+            SloSpec {
+                target: 60e6, // 60s mean queue wait for interactive QoS, in µs
+                agg: SloAgg::Mean,
+                short_buckets: 3,
+                long_buckets: 18,
+            },
+        );
         CoreObs {
             sp_reconcile: rec.span("core.cluster.reconcile"),
             c_reconciles: rec.counter("core.reconcile.sweeps"),
@@ -66,6 +132,13 @@ impl CoreObs {
             c_prologs: rec.counter("core.reconcile.prologs"),
             c_gpu_scrubs: rec.counter("core.gpu.scrubs"),
             c_gpu_assigns: rec.counter("core.gpu.assigns"),
+            g_flows,
+            ts_flows,
+            trace: TraceBuffer::new("core", CORE_TRACE_CODE, 4096, cfg.enabled),
+            slo,
+            slo_validate,
+            slo_replica_lag,
+            slo_interactive_wait,
             s_fed_calls: stats.slot("core.fed_validate.calls"),
             s_fed_ok: stats.slot("core.fed_validate.ok"),
             s_fed_rejects: stats.slot("core.fed_validate.rejects"),

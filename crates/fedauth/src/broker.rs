@@ -11,12 +11,13 @@
 use crate::ca::{
     CertificateAuthority, CredError, CredSerial, RealmVerifier, SignedToken, SshCertificate,
 };
-use crate::obs::ValidateStats;
+use crate::obs::{ValidateStats, CRED_TRACE_CODE};
 use crate::plane::CredentialPlane;
 use crate::realm::{
     IdentityAssertion, IdentityProvider, MfaCode, MfaEnrollment, RealmId, RecoveryCode,
 };
 use crate::revocation::RevocationList;
+use eus_obs::TraceBuffer;
 use eus_simcore::{SimDuration, SimTime};
 use eus_simos::{Uid, UserDb};
 use std::collections::BTreeMap;
@@ -66,6 +67,10 @@ pub struct CredentialBroker {
     /// the plane-level trait methods, so a broker serving as a
     /// [`crate::ShardedBroker`] shard stays silent — the plane counts once.
     pub stats: ValidateStats,
+    /// Causal trace ring for the credential plane (off by default).
+    /// Interior-mutable so entry points behind a read lock (PAM account
+    /// phase, submission gate) can mint and record spans through `&self`.
+    pub trace: TraceBuffer,
 }
 
 impl CredentialBroker {
@@ -85,6 +90,7 @@ impl CredentialBroker {
             sessions: BTreeMap::new(),
             certs: BTreeMap::new(),
             stats: ValidateStats::new(),
+            trace: TraceBuffer::disabled("cred", CRED_TRACE_CODE),
         }
     }
 
@@ -393,6 +399,9 @@ impl CredentialPlane for CredentialBroker {
     }
     fn validate_stats(&self) -> Option<&ValidateStats> {
         Some(&self.stats)
+    }
+    fn trace_buffer(&self) -> Option<&TraceBuffer> {
+        Some(&self.trace)
     }
     fn authorize_ssh(&self, user: Uid) -> Result<(), CredError> {
         CredentialBroker::authorize_ssh(self, user)

@@ -12,6 +12,11 @@
 use eus_obs::{SharedId, SharedStats};
 use std::time::Instant;
 
+/// Plane code baked into credential-plane trace ids (see
+/// [`eus_obs::TraceBuffer::new`]); keeps span ids collision-free across
+/// planes when traces are assembled.
+pub const CRED_TRACE_CODE: u8 = 3;
+
 /// Atomic statistics for a credential plane's verification hot path.
 #[derive(Debug, Clone)]
 pub struct ValidateStats {

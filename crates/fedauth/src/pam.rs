@@ -30,7 +30,18 @@ impl PamModule for PamFedAuth {
         if ctx.cred.is_root() {
             return PamVerdict::Success;
         }
-        match self.broker.read().authorize_ssh(ctx.user) {
+        let guard = self.broker.read();
+        // Entry point: mint a trace root around the authorization (free
+        // when the plane keeps no buffer or tracing is off).
+        let tok = match guard.trace_buffer() {
+            Some(tb) => tb.root("cred.pam.account", guard.now()),
+            None => eus_obs::TraceToken::NOOP,
+        };
+        let r = guard.authorize_ssh(ctx.user);
+        if let Some(tb) = guard.trace_buffer() {
+            tb.finish_with(tok, guard.now(), ctx.user.0 as u64);
+        }
+        match r {
             Ok(()) => PamVerdict::Success,
             Err(e) => PamVerdict::Denied(format!("no valid ssh certificate: {e}")),
         }

@@ -11,6 +11,7 @@
 use crate::ca::{CredError, CredSerial, RealmVerifier, SignedToken, SshCertificate};
 use crate::obs::ValidateStats;
 use crate::realm::{MfaCode, MfaEnrollment, RealmId, RecoveryCode};
+use eus_obs::TraceBuffer;
 use eus_simcore::SimTime;
 use eus_simos::{Uid, UserDb};
 use parking_lot::RwLock;
@@ -173,6 +174,14 @@ pub trait CredentialPlane: fmt::Debug + Send + Sync {
     /// `&self`-recordable), when it keeps any. Both built-in planes do;
     /// the default is `None` so third-party planes owe nothing.
     fn validate_stats(&self) -> Option<&ValidateStats> {
+        None
+    }
+
+    /// The plane's causal trace ring ([`TraceBuffer`], interior-mutable so
+    /// `&self` validate paths can record), when it keeps one. Default
+    /// `None`: third-party planes owe nothing, and every traced call site
+    /// degrades to a no-op against an absent buffer.
+    fn trace_buffer(&self) -> Option<&TraceBuffer> {
         None
     }
 }

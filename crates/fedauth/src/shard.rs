@@ -36,9 +36,10 @@
 
 use crate::broker::{BrokerPolicy, CredentialBroker};
 use crate::ca::{CredError, CredSerial, RealmVerifier, SignedToken, SshCertificate};
-use crate::obs::ValidateStats;
+use crate::obs::{ValidateStats, CRED_TRACE_CODE};
 use crate::plane::CredentialPlane;
 use crate::realm::{MfaCode, MfaEnrollment, RealmId, RecoveryCode};
+use eus_obs::TraceBuffer;
 use eus_simcore::SimTime;
 use eus_simos::{Uid, UserDb};
 use parking_lot::RwLock;
@@ -58,6 +59,9 @@ pub struct ShardedBroker {
     /// Verify-path statistics (atomic; off by default). Pure measurement —
     /// never consulted by an accept/reject decision.
     pub stats: ValidateStats,
+    /// Causal trace ring (off by default). Plane-level, like `stats`, so a
+    /// sharded deployment still mints ids from one mint.
+    pub trace: TraceBuffer,
 }
 
 use crate::splitmix64 as mix;
@@ -81,6 +85,7 @@ impl ShardedBroker {
             revocation_order: Vec::new(),
             fanout_threads: std::thread::available_parallelism().map_or(1, |v| v.get()),
             stats: ValidateStats::new(),
+            trace: TraceBuffer::disabled("cred", CRED_TRACE_CODE),
         }
     }
 
@@ -331,6 +336,10 @@ impl CredentialPlane for ShardedBroker {
 
     fn validate_stats(&self) -> Option<&ValidateStats> {
         Some(&self.stats)
+    }
+
+    fn trace_buffer(&self) -> Option<&TraceBuffer> {
+        Some(&self.trace)
     }
 }
 

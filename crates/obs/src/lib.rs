@@ -31,6 +31,27 @@
 //! validation behind read locks) use [`SharedStats`] — the same
 //! pre-registered-handle discipline over relaxed atomics.
 //!
+//! The second generation (obs v2) adds three more pillars on the same
+//! discipline:
+//!
+//! * [`trace`] — causal cross-plane tracing: a [`TraceCtx`] minted at an
+//!   entry point (portal route, `try_submit`, `PamFedAuth`, revocation
+//!   API) propagates by value through the planes — and across the simnet
+//!   WAN inside `CrlDelta` messages — so one trace covers portal revoke →
+//!   mesh propagation → sister-replica apply → fail-closed deny. Completed
+//!   spans land in per-plane [`TraceBuffer`] rings; [`render_trace`] draws
+//!   the tree.
+//! * [`timeseries`] — fixed-capacity sim-time-bucketed rings
+//!   ([`TsRing`]) sampled from counter/gauge handles at pump/cycle
+//!   boundaries ([`Recorder::ts_tick`]): windowed rates and levels with
+//!   zero additional work on the record path.
+//! * [`slo`] — declarative objectives ([`SloSpec`]) over those rings with
+//!   multi-window burn-rate alerting ([`SloPlane::evaluate`]); alerts are
+//!   flight-recorder events plus a queryable [`AlertLog`].
+//!
+//! [`panicdump`] closes the forensics gap: with `EUS_FLIGHT_DUMP=path`
+//! set, every published plane dump is written on any panic.
+//!
 //! Metric names follow `plane.subsystem.name` (`sched.cycle.backfill`,
 //! `cred.broker.validate`, `revsync.mesh.pump`); ARCHITECTURE.md carries
 //! the full span table. `exp_obs_overhead` keeps the disabled-path cost
@@ -40,12 +61,21 @@
 #![warn(missing_docs)]
 
 pub mod flight;
+pub mod panicdump;
 pub mod registry;
 pub mod shared;
+pub mod slo;
+pub mod timeseries;
+pub mod trace;
 
 pub use flight::{FlightEvent, FlightRecorder};
-pub use registry::{CounterId, GaugeId, ObsSnapshot, Recorder, SpanId, SpanStats, SpanToken};
+pub use registry::{CounterId, GaugeId, ObsSnapshot, Recorder, SpanId, SpanStats, SpanToken, TsId};
 pub use shared::{SharedId, SharedStats};
+pub use slo::{Alert, AlertKind, AlertLog, SloAgg, SloId, SloPlane, SloSpec};
+pub use timeseries::{TsRing, WindowAgg};
+pub use trace::{
+    assemble_trace, check_well_formed, render_trace, TraceBuffer, TraceCtx, TraceSpan, TraceToken,
+};
 
 /// Observability configuration: one struct, off by default, handed to each
 /// plane's `enable_obs`-style entry point.

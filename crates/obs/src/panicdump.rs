@@ -1,0 +1,99 @@
+//! `EUS_FLIGHT_DUMP=path`: write every plane's published forensics on panic.
+//!
+//! `assert_or_dump!` call sites already print flight tails, but an
+//! unexpected panic anywhere else (index bug, property shrink, experiment
+//! invariant) loses the rings. This module closes that gap: when the
+//! `EUS_FLIGHT_DUMP` environment variable names a file, planes that call
+//! [`publish`] have their latest `dump_json` payload written there by a
+//! chaining panic hook. Publishing with the variable unset is a no-op
+//! (one cached boolean check), so harnesses pay nothing unless they opt
+//! in.
+//!
+//! This module is intentionally wall-world: it reads the environment and
+//! writes a file, but only ever *at publish boundaries and on panic* —
+//! never on a simulation hot path — and nothing it does feeds back into
+//! sim decisions, so determinism is preserved (it lives in `crates/obs`,
+//! inside the analyzer's wall-clock allowance).
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+static DUMP_PATH: OnceLock<Option<String>> = OnceLock::new();
+static SINK: OnceLock<Mutex<BTreeMap<String, String>>> = OnceLock::new();
+static HOOK_INSTALLED: OnceLock<()> = OnceLock::new();
+
+/// The configured dump path, read from `EUS_FLIGHT_DUMP` once per process.
+pub fn dump_path() -> Option<&'static str> {
+    DUMP_PATH
+        .get_or_init(|| std::env::var("EUS_FLIGHT_DUMP").ok())
+        .as_deref()
+}
+
+/// True when `EUS_FLIGHT_DUMP` names a file (cached after the first call).
+pub fn armed() -> bool {
+    dump_path().is_some()
+}
+
+/// Publish (or refresh) one plane's forensics payload — typically the JSON
+/// from its ring dumps. No-op unless [`armed`]. The first armed publish
+/// installs a panic hook that chains to the existing one and writes every
+/// published payload, keyed by plane, to the configured path.
+pub fn publish(plane: &str, json: String) {
+    if !armed() {
+        return;
+    }
+    HOOK_INSTALLED.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            write_dump();
+            prev(info);
+        }));
+    });
+    if let Ok(mut sink) = SINK.get_or_init(|| Mutex::new(BTreeMap::new())).lock() {
+        sink.insert(plane.to_string(), json);
+    }
+}
+
+/// Write the current published payloads to the configured path now (the
+/// panic hook calls this; tests and experiments may too, e.g. to flush at
+/// a clean exit when forensics were requested anyway).
+pub fn write_dump() {
+    let Some(path) = dump_path() else {
+        return;
+    };
+    let Some(sink) = SINK.get() else {
+        return;
+    };
+    let Ok(sink) = sink.lock() else {
+        return;
+    };
+    let mut out = String::from("{");
+    for (i, (plane, json)) in sink.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("  \"");
+        out.push_str(plane);
+        out.push_str("\": ");
+        // Payloads are already JSON; indent them one level for readability.
+        out.push_str(&json.replace('\n', "\n  "));
+    }
+    out.push_str("\n}\n");
+    // Best-effort: a failed write must never mask the original panic.
+    let _ = std::fs::write(path, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_publish_is_noop() {
+        // The test environment does not set EUS_FLIGHT_DUMP; publishing
+        // must neither install a hook nor retain the payload.
+        if armed() {
+            return; // someone is running the suite armed on purpose
+        }
+        publish("test-plane", "{}".to_string());
+        assert!(SINK.get().is_none() || HOOK_INSTALLED.get().is_none());
+        write_dump(); // also a no-op
+    }
+}

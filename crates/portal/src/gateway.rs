@@ -12,6 +12,7 @@
 
 use crate::apps::WebAppRegistry;
 use crate::auth::{AuthError, PortalAuth, Token};
+use crate::obs::PortalObs;
 use crate::routes::{RouteKey, RouteTable};
 use eus_simnet::{ConnectError, Fabric, PeerInfo, Proto};
 use eus_simos::{NodeId, UserDb};
@@ -71,6 +72,9 @@ pub struct PortalGateway {
     /// Forward with the requesting user's identity (true, the paper's
     /// design) or as the portal's own root service (false, naive proxy).
     pub forward_as_user: bool,
+    /// Pre-registered route spans, outcome counters, and the entry-point
+    /// trace ring (disabled until the cluster's `enable_obs` fan-out).
+    pub obs: PortalObs,
     plugin: HttpdUbfPlugin,
     db: SharedUserDb,
 }
@@ -84,6 +88,7 @@ impl PortalGateway {
             routes: RouteTable::new(),
             authorize_routes: true,
             forward_as_user: true,
+            obs: PortalObs::disabled(),
             plugin: HttpdUbfPlugin::new(db.clone(), eus_ubf::UbfPolicy::default()),
             db,
         }
@@ -132,6 +137,23 @@ impl PortalGateway {
 
     /// Fetch a route's app content on behalf of an authenticated user.
     pub fn fetch(
+        &mut self,
+        fabric: &mut Fabric,
+        apps: &WebAppRegistry,
+        token: Token,
+        key: &RouteKey,
+    ) -> Result<Response, PortalError> {
+        let span = self.obs.rec.span_start();
+        let r = self.fetch_inner(fabric, apps, token, key);
+        if self.obs.rec.enabled() {
+            let outcome = self.obs.fetch_outcome_counter(&r);
+            self.obs.rec.incr(outcome);
+        }
+        self.obs.rec.span_end(self.obs.sp_fetch, span);
+        r
+    }
+
+    fn fetch_inner(
         &mut self,
         fabric: &mut Fabric,
         apps: &WebAppRegistry,
@@ -331,6 +353,28 @@ mod tests {
             .fetch(&mut w.fabric, &w.apps, bob_token, &key)
             .unwrap();
         assert_eq!(resp.body, "team dashboard");
+    }
+
+    #[test]
+    fn fetch_outcomes_land_in_counters() {
+        let mut w = world();
+        let key = launch_alice_app(&mut w);
+        w.gateway.obs = crate::obs::PortalObs::new(&eus_obs::ObsConfig::enabled());
+
+        let token = w.gateway.auth.login(&w.db.read(), w.alice).unwrap();
+        w.gateway
+            .fetch(&mut w.fabric, &w.apps, token, &key)
+            .unwrap();
+        let bob_token = w.gateway.auth.login(&w.db.read(), w.bob).unwrap();
+        w.gateway
+            .fetch(&mut w.fabric, &w.apps, bob_token, &key)
+            .unwrap_err();
+
+        let obs = &w.gateway.obs;
+        assert_eq!(obs.rec.counter_value(obs.c_fetch_ok), 1);
+        assert_eq!(obs.rec.counter_value(obs.c_fetch_forbidden), 1);
+        assert_eq!(obs.fetches_total(), 2);
+        assert_eq!(obs.rec.span_stats(obs.sp_fetch).count, 2);
     }
 
     #[test]

@@ -11,15 +11,19 @@
 //! * [`routes`] — (user, job, app) → endpoint registry.
 //! * [`apps`] — web apps as fabric listeners with served content.
 //! * [`gateway`] — the authenticated, authorized fetch path.
+//! * [`obs`] — pre-registered route spans, outcome counters, and the
+//!   entry-point causal trace ring.
 
 #![warn(missing_docs)]
 
 pub mod apps;
 pub mod auth;
 pub mod gateway;
+pub mod obs;
 pub mod routes;
 
 pub use apps::{WebApp, WebAppRegistry};
 pub use auth::{AuthError, PortalAuth, Token};
 pub use gateway::{PortalError, PortalGateway, Response};
+pub use obs::{PortalObs, PORTAL_TRACE_CODE};
 pub use routes::{Route, RouteKey, RouteTable};

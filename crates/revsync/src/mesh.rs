@@ -32,7 +32,8 @@ use crate::obs::MeshObs;
 use crate::replica::{ApplyOutcome, CrlDelta, CrlReplica};
 use crate::RevSyncConfig;
 use eus_fedauth::RealmId;
-use eus_fedauth::{CredError, SharedBroker, SignedToken, SshCertificate};
+use eus_fedauth::{CredError, CredSerial, SharedBroker, SignedToken, SshCertificate};
+use eus_obs::TraceCtx;
 use eus_simcore::{SimDuration, SimRng, SimTime};
 use eus_simnet::{Fabric, PeerInfo, Port, Proto, SocketAddr};
 use eus_simos::{Gid, NodeId, Uid};
@@ -100,6 +101,12 @@ pub struct RevSyncMesh {
     /// Links currently unable to exchange anything (site outage / WAN
     /// partition), keyed (issuer, subscriber).
     partitioned: BTreeSet<(RealmId, RealmId)>,
+    /// (issuer, log seq) → causal context of the traced revocation that
+    /// produced that entry; feeds covering the seq continue the trace
+    /// across the WAN. Bounded (oldest evicted) and empty unless someone
+    /// revokes through [`revoke_serial_traced`](Self::revoke_serial_traced)
+    /// with a live context — never consulted by propagation decisions.
+    trace_by_seq: BTreeMap<(RealmId, u64), TraceCtx>,
     rng: SimRng,
     now: SimTime,
     /// Running counters.
@@ -136,6 +143,7 @@ impl RevSyncMesh {
             links: Vec::new(),
             in_flight: Vec::new(),
             partitioned: BTreeSet::new(),
+            trace_by_seq: BTreeMap::new(),
             now: SimTime::ZERO,
             metrics: RevSyncMetrics::default(),
             obs: MeshObs::disabled(),
@@ -277,6 +285,68 @@ impl RevSyncMesh {
         }
     }
 
+    /// Revoke `serial` at `realm`'s credential plane, stitching the causal
+    /// trace end to end: a `cred.revoke.serial` span is recorded in the
+    /// plane's own trace buffer (when it keeps an enabled one) and the new
+    /// revocation-log entry is associated with the continued context, so
+    /// the next feed covering that entry extends the same trace across the
+    /// WAN. Returns whether the serial was newly revoked. `ctx` may be
+    /// [`TraceCtx::NONE`] — a quiet caller revokes identically, minus the
+    /// stitching (`tests/obs_trace_properties.rs` pins the equality).
+    pub fn revoke_serial_traced(
+        &mut self,
+        realm: RealmId,
+        serial: CredSerial,
+        ctx: TraceCtx,
+        when: SimTime,
+    ) -> bool {
+        let Some(site) = self.sites.get(&realm) else {
+            return false;
+        };
+        let mut plane = site.plane.write();
+        let head_before = plane.revocation_head();
+        plane.revoke_serial(serial);
+        let head = plane.revocation_head();
+        if head == head_before {
+            return false; // already revoked: no new log entry to trace
+        }
+        let ctx = match plane.trace_buffer() {
+            Some(tb) if tb.enabled() => tb.hit(ctx, "cred.revoke.serial", when, serial.0),
+            // No (enabled) cred ring: pass the context through unchanged so
+            // the chain survives a partially-instrumented deployment.
+            _ => ctx,
+        };
+        drop(plane);
+        self.associate_trace(realm, head, ctx);
+        true
+    }
+
+    /// Remember `ctx` as the trace behind `issuer`'s log entry `seq`.
+    fn associate_trace(&mut self, issuer: RealmId, seq: u64, ctx: TraceCtx) {
+        if ctx.is_none() {
+            return;
+        }
+        self.trace_by_seq.insert((issuer, seq), ctx);
+        while self.trace_by_seq.len() > 1024 {
+            let Some(oldest) = self.trace_by_seq.keys().next().copied() else {
+                break;
+            };
+            self.trace_by_seq.remove(&oldest);
+        }
+    }
+
+    /// The newest traced context among `issuer`'s log entries
+    /// `first..=head` ([`TraceCtx::NONE`] when none are traced).
+    fn trace_for_range(&self, issuer: RealmId, first: u64, head: u64) -> TraceCtx {
+        if first > head {
+            return TraceCtx::NONE;
+        }
+        self.trace_by_seq
+            .range((issuer, first)..=(issuer, head))
+            .next_back()
+            .map_or(TraceCtx::NONE, |(_, c)| *c)
+    }
+
     /// Drive every exchange due up to `t`, in event-time order (arrivals
     /// before same-instant emissions, pushes before same-instant pulls).
     /// Idempotent for `t <= now`.
@@ -311,6 +381,9 @@ impl RevSyncMesh {
         self.now = t;
         self.obs.rec.span_end(self.obs.sp_pump, pump_tok);
         self.record_staleness_edges();
+        // Boundary sampling: fold counter deltas into the windowed rings
+        // (no-op when obs is off).
+        self.obs.rec.ts_tick(self.now);
     }
 
     /// Flight-record every replica that crossed the staleness budget in
@@ -372,12 +445,13 @@ impl RevSyncMesh {
             let plane = self.sites[&issuer].plane.read();
             (plane.revocations_since(since), plane.revocation_head())
         };
-        let delta = CrlDelta {
+        let mut delta = CrlDelta {
             issuer,
             first_seq: since + 1,
             serials,
             head,
             as_of: when,
+            trace: TraceCtx::NONE,
         };
         // Fire-and-forget: the cursor advances whether or not the delta
         // survives the wire.
@@ -386,6 +460,14 @@ impl RevSyncMesh {
             self.metrics.pushes_lost += 1;
             return;
         }
+        // Continue the newest traced revocation this delta carries (free
+        // when tracing is off — the association map is then empty).
+        delta.trace = self.obs.trace.hit(
+            self.trace_for_range(issuer, since + 1, head),
+            "revsync.mesh.push",
+            when,
+            delta.serials.len() as u64,
+        );
         self.ship(issuer, subscriber, delta, SimDuration::ZERO);
         self.metrics.pushes_sent += 1;
         self.obs.rec.incr(self.obs.c_pushes);
@@ -409,12 +491,19 @@ impl RevSyncMesh {
             let plane = self.sites[&issuer].plane.read();
             (plane.revocations_since(since), plane.revocation_head())
         };
+        let serials_len = serials.len() as u64;
         let delta = CrlDelta {
             issuer,
             first_seq: since + 1,
             serials,
             head,
             as_of: when,
+            trace: self.obs.trace.hit(
+                self.trace_for_range(issuer, since + 1, head),
+                "revsync.mesh.pull",
+                when,
+                serials_len,
+            ),
         };
         // The issuer now knows the subscriber's true frontier: realign the
         // push cursor so post-repair pushes are contiguous again.
@@ -463,6 +552,17 @@ impl RevSyncMesh {
                 self.metrics.deltas_applied += 1;
                 self.metrics.serials_applied += n as u64;
                 self.obs.rec.incr(self.obs.c_deliveries);
+                if !f.delta.trace.is_none() {
+                    // The apply span is what fail-closed denials at this
+                    // replica will parent under.
+                    let ctx = self.obs.trace.hit(
+                        f.delta.trace,
+                        "revsync.replica.apply",
+                        f.arrives,
+                        n as u64,
+                    );
+                    replica.set_last_trace(ctx);
+                }
             }
             ApplyOutcome::Gap { .. } => {
                 self.metrics.gaps_refused += 1;
@@ -498,6 +598,7 @@ impl RevSyncMesh {
             .subscribed_replica(site, token.realm)
             .and_then(|rep| rep.validate_token(token, now, self.cfg.max_lag));
         self.obs.finish_validate(t0, &r);
+        self.trace_deny(site, token.realm, token.serial, now, &r);
         r
     }
 
@@ -513,7 +614,35 @@ impl RevSyncMesh {
             .subscribed_replica(site, cert.realm)
             .and_then(|rep| rep.validate_cert(cert, now, self.cfg.max_lag));
         self.obs.finish_validate(t0, &r);
+        self.trace_deny(site, cert.realm, cert.serial, now, &r);
         r
+    }
+
+    /// Record a `revsync.replica.deny` span when a fail-closed refusal
+    /// (revoked or stale) follows a traced apply at this replica. `&self`
+    /// on purpose — the trace ring is interior-mutable — and one relaxed
+    /// load + branch when tracing is off.
+    fn trace_deny(
+        &self,
+        site: RealmId,
+        issuer: RealmId,
+        serial: CredSerial,
+        now: SimTime,
+        r: &Result<Uid, CredError>,
+    ) {
+        if self.obs.trace.enabled()
+            && matches!(
+                r,
+                Err(CredError::Revoked(_)) | Err(CredError::StaleReplica { .. })
+            )
+        {
+            if let Some(rep) = self.replica(site, issuer) {
+                let _ = self
+                    .obs
+                    .trace
+                    .hit(rep.last_trace(), "revsync.replica.deny", now, serial.0);
+            }
+        }
     }
 
     /// The replica lookup with precise fail-closed attribution: an
@@ -709,6 +838,77 @@ mod tests {
         assert!(kinds.contains(&"replica.stale"));
         assert!(kinds.contains(&"replica.fresh"));
         assert!(mesh.obs.rec.span_stats(mesh.obs.sp_pump).count >= 2);
+    }
+
+    #[test]
+    fn traced_revocation_chains_across_the_wan() {
+        let cfg = RevSyncConfig::default();
+        let (db, mut mesh, _home, sister, alice) = two_realm_mesh(cfg);
+        mesh.enable_obs(eus_obs::ObsConfig::enabled());
+        sister.read().trace_buffer().unwrap().set_enabled(true);
+        let token = sister.write().login(&db, alice, None).unwrap();
+
+        // Mint the entry-point root (the portal does this in production).
+        let root = mesh.obs.trace.root("portal.route.revoke", SimTime::ZERO);
+        assert!(mesh.revoke_serial_traced(RealmId(2), token.serial, root.ctx(), SimTime::ZERO));
+        mesh.obs.trace.finish(root, SimTime::ZERO);
+
+        // Feed + wire time later, home denies — and the denial is stitched
+        // to the same trace.
+        let after = SimTime::ZERO + cfg.feed_interval + SimDuration::from_secs(1);
+        mesh.pump(after);
+        assert!(mesh.validate_token_at(RealmId(1), &token, after).is_err());
+
+        let trace_id = root.ctx().trace;
+        let spans = eus_obs::assemble_trace(
+            trace_id,
+            &[
+                mesh.obs.trace.spans(),
+                sister.read().trace_buffer().unwrap().spans(),
+            ],
+        );
+        eus_obs::check_well_formed(&spans).unwrap();
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        for want in [
+            "portal.route.revoke",
+            "cred.revoke.serial",
+            "revsync.mesh.push",
+            "revsync.replica.apply",
+            "revsync.replica.deny",
+        ] {
+            assert!(names.contains(&want), "missing {want} in {names:?}");
+        }
+        // Sim-time ordering is monotone down the chain.
+        for pair in spans.windows(2) {
+            assert!(pair[0].start <= pair[1].start);
+        }
+        // Idempotent re-revocation neither re-records nor re-associates.
+        assert!(!mesh.revoke_serial_traced(RealmId(2), token.serial, root.ctx(), after));
+    }
+
+    #[test]
+    fn quiet_mesh_runs_identically_with_trace_hooks_present() {
+        let cfg = RevSyncConfig::default();
+        let (db, mut quiet, _h1, s1, alice) = two_realm_mesh(cfg);
+        let (db2, mut loud, _h2, s2, alice2) = two_realm_mesh(cfg);
+        loud.enable_obs(eus_obs::ObsConfig::enabled());
+        let t1 = s1.write().login(&db, alice, None).unwrap();
+        let t2 = s2.write().login(&db2, alice2, None).unwrap();
+        let root = loud.obs.trace.root("portal.route.revoke", SimTime::ZERO);
+        quiet.revoke_serial_traced(RealmId(2), t1.serial, TraceCtx::NONE, SimTime::ZERO);
+        loud.revoke_serial_traced(RealmId(2), t2.serial, root.ctx(), SimTime::ZERO);
+        loud.obs.trace.finish(root, SimTime::ZERO);
+        let after = SimTime::ZERO + cfg.feed_interval * 3;
+        quiet.pump(after);
+        loud.pump(after);
+        // Same decisions, same propagation metrics, same wire charge.
+        assert_eq!(
+            quiet.validate_token_at(RealmId(1), &t1, after),
+            loud.validate_token_at(RealmId(1), &t2, after)
+        );
+        assert_eq!(quiet.metrics.pushes_sent, loud.metrics.pushes_sent);
+        assert_eq!(quiet.metrics.bytes_sent, loud.metrics.bytes_sent);
+        assert_eq!(quiet.metrics.serials_applied, loud.metrics.serials_applied);
     }
 
     #[test]

@@ -16,10 +16,14 @@
 
 use eus_fedauth::CredError;
 use eus_fedauth::RealmId;
-use eus_obs::{CounterId, ObsConfig, Recorder, SharedId, SharedStats, SpanId};
+use eus_obs::{CounterId, ObsConfig, Recorder, SharedId, SharedStats, SpanId, TraceBuffer, TsId};
+use eus_simcore::SimDuration;
 use eus_simos::Uid;
 use std::collections::BTreeSet;
 use std::time::Instant;
+
+/// Plane code baked into revsync trace ids (see [`TraceBuffer::new`]).
+pub const REVSYNC_TRACE_CODE: u8 = 4;
 
 /// The mesh's recorder, handle set, and validate-path atomics.
 #[derive(Debug, Clone)]
@@ -42,6 +46,14 @@ pub struct MeshObs {
     pub c_stale_exits: CounterId,
     /// (site, issuer) replicas currently over budget (edge detection).
     pub(crate) stale: BTreeSet<(RealmId, RealmId)>,
+    /// Causal trace ring: push/pull/apply/deny spans stitched to the
+    /// upstream revocation context carried inside `CrlDelta`s.
+    pub trace: TraceBuffer,
+    /// Windowed push rate (sampled from [`c_pushes`](Self::c_pushes) at
+    /// pump boundaries).
+    pub ts_pushes: TsId,
+    /// Windowed delivery rate.
+    pub ts_deliveries: TsId,
     stats: SharedStats,
     s_calls: SharedId,
     s_ok: SharedId,
@@ -60,14 +72,20 @@ impl MeshObs {
         if cfg.enabled {
             stats.set_enabled(true);
         }
+        let c_pushes = rec.counter("revsync.pump.pushes");
+        let c_deliveries = rec.counter("revsync.pump.deliveries");
+        let ts_bucket = SimDuration::from_secs(10);
         MeshObs {
             sp_pump: rec.span("revsync.mesh.pump"),
-            c_pushes: rec.counter("revsync.pump.pushes"),
+            c_pushes,
             c_pulls: rec.counter("revsync.pump.pulls"),
-            c_deliveries: rec.counter("revsync.pump.deliveries"),
+            c_deliveries,
             c_gaps: rec.counter("revsync.pump.gap_refusals"),
             c_stale_enters: rec.counter("revsync.staleness.enters"),
             c_stale_exits: rec.counter("revsync.staleness.exits"),
+            ts_pushes: rec.track_counter(c_pushes, ts_bucket, 360),
+            ts_deliveries: rec.track_counter(c_deliveries, ts_bucket, 360),
+            trace: TraceBuffer::new("revsync", REVSYNC_TRACE_CODE, 4096, cfg.enabled),
             stale: BTreeSet::new(),
             s_calls: stats.slot("revsync.validate.calls"),
             s_ok: stats.slot("revsync.validate.ok"),

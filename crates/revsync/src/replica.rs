@@ -19,6 +19,7 @@
 //! pins).
 
 use eus_fedauth::{CredError, CredSerial, RealmId, RealmVerifier, SignedToken, SshCertificate};
+use eus_obs::TraceCtx;
 use eus_simcore::{SimDuration, SimTime};
 use eus_simos::Uid;
 use std::collections::HashSet;
@@ -41,6 +42,12 @@ pub struct CrlDelta {
     /// When the issuer snapshotted its log (the freshness a successful
     /// apply proves).
     pub as_of: SimTime,
+    /// Causal trace context for the newest traced revocation this delta
+    /// carries ([`TraceCtx::NONE`] when tracing is off or no carried entry
+    /// was traced). Rides inside the feed framing's fixed 48-byte header —
+    /// [`wire_bytes`](Self::wire_bytes) is *independent* of it, so a traced
+    /// replay charges the fabric exactly what a quiet one does.
+    pub trace: TraceCtx,
 }
 
 impl CrlDelta {
@@ -84,6 +91,10 @@ pub struct CrlReplica {
     revoked: HashSet<CredSerial>,
     applied_seq: u64,
     last_sync: SimTime,
+    /// Context of the newest traced delta applied here (the "apply" span's
+    /// children — fail-closed denials — parent under it). Pure
+    /// measurement: never consulted by `apply` or validation.
+    last_trace: TraceCtx,
 }
 
 impl CrlReplica {
@@ -103,7 +114,19 @@ impl CrlReplica {
             revoked: serials.into_iter().collect(),
             applied_seq,
             last_sync: now,
+            last_trace: TraceCtx::NONE,
         }
+    }
+
+    /// Context of the newest traced delta applied here.
+    pub fn last_trace(&self) -> TraceCtx {
+        self.last_trace
+    }
+
+    /// Remember the trace context a just-applied delta continued (the mesh
+    /// calls this after recording the apply span).
+    pub fn set_last_trace(&mut self, ctx: TraceCtx) {
+        self.last_trace = ctx;
     }
 
     /// The replicated realm.
@@ -235,6 +258,7 @@ mod tests {
             serials: serials.iter().map(|&s| CredSerial(s)).collect(),
             head: first - 1 + serials.len() as u64,
             as_of,
+            trace: TraceCtx::NONE,
         }
     }
 
@@ -297,6 +321,7 @@ mod tests {
             serials: vec![],
             head: 4,
             as_of: SimTime::from_secs(60),
+            trace: TraceCtx::NONE,
         };
         assert_eq!(r.apply(&hb), ApplyOutcome::Applied(0));
         assert_eq!(r.last_sync(), SimTime::from_secs(60));

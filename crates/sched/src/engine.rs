@@ -94,6 +94,7 @@ use crate::obs::SchedObs;
 use crate::partition::{PartitionError, PartitionTable};
 use crate::policy::{tasks_that_fit, NodeSharing};
 use crate::privatedata::{may_view, JobView, PrivateData};
+use eus_obs::TraceCtx;
 use eus_simcore::{Counter, Histogram, SimDuration, SimTime, TimeWeighted};
 use eus_simos::{Credentials, NodeId, Uid};
 use std::cmp::Reverse;
@@ -447,6 +448,11 @@ pub struct Scheduler {
     /// never-taken branch); [`Scheduler::enable_obs`] turns it on. Pure
     /// measurement — never consulted by a scheduling decision.
     pub obs: SchedObs,
+    /// Submission trace contexts awaiting dispatch, recorded by
+    /// [`Scheduler::note_submit_trace`]. Empty unless tracing is on —
+    /// start-site lookup is then one `is_empty` branch — and never
+    /// consulted by a scheduling decision.
+    submit_traces: BTreeMap<JobId, TraceCtx>,
 }
 
 /// The head whose total task-fit is being maintained incrementally.
@@ -515,6 +521,7 @@ impl Scheduler {
             partitions: PartitionTable::new(),
             admins: BTreeSet::new(),
             obs: SchedObs::disabled(),
+            submit_traces: BTreeMap::new(),
         }
     }
 
@@ -524,6 +531,16 @@ impl Scheduler {
     /// against the reference with instrumentation compiled in.
     pub fn enable_obs(&mut self, cfg: eus_obs::ObsConfig) {
         self.obs = SchedObs::new(&cfg);
+    }
+
+    /// Attach the causal context a traced submission arrived with; the
+    /// dispatch that eventually starts the job records a
+    /// `sched.job.dispatch` span under it. No-op for quiet contexts or a
+    /// disabled trace ring, so untraced submissions stay free.
+    pub fn note_submit_trace(&mut self, id: JobId, ctx: TraceCtx) {
+        if !ctx.is_none() && self.obs.trace.enabled() {
+            self.submit_traces.insert(id, ctx);
+        }
     }
 
     /// Add a node with auto-assigned id.
@@ -1225,13 +1242,14 @@ impl Scheduler {
 
     fn start_job(&mut self, id: JobId, placement: Vec<(NodeId, TaskAlloc)>) {
         let now = self.now;
-        let (user, duration, submitted, cpus_per_task) = {
+        let (user, duration, submitted, cpus_per_task, qos) = {
             let job = &self.jobs[&id];
             (
                 job.spec.user,
                 job.spec.duration,
                 job.submitted,
                 job.spec.cpus_per_task,
+                job.spec.qos,
             )
         };
         let mut total_cores = 0u32;
@@ -1249,6 +1267,11 @@ impl Scheduler {
         }
         self.running_ends.insert((now + duration, id));
         self.obs.rec.incr(self.obs.c_starts);
+        if !self.submit_traces.is_empty() {
+            if let Some(ctx) = self.submit_traces.remove(&id) {
+                let _ = self.obs.trace.hit(ctx, "sched.job.dispatch", now, id.0);
+            }
+        }
         self.obs.rec.event(
             now,
             "job.start",
@@ -1265,6 +1288,13 @@ impl Scheduler {
             self.metrics
                 .wait_times
                 .record(now.since(submitted).as_secs_f64());
+            if qos == crate::job::QosClass::Interactive {
+                self.obs.rec.add(
+                    self.obs.c_interactive_wait_us,
+                    now.since(submitted).as_micros(),
+                );
+                self.obs.rec.incr(self.obs.c_interactive_waits);
+            }
         }
         // The step daemon enforces the requested wall-time limit.
         let runtime = duration.min(self.jobs[&id].spec.time_limit);

@@ -18,7 +18,10 @@
 //! | `sched.cycle.preempt`  | preemption victim search + feasibility proof  |
 //! | `sched.calendar.plan`  | reservation-calendar planning (+ probes)      |
 
-use eus_obs::{CounterId, ObsConfig, ObsSnapshot, Recorder, SpanId};
+use eus_obs::{CounterId, ObsConfig, ObsSnapshot, Recorder, SpanId, TraceBuffer};
+
+/// Plane code baked into scheduler trace ids (see [`TraceBuffer::new`]).
+pub const SCHED_TRACE_CODE: u8 = 2;
 
 /// The scheduler's recorder plus every handle it records through.
 #[derive(Debug, Clone)]
@@ -75,6 +78,15 @@ pub struct SchedObs {
     pub c_starts: CounterId,
     /// Jobs finished (any outcome).
     pub c_finishes: CounterId,
+    /// Total queue wait of started interactive-QoS jobs, microseconds
+    /// (boundary-sampled with [`c_interactive_waits`](Self::c_interactive_waits)
+    /// into the `sched.interactive.wait` SLO ring).
+    pub c_interactive_wait_us: CounterId,
+    /// Interactive-QoS jobs started (the denominator for the wait SLO).
+    pub c_interactive_waits: CounterId,
+    /// Causal trace ring: `sched.job.dispatch` spans stitched to the
+    /// submission context recorded at `try_submit`.
+    pub trace: TraceBuffer,
 }
 
 impl SchedObs {
@@ -107,6 +119,9 @@ impl SchedObs {
             c_cal_probes: rec.counter("sched.calendar.probes"),
             c_starts: rec.counter("sched.jobs.starts"),
             c_finishes: rec.counter("sched.jobs.finishes"),
+            c_interactive_wait_us: rec.counter("sched.interactive.wait_us"),
+            c_interactive_waits: rec.counter("sched.interactive.waits"),
+            trace: TraceBuffer::new("sched", SCHED_TRACE_CODE, 4096, cfg.enabled),
             rec,
         }
     }

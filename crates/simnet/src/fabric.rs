@@ -248,6 +248,23 @@ impl Fabric {
         self.hosts.get_mut(&id)
     }
 
+    /// Per-host conntrack flow-table occupancy (directional entries), in
+    /// host order — the gauge source the cluster's observability plane
+    /// samples at cycle boundaries.
+    pub fn flow_table_occupancy(&self) -> Vec<(NodeId, usize)> {
+        self.hosts
+            .iter()
+            .map(|(&id, h)| (id, h.conntrack.len()))
+            .collect()
+    }
+
+    /// Total directional conntrack entries across every host (each
+    /// established connection contributes two entries — one per direction —
+    /// in both endpoints' tables).
+    pub fn flows_tracked(&self) -> usize {
+        self.hosts.values().map(|h| h.conntrack.len()).sum()
+    }
+
     /// Bind a listener on a host.
     pub fn listen(
         &mut self,
@@ -523,6 +540,27 @@ mod tests {
         f.add_host(NodeId(1));
         f.add_host(NodeId(2));
         f
+    }
+
+    #[test]
+    fn flow_table_occupancy_tracks_connections() {
+        let mut f = two_hosts();
+        f.listen(NodeId(2), Proto::Tcp, 8888, peer(100)).unwrap();
+        assert_eq!(f.flows_tracked(), 0);
+        let (id, _) = f
+            .connect(
+                NodeId(1),
+                peer(101),
+                SocketAddr::new(NodeId(2), 8888),
+                Proto::Tcp,
+            )
+            .unwrap();
+        // One flow: two directional entries at each endpoint.
+        assert_eq!(f.flows_tracked(), 4);
+        let occ = f.flow_table_occupancy();
+        assert_eq!(occ, vec![(NodeId(1), 2), (NodeId(2), 2)]);
+        f.close(id);
+        assert_eq!(f.flows_tracked(), 0);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! them after the daemon has been moved into the fabric.
 
 use crate::cache::{CacheKey, DecisionCache};
+use crate::obs::UbfPacketStats;
 use crate::policy::{decide, Decision, UbfPolicy};
 use eus_simcore::Counter;
 use eus_simnet::{QueueCtx, QueueHandler, Verdict};
@@ -85,6 +86,7 @@ pub struct UbfDaemon {
     config: UbfConfig,
     cache: DecisionCache,
     stats: UbfStats,
+    pkt: UbfPacketStats,
 }
 
 impl UbfDaemon {
@@ -96,6 +98,7 @@ impl UbfDaemon {
             config,
             cache,
             stats: Arc::new(Mutex::new(UbfStatsInner::default())),
+            pkt: UbfPacketStats::disabled(),
         }
     }
 
@@ -103,6 +106,17 @@ impl UbfDaemon {
     /// the fabric).
     pub fn stats(&self) -> UbfStats {
         self.stats.clone()
+    }
+
+    /// Replace the packet-path slot handle (keep a clone to read/enable
+    /// after the daemon moves into the fabric).
+    pub fn set_packet_stats(&mut self, pkt: UbfPacketStats) {
+        self.pkt = pkt;
+    }
+
+    /// Clone the packet-path slot handle.
+    pub fn packet_stats(&self) -> UbfPacketStats {
+        self.pkt.clone()
     }
 
     /// Drop all cached decisions (call after group membership changes).
@@ -130,11 +144,14 @@ impl QueueHandler for UbfDaemon {
     fn judge(&mut self, ctx: &mut QueueCtx<'_>) -> Verdict {
         // Local lookup of our own endpoint (one daemon lookup).
         ctx.costs.daemon_lookups += 1;
+        let pkt = &self.pkt;
+        pkt.stats().incr(pkt.s_packets);
 
         let key = CacheKey::new(&ctx.initiator, &ctx.listener);
         let allowed = if let Some(hit) = self.cache.get(&key) {
             ctx.costs.cache_hit = true;
             self.stats.lock().cache_hits.incr();
+            pkt.stats().incr(pkt.s_cache_hits);
             // Re-record the decision class for counters: recompute cheaply
             // from the cached bit only.
             if hit {
@@ -159,6 +176,8 @@ impl QueueHandler for UbfDaemon {
             ctx.costs.ident_rtts += 1;
             ctx.costs.daemon_lookups += 1;
             self.stats.lock().ident_queries.incr();
+            pkt.stats().incr(pkt.s_cache_misses);
+            pkt.stats().incr(pkt.s_ident_rtts);
             let d = decide(
                 &self.config.policy,
                 &self.db.read(),
@@ -167,12 +186,15 @@ impl QueueHandler for UbfDaemon {
             );
             self.record(d);
             self.cache.put(key, d.allowed());
+            pkt.stats()
+                .max(pkt.s_occupancy_peak, self.cache.len() as u64);
             d.allowed()
         };
 
         if allowed {
             Verdict::Accept
         } else {
+            pkt.stats().incr(pkt.s_denies);
             Verdict::Drop
         }
     }

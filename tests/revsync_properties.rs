@@ -233,6 +233,7 @@ proptest! {
                 head: first_seq - 1 + serials.len() as u64,
                 serials,
                 as_of: SimTime::from_secs(as_of),
+                trace: hpc_user_separation::obs::TraceCtx::NONE,
             };
             let before = replica.applied_seq();
             match replica.apply(&delta) {
