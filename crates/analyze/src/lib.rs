@@ -14,7 +14,7 @@
 //! | `sim-determinism` | no wall-clock/sleep/hash-iteration in engine crates |
 //! | `hot-path-panic` | no unwrap/expect/panic!/indexing in annotated hot regions |
 //! | `obs-naming` | dotted obs names, registered exactly once |
-//! | `docs-sync` | ARCHITECTURE.md audit + span tables match the code |
+//! | `docs-sync` | ARCHITECTURE.md audit/span/SLO/fault tables match the code |
 //! | `lock-discipline` | no nested lock scopes (static half of the check) |
 //!
 //! Suppress a finding on one line with
@@ -64,13 +64,17 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
 
     let arch_path = root.join("ARCHITECTURE.md");
     let channels_path = root.join("crates/core/src/audit/channels.rs");
+    let faults_path = root.join("crates/chaos/src/fault.rs");
     let arch = std::fs::read_to_string(&arch_path).unwrap_or_default();
     let channels = std::fs::read_to_string(&channels_path).unwrap_or_default();
+    let faults = std::fs::read_to_string(&faults_path).unwrap_or_default();
     rules::docsync::check(
         &arch,
         "ARCHITECTURE.md",
         &channels,
         "crates/core/src/audit/channels.rs",
+        &faults,
+        "crates/chaos/src/fault.rs",
         &regs,
         &mut diags,
     );

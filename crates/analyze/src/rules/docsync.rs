@@ -13,26 +13,33 @@
 //!   registrations. An undocumented objective pages with no runbook; a
 //!   documented objective that was deleted promises alerting that will
 //!   never fire.
+//! - The **fault taxonomy table** mirrors `enum Fault` in
+//!   `crates/chaos/src/fault.rs`. A fault the chaos plane can inject but
+//!   the docs don't list is a failure mode nobody plans drills for; a
+//!   documented fault with no variant promises coverage that isn't there.
 
 use crate::diag::{Diag, R4_DOCS_SYNC as RULE};
 use crate::lexer::{lex, TokKind};
 use crate::rules::obsnames::Registration;
 use std::collections::BTreeMap;
 
-/// Cross-check all three tables. `arch` is the ARCHITECTURE.md text,
-/// `channels` the source of `crates/core/src/audit/channels.rs`, `spans`
-/// the registrations collected by R3 (spans and SLOs are filtered out of
-/// it here).
+/// Cross-check all four tables. `arch` is the ARCHITECTURE.md text,
+/// `channels` the source of `crates/core/src/audit/channels.rs`, `faults`
+/// the source of `crates/chaos/src/fault.rs`, `spans` the registrations
+/// collected by R3 (spans and SLOs are filtered out of it here).
+#[allow(clippy::too_many_arguments)] // one (source, path) pair per mirrored table
 pub fn check(
     arch: &str,
     arch_path: &str,
     channels: &str,
     channels_path: &str,
+    faults: &str,
+    faults_path: &str,
     spans: &[Registration],
     out: &mut Vec<Diag>,
 ) {
     // --- audit channels ---
-    let code_channels = channel_variants(channels);
+    let code_channels = enum_variants(channels, "Channel");
     let (audit_header, audit_rows) = table_rows(arch, "channel");
     if code_channels.is_empty() {
         out.push(Diag {
@@ -172,22 +179,64 @@ pub fn check(
             });
         }
     }
+
+    // --- fault taxonomy ---
+    let code_faults = enum_variants(faults, "Fault");
+    let (fault_header, fault_rows) = table_rows(arch, "fault");
+    if fault_rows.is_empty() && !code_faults.is_empty() {
+        out.push(Diag {
+            file: arch_path.to_string(),
+            line: 1,
+            rule: RULE,
+            msg: "ARCHITECTURE.md has no fault taxonomy table (header cell `fault`)".into(),
+            hint: "restore the `| fault | … |` table in the fault-injection section".into(),
+        });
+    }
+    for (variant, _line) in &code_faults {
+        if !fault_rows.contains_key(variant) {
+            out.push(Diag {
+                file: arch_path.to_string(),
+                line: fault_header.unwrap_or(1),
+                rule: RULE,
+                msg: format!(
+                    "chaos fault `{variant}` ({faults_path}) has no row in the \
+                     ARCHITECTURE.md fault taxonomy table"
+                ),
+                hint: "add a row with the fault's label, plane hook and heal ownership".into(),
+            });
+        }
+    }
+    for (name, line) in &fault_rows {
+        if !code_faults.iter().any(|(v, _)| v == name) {
+            out.push(Diag {
+                file: arch_path.to_string(),
+                line: *line,
+                rule: RULE,
+                msg: format!(
+                    "ARCHITECTURE.md documents chaos fault `{name}` which does not exist \
+                     in {faults_path}"
+                ),
+                hint: "remove the row or rename it to the current Fault variant".into(),
+            });
+        }
+    }
 }
 
-/// Parse the fieldless variants of `pub enum Channel { … }` with their
-/// lines.
-fn channel_variants(src: &str) -> Vec<(String, u32)> {
+/// Parse the variants of `pub enum <name> { … }` with their lines.
+/// Handles fieldless, tuple, and struct variants: a variant is any ident
+/// at brace depth 1 directly followed by `,`, `}`, `{`, or `(` (field
+/// idents sit at depth 2 or inside parens and never match).
+fn enum_variants(src: &str, name: &str) -> Vec<(String, u32)> {
     let toks = lex(src).toks;
     let mut out = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {
         if toks[i].kind == TokKind::Ident
             && toks[i].text == "enum"
-            && toks.get(i + 1).is_some_and(|t| t.text == "Channel")
+            && toks.get(i + 1).is_some_and(|t| t.text == name)
         {
-            // Walk the variant list at brace depth 1; attributes are
-            // skipped, variants are idents directly followed by `,` or `}`.
             let mut depth = 0i32;
+            let mut parens = 0i32;
             let mut j = i + 2;
             while j < toks.len() {
                 let t = &toks[j];
@@ -200,11 +249,13 @@ fn channel_variants(src: &str) -> Vec<(String, u32)> {
                                 return out;
                             }
                         }
+                        "(" => parens += 1,
+                        ")" => parens -= 1,
                         _ => {}
                     }
-                } else if t.kind == TokKind::Ident && depth == 1 {
+                } else if t.kind == TokKind::Ident && depth == 1 && parens == 0 {
                     let next_is_sep = toks.get(j + 1).is_some_and(|n| {
-                        n.kind == TokKind::Punct && (n.text == "," || n.text == "}")
+                        n.kind == TokKind::Punct && matches!(n.text.as_str(), "," | "}" | "{" | "(")
                     });
                     if next_is_sep {
                         out.push((t.text.clone(), t.line));
@@ -264,7 +315,9 @@ mod tests {
     use super::*;
 
     const CHANNELS: &str = "pub enum Channel {\n    ProcList,\n    NetTcp,\n}\n";
-    const ARCH: &str = "# arch\n\n| channel | sect |\n|---|---|\n| `ProcList` | 1 |\n| `NetTcp` | 2 |\n\n| span | covers |\n|---|---|\n| `sched.cycle.select` | x |\n\n| slo | target |\n|---|---|\n| `cred.validate.latency` | 10ms |\n";
+    const FAULTS: &str =
+        "pub enum Fault {\n    NodeCrash { node: NodeId },\n    IdpOutage { heal_after: SimDuration },\n}\n";
+    const ARCH: &str = "# arch\n\n| channel | sect |\n|---|---|\n| `ProcList` | 1 |\n| `NetTcp` | 2 |\n\n| span | covers |\n|---|---|\n| `sched.cycle.select` | x |\n\n| slo | target |\n|---|---|\n| `cred.validate.latency` | 10ms |\n\n| fault | label |\n|---|---|\n| `NodeCrash` | node.crash |\n| `IdpOutage` | idp.outage |\n";
 
     fn reg(name: &str, kind: &str) -> Registration {
         Registration {
@@ -287,6 +340,8 @@ mod tests {
             "ARCHITECTURE.md",
             CHANNELS,
             "channels.rs",
+            FAULTS,
+            "fault.rs",
             &[
                 span_reg("sched.cycle.select"),
                 reg("cred.validate.latency", "slo"),
@@ -306,6 +361,8 @@ mod tests {
             "ARCHITECTURE.md",
             "pub enum Channel { ProcList, NetTcp, GpuRemanence }",
             "channels.rs",
+            FAULTS,
+            "fault.rs",
             &[],
             &mut out,
         );
@@ -323,6 +380,8 @@ mod tests {
             "ARCHITECTURE.md",
             CHANNELS,
             "channels.rs",
+            FAULTS,
+            "fault.rs",
             &[
                 span_reg("sched.cycle.select"),
                 reg("cred.validate.latency", "slo"),
@@ -333,5 +392,44 @@ mod tests {
         assert!(out
             .iter()
             .any(|d| d.msg.contains("revsync.replica.lag") && d.msg.contains("no row")));
+    }
+
+    #[test]
+    fn fault_table_drift_is_caught_both_directions() {
+        let mut out = Vec::new();
+        // Code grows a fault the docs lack; docs list one the code lost.
+        check(
+            ARCH,
+            "ARCHITECTURE.md",
+            CHANNELS,
+            "channels.rs",
+            "pub enum Fault {\n    NodeCrash { node: NodeId },\n    FeedStall { realm: RealmId },\n}\n",
+            "fault.rs",
+            &[
+                span_reg("sched.cycle.select"),
+                reg("cred.validate.latency", "slo"),
+            ],
+            &mut out,
+        );
+        assert!(
+            out.iter()
+                .any(|d| d.msg.contains("FeedStall") && d.msg.contains("no row")),
+            "{out:?}"
+        );
+        assert!(
+            out.iter()
+                .any(|d| d.msg.contains("IdpOutage") && d.msg.contains("does not exist")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn struct_and_tuple_variants_parse() {
+        let vs = enum_variants(
+            "pub enum Fault { A, B(u32), C { x: Y, z: SimDuration }, D }",
+            "Fault",
+        );
+        let names: Vec<&str> = vs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["A", "B", "C", "D"]);
     }
 }

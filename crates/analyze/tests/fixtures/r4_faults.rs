@@ -1,0 +1,6 @@
+//! R4 fixture: the chaos fault enum the doc taxonomy table mirrors.
+
+pub enum Fault {
+    NodeCrash { node: NodeId },
+    IdpOutage { heal_after: SimDuration },
+}

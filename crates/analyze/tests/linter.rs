@@ -74,6 +74,7 @@ fn span_reg(name: &str) -> Registration {
 #[test]
 fn r4_docs_sync_fixture() {
     let channels = include_str!("fixtures/r4_channels.rs");
+    let faults = include_str!("fixtures/r4_faults.rs");
     let regs = [
         span_reg("sched.cycle.select"),
         span_reg("sched.cycle.dispatch"),
@@ -85,6 +86,8 @@ fn r4_docs_sync_fixture() {
         "fixtures/r4_arch_good.md",
         channels,
         "fixtures/r4_channels.rs",
+        faults,
+        "fixtures/r4_faults.rs",
         &regs,
         &mut clean,
     );
@@ -96,17 +99,22 @@ fn r4_docs_sync_fixture() {
         "fixtures/r4_arch_drift.md",
         channels,
         "fixtures/r4_channels.rs",
+        faults,
+        "fixtures/r4_faults.rs",
         &regs,
         &mut drift,
     );
     assert!(drift.iter().all(|d| d.rule == diag::R4_DOCS_SYNC));
-    // All four drift directions: code channel missing a row, doc row with
-    // no variant, registered span missing a row, doc span never registered.
+    // All drift directions: code channel missing a row, doc row with no
+    // variant, registered span missing a row, doc span never registered,
+    // code fault missing a row, doc fault with no variant.
     for needle in [
         "`NetTcp`",
         "`GhostChannel`",
         "`sched.cycle.dispatch`",
         "`sched.ghost.span`",
+        "`IdpOutage`",
+        "`GhostFault`",
     ] {
         assert!(
             drift.iter().any(|d| d.msg.contains(needle)),

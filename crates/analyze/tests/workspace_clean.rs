@@ -42,6 +42,7 @@ fn seeded_architecture_drift_is_caught() {
     let arch = std::fs::read_to_string(root.join("ARCHITECTURE.md")).expect("ARCHITECTURE.md");
     let channels = std::fs::read_to_string(root.join("crates/core/src/audit/channels.rs"))
         .expect("channels.rs");
+    let faults = std::fs::read_to_string(root.join("crates/chaos/src/fault.rs")).expect("fault.rs");
     let regs = real_span_regs(&root);
 
     // Sanity: untampered, the real doc is in sync.
@@ -51,19 +52,24 @@ fn seeded_architecture_drift_is_caught() {
         "ARCHITECTURE.md",
         &channels,
         "crates/core/src/audit/channels.rs",
+        &faults,
+        "crates/chaos/src/fault.rs",
         &regs,
         &mut clean,
     );
     let rendered: Vec<String> = clean.iter().map(|d| d.human()).collect();
     assert!(clean.is_empty(), "{}", rendered.join("\n"));
 
-    // Seed drift: rename a documented span row. Both directions must fire —
-    // the registered span loses its row, and the renamed row documents a
-    // span nobody registers.
-    let tampered = arch.replace("`sched.cycle.select`", "`sched.cycle.selekt`");
+    // Seed drift: rename a documented span row and a documented fault row.
+    // Both directions must fire for each — the registered span / real
+    // variant loses its row, and the renamed row documents a name nobody
+    // has.
+    let tampered = arch
+        .replace("`sched.cycle.select`", "`sched.cycle.selekt`")
+        .replace("| `FeedStall` |", "| `FeedStale` |");
     assert_ne!(
         tampered, arch,
-        "ARCHITECTURE.md documents sched.cycle.select"
+        "ARCHITECTURE.md documents sched.cycle.select and FeedStall"
     );
     let mut drift = Vec::new();
     docsync::check(
@@ -71,6 +77,8 @@ fn seeded_architecture_drift_is_caught() {
         "ARCHITECTURE.md",
         &channels,
         "crates/core/src/audit/channels.rs",
+        &faults,
+        "crates/chaos/src/fault.rs",
         &regs,
         &mut drift,
     );
@@ -86,5 +94,17 @@ fn seeded_architecture_drift_is_caught() {
             .iter()
             .any(|d| d.msg.contains("`sched.cycle.selekt`") && d.msg.contains("not registered")),
         "stale-row direction not caught: {drift:?}"
+    );
+    assert!(
+        drift
+            .iter()
+            .any(|d| d.msg.contains("`FeedStall`") && d.msg.contains("no row")),
+        "missing fault row not caught: {drift:?}"
+    );
+    assert!(
+        drift
+            .iter()
+            .any(|d| d.msg.contains("`FeedStale`") && d.msg.contains("does not exist")),
+        "stale fault row not caught: {drift:?}"
     );
 }

@@ -85,6 +85,61 @@ impl ClusterSpec {
 /// The home site's federation realm id.
 pub const HOME_REALM: RealmId = RealmId(1);
 
+/// An external dependency of the cluster whose outage the site degrades
+/// around (rather than falling over): the identity provider behind logins,
+/// the certificate authority behind credential minting, and the
+/// cross-realm revocation feeds behind replica-backed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Dependency {
+    /// The home realm's identity provider (login/assertion path).
+    Idp,
+    /// The home realm's certificate authority (minting path).
+    Ca,
+    /// The revocation feeds from trusted sister realms (worst replica).
+    Feed,
+}
+
+/// Health of one [`Dependency`], re-judged at every cycle boundary.
+///
+/// The ladder only descends while the outage persists — `Healthy →
+/// Degraded → FailClosed` — and snaps back to `Healthy` the first boundary
+/// after heal. *Degraded* means the cluster is serving on borrowed state:
+/// new logins fail `Unavailable` but already-minted tokens keep validating
+/// against local state (broker tables, CRL replicas). *FailClosed* means
+/// the borrowed state has aged past `config.revsync_max_lag`, the bound
+/// the paper's bounded-staleness argument rests on, and the affected path
+/// now refuses rather than trusts stale data. The judgment is pure
+/// observation — enforcement lives in the broker gates and the replica
+/// staleness check, which fail closed with or without this bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepHealth {
+    /// Dependency reachable; nothing borrowed.
+    Healthy,
+    /// Outage in progress since `since`; serving on local state.
+    Degraded {
+        /// When the outage was first observed at a cycle boundary.
+        since: SimTime,
+    },
+    /// Borrowed state exhausted; the affected path refuses.
+    FailClosed,
+}
+
+impl DepHealth {
+    /// The gauge encoding (`core.health.*`): 0 / 1 / 2 down the ladder.
+    pub fn gauge(self) -> i64 {
+        match self {
+            DepHealth::Healthy => 0,
+            DepHealth::Degraded { .. } => 1,
+            DepHealth::FailClosed => 2,
+        }
+    }
+
+    /// Is this the top of the ladder?
+    pub fn is_healthy(self) -> bool {
+        matches!(self, DepHealth::Healthy)
+    }
+}
+
 /// The assembled system.
 pub struct SecureCluster {
     /// Deployed mechanisms.
@@ -143,6 +198,16 @@ pub struct SecureCluster {
     seepid_gid: Gid,
     materialized: BTreeSet<JobId>,
     job_procs: BTreeMap<JobId, Vec<(NodeId, Pid)>>,
+    // Per-dependency degraded-mode state machines (see [`DepHealth`]),
+    // re-judged at every cycle boundary.
+    health_idp: DepHealth,
+    health_ca: DepHealth,
+    health_feed: DepHealth,
+    // Injected per-realm clock skew: the realm's plane is advanced to
+    // `now + skew` at every clock sync (forward-only; plane clocks are
+    // monotone, so shrinking or clearing the skew just stops the extra
+    // advance until the cluster clock catches up).
+    clock_skew: BTreeMap<RealmId, SimDuration>,
     // Last-sampled totals for boundary SLO deltas (monotone counters read
     // at each `advance_to`; the difference feeds the SLO rings).
     prev_validate_calls: u64,
@@ -332,6 +397,10 @@ impl SecureCluster {
             seepid_gid,
             materialized: BTreeSet::new(),
             job_procs: BTreeMap::new(),
+            health_idp: DepHealth::Healthy,
+            health_ca: DepHealth::Healthy,
+            health_feed: DepHealth::Healthy,
+            clock_skew: BTreeMap::new(),
             prev_validate_calls: 0,
             prev_validate_ns: 0,
             prev_iwait_us: 0,
@@ -668,6 +737,20 @@ impl SecureCluster {
         } else if let Some(b) = &self.broker {
             b.write().advance_to(t);
         }
+        // Injected clock skew (chaos): a skewed realm's plane runs *ahead*
+        // of the federation clock by the configured offset, so its sessions
+        // expire and sweep early relative to everyone else. Applied after
+        // the uniform advance; plane clocks are monotone, so this only ever
+        // moves forward.
+        if !self.clock_skew.is_empty() {
+            if let Some(dir) = &self.federation {
+                for (&realm, &skew) in &self.clock_skew {
+                    if let Some(plane) = dir.plane(realm) {
+                        plane.write().advance_to(t + skew);
+                    }
+                }
+            }
+        }
         if let Some(mesh) = &mut self.revsync {
             mesh.pump(t);
         }
@@ -830,6 +913,194 @@ impl SecureCluster {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Fault injection & degraded modes
+    // ------------------------------------------------------------------
+
+    /// Take the home realm's identity provider down (or back up). While
+    /// down, *new* logins and assertions fail with
+    /// [`CredError`](eus_fedauth::CredError)`::Unavailable`; already-minted
+    /// tokens keep validating against local state. No-op without the
+    /// credential plane.
+    pub fn set_idp_available(&mut self, up: bool) {
+        if let Some(b) = &self.broker {
+            b.write().set_idp_available(up);
+        }
+    }
+
+    /// Is the home realm's identity provider reachable? (`true` without
+    /// the credential plane: there is nothing to be down.)
+    pub fn idp_available(&self) -> bool {
+        self.broker
+            .as_ref()
+            .is_none_or(|b| b.read().idp_available())
+    }
+
+    /// Take the home realm's certificate authority down (or back up).
+    /// While down, credential *minting* (SSH certs, token issuance) fails
+    /// `Unavailable`; verification is local and keeps working.
+    pub fn set_ca_available(&mut self, up: bool) {
+        if let Some(b) = &self.broker {
+            b.write().set_ca_available(up);
+        }
+    }
+
+    /// Is the home realm's certificate authority reachable?
+    pub fn ca_available(&self) -> bool {
+        self.broker.as_ref().is_none_or(|b| b.read().ca_available())
+    }
+
+    /// Seize (or release) one shard of a sharded home broker: users hashed
+    /// to that shard fail `Unavailable`, everyone else is untouched.
+    /// Returns whether the plane has such a shard (`false` for a single
+    /// broker or out-of-range index — the fault simply misses).
+    pub fn seize_shard(&mut self, shard: usize, seized: bool) -> bool {
+        self.broker
+            .as_ref()
+            .is_some_and(|b| b.write().seize_shard(shard, seized))
+    }
+
+    /// Stall (or unstall) the revocation push feed from a sister realm
+    /// *silently*: pushes are swallowed without an error at the issuer, so
+    /// no retry fires — only the subscriber's silence detector
+    /// (`feed.silent`) and anti-entropy notice. The nastier cousin of
+    /// [`partition_sister_feed`](Self::partition_sister_feed), whose
+    /// failures are detected and retried.
+    pub fn stall_sister_feed(&mut self, realm: RealmId, stalled: bool) {
+        if let Some(mesh) = &mut self.revsync {
+            mesh.set_feed_stalled(realm, HOME_REALM, stalled);
+        }
+    }
+
+    /// Skew one realm's credential-plane clock `ahead` of the federation
+    /// clock (chaos: a site whose NTP drifted). Applied at every clock
+    /// sync; `SimDuration::ZERO` clears the skew. Forward-only: plane
+    /// clocks are monotone, so reducing the skew never rewinds — the
+    /// skewed plane just waits for the cluster clock to catch up.
+    pub fn set_realm_clock_skew(&mut self, realm: RealmId, ahead: SimDuration) {
+        if ahead.is_zero() {
+            self.clock_skew.remove(&realm);
+        } else {
+            self.clock_skew.insert(realm, ahead);
+        }
+    }
+
+    /// Compact every issuer's revocation delta log down to what its
+    /// slowest subscriber still needs (see
+    /// [`RevSyncMesh::compact_logs`](eus_revsync::RevSyncMesh::compact_logs)).
+    /// Returns total entries dropped; 0 without the credential plane.
+    pub fn compact_revocation_logs(&mut self) -> u64 {
+        self.revsync.as_mut().map_or(0, |m| m.compact_logs())
+    }
+
+    /// Current health of one dependency, as of the last cycle boundary
+    /// (see [`DepHealth`] for the ladder semantics).
+    pub fn dependency_health(&self, dep: Dependency) -> DepHealth {
+        match dep {
+            Dependency::Idp => self.health_idp,
+            Dependency::Ca => self.health_ca,
+            Dependency::Feed => self.health_feed,
+        }
+    }
+
+    /// Is any dependency below [`DepHealth::Healthy`] right now? (The
+    /// boundary sample behind the `cluster.dependency.degraded` SLO.)
+    pub fn degraded(&self) -> bool {
+        !(self.health_idp.is_healthy()
+            && self.health_ca.is_healthy()
+            && self.health_feed.is_healthy())
+    }
+
+    /// Re-judge every dependency's [`DepHealth`] ladder at a cycle
+    /// boundary. Runs with or without observability — experiments and the
+    /// chaos harness read [`dependency_health`](Self::dependency_health)
+    /// on quiet clusters too — but gauge updates and transition events
+    /// only land while the recorder is on.
+    fn update_dependency_health(&mut self, t: SimTime) {
+        let budget = self.config.revsync_max_lag;
+        let (idp_up, ca_up) = match &self.broker {
+            Some(b) => {
+                let g = b.read();
+                (g.idp_available(), g.ca_available())
+            }
+            None => (true, true),
+        };
+        let next_idp = Self::step_outage(self.health_idp, idp_up, t, budget);
+        let next_ca = Self::step_outage(self.health_ca, ca_up, t, budget);
+        // Feed health follows the worst replica's lag: past half the
+        // staleness budget (the same line the `revsync.replica.lag` SLO
+        // aims at) the feed is degraded; past the full budget, validation
+        // is already refusing, so the ladder says fail-closed.
+        let mut worst: Option<SimDuration> = None;
+        if let Some(mesh) = &self.revsync {
+            for realm in mesh.realms().collect::<Vec<_>>() {
+                if realm == HOME_REALM {
+                    continue;
+                }
+                if let Some(lag) = mesh.replica_lag(HOME_REALM, realm, t) {
+                    worst = Some(worst.map_or(lag, |w| w.max(lag)));
+                }
+            }
+        }
+        let next_feed = match worst {
+            None => DepHealth::Healthy,
+            Some(lag) if lag > budget => DepHealth::FailClosed,
+            Some(lag) if lag > budget / 2 => match self.health_feed {
+                held @ DepHealth::Degraded { .. } => held,
+                _ => DepHealth::Degraded { since: t },
+            },
+            Some(_) => DepHealth::Healthy,
+        };
+        self.note_health(Dependency::Idp, next_idp, t);
+        self.note_health(Dependency::Ca, next_ca, t);
+        self.note_health(Dependency::Feed, next_feed, t);
+    }
+
+    /// One step of the outage ladder for a binary up/down dependency:
+    /// down marks `Degraded{since}`, staying down past the staleness
+    /// budget exhausts the borrowed state (`FailClosed`), and heal snaps
+    /// straight back to `Healthy`.
+    fn step_outage(cur: DepHealth, up: bool, t: SimTime, budget: SimDuration) -> DepHealth {
+        if up {
+            return DepHealth::Healthy;
+        }
+        match cur {
+            DepHealth::Healthy => DepHealth::Degraded { since: t },
+            DepHealth::Degraded { since } if t.since(since) > budget => DepHealth::FailClosed,
+            held => held,
+        }
+    }
+
+    /// Commit one dependency's new health: update the state, set the
+    /// `core.health.*` gauge, and flight-record the transition edge as a
+    /// `core.health` event `(dependency, to, from)`.
+    fn note_health(&mut self, dep: Dependency, next: DepHealth, t: SimTime) {
+        let prev = self.dependency_health(dep);
+        match dep {
+            Dependency::Idp => self.health_idp = next,
+            Dependency::Ca => self.health_ca = next,
+            Dependency::Feed => self.health_feed = next,
+        }
+        if !self.obs.rec.enabled() {
+            return;
+        }
+        let g = match dep {
+            Dependency::Idp => self.obs.g_health_idp,
+            Dependency::Ca => self.obs.g_health_ca,
+            Dependency::Feed => self.obs.g_health_feed,
+        };
+        self.obs.rec.gauge_set(g, next.gauge());
+        if next.gauge() != prev.gauge() {
+            self.obs.rec.event(
+                t,
+                "core.health",
+                dep as u64,
+                next.gauge() as u64,
+                prev.gauge() as u64,
+            );
+        }
+    }
+
     /// The portal's administrative revoke route: revoke one credential
     /// serial at its issuing realm, minting the `portal.route.revoke`
     /// trace root that follows the revocation across the WAN — issuer log
@@ -922,9 +1193,12 @@ impl SecureCluster {
     /// flow-table gauge and tracked time-series, feed the SLO rings from
     /// monotone counter deltas, evaluate every objective (two-window
     /// burn-rate), flight-record fired/cleared alerts, and refresh the
-    /// panic-dump sink when armed. Entirely skipped while observability is
-    /// off.
+    /// panic-dump sink when armed. The dependency-health ladders are
+    /// re-judged here too — with or without observability, since quiet
+    /// experiments read them; the *recording* half is skipped while
+    /// observability is off.
     fn observe_boundary(&mut self, t: SimTime) {
+        self.update_dependency_health(t);
         if self.obs.rec.enabled() {
             let flows = self.fabric.flows_tracked() as i64;
             self.obs.rec.gauge_set(self.obs.g_flows, flows);
@@ -981,6 +1255,13 @@ impl SecureCluster {
                         .record(self.obs.slo_interactive_wait, t, dw as f64 / dn as f64);
                 }
             }
+            // cluster.dependency.degraded: binary boundary sample — 1.0
+            // whenever any dependency ladder is below Healthy.
+            self.obs.slo.record(
+                self.obs.slo_dep_degraded,
+                t,
+                if self.degraded() { 1.0 } else { 0.0 },
+            );
             for a in self.obs.slo.evaluate(t) {
                 self.obs.rec.event(
                     t,
@@ -1506,7 +1787,14 @@ mod tests {
             .filter(|a| a.kind == crate::obs::AlertKind::Fire)
             .map(|a| a.slo)
             .collect();
-        assert_eq!(fired, vec!["revsync.replica.lag"], "exactly the lag SLO");
+        // Exactly the two objectives this fault implicates: the lag SLO
+        // (the injected staleness) and the dependency-degraded SLO (the
+        // feed's health ladder left Healthy) — nothing else.
+        assert_eq!(
+            fired,
+            vec!["revsync.replica.lag", "cluster.dependency.degraded"],
+            "exactly the lag + dependency SLOs"
+        );
         // The alert is also a flight event.
         assert!(c
             .obs
@@ -1522,13 +1810,17 @@ mod tests {
             t += SimDuration::from_secs(10);
             c.advance_to(t);
         }
-        assert!(c
-            .obs
-            .slo
-            .alerts()
-            .entries()
-            .iter()
-            .any(|a| a.slo == "revsync.replica.lag" && a.kind == crate::obs::AlertKind::Clear));
+        for slo in ["revsync.replica.lag", "cluster.dependency.degraded"] {
+            assert!(
+                c.obs
+                    .slo
+                    .alerts()
+                    .entries()
+                    .iter()
+                    .any(|a| a.slo == slo && a.kind == crate::obs::AlertKind::Clear),
+                "{slo} must clear after heal"
+            );
+        }
     }
 
     #[test]
@@ -1911,5 +2203,145 @@ mod tests {
             .is_ok());
         // No pam_slurm: ssh anywhere.
         assert!(c.ssh(bob, n1).is_ok());
+    }
+
+    #[test]
+    fn idp_outage_walks_the_health_ladder_and_heals() {
+        let mut c = llsc_tiny();
+        c.enable_obs(ObsConfig::enabled());
+        let alice = c.add_user("alice").unwrap();
+        let db = c.db.read().clone();
+        let broker = c.broker.clone().unwrap();
+        let token = broker.write().login(&db, alice, None).unwrap();
+        assert!(c.idp_available() && c.ca_available());
+
+        c.set_idp_available(false);
+        // Graceful degradation: new logins refused Unavailable, the
+        // already-minted token keeps validating against local state.
+        assert_eq!(
+            broker.write().login(&db, alice, None),
+            Err(eus_fedauth::CredError::Unavailable)
+        );
+        assert_eq!(broker.read().validate_token(&token).unwrap(), alice);
+
+        c.advance_to(SimTime::from_secs(10));
+        assert!(matches!(
+            c.dependency_health(Dependency::Idp),
+            DepHealth::Degraded { .. }
+        ));
+        assert!(c.degraded());
+        assert_eq!(c.obs.rec.gauge_value(c.obs.g_health_idp), 1);
+        // The degraded SLO fires on the very boundary (1-bucket windows).
+        assert!(
+            !c.obs
+                .slo
+                .alerts()
+                .for_slo("cluster.dependency.degraded")
+                .is_empty(),
+            "degraded boundary must raise the dependency SLO"
+        );
+        // The transition edge is on the flight ring: (dep, to, from).
+        assert!(c
+            .obs
+            .rec
+            .flight
+            .events()
+            .iter()
+            .any(|e| e.kind == "core.health" && e.a == Dependency::Idp as u64 && e.b == 1));
+
+        // Outage outlasting the staleness budget exhausts the borrowed
+        // state: fail-closed.
+        c.advance_to(SimTime::ZERO + c.config.revsync_max_lag + SimDuration::from_secs(20));
+        assert_eq!(c.dependency_health(Dependency::Idp), DepHealth::FailClosed);
+        assert_eq!(c.obs.rec.gauge_value(c.obs.g_health_idp), 2);
+
+        // Heal snaps straight back to Healthy and logins work again.
+        c.set_idp_available(true);
+        let t = c.sched.read().now() + SimDuration::from_secs(10);
+        c.advance_to(t);
+        assert_eq!(c.dependency_health(Dependency::Idp), DepHealth::Healthy);
+        assert!(!c.degraded());
+        assert!(broker.write().login(&db, alice, None).is_ok());
+    }
+
+    #[test]
+    fn feed_lag_walks_the_ladder_to_fail_closed_and_back() {
+        let cfg = SeparationConfig::llsc().with_trusted_realms([2u32]);
+        let mut c = SecureCluster::new(cfg, ClusterSpec::tiny());
+        c.enable_obs(ObsConfig::enabled());
+        let sister = shared_broker(CredentialBroker::new(
+            RealmId(2),
+            0xFEE7,
+            BrokerPolicy::default(),
+        ));
+        c.register_sister_realm(RealmId(2), sister);
+        let budget = c.config.revsync_max_lag;
+
+        // Feeds flowing: healthy.
+        c.advance_to(SimTime::from_secs(30));
+        assert_eq!(c.dependency_health(Dependency::Feed), DepHealth::Healthy);
+
+        // Severed feed: lag climbs past half the budget (degraded), then
+        // past the budget (fail-closed — validation is refusing by now).
+        c.partition_sister_feed(RealmId(2), true);
+        let t0 = c.sched.read().now();
+        c.advance_to(t0 + budget / 2 + SimDuration::from_secs(60));
+        assert!(matches!(
+            c.dependency_health(Dependency::Feed),
+            DepHealth::Degraded { .. }
+        ));
+        c.advance_to(t0 + budget + SimDuration::from_secs(60));
+        assert_eq!(c.dependency_health(Dependency::Feed), DepHealth::FailClosed);
+        assert_eq!(c.obs.rec.gauge_value(c.obs.g_health_feed), 2);
+
+        // Heal: the resubscribed feed catches the replica up within one
+        // interval and the ladder snaps back.
+        c.partition_sister_feed(RealmId(2), false);
+        let t = c.sched.read().now() + c.config.revsync_feed_interval + SimDuration::from_secs(1);
+        c.advance_to(t);
+        assert_eq!(c.dependency_health(Dependency::Feed), DepHealth::Healthy);
+        assert!(!c.degraded());
+    }
+
+    #[test]
+    fn clock_skew_runs_a_sister_plane_ahead_and_never_rewinds() {
+        let cfg = SeparationConfig::llsc().with_trusted_realms([2u32]);
+        let mut c = SecureCluster::new(cfg, ClusterSpec::tiny());
+        let sister = shared_broker(CredentialBroker::new(
+            RealmId(2),
+            0xFEE8,
+            BrokerPolicy::default(),
+        ));
+        c.register_sister_realm(RealmId(2), sister.clone());
+
+        let hour = SimDuration::from_secs(3600);
+        c.set_realm_clock_skew(RealmId(2), hour);
+        c.advance_to(SimTime::from_secs(10));
+        assert_eq!(sister.read().now(), SimTime::from_secs(10) + hour);
+
+        // Clearing the skew stops the extra advance; the plane's clock is
+        // monotone, so it holds its high-water mark until the cluster
+        // catches up.
+        c.set_realm_clock_skew(RealmId(2), SimDuration::ZERO);
+        c.advance_to(SimTime::from_secs(20));
+        assert_eq!(sister.read().now(), SimTime::from_secs(10) + hour);
+    }
+
+    #[test]
+    fn shard_seizure_hits_sharded_planes_and_misses_single_brokers() {
+        let cfg = SeparationConfig::llsc().with_broker_shards(4);
+        let mut c = SecureCluster::new(cfg, ClusterSpec::tiny());
+        assert!(c.seize_shard(1, true), "sharded plane has shard 1");
+        assert!(!c.seize_shard(99, true), "out-of-range shard misses");
+        assert!(c.seize_shard(1, false));
+
+        let mut single = SecureCluster::new(
+            SeparationConfig::llsc().with_broker_shards(1),
+            ClusterSpec::tiny(),
+        );
+        assert!(
+            !single.seize_shard(0, true),
+            "a single broker has no shards to seize"
+        );
     }
 }

@@ -40,7 +40,7 @@ pub mod obs;
 pub mod support;
 
 pub use audit::{expected_residuals, run_audit, AuditReport, Channel, Outcome};
-pub use cluster::{ClusterSpec, SecureCluster, HOME_REALM};
+pub use cluster::{ClusterSpec, DepHealth, Dependency, SecureCluster, HOME_REALM};
 pub use config::SeparationConfig;
 pub use obs::CoreObs;
 pub use support::{attribute_load, LoadReport};

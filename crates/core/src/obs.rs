@@ -68,6 +68,14 @@ pub struct CoreObs {
     pub g_flows: GaugeId,
     /// Time-series ring behind [`g_flows`](Self::g_flows).
     pub ts_flows: TsId,
+    /// IdP dependency health, sampled at cycle boundaries
+    /// (0 = healthy, 1 = degraded, 2 = fail-closed; see
+    /// [`crate::DepHealth`]).
+    pub g_health_idp: GaugeId,
+    /// CA dependency health (same encoding).
+    pub g_health_ca: GaugeId,
+    /// Revocation-feed dependency health (same encoding; worst replica).
+    pub g_health_feed: GaugeId,
     /// Causal trace ring for cluster entry points (`core.submit.try`).
     pub trace: TraceBuffer,
     /// Declarative service-level objectives, evaluated at cycle
@@ -80,6 +88,11 @@ pub struct CoreObs {
     pub slo_replica_lag: SloId,
     /// `sched.interactive.wait`: mean queue wait of interactive starts (µs).
     pub slo_interactive_wait: SloId,
+    /// `cluster.dependency.degraded`: 1.0 at any boundary where some
+    /// dependency (IdP, CA, revocation feed) is degraded or fail-closed,
+    /// 0.0 otherwise. Max-aggregated over tight windows so a single
+    /// degraded boundary fires the alert and a clean baseline never does.
+    pub slo_dep_degraded: SloId,
     stats: SharedStats,
     s_fed_calls: SharedId,
     s_fed_ok: SharedId,
@@ -125,6 +138,17 @@ impl CoreObs {
                 long_buckets: 18,
             },
         );
+        let slo_dep_degraded = slo.slo(
+            "cluster.dependency.degraded",
+            SloSpec {
+                // The signal is binary (0 healthy / 1 degraded), so any
+                // threshold strictly between fires exactly on degradation.
+                target: 0.5,
+                agg: SloAgg::Max,
+                short_buckets: 1,
+                long_buckets: 3,
+            },
+        );
         CoreObs {
             sp_reconcile: rec.span("core.cluster.reconcile"),
             c_reconciles: rec.counter("core.reconcile.sweeps"),
@@ -134,11 +158,15 @@ impl CoreObs {
             c_gpu_assigns: rec.counter("core.gpu.assigns"),
             g_flows,
             ts_flows,
+            g_health_idp: rec.gauge("core.health.idp"),
+            g_health_ca: rec.gauge("core.health.ca"),
+            g_health_feed: rec.gauge("core.health.feed"),
             trace: TraceBuffer::new("core", CORE_TRACE_CODE, 4096, cfg.enabled),
             slo,
             slo_validate,
             slo_replica_lag,
             slo_interactive_wait,
+            slo_dep_degraded,
             s_fed_calls: stats.slot("core.fed_validate.calls"),
             s_fed_ok: stats.slot("core.fed_validate.ok"),
             s_fed_rejects: stats.slot("core.fed_validate.rejects"),

@@ -63,6 +63,14 @@ pub struct CredentialBroker {
     /// tabs, a portal session plus an sbatch token, ...).
     sessions: BTreeMap<Uid, BTreeMap<CredSerial, SignedToken>>,
     certs: BTreeMap<Uid, SshCertificate>,
+    /// Identity-provider reachability (fault injection; defaults up).
+    /// While down, assertion paths fail with [`CredError::Unavailable`];
+    /// validation of already-minted credentials is untouched.
+    idp_available: bool,
+    /// Certificate-authority reachability (fault injection; defaults up).
+    /// While down, minting fails with [`CredError::Unavailable`];
+    /// verification is local key material and keeps serving.
+    ca_available: bool,
     /// Verify-path statistics (atomic; off by default). Recorded only by
     /// the plane-level trait methods, so a broker serving as a
     /// [`crate::ShardedBroker`] shard stays silent — the plane counts once.
@@ -89,6 +97,8 @@ impl CredentialBroker {
             now: SimTime::ZERO,
             sessions: BTreeMap::new(),
             certs: BTreeMap::new(),
+            idp_available: true,
+            ca_available: true,
             stats: ValidateStats::new(),
             trace: TraceBuffer::disabled("cred", CRED_TRACE_CODE),
         }
@@ -135,6 +145,9 @@ impl CredentialBroker {
         user: Uid,
         mfa: Option<MfaCode>,
     ) -> Result<SignedToken, CredError> {
+        if !self.idp_available || !self.ca_available {
+            return Err(CredError::Unavailable);
+        }
         let assertion = self.idp.assert_identity(db, user, mfa, self.now)?;
         Ok(self.mint_session(&assertion))
     }
@@ -147,6 +160,9 @@ impl CredentialBroker {
         user: Uid,
         code: RecoveryCode,
     ) -> Result<SignedToken, CredError> {
+        if !self.idp_available || !self.ca_available {
+            return Err(CredError::Unavailable);
+        }
         let assertion = self
             .idp
             .assert_identity_recovery(db, user, code, self.now)?;
@@ -177,6 +193,9 @@ impl CredentialBroker {
     /// Mint a fresh SSH certificate against a live bearer token (the
     /// `ssh-cert fetch` workflow).
     pub fn mint_ssh_cert(&mut self, token: &SignedToken) -> Result<SshCertificate, CredError> {
+        if !self.ca_available {
+            return Err(CredError::Unavailable);
+        }
         let user = self.validate_token(token)?;
         let assertion = crate::realm::IdentityAssertion {
             realm: self.realm(),
@@ -353,6 +372,34 @@ impl CredentialBroker {
     pub fn live_sessions(&self) -> usize {
         self.sessions.values().map(BTreeMap::len).sum()
     }
+
+    // ------------------------------------------------------------------
+    // Fault injection (eus-chaos)
+    // ------------------------------------------------------------------
+
+    /// Take the identity provider down (or back up). While down, every
+    /// assertion path fails with [`CredError::Unavailable`]; validation of
+    /// already-minted credentials keeps serving.
+    pub fn set_idp_available(&mut self, up: bool) {
+        self.idp_available = up;
+    }
+
+    /// Whether the identity provider is currently serving assertions.
+    pub fn idp_available(&self) -> bool {
+        self.idp_available
+    }
+
+    /// Take the certificate authority down (or back up). While down,
+    /// minting fails with [`CredError::Unavailable`]; verification is local
+    /// key material and keeps serving.
+    pub fn set_ca_available(&mut self, up: bool) {
+        self.ca_available = up;
+    }
+
+    /// Whether the certificate authority is currently minting.
+    pub fn ca_available(&self) -> bool {
+        self.ca_available
+    }
 }
 
 impl CredentialPlane for CredentialBroker {
@@ -457,6 +504,27 @@ impl CredentialPlane for CredentialBroker {
     }
     fn revocations_since(&self, since: u64) -> Vec<CredSerial> {
         self.revocations.entries_since(since).to_vec()
+    }
+    fn compact_revocations_below(&mut self, upto: u64) -> u64 {
+        self.revocations.compact_below(upto)
+    }
+    fn revocation_floor(&self) -> u64 {
+        self.revocations.floor()
+    }
+    fn revocation_snapshot(&self) -> Vec<CredSerial> {
+        self.revocations.snapshot()
+    }
+    fn set_idp_available(&mut self, up: bool) {
+        CredentialBroker::set_idp_available(self, up)
+    }
+    fn idp_available(&self) -> bool {
+        CredentialBroker::idp_available(self)
+    }
+    fn set_ca_available(&mut self, up: bool) {
+        CredentialBroker::set_ca_available(self, up)
+    }
+    fn ca_available(&self) -> bool {
+        CredentialBroker::ca_available(self)
     }
     fn verifier(&self) -> RealmVerifier {
         RealmVerifier::new(self.realm(), vec![self.ca.clone()])
@@ -645,6 +713,32 @@ mod tests {
         b.revoke_user(alice);
         assert_eq!(b.live_sessions(), 0);
         assert!(tokens.iter().all(|t| b.validate_token(t).is_err()));
+    }
+
+    #[test]
+    fn outage_refuses_issuance_but_not_validation() {
+        let (db, mut b, alice) = setup();
+        let t = b.login(&db, alice, None).unwrap();
+        b.set_idp_available(false);
+        assert_eq!(b.login(&db, alice, None), Err(CredError::Unavailable));
+        assert_eq!(
+            b.validate_token(&t).unwrap(),
+            alice,
+            "minted tokens keep validating through the outage"
+        );
+        assert!(b.authorize_submit(alice).is_ok());
+        b.set_idp_available(true);
+        assert!(b.login(&db, alice, None).is_ok(), "heal restores issuance");
+        b.set_ca_available(false);
+        assert_eq!(b.mint_ssh_cert(&t), Err(CredError::Unavailable));
+        assert_eq!(
+            b.login(&db, alice, None),
+            Err(CredError::Unavailable),
+            "login needs the CA to mint"
+        );
+        assert!(b.validate_token(&t).is_ok());
+        b.set_ca_available(true);
+        assert!(b.mint_ssh_cert(&t).is_ok());
     }
 
     #[test]

@@ -81,6 +81,10 @@ pub enum CredError {
     Revoked(CredSerial),
     /// No live credential of the required kind for this user.
     NoCredential(Uid),
+    /// The identity provider or certificate authority behind this plane is
+    /// temporarily down (fault injection / real outage): issuance is
+    /// refused, but already-minted credentials keep validating.
+    Unavailable,
 }
 
 impl fmt::Display for CredError {
@@ -107,6 +111,9 @@ impl fmt::Display for CredError {
             CredError::BadSignature => f.write_str("signature verification failed"),
             CredError::Revoked(s) => write!(f, "credential {s} is revoked"),
             CredError::NoCredential(u) => write!(f, "no live credential for {u}"),
+            CredError::Unavailable => {
+                f.write_str("identity provider / certificate authority temporarily unavailable")
+            }
         }
     }
 }

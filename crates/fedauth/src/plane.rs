@@ -150,6 +150,73 @@ pub trait CredentialPlane: fmt::Debug + Send + Sync {
     /// exchange `eus-revsync` replicas build on.
     fn verifier(&self) -> RealmVerifier;
 
+    /// Truncate delta-log entries with sequence number `<= upto` (log
+    /// compaction: the mesh calls this with the minimum frontier every
+    /// subscriber has acked past). Membership — the thing verification
+    /// reads — is untouched and sequence numbers never renumber. Returns
+    /// how many entries were dropped; the default never compacts.
+    fn compact_revocations_below(&mut self, upto: u64) -> u64 {
+        let _ = upto;
+        0
+    }
+
+    /// The compaction floor: the highest sequence number truncated out of
+    /// the delta log (0 when never compacted). Deltas are only available
+    /// for `since >= floor`; below it subscribers re-bootstrap from
+    /// [`revocation_snapshot`](Self::revocation_snapshot).
+    fn revocation_floor(&self) -> u64 {
+        0
+    }
+
+    /// The full revoked-serial membership, in a deterministic order: the
+    /// bootstrap payload for a subscriber whose frontier fell below the
+    /// compaction floor. The default (for planes that never compact) is
+    /// the full delta log.
+    fn revocation_snapshot(&self) -> Vec<CredSerial> {
+        self.revocations_since(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & degraded modes (eus-chaos)
+    // ------------------------------------------------------------------
+
+    /// Take the plane's identity provider down (or back up) — fault
+    /// injection. While down, assertion paths (login, recovery login,
+    /// MFA management) fail with [`CredError::Unavailable`]; validation
+    /// of already-minted credentials keeps serving. Default: no-op
+    /// (third-party planes without an outage model stay always-up).
+    fn set_idp_available(&mut self, up: bool) {
+        let _ = up;
+    }
+
+    /// Whether the identity provider is currently serving assertions.
+    fn idp_available(&self) -> bool {
+        true
+    }
+
+    /// Take the plane's certificate authority down (or back up) — fault
+    /// injection. While down, minting fails with
+    /// [`CredError::Unavailable`]; verification is local key material and
+    /// keeps serving. Default: no-op.
+    fn set_ca_available(&mut self, up: bool) {
+        let _ = up;
+    }
+
+    /// Whether the certificate authority is currently minting.
+    fn ca_available(&self) -> bool {
+        true
+    }
+
+    /// Seize one shard (fault injection on sharded planes): issuance for
+    /// users hashing to that shard fails with
+    /// [`CredError::Unavailable`] while every other shard — and all
+    /// validation — keeps serving. Returns false when the plane has no
+    /// such shard (the single-broker default).
+    fn seize_shard(&mut self, shard: usize, seized: bool) -> bool {
+        let _ = (shard, seized);
+        false
+    }
+
     // ------------------------------------------------------------------
     // Shared-path mutation (per-shard locking)
     // ------------------------------------------------------------------

@@ -9,6 +9,15 @@
 //! realms — a sister site holding entries `1..=n` asks for (or is pushed)
 //! everything after `n`, and because revocation is irreversible the log
 //! never rewrites history: replicas converge by append alone.
+//!
+//! **Compaction.** The tail of the log can be truncated below a floor once
+//! every subscriber has acked past it ([`compact_below`]): the membership
+//! set (the thing verification reads) is untouched, sequence numbers never
+//! renumber, and a subscriber somehow below the floor re-bootstraps from a
+//! full membership snapshot instead of a delta. So long soaks don't grow
+//! the log without bound.
+//!
+//! [`compact_below`]: RevocationList::compact_below
 
 use crate::ca::CredSerial;
 use std::collections::HashSet;
@@ -18,9 +27,14 @@ use std::collections::HashSet;
 #[derive(Debug, Clone, Default)]
 pub struct RevocationList {
     revoked: HashSet<CredSerial>,
-    /// Insertion-ordered log: `log[k]` is the serial with sequence number
-    /// `k + 1`. Never truncated, never reordered.
+    /// Insertion-ordered log tail: `log[k]` is the serial with sequence
+    /// number `compacted + k + 1`. Never reordered; the prefix below
+    /// `compacted` has been truncated away.
     log: Vec<CredSerial>,
+    /// How many leading log entries have been compacted away. Sequence
+    /// numbers stay dense and 1-based: the oldest retained entry has
+    /// sequence number `compacted + 1`.
+    compacted: u64,
 }
 
 impl RevocationList {
@@ -55,18 +69,54 @@ impl RevocationList {
         self.revoked.is_empty()
     }
 
-    /// The log head: the sequence number of the newest entry (0 when the
-    /// log is empty). Sequence numbers are 1-based and dense.
+    /// The log head: the sequence number of the newest entry (0 when
+    /// nothing was ever revoked). Sequence numbers are 1-based and dense,
+    /// and survive compaction unchanged.
     pub fn head(&self) -> u64 {
-        self.log.len() as u64
+        self.compacted + self.log.len() as u64
     }
 
-    /// The delta after sequence number `since`: every serial revoked after
-    /// the `since`-th revocation, oldest first. `entries_since(0)` is the
-    /// full log; `entries_since(head())` is empty.
+    /// The compaction floor: the highest sequence number that has been
+    /// truncated out of the log (0 when never compacted). Deltas are only
+    /// available for `since >= floor()`.
+    pub fn floor(&self) -> u64 {
+        self.compacted
+    }
+
+    /// The delta after sequence number `since`, oldest first.
+    /// `entries_since(head())` is empty. `since` below the compaction
+    /// [`floor`](Self::floor) clamps to the floor — callers that need the
+    /// truncated history must take the [`snapshot`](Self::snapshot) path
+    /// instead (the mesh checks `floor()` first).
     pub fn entries_since(&self, since: u64) -> &[CredSerial] {
-        let from = (since as usize).min(self.log.len());
+        let from = (since.saturating_sub(self.compacted) as usize).min(self.log.len());
         &self.log[from..]
+    }
+
+    /// Truncate log entries with sequence number `<= upto` (clamped to the
+    /// current head). Membership is untouched; returns how many entries
+    /// were dropped. Callers must only pass frontiers every subscriber has
+    /// acked past — the mesh computes that minimum.
+    pub fn compact_below(&mut self, upto: u64) -> u64 {
+        let upto = upto.min(self.head());
+        if upto <= self.compacted {
+            return 0;
+        }
+        let drop = (upto - self.compacted) as usize;
+        self.log.drain(..drop);
+        self.compacted = upto;
+        drop as u64
+    }
+
+    /// The full membership set, sorted by serial: the bootstrap payload for
+    /// a subscriber whose frontier fell below the compaction floor.
+    /// Sorting makes the snapshot order seed-stable.
+    pub fn snapshot(&self) -> Vec<CredSerial> {
+        // analyze:allow(sim-determinism): HashSet iteration feeds a sort,
+        // so the emitted order is independent of hash order.
+        let mut all: Vec<CredSerial> = self.revoked.iter().copied().collect();
+        all.sort_unstable();
+        all
     }
 }
 
@@ -104,5 +154,43 @@ mod tests {
         // Asking past the head is not an error (a replica that somehow got
         // ahead — impossible via the feed — just gets nothing).
         assert!(rl.entries_since(99).is_empty());
+    }
+
+    #[test]
+    fn compaction_preserves_membership_sequence_numbers_and_snapshot() {
+        let mut rl = RevocationList::new();
+        for s in [7u64, 3, 11, 5, 9] {
+            rl.revoke(CredSerial(s));
+        }
+        assert_eq!(rl.head(), 5);
+        assert_eq!(rl.compact_below(3), 3, "drops entries 1..=3");
+        assert_eq!(rl.floor(), 3);
+        assert_eq!(rl.head(), 5, "head survives compaction");
+        // Membership is untouched.
+        for s in [7u64, 3, 11, 5, 9] {
+            assert!(rl.is_revoked(CredSerial(s)));
+        }
+        // Deltas above the floor still address by original sequence number.
+        assert_eq!(rl.entries_since(3), &[CredSerial(5), CredSerial(9)]);
+        assert_eq!(rl.entries_since(4), &[CredSerial(9)]);
+        // Below the floor the delta clamps (callers check floor() first and
+        // take the snapshot path).
+        assert_eq!(rl.entries_since(0), &[CredSerial(5), CredSerial(9)]);
+        // Snapshot is the full sorted membership.
+        assert_eq!(
+            rl.snapshot(),
+            vec![
+                CredSerial(3),
+                CredSerial(5),
+                CredSerial(7),
+                CredSerial(9),
+                CredSerial(11)
+            ]
+        );
+        // Re-compacting below the floor is a no-op; compacting past head clamps.
+        assert_eq!(rl.compact_below(2), 0);
+        assert_eq!(rl.compact_below(99), 2);
+        assert_eq!(rl.floor(), 5);
+        assert!(rl.entries_since(5).is_empty());
     }
 }

@@ -53,6 +53,9 @@ pub struct ShardedBroker {
     /// Plane-level revocation delta log: serials in the order revocations
     /// were applied through the plane API (the feed `eus-revsync` ships).
     revocation_order: Vec<CredSerial>,
+    /// How many leading plane-log entries have been compacted away (the
+    /// oldest retained entry has sequence number `revocation_compacted + 1`).
+    revocation_compacted: u64,
     /// Core count sampled once at construction: the batch-path dispatch
     /// decision, without a per-call affinity syscall.
     fanout_threads: usize,
@@ -83,6 +86,7 @@ impl ShardedBroker {
         ShardedBroker {
             shards,
             revocation_order: Vec::new(),
+            revocation_compacted: 0,
             fanout_threads: std::thread::available_parallelism().map_or(1, |v| v.get()),
             stats: ValidateStats::new(),
             trace: TraceBuffer::disabled("cred", CRED_TRACE_CODE),
@@ -294,12 +298,73 @@ impl CredentialPlane for ShardedBroker {
     }
 
     fn revocation_head(&self) -> u64 {
-        self.revocation_order.len() as u64
+        self.revocation_compacted + self.revocation_order.len() as u64
     }
 
     fn revocations_since(&self, since: u64) -> Vec<CredSerial> {
-        let from = (since as usize).min(self.revocation_order.len());
+        let from = (since.saturating_sub(self.revocation_compacted) as usize)
+            .min(self.revocation_order.len());
         self.revocation_order[from..].to_vec()
+    }
+
+    fn compact_revocations_below(&mut self, upto: u64) -> u64 {
+        let upto = upto.min(self.revocation_head());
+        if upto <= self.revocation_compacted {
+            return 0;
+        }
+        let drop = (upto - self.revocation_compacted) as usize;
+        self.revocation_order.drain(..drop);
+        self.revocation_compacted = upto;
+        drop as u64
+    }
+
+    fn revocation_floor(&self) -> u64 {
+        self.revocation_compacted
+    }
+
+    fn revocation_snapshot(&self) -> Vec<CredSerial> {
+        // Union of the shard membership sets (revocations only enter
+        // through the plane API, so this equals the full plane log),
+        // sorted so the payload is seed-stable.
+        let mut all: Vec<CredSerial> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().revocations.snapshot())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    fn set_idp_available(&mut self, up: bool) {
+        for s in &mut self.shards {
+            s.get_mut().set_idp_available(up);
+        }
+    }
+
+    fn idp_available(&self) -> bool {
+        self.shards.iter().all(|s| s.read().idp_available())
+    }
+
+    fn set_ca_available(&mut self, up: bool) {
+        for s in &mut self.shards {
+            s.get_mut().set_ca_available(up);
+        }
+    }
+
+    fn ca_available(&self) -> bool {
+        self.shards.iter().all(|s| s.read().ca_available())
+    }
+
+    fn seize_shard(&mut self, shard: usize, seized: bool) -> bool {
+        match self.shards.get_mut(shard) {
+            Some(s) => {
+                let b = s.get_mut();
+                b.set_idp_available(!seized);
+                b.set_ca_available(!seized);
+                true
+            }
+            None => false,
+        }
     }
 
     fn verifier(&self) -> RealmVerifier {
@@ -487,6 +552,69 @@ mod tests {
             assert!(batch[5].is_err());
             assert!(batch[9].is_err());
         }
+    }
+
+    #[test]
+    fn seized_shard_fails_issuance_while_others_serve() {
+        let (db, mut p, users) = setup(4);
+        let tokens: Vec<SignedToken> = users
+            .iter()
+            .map(|&u| p.login(&db, u, None).unwrap())
+            .collect();
+        let victim = users[0];
+        let shard = p.shard_of(victim);
+        assert!(p.seize_shard(shard, true));
+        assert_eq!(p.login(&db, victim, None), Err(CredError::Unavailable));
+        assert_eq!(
+            p.validate_token(&tokens[0]).unwrap(),
+            victim,
+            "validation on the seized shard keeps serving"
+        );
+        let other = users
+            .iter()
+            .copied()
+            .find(|&u| p.shard_of(u) != shard)
+            .unwrap();
+        assert!(p.login(&db, other, None).is_ok(), "other shards unaffected");
+        // Global outage fans to every shard; heal restores.
+        p.set_idp_available(false);
+        assert!(!p.idp_available());
+        for &u in &users {
+            assert_eq!(p.login(&db, u, None), Err(CredError::Unavailable));
+        }
+        p.set_idp_available(true);
+        assert!(p.seize_shard(shard, false));
+        assert!(p.idp_available() && p.ca_available());
+        assert!(p.login(&db, victim, None).is_ok());
+        assert!(!p.seize_shard(99, true), "no such shard");
+    }
+
+    #[test]
+    fn plane_log_compaction_preserves_sequence_and_snapshot() {
+        let (db, mut p, users) = setup(4);
+        let tokens: Vec<SignedToken> = users
+            .iter()
+            .take(4)
+            .map(|&u| p.login(&db, u, None).unwrap())
+            .collect();
+        for t in &tokens {
+            p.revoke_serial(t.serial);
+        }
+        assert_eq!(p.revocation_head(), 4);
+        assert_eq!(p.compact_revocations_below(2), 2);
+        assert_eq!(p.revocation_floor(), 2);
+        assert_eq!(p.revocation_head(), 4, "head survives compaction");
+        assert_eq!(
+            p.revocations_since(2),
+            vec![tokens[2].serial, tokens[3].serial]
+        );
+        // Below the floor the delta clamps; the snapshot path carries the
+        // full membership, sorted.
+        assert_eq!(p.revocations_since(0).len(), 2);
+        let mut expect: Vec<CredSerial> = tokens.iter().map(|t| t.serial).collect();
+        expect.sort_unstable();
+        assert_eq!(p.revocation_snapshot(), expect);
+        assert_eq!(p.compact_revocations_below(1), 0, "below floor: no-op");
     }
 
     #[test]

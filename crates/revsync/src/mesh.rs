@@ -61,6 +61,18 @@ pub struct RevSyncMetrics {
     pub serials_applied: u64,
     /// Deltas refused because an earlier loss left a sequence gap.
     pub gaps_refused: u64,
+    /// Push feeds swallowed by a stalled feed daemon (fault injection):
+    /// the issuer sees no error, so nothing retries — only the
+    /// subscriber's silence detector can tell.
+    pub pushes_stalled: u64,
+    /// Push attempts re-armed on the backoff schedule after a detected
+    /// connect-time failure.
+    pub push_retries: u64,
+    /// Full-membership snapshots shipped to subscribers whose frontier
+    /// fell below an issuer's compaction floor.
+    pub snapshots_sent: u64,
+    /// Delta-log entries truncated by [`RevSyncMesh::compact_logs`].
+    pub log_compacted: u64,
     /// Feed payload bytes shipped (pushes + pull responses + bootstraps).
     pub bytes_sent: u64,
 }
@@ -82,6 +94,13 @@ struct FeedLink {
     pushed_seq: u64,
     next_push: SimTime,
     next_pull: SimTime,
+    /// Consecutive *detected* push failures (connect refused); drives the
+    /// capped exponential backoff. In-transit loss is invisible to the
+    /// sender and never counts.
+    retry_attempts: u32,
+    /// Subscriber side: the instant the last delivery (data or heartbeat)
+    /// on this link landed — the silence detector's anchor.
+    last_heard: SimTime,
 }
 
 /// A delta on the wire.
@@ -89,6 +108,9 @@ struct InFlight {
     to: RealmId,
     delta: CrlDelta,
     arrives: SimTime,
+    /// A full-membership snapshot rather than a contiguous delta: absorbed
+    /// as a set union (no gap check applies).
+    snapshot: bool,
 }
 
 /// The propagation mesh: realms, feed links, and deltas in flight.
@@ -101,6 +123,10 @@ pub struct RevSyncMesh {
     /// Links currently unable to exchange anything (site outage / WAN
     /// partition), keyed (issuer, subscriber).
     partitioned: BTreeSet<(RealmId, RealmId)>,
+    /// Links whose push daemon is stalled (fault injection): pushes are
+    /// silently swallowed — no error the issuer could retry on — while
+    /// pull anti-entropy still works. Keyed (issuer, subscriber).
+    stalled: BTreeSet<(RealmId, RealmId)>,
     /// (issuer, log seq) → causal context of the traced revocation that
     /// produced that entry; feeds covering the seq continue the trace
     /// across the WAN. Bounded (oldest evicted) and empty unless someone
@@ -133,6 +159,10 @@ impl RevSyncMesh {
             (0.0..=1.0).contains(&cfg.push_loss),
             "push loss is a probability"
         );
+        assert!(
+            !cfg.retry_base.is_zero(),
+            "push retry backoff base must be positive"
+        );
         let mut fabric = Fabric::new();
         fabric.latency = cfg.wan;
         RevSyncMesh {
@@ -143,6 +173,7 @@ impl RevSyncMesh {
             links: Vec::new(),
             in_flight: Vec::new(),
             partitioned: BTreeSet::new(),
+            stalled: BTreeSet::new(),
             trace_by_seq: BTreeMap::new(),
             now: SimTime::ZERO,
             metrics: RevSyncMetrics::default(),
@@ -170,6 +201,22 @@ impl RevSyncMesh {
         &self.fabric
     }
 
+    /// The WAN itself, mutably — fault injection (partitions, loss,
+    /// latency spikes) goes through the fabric's link-fault API. A
+    /// fabric-level fault is *detected* at connect time, so pushes take
+    /// the retry/backoff path, unlike a mesh-level
+    /// [`set_feed_stalled`](Self::set_feed_stalled).
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    /// The WAN host a realm's feed daemon lives on (the address
+    /// fabric-level fault injection targets). Realms get deterministic
+    /// host ids far above any cluster node's.
+    pub fn wan_host(realm: RealmId) -> NodeId {
+        NodeId(900_000 + realm.0)
+    }
+
     /// Put a realm on the WAN: a host with the realm's CRL feed daemon
     /// listening. Panics on double registration.
     pub fn add_realm(&mut self, realm: RealmId, plane: SharedBroker) {
@@ -182,7 +229,7 @@ impl RevSyncMesh {
             realm,
             "plane must be built for the realm it joins as"
         );
-        let host = NodeId(900_000 + realm.0);
+        let host = Self::wan_host(realm);
         self.fabric.add_host(host);
         let daemon = PeerInfo {
             uid: Uid(0),
@@ -232,11 +279,19 @@ impl RevSyncMesh {
             !self.sites[&subscriber].replicas.contains_key(&issuer),
             "{subscriber} already subscribes to {issuer}"
         );
-        let (verifier, serials) = {
+        let (verifier, serials, head) = {
             let plane = self.sites[&issuer].plane.read();
-            (plane.verifier(), plane.revocations_since(0))
+            // A compacted issuer can no longer produce its full history as
+            // a delta; the bootstrap payload is then the membership
+            // snapshot (same serials — every log entry is a unique serial —
+            // so the frontier math is identical).
+            let serials = if plane.revocation_floor() > 0 {
+                plane.revocation_snapshot()
+            } else {
+                plane.revocations_since(0)
+            };
+            (plane.verifier(), serials, plane.revocation_head())
         };
-        let head = serials.len() as u64;
         let wire = CrlDelta::wire_bytes_for(serials.len());
         // The registration-time state transfer crosses the WAN for real —
         // one connection, the full CRL as payload — so the fabric's
@@ -269,6 +324,8 @@ impl RevSyncMesh {
             pushed_seq: head,
             next_push: self.now + self.cfg.feed_interval,
             next_pull: self.now + self.cfg.anti_entropy,
+            retry_attempts: 0,
+            last_heard: self.now,
         });
     }
 
@@ -280,9 +337,73 @@ impl RevSyncMesh {
     pub fn set_partitioned(&mut self, issuer: RealmId, subscriber: RealmId, down: bool) {
         if down {
             self.partitioned.insert((issuer, subscriber));
-        } else {
-            self.partitioned.remove(&(issuer, subscriber));
+        } else if self.partitioned.remove(&(issuer, subscriber)) {
+            // Heal is an event the operator (or the chaos controller)
+            // performs, so the feed resubscribes immediately instead of
+            // waiting out whatever backoff the outage accumulated: the
+            // next pump re-pushes and realigns the cursor.
+            for l in &mut self.links {
+                if l.issuer == issuer && l.subscriber == subscriber {
+                    l.retry_attempts = 0;
+                    l.next_push = self.now;
+                }
+            }
         }
+    }
+
+    /// Stall or unstall the (issuer → subscriber) push feed daemon (fault
+    /// injection). A stalled daemon swallows pushes — data *and*
+    /// heartbeats — without any error the issuer could retry on; pull
+    /// anti-entropy is a different process and keeps working. The
+    /// subscriber's only tell is silence: after
+    /// [`RevSyncConfig::silent_after`] missed intervals the mesh fires a
+    /// `feed.silent` flight event (when observability is on).
+    pub fn set_feed_stalled(&mut self, issuer: RealmId, subscriber: RealmId, on: bool) {
+        if on {
+            self.stalled.insert((issuer, subscriber));
+        } else {
+            self.stalled.remove(&(issuer, subscriber));
+        }
+    }
+
+    /// Whether the (issuer → subscriber) push feed is currently stalled.
+    pub fn feed_stalled(&self, issuer: RealmId, subscriber: RealmId) -> bool {
+        self.stalled.contains(&(issuer, subscriber))
+    }
+
+    /// Compact every issuer's delta log below the minimum frontier its
+    /// subscribers have *applied*: entries no subscriber can ever ask for
+    /// again are truncated at the plane
+    /// ([`CredentialPlane::compact_revocations_below`]), so long soaks
+    /// don't grow logs without bound. Membership — what validation reads —
+    /// is untouched and sequence numbers never renumber. Issuers with no
+    /// subscribers are left alone (conservative: a future subscriber
+    /// bootstraps from a snapshot anyway). Returns total entries dropped.
+    ///
+    /// [`CredentialPlane::compact_revocations_below`]:
+    /// eus_fedauth::CredentialPlane::compact_revocations_below
+    pub fn compact_logs(&mut self) -> u64 {
+        let mut dropped = 0u64;
+        let issuers: Vec<RealmId> = self.sites.keys().copied().collect();
+        for issuer in issuers {
+            let mut floor: Option<u64> = None;
+            for l in &self.links {
+                if l.issuer == issuer {
+                    let acked = self.sites[&l.subscriber].replicas[&issuer].applied_seq();
+                    floor = Some(floor.map_or(acked, |f| f.min(acked)));
+                }
+            }
+            if let Some(floor) = floor {
+                if floor > 0 {
+                    dropped += self.sites[&issuer]
+                        .plane
+                        .write()
+                        .compact_revocations_below(floor);
+                }
+            }
+        }
+        self.metrics.log_compacted += dropped;
+        dropped
     }
 
     /// Revoke `serial` at `realm`'s credential plane, stitching the causal
@@ -381,6 +502,7 @@ impl RevSyncMesh {
         self.now = t;
         self.obs.rec.span_end(self.obs.sp_pump, pump_tok);
         self.record_staleness_edges();
+        self.record_feed_silence_edges();
         // Boundary sampling: fold counter deltas into the windowed rings
         // (no-op when obs is off).
         self.obs.rec.ts_tick(self.now);
@@ -430,6 +552,51 @@ impl RevSyncMesh {
         }
     }
 
+    /// Flight-record every feed link whose subscriber has stopped hearing
+    /// anything — data or heartbeat — for
+    /// [`RevSyncConfig::silent_after`] feed intervals, and the first
+    /// delivery after (no-op when obs is off). Like staleness, edges are
+    /// what matter: a stalled daemon is invisible to the issuer, so the
+    /// subscriber's silence detector is the only early warning before the
+    /// staleness budget itself expires.
+    fn record_feed_silence_edges(&mut self) {
+        if !self.obs.rec.enabled() {
+            return;
+        }
+        let budget = self.cfg.feed_interval * self.cfg.silent_after as u64;
+        let mut edges: Vec<(RealmId, RealmId, bool, u64)> = Vec::new();
+        for l in &self.links {
+            let quiet = self.now.since(l.last_heard);
+            let silent = quiet > budget;
+            if silent != self.obs.silent.contains(&(l.issuer, l.subscriber)) {
+                edges.push((l.issuer, l.subscriber, silent, quiet.as_secs_f64() as u64));
+            }
+        }
+        for (issuer, subscriber, silent, quiet_secs) in edges {
+            if silent {
+                self.obs.silent.insert((issuer, subscriber));
+                self.obs.rec.incr(self.obs.c_silent_enters);
+                self.obs.rec.event(
+                    self.now,
+                    "feed.silent",
+                    issuer.0 as u64,
+                    subscriber.0 as u64,
+                    quiet_secs,
+                );
+            } else {
+                self.obs.silent.remove(&(issuer, subscriber));
+                self.obs.rec.incr(self.obs.c_silent_exits);
+                self.obs.rec.event(
+                    self.now,
+                    "feed.heard",
+                    issuer.0 as u64,
+                    subscriber.0 as u64,
+                    quiet_secs,
+                );
+            }
+        }
+    }
+
     /// Emit one push feed on link `idx` at instant `when`.
     fn push(&mut self, idx: usize, when: SimTime) {
         let (issuer, subscriber, since) = {
@@ -437,14 +604,53 @@ impl RevSyncMesh {
             l.next_push = when + self.cfg.feed_interval;
             (l.issuer, l.subscriber, l.pushed_seq)
         };
-        if self.partitioned.contains(&(issuer, subscriber)) {
-            self.metrics.pushes_failed += 1;
+        if self.stalled.contains(&(issuer, subscriber)) {
+            // A stalled daemon swallows the push with no error the issuer
+            // could see: no retry, no cursor advance — only the
+            // subscriber's silence detector can tell.
+            self.metrics.pushes_stalled += 1;
             return;
         }
-        let (serials, head) = {
+        if self.partitioned.contains(&(issuer, subscriber)) {
+            self.metrics.pushes_failed += 1;
+            self.schedule_push_retry(idx, when);
+            return;
+        }
+        let (serials, head, floor) = {
             let plane = self.sites[&issuer].plane.read();
-            (plane.revocations_since(since), plane.revocation_head())
+            (
+                plane.revocations_since(since),
+                plane.revocation_head(),
+                plane.revocation_floor(),
+            )
         };
+        if since < floor {
+            // The push cursor somehow fell below the compaction floor (an
+            // operator compacted more aggressively than the subscriber
+            // frontiers): degrade this push to a full snapshot rather than
+            // ship a delta whose sequence numbering would lie.
+            let snapshot = self.sites[&issuer].plane.read().revocation_snapshot();
+            let delta = CrlDelta {
+                issuer,
+                first_seq: 1,
+                serials: snapshot,
+                head,
+                as_of: when,
+                trace: TraceCtx::NONE,
+            };
+            if self.ship(issuer, subscriber, delta, SimDuration::ZERO, true) {
+                let l = &mut self.links[idx];
+                l.pushed_seq = head;
+                l.retry_attempts = 0;
+                self.metrics.pushes_sent += 1;
+                self.metrics.snapshots_sent += 1;
+                self.obs.rec.incr(self.obs.c_pushes);
+            } else {
+                self.metrics.pushes_failed += 1;
+                self.schedule_push_retry(idx, when);
+            }
+            return;
+        }
         let mut delta = CrlDelta {
             issuer,
             first_seq: since + 1,
@@ -453,10 +659,10 @@ impl RevSyncMesh {
             as_of: when,
             trace: TraceCtx::NONE,
         };
-        // Fire-and-forget: the cursor advances whether or not the delta
-        // survives the wire.
-        self.links[idx].pushed_seq = head;
+        // Fire-and-forget for in-transit loss: the cursor advances whether
+        // or not the delta survives the wire (the subscriber sees a gap).
         if self.rng.chance(self.cfg.push_loss) {
+            self.links[idx].pushed_seq = head;
             self.metrics.pushes_lost += 1;
             return;
         }
@@ -468,9 +674,39 @@ impl RevSyncMesh {
             when,
             delta.serials.len() as u64,
         );
-        self.ship(issuer, subscriber, delta, SimDuration::ZERO);
+        if !self.ship(issuer, subscriber, delta, SimDuration::ZERO, false) {
+            // A connect-time refusal (fabric link fault) *is* visible to
+            // the sender: the cursor stays put and the link re-arms on the
+            // backoff schedule instead of waiting a whole interval.
+            self.metrics.pushes_failed += 1;
+            self.schedule_push_retry(idx, when);
+            return;
+        }
+        let l = &mut self.links[idx];
+        l.pushed_seq = head;
+        l.retry_attempts = 0;
         self.metrics.pushes_sent += 1;
         self.obs.rec.incr(self.obs.c_pushes);
+    }
+
+    /// Re-arm link `idx` after a detected push failure: capped exponential
+    /// backoff (doubling from [`RevSyncConfig::retry_base`] up to
+    /// [`RevSyncConfig::retry_cap`]) plus up to 25% jitter, so a transient
+    /// fault heals in seconds instead of a full feed interval while a
+    /// persistent outage backs the sender off — and parallel links don't
+    /// retry in lockstep.
+    fn schedule_push_retry(&mut self, idx: usize, when: SimTime) {
+        let attempts = self.links[idx].retry_attempts.saturating_add(1);
+        let shift = (attempts - 1).min(16);
+        let backoff = (self.cfg.retry_base * (1u64 << shift))
+            .min(self.cfg.retry_cap)
+            .max(SimDuration::from_micros(1));
+        let jitter =
+            SimDuration::from_micros(self.rng.range_u64(0, (backoff.as_micros() / 4).max(1)));
+        let l = &mut self.links[idx];
+        l.retry_attempts = attempts;
+        l.next_push = when + backoff + jitter;
+        self.metrics.push_retries += 1;
     }
 
     /// Run one anti-entropy round on link `idx` at instant `when`.
@@ -487,10 +723,38 @@ impl RevSyncMesh {
         // The subscriber asks from its *applied* frontier — whatever gaps
         // loss tore open, the response is contiguous from there.
         let since = self.sites[&subscriber].replicas[&issuer].applied_seq();
-        let (serials, head) = {
+        let (serials, head, floor) = {
             let plane = self.sites[&issuer].plane.read();
-            (plane.revocations_since(since), plane.revocation_head())
+            (
+                plane.revocations_since(since),
+                plane.revocation_head(),
+                plane.revocation_floor(),
+            )
         };
+        if since < floor {
+            // The frontier fell below the issuer's compaction floor: no
+            // contiguous delta exists any more, so the response degrades
+            // to a full membership snapshot (exact, absorbed as a set
+            // union — never a gap).
+            let snapshot = self.sites[&issuer].plane.read().revocation_snapshot();
+            let delta = CrlDelta {
+                issuer,
+                first_seq: 1,
+                serials: snapshot,
+                head,
+                as_of: when,
+                trace: TraceCtx::NONE,
+            };
+            if self.ship(issuer, subscriber, delta, self.cfg.wan.base_rtt, true) {
+                self.links[idx].pushed_seq = self.links[idx].pushed_seq.max(head);
+                self.metrics.pulls += 1;
+                self.metrics.snapshots_sent += 1;
+                self.obs.rec.incr(self.obs.c_pulls);
+            } else {
+                self.metrics.pulls_failed += 1;
+            }
+            return;
+        }
         let serials_len = serials.len() as u64;
         let delta = CrlDelta {
             issuer,
@@ -505,18 +769,31 @@ impl RevSyncMesh {
                 serials_len,
             ),
         };
-        // The issuer now knows the subscriber's true frontier: realign the
-        // push cursor so post-repair pushes are contiguous again.
-        self.links[idx].pushed_seq = self.links[idx].pushed_seq.max(head);
         // Request leg (one WAN round trip) precedes the response transfer.
-        self.ship(issuer, subscriber, delta, self.cfg.wan.base_rtt);
-        self.metrics.pulls += 1;
-        self.obs.rec.incr(self.obs.c_pulls);
+        if self.ship(issuer, subscriber, delta, self.cfg.wan.base_rtt, false) {
+            // The issuer now knows the subscriber's true frontier: realign
+            // the push cursor so post-repair pushes are contiguous again.
+            self.links[idx].pushed_seq = self.links[idx].pushed_seq.max(head);
+            self.metrics.pulls += 1;
+            self.obs.rec.incr(self.obs.c_pulls);
+        } else {
+            self.metrics.pulls_failed += 1;
+        }
     }
 
     /// Put a delta on the wire from issuer to subscriber; `extra` models
-    /// any protocol time before the transfer starts (the pull request leg).
-    fn ship(&mut self, issuer: RealmId, subscriber: RealmId, delta: CrlDelta, extra: SimDuration) {
+    /// any protocol time before the transfer starts (the pull request leg),
+    /// `snapshot` marks a full-membership payload. Returns false when the
+    /// connect itself is refused (fabric-level link fault) — nothing was
+    /// sent or charged.
+    fn ship(
+        &mut self,
+        issuer: RealmId,
+        subscriber: RealmId,
+        delta: CrlDelta,
+        extra: SimDuration,
+        snapshot: bool,
+    ) -> bool {
         let from = self.sites[&issuer].host;
         let to = self.sites[&subscriber].host;
         let daemon = PeerInfo {
@@ -524,10 +801,12 @@ impl RevSyncMesh {
             egid: Gid(0),
             pid: None,
         };
-        let (conn, setup) = self
-            .fabric
-            .connect(from, daemon, SocketAddr::new(to, CRL_FEED_PORT), Proto::Tcp)
-            .expect("mesh hosts listen on the feed port");
+        let Ok((conn, setup)) =
+            self.fabric
+                .connect(from, daemon, SocketAddr::new(to, CRL_FEED_PORT), Proto::Tcp)
+        else {
+            return false;
+        };
         let body = bytes::Bytes::from(vec![0u8; delta.wire_bytes()]);
         let xfer = self.fabric.send(conn, &body).expect("just connected");
         self.fabric.close(conn);
@@ -536,17 +815,33 @@ impl RevSyncMesh {
             to: subscriber,
             arrives: delta.as_of + extra + setup + xfer,
             delta,
+            snapshot,
         });
+        true
     }
 
     /// Deliver in-flight delta `idx` to its replica.
     fn deliver(&mut self, idx: usize) {
         let f = self.in_flight.swap_remove(idx);
+        // The subscriber heard from this issuer — whatever the payload,
+        // the silence detector re-arms.
+        for l in &mut self.links {
+            if l.issuer == f.delta.issuer && l.subscriber == f.to {
+                l.last_heard = f.arrives;
+            }
+        }
         let site = self.sites.get_mut(&f.to).expect("subscriber exists");
         let replica = site
             .replicas
             .get_mut(&f.delta.issuer)
             .expect("subscribed replica exists");
+        if f.snapshot {
+            let n = replica.absorb_snapshot(&f.delta.serials, f.delta.head, f.delta.as_of);
+            self.metrics.deltas_applied += 1;
+            self.metrics.serials_applied += n as u64;
+            self.obs.rec.incr(self.obs.c_deliveries);
+            return;
+        }
         match replica.apply(&f.delta) {
             ApplyOutcome::Applied(n) => {
                 self.metrics.deltas_applied += 1;
@@ -909,6 +1204,183 @@ mod tests {
         assert_eq!(quiet.metrics.pushes_sent, loud.metrics.pushes_sent);
         assert_eq!(quiet.metrics.bytes_sent, loud.metrics.bytes_sent);
         assert_eq!(quiet.metrics.serials_applied, loud.metrics.serials_applied);
+    }
+
+    #[test]
+    fn stalled_feed_goes_silent_and_anti_entropy_still_repairs() {
+        let cfg = RevSyncConfig::default();
+        let (db, mut mesh, _home, sister, alice) = two_realm_mesh(cfg);
+        mesh.enable_obs(eus_obs::ObsConfig::enabled());
+        let token = sister.write().login(&db, alice, None).unwrap();
+        sister.write().revoke_user(alice);
+        mesh.set_feed_stalled(RealmId(2), RealmId(1), true);
+        assert!(mesh.feed_stalled(RealmId(2), RealmId(1)));
+
+        // Past the silence budget: pushes were swallowed (no detected
+        // failures, so no retries) and the silence edge fired exactly once.
+        let quiet = SimTime::ZERO + cfg.feed_interval * (cfg.silent_after as u64 + 2);
+        mesh.pump(quiet);
+        assert_eq!(mesh.metrics.pushes_sent, 0);
+        assert!(mesh.metrics.pushes_stalled >= cfg.silent_after as u64);
+        assert_eq!(mesh.metrics.push_retries, 0);
+        assert_eq!(mesh.obs.rec.counter_value(mesh.obs.c_silent_enters), 1);
+        assert!(mesh.validate_token_at(RealmId(1), &token, quiet).is_ok());
+
+        // Anti-entropy is a different process: the pull repairs the
+        // replica, and its delivery clears the silence.
+        let after_ae = SimTime::ZERO + cfg.anti_entropy + SimDuration::from_secs(2);
+        mesh.pump(after_ae);
+        assert_eq!(
+            mesh.validate_token_at(RealmId(1), &token, after_ae),
+            Err(CredError::Revoked(token.serial))
+        );
+        assert_eq!(mesh.obs.rec.counter_value(mesh.obs.c_silent_exits), 1);
+        let kinds: Vec<&str> = mesh
+            .obs
+            .rec
+            .flight
+            .events()
+            .iter()
+            .map(|e| e.kind)
+            .collect();
+        assert!(kinds.contains(&"feed.silent"));
+        assert!(kinds.contains(&"feed.heard"));
+
+        // Unstalling lets pushes flow again.
+        mesh.set_feed_stalled(RealmId(2), RealmId(1), false);
+        mesh.pump(after_ae + cfg.feed_interval * 2);
+        assert!(mesh.metrics.pushes_sent >= 1);
+    }
+
+    #[test]
+    fn detected_push_failure_retries_with_backoff_and_heal_resubscribes() {
+        let cfg = RevSyncConfig::default();
+        let (db, mut mesh, _home, sister, alice) = two_realm_mesh(cfg);
+        let token = sister.write().login(&db, alice, None).unwrap();
+        sister.write().revoke_user(alice);
+        mesh.set_partitioned(RealmId(2), RealmId(1), true);
+
+        // One minute of outage: the first attempt at one feed interval,
+        // then the capped exponential schedule. Every detected failure
+        // re-arms a retry.
+        let mid = SimTime::ZERO + SimDuration::from_secs(60);
+        mesh.pump(mid);
+        assert!(mesh.metrics.push_retries >= 4);
+        assert_eq!(mesh.metrics.pushes_failed, mesh.metrics.push_retries);
+        assert_eq!(mesh.metrics.pushes_sent, 0);
+        assert!(mesh.validate_token_at(RealmId(1), &token, mid).is_ok());
+
+        // Heal: the feed resubscribes immediately — the missed revocation
+        // lands within wire time of the next pump, not a whole backoff (or
+        // feed interval) later.
+        mesh.set_partitioned(RealmId(2), RealmId(1), false);
+        let healed = mid + SimDuration::from_secs(1);
+        mesh.pump(healed);
+        assert!(mesh.metrics.pushes_sent >= 1);
+        assert_eq!(
+            mesh.validate_token_at(RealmId(1), &token, healed),
+            Err(CredError::Revoked(token.serial))
+        );
+    }
+
+    #[test]
+    fn compaction_tracks_subscriber_frontier_and_feeds_stay_exact() {
+        let cfg = RevSyncConfig::default();
+        let (mut db, mut mesh, _home, sister, _alice) = two_realm_mesh(cfg);
+        for name in ["u1", "u2", "u3", "u4"] {
+            let u = db.create_user(name).unwrap();
+            let t = sister.write().login(&db, u, None).unwrap();
+            sister.write().revoke_serial(t.serial);
+        }
+        let t1 = SimTime::ZERO + cfg.feed_interval + SimDuration::from_secs(1);
+        mesh.pump(t1);
+        let head = sister.read().revocation_head();
+        assert_eq!(
+            mesh.replica(RealmId(1), RealmId(2)).unwrap().applied_seq(),
+            head
+        );
+
+        // Compaction truncates exactly up to the subscriber's frontier.
+        assert_eq!(mesh.compact_logs(), head);
+        assert_eq!(sister.read().revocation_floor(), head);
+        assert_eq!(mesh.metrics.log_compacted, head);
+
+        // Later revocations still flow as exact deltas — nothing below the
+        // floor is ever needed again.
+        let eve = db.create_user("eve").unwrap();
+        let t = sister.write().login(&db, eve, None).unwrap();
+        sister.write().revoke_serial(t.serial);
+        let t2 = t1 + cfg.feed_interval + SimDuration::from_secs(1);
+        mesh.pump(t2);
+        assert_eq!(
+            mesh.validate_token_at(RealmId(1), &t, t2),
+            Err(CredError::Revoked(t.serial))
+        );
+        assert_eq!(mesh.metrics.snapshots_sent, 0, "delta path sufficed");
+        assert_eq!(mesh.compact_logs(), 1, "only the newly acked entry");
+    }
+
+    #[test]
+    fn below_floor_subscriber_recovers_via_snapshot() {
+        let cfg = RevSyncConfig::default();
+        let (mut db, mut mesh, _home, sister, _alice) = two_realm_mesh(cfg);
+        // Sever the feed, then revoke while the subscriber cannot hear.
+        mesh.set_partitioned(RealmId(2), RealmId(1), true);
+        let bob = db.create_user("bob").unwrap();
+        let token = sister.write().login(&db, bob, None).unwrap();
+        sister.write().revoke_serial(token.serial);
+        // An over-aggressive operator compacts the issuer's whole log: the
+        // subscriber's frontier (0) is now below the floor.
+        let head = sister.read().revocation_head();
+        assert_eq!(sister.write().compact_revocations_below(head), head);
+
+        // On heal, the re-push degrades to a full membership snapshot and
+        // converges the replica exactly.
+        let mid = SimTime::ZERO + SimDuration::from_secs(30);
+        mesh.pump(mid);
+        mesh.set_partitioned(RealmId(2), RealmId(1), false);
+        let healed = mid + SimDuration::from_secs(1);
+        mesh.pump(healed);
+        assert!(mesh.metrics.snapshots_sent >= 1);
+        assert_eq!(
+            mesh.validate_token_at(RealmId(1), &token, healed),
+            Err(CredError::Revoked(token.serial))
+        );
+        assert_eq!(
+            mesh.replica(RealmId(1), RealmId(2)).unwrap().applied_seq(),
+            head
+        );
+    }
+
+    #[test]
+    fn new_subscriber_bootstraps_from_membership_snapshot_after_compaction() {
+        let cfg = RevSyncConfig::default();
+        let (mut db, mut mesh, _home, sister, _alice) = two_realm_mesh(cfg);
+        let carol = db.create_user("carol").unwrap();
+        let token = sister.write().login(&db, carol, None).unwrap();
+        sister.write().revoke_serial(token.serial);
+        let t1 = SimTime::ZERO + cfg.feed_interval + SimDuration::from_secs(1);
+        mesh.pump(t1);
+        assert!(mesh.compact_logs() >= 1);
+
+        // A realm joining after compaction bootstraps from the membership
+        // snapshot and still fails closed on the truncated history.
+        let third = shared_broker(CredentialBroker::new(
+            RealmId(3),
+            33,
+            BrokerPolicy::default(),
+        ));
+        mesh.add_realm(RealmId(3), third);
+        mesh.subscribe(RealmId(3), RealmId(2));
+        assert_eq!(
+            mesh.validate_token_at(RealmId(3), &token, t1),
+            Err(CredError::Revoked(token.serial))
+        );
+        let head = sister.read().revocation_head();
+        assert_eq!(
+            mesh.replica(RealmId(3), RealmId(2)).unwrap().applied_seq(),
+            head
+        );
     }
 
     #[test]

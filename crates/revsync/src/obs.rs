@@ -44,8 +44,15 @@ pub struct MeshObs {
     pub c_stale_enters: CounterId,
     /// Replicas recovering back *under* the budget.
     pub c_stale_exits: CounterId,
+    /// Feed links whose subscriber stopped hearing anything (data or
+    /// heartbeat) for [`crate::RevSyncConfig::silent_after`] intervals.
+    pub c_silent_enters: CounterId,
+    /// Silent feed links heard from again.
+    pub c_silent_exits: CounterId,
     /// (site, issuer) replicas currently over budget (edge detection).
     pub(crate) stale: BTreeSet<(RealmId, RealmId)>,
+    /// (issuer, subscriber) links currently silent (edge detection).
+    pub(crate) silent: BTreeSet<(RealmId, RealmId)>,
     /// Causal trace ring: push/pull/apply/deny spans stitched to the
     /// upstream revocation context carried inside `CrlDelta`s.
     pub trace: TraceBuffer,
@@ -83,10 +90,13 @@ impl MeshObs {
             c_gaps: rec.counter("revsync.pump.gap_refusals"),
             c_stale_enters: rec.counter("revsync.staleness.enters"),
             c_stale_exits: rec.counter("revsync.staleness.exits"),
+            c_silent_enters: rec.counter("revsync.silence.enters"),
+            c_silent_exits: rec.counter("revsync.silence.exits"),
             ts_pushes: rec.track_counter(c_pushes, ts_bucket, 360),
             ts_deliveries: rec.track_counter(c_deliveries, ts_bucket, 360),
             trace: TraceBuffer::new("revsync", REVSYNC_TRACE_CODE, 4096, cfg.enabled),
             stale: BTreeSet::new(),
+            silent: BTreeSet::new(),
             s_calls: stats.slot("revsync.validate.calls"),
             s_ok: stats.slot("revsync.validate.ok"),
             s_revoked: stats.slot("revsync.validate.revoked"),

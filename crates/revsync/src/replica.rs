@@ -191,6 +191,29 @@ impl CrlReplica {
         ApplyOutcome::Applied(fresh)
     }
 
+    /// Absorb a full membership snapshot — the repair path for a replica
+    /// whose frontier fell below the issuer's compaction floor, where no
+    /// contiguous delta exists any more. A pure set union (there is still
+    /// no removal path), then the frontier jumps to the issuer's `head`
+    /// and a newer `as_of` refreshes freshness. No gap is possible: the
+    /// snapshot is the complete history by construction. Returns how many
+    /// serials were new.
+    pub fn absorb_snapshot(&mut self, serials: &[CredSerial], head: u64, as_of: SimTime) -> usize {
+        let mut fresh = 0usize;
+        for serial in serials {
+            if self.revoked.insert(*serial) {
+                fresh += 1;
+            }
+        }
+        if head > self.applied_seq {
+            self.applied_seq = head;
+        }
+        if as_of > self.last_sync {
+            self.last_sync = as_of;
+        }
+        fresh
+    }
+
     // analyze:hot-path-begin(replica-lookup)
     /// Validate a bearer token against the replica with a staleness budget:
     /// refuse outright when the replica is older than `max_lag` (bounded
@@ -332,6 +355,36 @@ mod tests {
         };
         r.apply(&old_hb);
         assert_eq!(r.last_sync(), SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn snapshot_absorption_unions_and_jumps_the_frontier() {
+        let (_, b, _) = issuer();
+        let mut r = CrlReplica::bootstrap(RealmId(2), b.verifier(), vec![], SimTime::ZERO);
+        // Replica knows entries 1-2; issuer compacted below 5 and ships the
+        // full membership (sorted by serial, not log order).
+        r.apply(&delta(RealmId(2), 1, &[10, 20], SimTime::from_secs(1)));
+        let snapshot = [
+            CredSerial(5),
+            CredSerial(10),
+            CredSerial(20),
+            CredSerial(30),
+            CredSerial(40),
+        ];
+        let fresh = r.absorb_snapshot(&snapshot, 5, SimTime::from_secs(9));
+        assert_eq!(fresh, 3, "10 and 20 were already known");
+        assert_eq!(r.applied_seq(), 5);
+        assert_eq!(r.last_sync(), SimTime::from_secs(9));
+        assert_eq!(r.revoked_count(), 5);
+        for s in snapshot {
+            assert!(r.is_revoked(s));
+        }
+        // A stale snapshot never rewinds the frontier or freshness, and
+        // never un-revokes.
+        let fresh = r.absorb_snapshot(&[CredSerial(5)], 1, SimTime::from_secs(2));
+        assert_eq!(fresh, 0);
+        assert_eq!(r.applied_seq(), 5);
+        assert_eq!(r.last_sync(), SimTime::from_secs(9));
     }
 
     #[test]

@@ -14,9 +14,9 @@ use crate::latency::{LatencyModel, SetupCosts};
 use crate::netfilter::{ConnState, Firewall, PacketMeta, Verdict};
 use crate::rdma::MemoryRegion;
 use crate::socket::{BindError, PeerInfo, SocketTable};
-use eus_simcore::{Counter, Histogram, SimDuration};
+use eus_simcore::{Counter, Histogram, SimDuration, SimRng};
 use eus_simos::NodeId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Everything a queued-connection handler gets to see: the flow, plus both
@@ -140,6 +140,17 @@ pub enum ConnectError {
     /// A chain queued to a number with no attached handler (packets on an
     /// orphaned NFQUEUE are dropped, as on Linux).
     NoHandler(u16),
+    /// The link between the endpoints is administratively severed (fault
+    /// injection: [`Fabric::set_partitioned`]).
+    Partitioned {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// The connection-setup packet was lost on a lossy link (fault
+    /// injection: [`Fabric::set_link_loss`]).
+    LinkLost,
 }
 
 impl fmt::Display for ConnectError {
@@ -153,6 +164,10 @@ impl fmt::Display for ConnectError {
                 write!(f, "denied by {handler} on queue {queue}")
             }
             ConnectError::NoHandler(q) => write!(f, "queue {q} has no handler"),
+            ConnectError::Partitioned { a, b } => {
+                write!(f, "link {a} <-> {b} is partitioned")
+            }
+            ConnectError::LinkLost => f.write_str("setup packet lost on a lossy link"),
         }
     }
 }
@@ -191,6 +206,11 @@ pub struct FabricMetrics {
     pub established_packets: Counter,
     /// New-connection packets punted to userspace.
     pub queued_packets: Counter,
+    /// Connects refused because the host pair is partitioned (fault
+    /// injection).
+    pub connects_partitioned: Counter,
+    /// Connects lost to injected link loss (fault injection).
+    pub connects_lost: Counter,
 }
 
 /// The cluster network.
@@ -203,6 +223,20 @@ pub struct Fabric {
     pub(crate) next_qp: u64,
     /// Measurements.
     pub metrics: FabricMetrics,
+    /// Severed host pairs, normalized `(min, max)` (fault injection):
+    /// new connections between them fail with
+    /// [`ConnectError::Partitioned`].
+    partitions: BTreeSet<(NodeId, NodeId)>,
+    /// Per-pair setup-packet loss probability, normalized `(min, max)`
+    /// (fault injection); absent pairs are lossless and draw nothing from
+    /// the fault RNG.
+    loss: BTreeMap<(NodeId, NodeId), f64>,
+    /// Per-pair additive latency, normalized `(min, max)` (fault
+    /// injection): added to both setup and transfer time on that link.
+    latency_spikes: BTreeMap<(NodeId, NodeId), SimDuration>,
+    /// Seeded RNG behind loss decisions; drawn only for pairs with a
+    /// configured loss rate, so fault-free runs consume no stream.
+    fault_rng: SimRng,
 }
 
 impl fmt::Debug for Fabric {
@@ -230,7 +264,79 @@ impl Fabric {
             next_conn: 1,
             next_qp: 1,
             metrics: FabricMetrics::default(),
+            partitions: BTreeSet::new(),
+            loss: BTreeMap::new(),
+            latency_spikes: BTreeMap::new(),
+            fault_rng: SimRng::seed_from_u64(0xFAB_FA17),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Link faults (eus-chaos)
+    // ------------------------------------------------------------------
+
+    /// Normalize a host pair so `(a, b)` and `(b, a)` address one link.
+    fn link(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Sever (or heal) the link between two hosts: while down, every new
+    /// connection between them fails with [`ConnectError::Partitioned`].
+    /// Established flows are left to their owners — like a real cable cut,
+    /// in-memory connection state survives until the application notices.
+    pub fn set_partitioned(&mut self, a: NodeId, b: NodeId, down: bool) {
+        let key = Self::link(a, b);
+        if down {
+            self.partitions.insert(key);
+        } else {
+            self.partitions.remove(&key);
+        }
+    }
+
+    /// Whether the link between two hosts is currently severed.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.partitions.contains(&Self::link(a, b))
+    }
+
+    /// Set the setup-packet loss probability on a link (`0.0` clears it).
+    /// Loss draws come from the seeded fault RNG, so runs reproduce.
+    pub fn set_link_loss(&mut self, a: NodeId, b: NodeId, rate: f64) {
+        let key = Self::link(a, b);
+        if rate > 0.0 {
+            self.loss.insert(key, rate.clamp(0.0, 1.0));
+        } else {
+            self.loss.remove(&key);
+        }
+    }
+
+    /// Add (or, with `SimDuration::ZERO`, clear) a latency spike on a
+    /// link: the extra is paid on every setup and every transfer crossing
+    /// it.
+    pub fn set_latency_spike(&mut self, a: NodeId, b: NodeId, extra: SimDuration) {
+        let key = Self::link(a, b);
+        if extra > SimDuration::ZERO {
+            self.latency_spikes.insert(key, extra);
+        } else {
+            self.latency_spikes.remove(&key);
+        }
+    }
+
+    /// Reseed the fault RNG (chaos runs derive it from the plan seed so
+    /// loss decisions replay bit-for-bit).
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.fault_rng = SimRng::seed_from_u64(seed);
+    }
+
+    /// The injected extra latency on a link (ZERO when unspiked).
+    fn spike(&self, a: NodeId, b: NodeId) -> SimDuration {
+        self.latency_spikes
+            .get(&Self::link(a, b))
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Add (or reset) a host.
@@ -342,6 +448,21 @@ impl Fabric {
     ) -> Result<(ConnId, SimDuration), ConnectError> {
         if !self.hosts.contains_key(&dst.host) {
             return Err(ConnectError::NoSuchHost(dst.host));
+        }
+        // Injected link faults fire before any host state is touched — a
+        // severed or lossy cable never consumes an ephemeral port.
+        if self.is_partitioned(src_host, dst.host) {
+            self.metrics.connects_partitioned.incr();
+            return Err(ConnectError::Partitioned {
+                a: src_host,
+                b: dst.host,
+            });
+        }
+        if let Some(&rate) = self.loss.get(&Self::link(src_host, dst.host)) {
+            if self.fault_rng.chance(rate) {
+                self.metrics.connects_lost.incr();
+                return Err(ConnectError::LinkLost);
+            }
         }
         // Bind the client socket so ident queries about the initiator answer.
         let src_port = {
@@ -474,7 +595,7 @@ impl Fabric {
                 bytes_sent: 0,
             },
         );
-        let setup = self.latency.setup_time(queued, &costs);
+        let setup = self.latency.setup_time(queued, &costs) + self.spike(src_host, dst.host);
         Ok((id, setup))
     }
 
@@ -500,8 +621,9 @@ impl Fabric {
             "established connection must be in conntrack"
         );
         conn.bytes_sent += payload.len() as u64;
+        let (a, b) = (conn.tuple.src.host, conn.tuple.dst.host);
         self.metrics.established_packets.incr();
-        Ok(self.latency.transfer_time(payload.len()))
+        Ok(self.latency.transfer_time(payload.len()) + self.spike(a, b))
     }
 
     /// Close a connection: remove conntrack entries and free the client port.
@@ -749,6 +871,131 @@ mod tests {
             "established packets never hit the queue"
         );
         assert_eq!(f.metrics.established_packets.get(), 10);
+    }
+
+    #[test]
+    fn partition_blocks_new_connects_and_heals_clean() {
+        let mut f = two_hosts();
+        f.listen(NodeId(2), Proto::Tcp, 8888, peer(100)).unwrap();
+        f.set_partitioned(NodeId(2), NodeId(1), true); // either order
+        let err = f
+            .connect(
+                NodeId(1),
+                peer(1),
+                SocketAddr::new(NodeId(2), 8888),
+                Proto::Tcp,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConnectError::Partitioned {
+                a: NodeId(1),
+                b: NodeId(2)
+            }
+        );
+        assert!(f.is_partitioned(NodeId(1), NodeId(2)));
+        assert_eq!(f.metrics.connects_partitioned.get(), 1);
+        // No ephemeral port leaked by the refused attempt.
+        assert!(f.host(NodeId(1)).unwrap().sockets.is_empty());
+        f.set_partitioned(NodeId(1), NodeId(2), false);
+        assert!(f
+            .connect(
+                NodeId(1),
+                peer(1),
+                SocketAddr::new(NodeId(2), 8888),
+                Proto::Tcp,
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn link_loss_is_seeded_and_total_at_rate_one() {
+        let mut f = two_hosts();
+        f.listen(NodeId(2), Proto::Tcp, 8888, peer(100)).unwrap();
+        f.set_link_loss(NodeId(1), NodeId(2), 1.0);
+        for _ in 0..5 {
+            assert_eq!(
+                f.connect(
+                    NodeId(1),
+                    peer(1),
+                    SocketAddr::new(NodeId(2), 8888),
+                    Proto::Tcp,
+                )
+                .unwrap_err(),
+                ConnectError::LinkLost
+            );
+        }
+        assert_eq!(f.metrics.connects_lost.get(), 5);
+        assert!(f.host(NodeId(1)).unwrap().sockets.is_empty());
+        f.set_link_loss(NodeId(1), NodeId(2), 0.0);
+        assert!(f
+            .connect(
+                NodeId(1),
+                peer(1),
+                SocketAddr::new(NodeId(2), 8888),
+                Proto::Tcp,
+            )
+            .is_ok());
+        // Same seed, same partial-loss decisions.
+        let run = |seed: u64| {
+            let mut f = two_hosts();
+            f.listen(NodeId(2), Proto::Tcp, 8888, peer(100)).unwrap();
+            f.set_fault_seed(seed);
+            f.set_link_loss(NodeId(1), NodeId(2), 0.5);
+            (0..32)
+                .map(|_| {
+                    let r = f.connect(
+                        NodeId(1),
+                        peer(1),
+                        SocketAddr::new(NodeId(2), 8888),
+                        Proto::Tcp,
+                    );
+                    if let Ok((id, _)) = r {
+                        f.close(id);
+                        true
+                    } else {
+                        false
+                    }
+                })
+                .collect::<Vec<bool>>()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same loss pattern");
+        assert!(a.iter().any(|&ok| ok) && a.iter().any(|&ok| !ok));
+    }
+
+    #[test]
+    fn latency_spike_penalizes_setup_and_transfer() {
+        let mut f = two_hosts();
+        f.listen(NodeId(2), Proto::Tcp, 8888, peer(100)).unwrap();
+        let (id, base_setup) = f
+            .connect(
+                NodeId(1),
+                peer(1),
+                SocketAddr::new(NodeId(2), 8888),
+                Proto::Tcp,
+            )
+            .unwrap();
+        let base_xfer = f.send(id, &bytes::Bytes::from_static(b"data")).unwrap();
+        let extra = SimDuration::from_millis(250);
+        f.set_latency_spike(NodeId(1), NodeId(2), extra);
+        let spiked_xfer = f.send(id, &bytes::Bytes::from_static(b"data")).unwrap();
+        assert_eq!(spiked_xfer, base_xfer + extra);
+        let (id2, spiked_setup) = f
+            .connect(
+                NodeId(1),
+                peer(2),
+                SocketAddr::new(NodeId(2), 8888),
+                Proto::Tcp,
+            )
+            .unwrap();
+        assert_eq!(spiked_setup, base_setup + extra);
+        f.set_latency_spike(NodeId(1), NodeId(2), SimDuration::ZERO);
+        assert_eq!(
+            f.send(id2, &bytes::Bytes::from_static(b"data")).unwrap(),
+            base_xfer,
+            "clearing the spike restores the base model"
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ fn shape<T>(r: &Result<T, CredError>) -> &'static str {
         Err(CredError::BadSignature) => "bad-signature",
         Err(CredError::Revoked(_)) => "revoked",
         Err(CredError::NoCredential(_)) => "no-credential",
+        Err(CredError::Unavailable) => "unavailable",
     }
 }
 
