@@ -14,6 +14,13 @@
 //! wall numbers measure the engine, not the instrumentation; the loud pass
 //! doubles as an equivalence check (identical makespan and completion
 //! counts, or the instrumentation perturbed the schedule).
+//!
+//! Each scale additionally replays a fair-share storm (four striped
+//! partitions, jobs decorated round-robin) at shard width 1 and at the
+//! `RAYON_THREADS` width, asserting the two schedules bit-identical
+//! before emitting both as `"fair_share": true` rows with a `"threads"`
+//! field — the scale-level proof that sharded dispatch is a pure
+//! planning optimization.
 
 use eus_bench::table::{f, TextTable};
 use eus_obs::ObsConfig;
@@ -24,11 +31,20 @@ use eus_workloads::{submission_storm, SharedTrace, UserPopulation};
 use std::fmt::Write as _;
 use std::time::Instant;
 
+/// Striped partitions for the fair-share rows: node `i` lands in
+/// `p{i % SHARD_PARTS}`, job `j` requests `p{j % SHARD_PARTS}`.
+const SHARD_PARTS: usize = 4;
+
 struct Row {
     nodes: u32,
     jobs: usize,
     policy: NodeSharing,
     backfill: bool,
+    /// Fair-share rows carry the striped-partition storm (and are the
+    /// only rows where `threads` can exceed 1).
+    fair_share: bool,
+    /// Shard-plan width the row replayed under (`Scheduler::set_shard_threads`).
+    threads: usize,
     wall_ms: f64,
     events: u64,
     events_per_sec: f64,
@@ -92,6 +108,82 @@ fn replay(nodes: u32, policy: NodeSharing, backfill: bool, trace: &SharedTrace) 
         jobs: trace.len(),
         policy,
         backfill,
+        fair_share: false,
+        threads: 1,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events,
+        events_per_sec: events as f64 / wall.as_secs_f64(),
+        makespan_s: end.since(SimTime::ZERO).as_secs_f64(),
+        completed: s.metrics.completed.get(),
+        obs_json: obs_fields(&loud),
+        shadow_memo_ratio: loud.obs.shadow_memo_ratio(),
+        backfill_accept_ratio: loud.obs.backfill_accept_ratio(),
+    }
+}
+
+/// Decorate a storm with round-robin partition requests so the fair-share
+/// replay exercises multi-class head selection (the sharded plane only
+/// engages with more than one schedulable class).
+fn partitioned(trace: &SharedTrace) -> SharedTrace {
+    let names: Vec<String> = (0..SHARD_PARTS).map(|i| format!("p{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    eus_bench::partition_round_robin(trace.clone(), &refs)
+}
+
+/// Build the fair-share scheduler for the sharded rows: shared nodes
+/// striped across [`SHARD_PARTS`] partitions, EASY backfill on, shard
+/// planning at `threads`.
+fn sharded_scheduler(nodes: u32, threads: usize) -> Scheduler {
+    let mut s = Scheduler::new(SchedConfig {
+        policy: NodeSharing::Shared,
+        backfill: true,
+        fair_share: true,
+        ..SchedConfig::default()
+    });
+    let mut stripes: Vec<Vec<_>> = vec![Vec::new(); SHARD_PARTS];
+    for i in 0..nodes {
+        let id = s.add_node(16, 65_536, 0);
+        stripes[i as usize % SHARD_PARTS].push(id);
+    }
+    for (p, ids) in stripes.into_iter().enumerate() {
+        s.partitions_mut()
+            .add(&format!("p{p}"), ids, p == 0)
+            .unwrap_or_else(|e| panic!("partition p{p}: {e}"));
+    }
+    s.set_shard_threads(threads);
+    s
+}
+
+/// Replay the partitioned storm through the fair-share engine at a given
+/// shard width. Same quiet-timed / loud-obs structure as [`replay`].
+fn replay_sharded(nodes: u32, threads: usize, trace: &SharedTrace) -> Row {
+    let mut s = sharded_scheduler(nodes, threads);
+    let t0 = Instant::now();
+    trace.submit_all(&mut s);
+    let end = s.run_to_completion();
+    let wall = t0.elapsed();
+    let terminal = s.metrics.completed.get() + s.metrics.failed.get() + s.metrics.timed_out.get();
+    assert_eq!(s.pending_count(), 0, "fair-share storm must drain");
+    assert_eq!(s.running_count(), 0);
+    let events = trace.len() as u64 + terminal;
+
+    let mut loud = sharded_scheduler(nodes, threads);
+    loud.enable_obs(ObsConfig::enabled());
+    trace.submit_all(&mut loud);
+    let loud_end = loud.run_to_completion();
+    assert_eq!(
+        loud_end, end,
+        "obs-enabled fair-share replay must match (threads {threads})"
+    );
+    assert_eq!(loud.metrics.completed.get(), s.metrics.completed.get());
+
+    Row {
+        nodes,
+        jobs: trace.len(),
+        policy: NodeSharing::Shared,
+        backfill: true,
+        fair_share: true,
+        threads,
         wall_ms: wall.as_secs_f64() * 1e3,
         events,
         events_per_sec: events as f64 / wall.as_secs_f64(),
@@ -164,6 +256,7 @@ fn main() {
         let mut table = TextTable::new(&[
             "policy",
             "backfill",
+            "threads",
             "wall ms",
             "events",
             "events/sec",
@@ -172,23 +265,48 @@ fn main() {
             "memo hit",
             "bf accept",
         ]);
+        let mut push = |table: &mut TextTable, r: Row| {
+            table.row(&[
+                if r.fair_share {
+                    format!("{}+fs", r.policy)
+                } else {
+                    r.policy.to_string()
+                },
+                if r.backfill { "easy" } else { "fcfs" }.to_string(),
+                r.threads.to_string(),
+                f(r.wall_ms, 1),
+                r.events.to_string(),
+                f(r.events_per_sec, 0),
+                f(r.makespan_s, 0),
+                r.completed.to_string(),
+                f(r.shadow_memo_ratio, 3),
+                f(r.backfill_accept_ratio, 3),
+            ]);
+            rows.push(r);
+        };
         for policy in NodeSharing::all() {
             for backfill in [false, true] {
-                let r = replay(nodes, policy, backfill, &trace);
-                table.row(&[
-                    r.policy.to_string(),
-                    if r.backfill { "easy" } else { "fcfs" }.to_string(),
-                    f(r.wall_ms, 1),
-                    r.events.to_string(),
-                    f(r.events_per_sec, 0),
-                    f(r.makespan_s, 0),
-                    r.completed.to_string(),
-                    f(r.shadow_memo_ratio, 3),
-                    f(r.backfill_accept_ratio, 3),
-                ]);
-                rows.push(r);
+                push(&mut table, replay(nodes, policy, backfill, &trace));
             }
         }
+        // Fair-share rows: the same storm striped across partitions,
+        // replayed sequentially and sharded. The schedules must be
+        // bit-identical — sharding is a planning optimization, never a
+        // policy change.
+        let ptrace = partitioned(&trace);
+        let par_width = rayon::default_threads().max(2);
+        let seq = replay_sharded(nodes, 1, &ptrace);
+        let par = replay_sharded(nodes, par_width, &ptrace);
+        assert_eq!(
+            seq.makespan_s, par.makespan_s,
+            "sharded makespan must be bit-identical at {nodes} nodes"
+        );
+        assert_eq!(
+            seq.completed, par.completed,
+            "sharded completions must be bit-identical at {nodes} nodes"
+        );
+        push(&mut table, seq);
+        push(&mut table, par);
         print!("{}", table.render());
         println!();
     }
@@ -224,12 +342,15 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{ \"nodes\": {}, \"jobs\": {}, \"policy\": \"{}\", \"backfill\": {}, \
+             \"fair_share\": {}, \"threads\": {}, \
              \"wall_ms\": {:.2}, \"events\": {}, \"events_per_sec\": {:.0}, \
              \"makespan_s\": {:.0}, \"completed\": {}, {} }}{}",
             r.nodes,
             r.jobs,
             r.policy,
             r.backfill,
+            r.fair_share,
+            r.threads,
             r.wall_ms,
             r.events,
             r.events_per_sec,

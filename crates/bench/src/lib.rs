@@ -25,7 +25,8 @@ use eus_core::{ClusterSpec, SecureCluster, SeparationConfig};
 use eus_sched::{NodeSharing, SchedConfig, Scheduler};
 use eus_simcore::{SimRng, SimTime};
 use eus_simos::{Uid, UserDb};
-use eus_workloads::{Trace, UserPopulation, WorkloadMix};
+use eus_workloads::{SharedTrace, Trace, UserPopulation, WorkloadMix};
+use std::sync::Arc;
 
 /// Build a hardened (or baseline) cluster with two users, ready for probes.
 pub fn two_user_cluster(config: SeparationConfig) -> (SecureCluster, Uid, Uid) {
@@ -107,6 +108,25 @@ pub fn standard_trace(users: usize, horizon_hours: u64, seed: u64) -> Trace {
     let mut db = UserDb::new();
     let pop = UserPopulation::build(&mut db, users, users / 5 + 1, 1.1, &mut rng);
     WorkloadMix::llsc_like().generate(&pop, SimTime::from_secs(horizon_hours * 3600), &mut rng)
+}
+
+/// Re-decorate a shared trace's jobs round-robin across partition names —
+/// the shard-plane benchmarks use this to keep every scheduling class
+/// populated (per-partition sharding only engages with more than one
+/// schedulable class). Deterministic: decoration depends only on entry
+/// order, so the same trace always yields the same classes.
+pub fn partition_round_robin(mut trace: SharedTrace, parts: &[&str]) -> SharedTrace {
+    assert!(!parts.is_empty(), "need at least one partition name");
+    trace.entries = trace
+        .entries
+        .into_iter()
+        .enumerate()
+        .map(|(i, (at, spec))| {
+            let part = parts[i % parts.len()];
+            (at, Arc::new((*spec).clone().with_partition(part)))
+        })
+        .collect();
+    trace
 }
 
 #[cfg(test)]

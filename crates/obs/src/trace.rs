@@ -24,7 +24,7 @@
 //! held only for the ring write — never across a call into another plane —
 //! so it introduces no lock-order edges beyond `<holder> → trace-ring`.
 
-use eus_simcore::SimTime;
+use eus_simcore::{SimDuration, SimTime};
 use parking_lot::Mutex;
 use std::fmt;
 use std::fmt::Write as _;
@@ -454,6 +454,31 @@ pub fn render_trace(trace: u64, spans: &[TraceSpan]) -> String {
         let last = i + 1 == tops.len();
         render_node(&mut out, top, &spans, "", last, top.parent != 0);
     }
+    // Wall-time distribution per span name: the tree shows one causal
+    // path, the percentiles show whether that path was typical. Nearest-
+    // rank percentiles over every same-named span in the trace.
+    let mut by_name: std::collections::BTreeMap<&str, Vec<SimDuration>> =
+        std::collections::BTreeMap::new();
+    for s in &spans {
+        by_name.entry(s.name).or_default().push(s.end.since(s.start));
+    }
+    let _ = writeln!(out, "span wall-time percentiles:");
+    for (name, mut durs) in by_name {
+        durs.sort();
+        let pick = |q: f64| -> SimDuration {
+            let n = durs.len();
+            let rank = ((n as f64) * q).ceil() as usize;
+            durs[rank.clamp(1, n) - 1]
+        };
+        let _ = writeln!(
+            out,
+            "  {name}  n={} p50={:.3}s p95={:.3}s max={:.3}s",
+            durs.len(),
+            pick(0.50).as_secs_f64(),
+            pick(0.95).as_secs_f64(),
+            durs.last().copied().unwrap_or(SimDuration::ZERO).as_secs_f64()
+        );
+    }
     out
 }
 
@@ -527,6 +552,38 @@ mod tests {
         let tree = render_trace(root.ctx().trace, &spans);
         assert!(tree.contains("alpha.op.begin"), "{tree}");
         assert!(tree.contains("beta.op.deep"), "{tree}");
+    }
+
+    #[test]
+    fn render_trace_reports_span_percentiles() {
+        // Hand-built trace: one root and ten same-named children with
+        // wall times 1s..=10s, so the nearest-rank percentiles are exact:
+        // p50 = 5s (rank ⌈0.5·10⌉ = 5), p95 = 10s (rank ⌈9.5⌉ = 10).
+        let mk = |span, parent, name, start: u64, end: u64| TraceSpan {
+            trace: 1,
+            span,
+            parent,
+            name,
+            plane: "p",
+            start: t(start),
+            end: t(end),
+            detail: 0,
+        };
+        let mut spans = vec![mk(1, 0, "p.op.root", 0, 40)];
+        for i in 1..=10u64 {
+            spans.push(mk(1 + i, 1, "p.op.step", i, 2 * i));
+        }
+        check_well_formed(&spans).unwrap();
+        let tree = render_trace(1, &spans);
+        assert!(tree.contains("span wall-time percentiles:"), "{tree}");
+        assert!(
+            tree.contains("p.op.step  n=10 p50=5.000s p95=10.000s max=10.000s"),
+            "{tree}"
+        );
+        assert!(
+            tree.contains("p.op.root  n=1 p50=40.000s p95=40.000s max=40.000s"),
+            "{tree}"
+        );
     }
 
     #[test]

@@ -40,6 +40,13 @@
 //! claim, release, failure, or repair) *or* the queue composition changes
 //! (a new arrival deserves its reservation), so stale promises are never
 //! consulted.
+//!
+//! Under sharded dispatch ([`crate::engine::Scheduler::set_shard_threads`])
+//! calendars are never planned on shard workers: shard seeds carry only
+//! the head's *immediate* placement walk, and every rebuild runs on the
+//! sequential class merge. That keeps the `sched.calendar.*` counters
+//! thread-invariant (see the table in [`crate::obs`]) and means this
+//! module needs no synchronization despite the parallel plane above it.
 
 use crate::job::{JobId, TaskAlloc};
 use eus_simcore::SimTime;
@@ -81,6 +88,7 @@ pub struct Reservation {
 
 impl Reservation {
     /// Does this reservation hold capacity on `node`?
+    #[inline]
     pub fn holds_node(&self, node: NodeId) -> bool {
         self.allocs.iter().any(|(n, _)| *n == node)
     }

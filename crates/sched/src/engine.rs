@@ -11,24 +11,45 @@
 //! At 10k-node scale the naive cycle — collect-and-sort every node per
 //! placement attempt, clone the whole node map per EASY shadow computation,
 //! shift a `Vec` queue — is quadratic-ish in cluster size and queue depth.
-//! This engine instead maintains **incremental indexes**, updated on every
-//! claim/release, so a scheduling cycle touches only viable state:
+//! This engine instead runs on a **cache-native, shardable core**: dense
+//! struct-of-arrays node storage, bitmap candidate sets, epoch-stamped
+//! overlay scratch, and memoized scan state, all updated incrementally on
+//! every claim/release so a scheduling cycle touches only viable state:
 //!
-//! * **Placement index** — three id-ordered sets replace the per-attempt
-//!   scan: `owned_nodes` (per-user sets of nodes the user solely owns, the
-//!   packing-affinity prefix of the old sort), `idle_nodes` (no running
-//!   jobs — the only admissible "other" nodes under `Exclusive`,
-//!   `WholeNodeUser`, and per-job `--exclusive`), and `avail_nodes` (Up with
-//!   free cores — the admissible "other" nodes under `Shared`). A placement
-//!   attempt walks the user's owned nodes first and then the relevant set,
-//!   reproducing the old `(owned, id)` candidate order exactly without
-//!   materializing or sorting a candidate list.
-//! * **Capacity-vector shadow** — the EASY shadow time replays running-job
-//!   releases in end-time order over a flat `Vec` of per-node free-capacity
-//!   counters (cores/mem/gpus + job count + sole owner), maintaining the
-//!   total task-fit sum incrementally and early-exiting the moment the head
-//!   job fits. No `SchedNode` clones; the two scratch vectors are reused
-//!   across cycles.
+//! * **SoA node table** — nodes live in a dense [`crate::table::NodeTable`]
+//!   (`slot = id − 1`) whose placement-relevant fields (free cores/mem/gpus,
+//!   job count, sole owner, up bit) are mirrored into flat columns. A
+//!   placement walk reads 4–16 bytes per rejected candidate instead of
+//!   chasing a `BTreeMap` pointer into a ~200-byte struct; the columns are
+//!   refreshed from the same `mirror_update` funnel that maintains the
+//!   shadow mirror, so they can never drift between decisions.
+//! * **Placement index** — bitmap [`crate::table::NodeSet`]s replace the
+//!   old id-ordered tree sets: `idle_nodes` (no running jobs — the only
+//!   admissible "other" nodes under `Exclusive`, `WholeNodeUser`, and
+//!   per-job `--exclusive`) and `avail_nodes` (Up with free cores — the
+//!   admissible "other" nodes under `Shared`), plus per-user `owned_nodes`
+//!   (packing affinity). Iteration is still ascending-id, so the candidate
+//!   order — owned first, then the policy's source set — is bit-identical
+//!   to the map-based engine.
+//! * **Head-fit gate** — every failed head walk records the *uncapped*
+//!   `Σ fit` it observed (exact: any node with positive fit is in the
+//!   walked sets), priming the incrementally-maintained [`HeadFit`] total.
+//!   While that total stays below the head's task count the placement
+//!   re-attempt is provably futile and is skipped in O(1) — arrival storms
+//!   against a blocked head cost one counter bump, not an O(nodes) walk.
+//! * **Overlay shadow** — the EASY shadow replays running-job releases in
+//!   end-time order through an epoch-stamped overlay: each touched node is
+//!   first-touch copied from the persistent capacity mirror, so a replay
+//!   costs O(touched releases), not an O(nodes) mirror memcpy. The total
+//!   task-fit sum is maintained incrementally with early exit the moment
+//!   the head fits.
+//! * **Backfill scan memo** — the FCFS backfill window scan memoizes its
+//!   outcome per `(head, state_version, queue_shrink_epoch)`: an arrival
+//!   flood against an unchanged window skips the scan outright, and an
+//!   exhausted scan resumes from its cursor so only *new* arrivals are
+//!   examined. (Sound because shadow-bound rejects are monotone in `now`
+//!   and placement failures are version-memoized; the policy path keeps
+//!   full scans — conservative-backfill refusals are not monotone.)
 //! * **Order-indexed queue** — the pending queue is a
 //!   `BTreeMap<enqueue-seq, JobId>` (+ reverse map for `cancel`), so head
 //!   dispatch and mid-queue backfill removals are O(log q) instead of
@@ -39,9 +60,29 @@
 //!   strings, and partition eligible-sets are borrowed rather than cloned
 //!   per cycle.
 //!
+//! # Sharded dispatch
+//!
+//! With `fair_share` on, the per-partition classes are independent up to
+//! the moment a start mutates node state — so [`Scheduler::plan_shards`]
+//! fans the per-class head *planning* (candidate walk over that class's
+//! capacity mirror) out over the rayon shim at a caller-chosen width
+//! ([`Scheduler::set_shard_threads`]). Shards only **precompute**: each
+//! returns a pure plan `(node, tasks)` + fit total against the cycle's
+//! frozen `state_version`, and the sequential merge consumes seeds in the
+//! same `(partition, enqueue-seq)` order the single-threaded loop uses,
+//! re-validating `(head, version)` and falling back to the inline walk on
+//! any staleness. **Shard-merge determinism rule:** a seed may only be
+//! consumed at the exact `(head, state_version)` it was planned for, and
+//! consumption order is the sequential class order — so parallel runs are
+//! bit-identical to `shard_threads = 1` at any width. Only the
+//! `sched.shard.*` counters vary with thread count (see
+//! [`crate::obs`] for the full thread-invariance table).
+//!
 //! The pre-overhaul implementation is retained verbatim in
 //! [`crate::reference`]; `tests/sched_equivalence.rs` proves the two
-//! observationally identical over random traces × policies, and
+//! observationally identical over random traces × policies,
+//! `tests/sched_parallel_equivalence.rs` proves the sharded core
+//! bit-identical across thread counts 1/2/4/8, and
 //! `benches/sched_throughput.rs` + `exp_sched_scale` keep the speedup
 //! measured. One invariant to keep in mind: `config.policy` must not change
 //! mid-run (the index assumes placement decisions were made under the same
@@ -92,13 +133,14 @@ use crate::job::{Job, JobId, JobSpec, JobState, TaskAlloc};
 use crate::node::{NodeState, SchedNode};
 use crate::obs::SchedObs;
 use crate::partition::{PartitionError, PartitionTable};
-use crate::policy::{tasks_that_fit, NodeSharing};
+use crate::policy::NodeSharing;
 use crate::privatedata::{may_view, JobView, PrivateData};
+use crate::table::{slot_of, NodeCols, NodeSet, NodeTable};
 use eus_obs::TraceCtx;
 use eus_simcore::{Counter, Histogram, SimDuration, SimTime, TimeWeighted};
 use eus_simos::{Credentials, NodeId, Uid};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::ops::Bound;
 use std::sync::Arc;
 
@@ -331,33 +373,52 @@ impl ShadowNode {
 pub struct Scheduler {
     /// Configuration (immutable per run for clean experiments).
     pub config: SchedConfig,
-    /// Compute nodes.
-    pub nodes: BTreeMap<NodeId, SchedNode>,
+    /// Compute nodes: dense SoA storage, placement columns kept in sync by
+    /// the `mirror_update` funnel.
+    pub nodes: NodeTable,
     /// Every job ever submitted.
     pub jobs: BTreeMap<JobId, Job>,
-    /// Pending queue in FIFO order: enqueue-sequence → job.
-    queue: BTreeMap<u64, JobId>,
-    /// Reverse queue index for O(log q) `cancel`.
-    queue_pos: BTreeMap<JobId, u64>,
+    /// Pending queue in FIFO order: enqueue-sequence → job, as a flat
+    /// tombstone ring ([`FifoRing`]) so the head query and enqueue/dequeue
+    /// are O(1) at storm scale.
+    queue: FifoRing,
+    /// Reverse queue index: job → queue key, `u64::MAX` = not queued.
+    /// Job ids are dense (assigned sequentially at submit), so this is a
+    /// flat slab indexed by `JobId.0` — O(1) instead of a 100k-entry tree
+    /// probe on every enqueue/dequeue at storm scale.
+    queue_pos: Vec<u64>,
     queue_seq: u64,
     /// Running jobs keyed by scheduled end time (`started + duration`, the
-    /// EASY assumption) — the shadow replay walks this in order directly
-    /// instead of collecting and sorting every running job per cycle, and
-    /// its size is the running-job count.
-    running_ends: BTreeSet<(SimTime, JobId)>,
+    /// EASY assumption), carrying a compact snapshot of each job's
+    /// allocations (immutable while the job runs) — the shadow replay
+    /// walks this in order and reads the allocations inline, with no
+    /// per-release `jobs` map lookup and no per-cycle collect + sort.
+    running_ends: BTreeMap<(SimTime, JobId), Box<[(NodeId, TaskAlloc)]>>,
     // ---- placement index, maintained on every claim/release ----
-    /// Up nodes with zero running jobs, id-ordered.
-    idle_nodes: BTreeSet<NodeId>,
-    /// Up nodes with at least one free core, id-ordered.
-    avail_nodes: BTreeSet<NodeId>,
+    /// Up nodes with zero running jobs (bitmap, ascending-id iteration).
+    idle_nodes: NodeSet,
+    /// Up nodes with at least one free core (bitmap, ascending-id
+    /// iteration).
+    avail_nodes: NodeSet,
     /// Per-user sets of nodes the user *solely* owns (packing affinity).
     owned_nodes: BTreeMap<Uid, BTreeSet<NodeId>>,
-    // ---- reusable shadow scratch (allocation-free steady state) ----
-    shadow_scratch: Vec<ShadowNode>,
+    // ---- reusable scan scratch (allocation-free steady state) ----
+    /// Victim-scan scratch for `try_preempt_for` (reused across calls).
+    scan_scratch: Vec<ShadowNode>,
     /// Persistent per-node capacity mirror, id-ascending, maintained on
     /// every claim/release/fail/repair — the partition-free shadow build is
     /// a flat copy of this instead of an O(n) walk of the node `BTreeMap`.
     shadow_mirror: Vec<ShadowNode>,
+    /// Epoch-stamped shadow overlay (dense, `slot = id − 1`): a replay
+    /// first-touch copies each node it releases on from `shadow_mirror`
+    /// into `shadow_overlay` (stamping `shadow_stamp` with the replay's
+    /// epoch), so a replay costs O(touched releases) instead of an
+    /// O(nodes) mirror copy. Entries with a stale stamp are dead.
+    shadow_overlay: Vec<ShadowNode>,
+    /// Per-slot epoch of the last replay that touched it.
+    shadow_stamp: Vec<u64>,
+    /// Monotonic replay counter for the overlay stamps.
+    shadow_epoch: u64,
     /// Bumped on every claim/release/fail/repair/add — anything that could
     /// change a placement or shadow answer.
     state_version: u64,
@@ -376,6 +437,13 @@ pub struct Scheduler {
     /// — valid until any claim/release (the set is cleared when the
     /// version moves). Saves re-walking the candidate window per arrival.
     backfill_fails: (u64, BTreeSet<JobId>),
+    /// Bumped whenever a job *leaves* the pending queue (start, backfill,
+    /// cancel). `cancel` removes without touching `state_version`, so the
+    /// backfill scan memo keys on this too.
+    queue_shrink_epoch: u64,
+    /// Memoized FCFS backfill window scan (see `BfScan`). Invalid the
+    /// moment `(head, state_version, queue_shrink_epoch)` moves.
+    bf_scan: Option<BfScan>,
     // ---- policy plane (all empty / unused while the knobs are off) ----
     /// Decayed per-(partition, user) usage: the fair-share input.
     ledger: FairShareLedger,
@@ -427,6 +495,15 @@ pub struct Scheduler {
     /// fail/repair delta — drops the remaining O(nodes) initial sum from
     /// each shadow compute.
     head_fit: Option<HeadFit>,
+    // ---- sharded dispatch (fair-share classes fan out over rayon) ----
+    /// Worker width for per-class head planning. `1` (the default) plans
+    /// inline; any width produces bit-identical schedules (see the module
+    /// docs' shard-merge determinism rule).
+    shard_threads: usize,
+    /// Per-class head plans precomputed by [`Scheduler::plan_shards`],
+    /// consumed (and re-validated against `(head, state_version)`) by the
+    /// sequential class merge.
+    shard_seeds: BTreeMap<String, ShardSeed>,
     events: BinaryHeap<Reverse<(SimTime, u64, Ev)>>,
     next_job: u64,
     next_node: u32,
@@ -455,6 +532,107 @@ pub struct Scheduler {
     submit_traces: BTreeMap<JobId, TraceCtx>,
 }
 
+/// Tombstone marker for [`FifoRing`] slots — real job ids start at 1.
+const FIFO_TOMB: JobId = JobId(0);
+
+/// The global pending queue as a flat ring. Enqueue keys are handed out
+/// consecutively, so the live window `[base, base + slots.len())` maps a
+/// key to a `VecDeque` index by plain subtraction: tail insert is O(1),
+/// removal tombstones the slot in place, and the front is kept
+/// tombstone-free so the head query — asked on every scheduling cycle —
+/// is O(1) instead of a descent through a 100k-entry tree. Forward scans
+/// (backfill) skip tombstones, which amortizes against the dequeues that
+/// created them.
+#[derive(Debug, Default)]
+struct FifoRing {
+    /// Slot per handed-out key from `base` up; `FIFO_TOMB` = dequeued.
+    slots: VecDeque<JobId>,
+    /// Queue key of `slots[0]`.
+    base: u64,
+    /// Live (non-tombstone) entries.
+    live: usize,
+}
+
+impl FifoRing {
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    /// The head: first live entry. O(1) — the front slot is never a
+    /// tombstone.
+    fn first(&self) -> Option<(u64, JobId)> {
+        self.slots.front().map(|&id| (self.base, id))
+    }
+
+    /// Insert at the tail. Keys must arrive consecutively (the engine's
+    /// `queue_seq` guarantees it).
+    fn insert(&mut self, key: u64, id: JobId) {
+        if self.slots.is_empty() {
+            self.base = key;
+        }
+        debug_assert_eq!(
+            key,
+            self.base + self.slots.len() as u64,
+            "queue keys are handed out consecutively"
+        );
+        self.slots.push_back(id);
+        self.live += 1;
+    }
+
+    /// Remove by key, returning the job if it was live.
+    fn remove(&mut self, key: u64) -> Option<JobId> {
+        let idx = usize::try_from(key.checked_sub(self.base)?).ok()?;
+        let slot = self.slots.get_mut(idx)?;
+        if *slot == FIFO_TOMB {
+            return None;
+        }
+        let id = std::mem::replace(slot, FIFO_TOMB);
+        self.live -= 1;
+        while self.slots.front() == Some(&FIFO_TOMB) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        Some(id)
+    }
+
+    /// Live entries in queue order.
+    fn iter(&self) -> impl Iterator<Item = (u64, JobId)> + '_ {
+        let base = self.base;
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|&(_, &id)| id != FIFO_TOMB)
+            .map(move |(i, &id)| (base + i as u64, id))
+    }
+
+    /// First live entry with a key strictly after `cursor` (`None` = scan
+    /// from the front).
+    fn next_after(&self, cursor: Option<u64>) -> Option<(u64, JobId)> {
+        let mut idx = match cursor {
+            Some(c) if c >= self.base => (c - self.base) as usize + 1,
+            _ => 0,
+        };
+        while let Some(&id) = self.slots.get(idx) {
+            if id != FIFO_TOMB {
+                return Some((self.base + idx as u64, id));
+            }
+            idx += 1;
+        }
+        None
+    }
+}
+
+/// First entry of a class FIFO with a key strictly after `cursor`
+/// (`None` = from the front) — the tree-backed counterpart of
+/// [`FifoRing::next_after`] for the per-partition queues.
+fn next_in_fifo(fifo: &BTreeMap<u64, JobId>, cursor: Option<u64>) -> Option<(u64, JobId)> {
+    let range = match cursor {
+        None => fifo.range(..),
+        Some(c) => fifo.range((Bound::Excluded(c), Bound::Unbounded)),
+    };
+    range.map(|(&k, &j)| (k, j)).next()
+}
+
 /// The head whose total task-fit is being maintained incrementally.
 #[derive(Debug)]
 struct HeadFit {
@@ -467,27 +645,128 @@ struct HeadFit {
     total: u64,
 }
 
+/// Memoized FCFS backfill window scan. Stored only by a scan during which
+/// nothing started (a mid-scan start frees a depth-budget slot, so the
+/// window a fresh scan would cover extends past `cursor` into entries this
+/// scan never examined). While the key triple is unchanged the recorded
+/// window's outcome cannot change (shadow-bound rejects are monotone in
+/// `now`, placement failures are version-memoized), so the cycle either
+/// skips the scan outright (`!exhausted`: the depth-limited window is
+/// identical) or resumes from `cursor` and examines only arrivals newer
+/// than the last scan.
+#[derive(Debug, Clone, Copy)]
+struct BfScan {
+    head: JobId,
+    version: u64,
+    shrink: u64,
+    /// Last queue key consumed (resume point, exclusive).
+    cursor: u64,
+    /// Candidates examined so far (counts against `backfill_depth`).
+    scanned: usize,
+    /// True when the scan ran out of queue before hitting the depth limit.
+    exhausted: bool,
+}
+
+/// One class's precomputed head plan from [`Scheduler::plan_shards`]: the
+/// candidate walk's result against that class's capacity mirror at a frozen
+/// `state_version`. `plan` holds `(node, tasks)` pairs (mirrors carry no
+/// capacity-total columns, so the merge materializes real `TaskAlloc`s from
+/// the live nodes); `fit_total` is the walk's uncapped Σ fit, used to prime
+/// [`HeadFit`] on failure exactly like the inline walk would.
+#[derive(Debug, Clone)]
+struct ShardSeed {
+    head: JobId,
+    version: u64,
+    fit_total: u64,
+    plan: Option<Vec<(NodeId, u32)>>,
+}
+
+/// The pure, thread-safe half of the placement walk: reproduce
+/// [`Scheduler::placement_walk`]'s candidate order and fit arithmetic
+/// against a capacity mirror alone, with no access to the scheduler. Two
+/// ascending-id passes — the user's solely-owned nodes (mirror `owner ==
+/// user`, exactly the `owned_nodes` membership), then the policy source
+/// set (free cores on the shared path, idle otherwise, skipping the
+/// owned nodes) — produce the identical `(node, tasks)` pairs and the
+/// identical uncapped Σ fit the inline walk would, which is what makes a
+/// consumed [`ShardSeed`] bit-equivalent to not sharding at all.
+fn plan_from_mirror(
+    mirror: &[ShadowNode],
+    spec: &JobSpec,
+    policy: NodeSharing,
+) -> (Option<Vec<(NodeId, u32)>>, u64) {
+    let user = spec.user;
+    let shared_path = matches!(policy, NodeSharing::Shared) && !spec.request_exclusive;
+    let mut remaining = spec.tasks;
+    let mut fit_total = 0u64;
+    let mut plan = Vec::new();
+    // Phase 1: solely-owned nodes (packing affinity), id order.
+    for sn in mirror {
+        if sn.owner != Some(user) {
+            continue;
+        }
+        let full = sn.fit(spec, policy);
+        fit_total += full;
+        let fit = (full.min(u32::MAX as u64) as u32).min(remaining);
+        if fit > 0 {
+            plan.push((sn.id, fit));
+            remaining -= fit;
+        }
+    }
+    // Phase 2: the policy source set, id order, skipping phase-1 nodes.
+    for sn in mirror {
+        if sn.owner == Some(user) {
+            continue; // phase 1 (idle nodes are never owned)
+        }
+        let in_source = if shared_path {
+            sn.up && sn.free_cores > 0
+        } else {
+            sn.up && sn.jobs == 0
+        };
+        if !in_source {
+            continue;
+        }
+        let full = sn.fit(spec, policy);
+        fit_total += full;
+        let fit = (full.min(u32::MAX as u64) as u32).min(remaining);
+        if fit > 0 {
+            plan.push((sn.id, fit));
+            remaining -= fit;
+        }
+    }
+    if remaining == 0 {
+        (Some(plan), fit_total)
+    } else {
+        (None, fit_total)
+    }
+}
+
 impl Scheduler {
     /// An empty scheduler.
     pub fn new(config: SchedConfig) -> Self {
         let ledger = FairShareLedger::new(config.fair_share_half_life);
         Scheduler {
             config,
-            nodes: BTreeMap::new(),
+            nodes: NodeTable::new(),
             jobs: BTreeMap::new(),
-            queue: BTreeMap::new(),
-            queue_pos: BTreeMap::new(),
+            queue: FifoRing::default(),
+            queue_pos: Vec::new(),
             queue_seq: 0,
-            running_ends: BTreeSet::new(),
-            idle_nodes: BTreeSet::new(),
-            avail_nodes: BTreeSet::new(),
+            running_ends: BTreeMap::new(),
+            idle_nodes: NodeSet::new(),
+            avail_nodes: NodeSet::new(),
             owned_nodes: BTreeMap::new(),
-            shadow_scratch: Vec::new(),
+            scan_scratch: Vec::new(),
             shadow_mirror: Vec::new(),
+            shadow_overlay: Vec::new(),
+            shadow_stamp: Vec::new(),
+            shadow_epoch: 0,
             state_version: 0,
             shadow_cache: None,
             head_fail_cache: None,
             backfill_fails: (0, BTreeSet::new()),
+            queue_shrink_epoch: 0,
+            bf_scan: None,
             ledger,
             part_fifo: BTreeMap::new(),
             part_user: BTreeMap::new(),
@@ -503,6 +782,8 @@ impl Scheduler {
             partitions_version: 0,
             part_mirror_version: 0,
             head_fit: None,
+            shard_threads: 1,
+            shard_seeds: BTreeMap::new(),
             events: BinaryHeap::new(),
             next_job: 1,
             next_node: 1,
@@ -533,6 +814,21 @@ impl Scheduler {
         self.obs = SchedObs::new(&cfg);
     }
 
+    /// Fan per-partition head planning out over `n` OS threads (the rayon
+    /// shim's explicit-width entry). `1` (the default) plans inline. Any
+    /// width yields bit-identical schedules: shards only *precompute*
+    /// plans against the cycle's frozen state, and consumption keeps the
+    /// sequential `(partition, enqueue-seq)` merge order —
+    /// `tests/sched_parallel_equivalence.rs` proves the sweep.
+    pub fn set_shard_threads(&mut self, n: usize) {
+        self.shard_threads = n.max(1);
+    }
+
+    /// Current shard planning width.
+    pub fn shard_threads(&self) -> usize {
+        self.shard_threads
+    }
+
     /// Attach the causal context a traced submission arrived with; the
     /// dispatch that eventually starts the job records a
     /// `sched.job.dispatch` span under it. No-op for quiet contexts or a
@@ -547,14 +843,17 @@ impl Scheduler {
     pub fn add_node(&mut self, cores: u32, mem_mib: u64, gpus: u32) -> NodeId {
         let id = NodeId(self.next_node);
         self.next_node += 1;
-        self.nodes
-            .insert(id, SchedNode::new(id, cores, mem_mib, gpus));
+        self.nodes.push(SchedNode::new(id, cores, mem_mib, gpus));
         self.idle_nodes.insert(id);
         if cores > 0 {
             self.avail_nodes.insert(id);
         }
         let sn = ShadowNode::from_node(&self.nodes[&id]);
         self.shadow_mirror.push(sn);
+        // Overlay scratch grows in lockstep with the mirror (stale stamp ⇒
+        // the placeholder entry is never read).
+        self.shadow_overlay.push(sn);
+        self.shadow_stamp.push(0);
         if let Some(hf) = &mut self.head_fit {
             // A new node is in no partition yet, so it only widens a
             // whole-cluster head scope.
@@ -572,11 +871,9 @@ impl Scheduler {
     /// funnels through here, which is what lets shadow builds start from a
     /// flat copy and a ready-made sum instead of an O(nodes) walk.
     fn mirror_update(&mut self, nid: NodeId) {
+        self.nodes.sync(nid);
         let sn = ShadowNode::from_node(&self.nodes[&nid]);
-        let idx = self
-            .shadow_mirror
-            .binary_search_by_key(&nid, |m| m.id)
-            .expect("every node is mirrored");
+        let idx = slot_of(nid);
         let old = self.shadow_mirror[idx];
         self.shadow_mirror[idx] = sn;
         if let Some(hf) = &mut self.head_fit {
@@ -620,8 +917,8 @@ impl Scheduler {
                 .unwrap_or_default();
             let mut mirror = Vec::with_capacity(members.len());
             for nid in &members {
-                if let Ok(i) = self.shadow_mirror.binary_search_by_key(nid, |e| e.id) {
-                    mirror.push(self.shadow_mirror[i]);
+                if let Some(sn) = self.shadow_mirror.get(slot_of(*nid)) {
+                    mirror.push(*sn);
                     self.node_parts
                         .entry(*nid)
                         .or_default()
@@ -870,7 +1167,11 @@ impl Scheduler {
         let key = self.queue_seq;
         self.queue_seq += 1;
         self.queue.insert(key, id);
-        self.queue_pos.insert(id, key);
+        let idx = id.0 as usize;
+        if self.queue_pos.len() <= idx {
+            self.queue_pos.resize(idx + 1, u64::MAX);
+        }
+        self.queue_pos[idx] = key;
         if !self.config.fair_share && !self.config.preemption {
             return;
         }
@@ -911,10 +1212,18 @@ impl Scheduler {
     /// Remove a job from the queue (start, cancel) and from the policy
     /// structures if present.
     fn dequeue(&mut self, id: JobId) {
-        let Some(key) = self.queue_pos.remove(&id) else {
+        let Some(key) = self
+            .queue_pos
+            .get_mut(id.0 as usize)
+            .filter(|k| **k != u64::MAX)
+            .map(|k| std::mem::replace(k, u64::MAX))
+        else {
             return;
         };
-        self.queue.remove(&key);
+        // Any departure shrinks the backfill window; `cancel` reaches here
+        // without a `state_version` bump, so the scan memo keys on this.
+        self.queue_shrink_epoch += 1;
+        self.queue.remove(key);
         if let Some(part) = self.job_part.remove(&id) {
             if let Some(fifo) = self.part_fifo.get_mut(&part) {
                 fifo.remove(&key);
@@ -1019,14 +1328,13 @@ impl Scheduler {
     fn fire(&mut self, ev: Ev) {
         match ev {
             Ev::Submit(j) => {
-                if self.jobs[&j].state == JobState::Pending {
-                    self.obs.rec.event(
-                        self.now,
-                        "job.submit",
-                        j.0,
-                        self.jobs[&j].spec.tasks as u64,
-                        0,
-                    );
+                // One jobs-map probe per event: at storm scale the map holds
+                // every submission and each lookup walks a deep tree.
+                let job = &self.jobs[&j];
+                if job.state == JobState::Pending {
+                    self.obs
+                        .rec
+                        .event(self.now, "job.submit", j.0, job.spec.tasks as u64, 0);
                     self.enqueue(j);
                     self.try_schedule();
                 }
@@ -1035,11 +1343,11 @@ impl Scheduler {
                 // A stale end event from a preempted (killed) run carries
                 // the old epoch and is ignored; the requeued run pushed its
                 // own end event.
-                if self.jobs[&j].state == JobState::Running && self.run_epoch(j) == epoch {
+                let job = &self.jobs[&j];
+                if job.state == JobState::Running && self.run_epoch(j) == epoch {
                     // Did the job end on its own, or did slurmstepd kill it
                     // at the wall-time limit?
-                    let spec = &self.jobs[&j].spec;
-                    let outcome = if spec.time_limit < spec.duration {
+                    let outcome = if job.spec.time_limit < job.spec.duration {
                         JobState::Timeout
                     } else {
                         JobState::Completed
@@ -1173,10 +1481,17 @@ impl Scheduler {
         job.ended = Some(self.now);
         let user = job.spec.user;
         let started = job.started.expect("running has start");
-        let allocations: Vec<(NodeId, TaskAlloc)> =
-            job.allocations.iter().map(|(n, a)| (*n, *a)).collect();
         let cpus_per_task = job.spec.cpus_per_task;
-        self.running_ends.remove(&(started + job.spec.duration, id));
+        let end_key = (started + job.spec.duration, id);
+        // The running_ends snapshot is this job's allocations, taken at
+        // dispatch and immutable since — reuse it instead of re-collecting
+        // the map. Every terminal path arrives here with the entry present
+        // (preemption removes it but requeues instead of finishing); the
+        // fallback is defensive only.
+        let allocations: Vec<(NodeId, TaskAlloc)> = match self.running_ends.remove(&end_key) {
+            Some(snap) => snap.into_vec(),
+            None => job.allocations.iter().map(|(n, a)| (*n, *a)).collect(),
+        };
         let mut released_cores = 0u32;
         let mut released_used = 0u32;
         for (nid, alloc) in &allocations {
@@ -1259,13 +1574,18 @@ impl Scheduler {
             total_cores += alloc.cores;
             used_cores += alloc.tasks * cpus_per_task;
         }
+        // Snapshot in NodeId order — the same order the allocations map
+        // iterates in — so every consumer (shadow replay, calendar profile,
+        // finish-time epilogs) sees exactly what the map walk saw.
+        let mut run_allocs: Box<[(NodeId, TaskAlloc)]> = placement.iter().copied().collect();
+        run_allocs.sort_unstable_by_key(|&(n, _)| n);
         {
             let job = self.jobs.get_mut(&id).expect("known job");
             job.state = JobState::Running;
             job.started = Some(now);
             job.allocations = placement.into_iter().collect();
         }
-        self.running_ends.insert((now + duration, id));
+        self.running_ends.insert((now + duration, id), run_allocs);
         self.obs.rec.incr(self.obs.c_starts);
         if !self.submit_traces.is_empty() {
             if let Some(ctx) = self.submit_traces.remove(&id) {
@@ -1326,6 +1646,48 @@ impl Scheduler {
         }
     }
 
+    /// Column-based admissibility + capacity fit: exactly
+    /// `node_admits` + `tasks_that_fit` (and therefore `ShadowNode::fit`)
+    /// evaluated over the SoA columns, so a rejected candidate touches a
+    /// few flat-array bytes instead of a full `SchedNode`.
+    #[inline]
+    fn col_fit(cols: &NodeCols<'_>, i: usize, spec: &JobSpec, policy: NodeSharing) -> u64 {
+        if !cols.up.get(i).copied().unwrap_or(false) {
+            return 0;
+        }
+        let jobs = cols.jobs.get(i).copied().unwrap_or(0);
+        if (matches!(policy, NodeSharing::Exclusive) || spec.request_exclusive) && jobs > 0 {
+            return 0;
+        }
+        if matches!(policy, NodeSharing::WholeNodeUser) {
+            if let Some(owner) = cols.owner.get(i).copied().flatten() {
+                if owner != spec.user {
+                    return 0;
+                }
+            }
+        }
+        let free_cores = cols.free_cores.get(i).copied().unwrap_or(0);
+        let by_cores = (free_cores / spec.cpus_per_task.max(1)) as u64;
+        if by_cores == 0 {
+            return 0; // common reject: no mem/gpu column touch needed
+        }
+        let by_mem = cols
+            .free_mem
+            .get(i)
+            .copied()
+            .unwrap_or(0)
+            .checked_div(spec.mem_per_task_mib)
+            .map_or(u32::MAX as u64, |n| n.min(u32::MAX as u64));
+        let by_gpus = cols
+            .free_gpus
+            .get(i)
+            .copied()
+            .unwrap_or(0)
+            .checked_div(spec.gpus_per_task)
+            .map_or(u32::MAX, |n| n) as u64;
+        by_cores.min(by_mem).min(by_gpus)
+    }
+
     /// Try to place `spec` using the maintained candidate index instead of
     /// scanning and sorting every node. Candidate order reproduces the old
     /// sort exactly: the user's solely-owned nodes first (packing
@@ -1335,25 +1697,41 @@ impl Scheduler {
         spec: &JobSpec,
         eligible: Option<&BTreeSet<NodeId>>,
     ) -> Option<Vec<(NodeId, TaskAlloc)>> {
+        self.placement_walk(spec, eligible).0
+    }
+
+    /// The placement walk, also returning the *uncapped* `Σ fit` over every
+    /// candidate it visited. On a failed walk that sum is exact over ALL
+    /// eligible nodes — any node with positive fit is in the walked sets
+    /// (owned ∪ source: `fit > 0` ⇒ free cores ⇒ avail on the shared path,
+    /// idle otherwise — running jobs zero the fit under `Exclusive` /
+    /// `--exclusive`, and a foreign owner zeroes it under `WholeNodeUser`)
+    /// — so the caller can prime [`HeadFit`] without an O(nodes) sum.
+    fn placement_walk(
+        &self,
+        spec: &JobSpec,
+        eligible: Option<&BTreeSet<NodeId>>,
+    ) -> (Option<Vec<(NodeId, TaskAlloc)>>, u64) {
         let user = spec.user;
         let policy = self.config.policy;
+        let cols = self.nodes.cols();
         let mut remaining = spec.tasks;
+        let mut fit_sum = 0u64;
         let mut placement = Vec::new();
 
-        let try_node = |nid: NodeId, remaining: &mut u32, placement: &mut Vec<_>| {
+        let mut try_node = |nid: NodeId, remaining: &mut u32, placement: &mut Vec<_>| {
             if eligible.is_some_and(|set| !set.contains(&nid)) {
+                return;
+            }
+            let full = Self::col_fit(&cols, slot_of(nid), spec, policy);
+            fit_sum += full;
+            let fit = (full.min(u32::MAX as u64) as u32).min(*remaining);
+            if fit == 0 {
                 return;
             }
             let Some(node) = self.nodes.get(&nid) else {
                 return; // stale index entry: node was removed this cycle
             };
-            if !policy.node_admits(node, user, spec) {
-                return;
-            }
-            let fit = tasks_that_fit(node, spec).min(*remaining);
-            if fit == 0 {
-                return;
-            }
             placement.push((nid, Self::alloc_for(node, spec, policy, fit)));
             *remaining -= fit;
         };
@@ -1375,7 +1753,7 @@ impl Scheduler {
         // visited in phase 1.
         if remaining > 0 {
             let shared_path = matches!(policy, NodeSharing::Shared) && !spec.request_exclusive;
-            let source: &BTreeSet<NodeId> = if shared_path {
+            let source: &NodeSet = if shared_path {
                 &self.avail_nodes
             } else {
                 &self.idle_nodes
@@ -1391,7 +1769,8 @@ impl Scheduler {
                         if !source.contains(&nid) {
                             continue;
                         }
-                        if shared_path && self.nodes.get(&nid).and_then(|n| n.owner()) == Some(user)
+                        if shared_path
+                            && cols.owner.get(slot_of(nid)).copied().flatten() == Some(user)
                         {
                             continue; // phase 1 already visited
                         }
@@ -1399,11 +1778,12 @@ impl Scheduler {
                     }
                 }
                 _ => {
-                    for &nid in source {
+                    for nid in source.iter() {
                         if remaining == 0 {
                             break;
                         }
-                        if shared_path && self.nodes.get(&nid).and_then(|n| n.owner()) == Some(user)
+                        if shared_path
+                            && cols.owner.get(slot_of(nid)).copied().flatten() == Some(user)
                         {
                             continue; // phase 1 already visited
                         }
@@ -1414,9 +1794,9 @@ impl Scheduler {
         }
 
         if remaining == 0 {
-            Some(placement)
+            (Some(placement), fit_sum)
         } else {
-            None
+            (None, fit_sum)
         }
     }
     // analyze:hot-path-end
@@ -1453,89 +1833,117 @@ impl Scheduler {
             .resolve(spec.partition.as_deref())
             .expect("validated at submit")
             .map(str::to_string);
-        let mut snodes = std::mem::take(&mut self.shadow_scratch);
-        snodes.clear();
-        match &part {
-            Some(p) => snodes.extend_from_slice(self.part_mirror(p)),
-            None => snodes.extend_from_slice(&self.shadow_mirror),
+        let total = self.head_total_fit(head, spec, &part, track);
+        self.shadow_replay(spec, &part, total)
+    }
+
+    /// `Σ fit(spec)` over one partition's members, read straight off the
+    /// dense whole-cluster mirror (a part mirror need not be built).
+    fn part_fit_sum(&self, part: &str, spec: &JobSpec) -> u64 {
+        let policy = self.config.policy;
+        match self.partitions.get(part) {
+            Some(p) => p
+                .nodes
+                .iter()
+                .filter_map(|nid| self.shadow_mirror.get(slot_of(*nid)))
+                .map(|sn| sn.fit(spec, policy))
+                .sum(),
+            None => 0,
         }
-        let result = self.shadow_replay(head, spec, part, track, &mut snodes);
-        self.shadow_scratch = snodes;
-        result
     }
 
     // analyze:hot-path-begin(sched-shadow-replay)
-    /// The maintained `Σ fit` for `head` over `snodes`, establishing the
-    /// incremental tracker on first sight of this head (unless `track` is
-    /// off — ad-hoc probes read, never evict).
+    /// The maintained `Σ fit` for `head` over its eligible nodes,
+    /// establishing the incremental tracker on first sight of this head
+    /// (unless `track` is off — ad-hoc probes read, never evict).
     fn head_total_fit(
         &mut self,
         head: JobId,
         spec: &Arc<JobSpec>,
-        part: Option<String>,
+        part: &Option<String>,
         track: bool,
-        snodes: &[ShadowNode],
     ) -> u64 {
         let policy = self.config.policy;
-        match &self.head_fit {
-            Some(hf) if hf.job == head && hf.part == part => {
-                debug_assert_eq!(
-                    hf.total,
-                    snodes.iter().map(|sn| sn.fit(spec, policy)).sum::<u64>(),
-                    "incremental head fit drifted from the mirror"
-                );
-                hf.total
-            }
-            _ => {
-                let total = snodes.iter().map(|sn| sn.fit(spec, policy)).sum();
-                if track {
-                    self.head_fit = Some(HeadFit {
-                        job: head,
-                        spec: Arc::clone(spec),
-                        part,
-                        total,
-                    });
-                }
-                total
-            }
+        let hit = matches!(&self.head_fit, Some(hf) if hf.job == head && hf.part == *part);
+        if hit {
+            let total = self.head_fit.as_ref().map_or(0, |hf| hf.total);
+            debug_assert_eq!(
+                total,
+                match part {
+                    Some(p) => self.part_fit_sum(p, spec),
+                    None => self
+                        .shadow_mirror
+                        .iter()
+                        .map(|sn| sn.fit(spec, policy))
+                        .sum::<u64>(),
+                },
+                "incremental head fit drifted from the mirror"
+            );
+            return total;
         }
+        let total = match part {
+            Some(p) => self.part_fit_sum(p, spec),
+            None => self.shadow_mirror.iter().map(|sn| sn.fit(spec, policy)).sum(),
+        };
+        if track {
+            self.head_fit = Some(HeadFit {
+                job: head,
+                spec: Arc::clone(spec),
+                part: part.clone(),
+                total,
+            });
+        }
+        total
     }
 
-    fn shadow_replay(
-        &mut self,
-        head: JobId,
-        spec: &Arc<JobSpec>,
-        part: Option<String>,
-        track: bool,
-        snodes: &mut [ShadowNode],
-    ) -> SimTime {
+    /// Replay running-job releases in end-time order through the
+    /// epoch-stamped overlay: each touched node is first-touch copied from
+    /// the persistent mirror, so a replay costs O(touched releases) — no
+    /// O(nodes) mirror copy, partitioned or not. `running_ends` is
+    /// maintained in end-time order, so no per-cycle collect + sort either.
+    fn shadow_replay(&mut self, spec: &Arc<JobSpec>, part: &Option<String>, mut total: u64) -> SimTime {
         let policy = self.config.policy;
         let needed = spec.tasks as u64;
-        let mut total = self.head_total_fit(head, spec, part, track, snodes);
         if total >= needed {
             self.obs.rec.incr(self.obs.c_shadow_early_exit);
             return self.now;
         }
         self.obs.rec.incr(self.obs.c_shadow_replays);
-        // Replay running-job releases in end-time order — `running_ends` is
-        // maintained in exactly that order, so no per-cycle collect + sort.
-        for &(end_t, jid) in &self.running_ends {
-            let Some(job) = self.jobs.get(&jid) else {
-                continue; // jobs retains every submission; miss is impossible
-            };
-            for (&nid, alloc) in &job.allocations {
-                let Ok(idx) = snodes.binary_search_by_key(&nid, |sn| sn.id) else {
+        self.shadow_epoch += 1;
+        let epoch = self.shadow_epoch;
+        let mut overlay = std::mem::take(&mut self.shadow_overlay);
+        let mut stamp = std::mem::take(&mut self.shadow_stamp);
+        let members: Option<&BTreeSet<NodeId>> = part
+            .as_deref()
+            .and_then(|p| self.partitions.get(p))
+            .map(|p| &p.nodes);
+        let mut result = SimTime::MAX;
+        'replay: for (&(end_t, _jid), allocs) in &self.running_ends {
+            for &(nid, ref alloc) in allocs.iter() {
+                if members.is_some_and(|set| !set.contains(&nid)) {
                     continue; // allocation on an ineligible node
-                };
-                if let Some(sn) = snodes.get_mut(idx) {
-                    sn.fold_release(alloc, spec, policy, &mut total);
                 }
+                let i = slot_of(nid);
+                let (Some(st), Some(sn)) = (stamp.get_mut(i), overlay.get_mut(i)) else {
+                    continue;
+                };
+                if *st != epoch {
+                    let Some(base) = self.shadow_mirror.get(i) else {
+                        continue;
+                    };
+                    *sn = *base;
+                    *st = epoch;
+                }
+                sn.fold_release(alloc, spec, policy, &mut total);
             }
             if total >= needed {
-                return end_t;
+                result = end_t;
+                break 'replay;
             }
         }
-        SimTime::MAX
+        self.shadow_overlay = overlay;
+        self.shadow_stamp = stamp;
+        result
     }
     // analyze:hot-path-end
 
@@ -1551,10 +1959,9 @@ impl Scheduler {
     /// path the equivalence suite pins against the reference scheduler.
     fn try_schedule_fcfs(&mut self) {
         loop {
-            let Some((&head_key, &head)) = self.queue.iter().next() else {
+            let Some((head_key, head)) = self.queue.first() else {
                 return;
             };
-            let head_spec = Arc::clone(&self.jobs[&head].spec);
             // While nothing claimed or released, a blocked head stays
             // blocked (placement is a pure function of spec + node state):
             // skip the re-attempt on pure arrival events.
@@ -1562,19 +1969,56 @@ impl Scheduler {
                 self.head_fail_cache,
                 Some((j, v)) if j == head && v == self.state_version
             );
+            if known_blocked && !self.config.backfill {
+                // Arrival-flood fast path: nothing below reads the spec, so
+                // don't pay the jobs-map lookup at 100k entries.
+                self.obs.rec.incr(self.obs.c_head_memo_hit);
+                return;
+            }
+            let head_spec = Arc::clone(&self.jobs[&head].spec);
             let placement = if known_blocked {
                 self.obs.rec.incr(self.obs.c_head_memo_hit);
                 None
             } else {
                 self.obs.rec.incr(self.obs.c_head_memo_miss);
-                let tok = self.obs.rec.span_start();
-                let eligible = self
+                let part: Option<String> = self
                     .partitions
-                    .eligible_nodes(head_spec.partition.as_deref())
-                    .expect("validated at submit");
-                let p = self.placement_for(&head_spec, eligible);
-                self.obs.rec.span_end(self.obs.sp_dispatch, tok);
-                p
+                    .resolve(head_spec.partition.as_deref())
+                    .expect("validated at submit")
+                    .map(str::to_string);
+                // O(1) certain-fail gate: the maintained Σ fit for this
+                // head is exact (see `placement_walk`), so a total below
+                // the task count proves the walk would fail.
+                let gated = matches!(
+                    &self.head_fit,
+                    Some(hf) if hf.job == head && hf.part == part
+                        && hf.total < head_spec.tasks as u64
+                );
+                if gated {
+                    self.obs.rec.incr(self.obs.c_fit_gate);
+                    None
+                } else {
+                    let tok = self.obs.rec.span_start();
+                    let (p, fit_sum) = {
+                        let eligible = self
+                            .partitions
+                            .eligible_nodes(head_spec.partition.as_deref())
+                            .expect("validated at submit");
+                        self.placement_walk(&head_spec, eligible)
+                    };
+                    self.obs.rec.span_end(self.obs.sp_dispatch, tok);
+                    if p.is_none() {
+                        // Prime the incremental tracker from the failed
+                        // walk's exact sum — later cycles gate in O(1).
+                        self.head_fit = Some(HeadFit {
+                            job: head,
+                            spec: Arc::clone(&head_spec),
+                            part,
+                            total: fit_sum,
+                        });
+                    }
+                    p
+                }
             };
             if let Some(p) = placement {
                 self.dequeue(head);
@@ -1603,15 +2047,38 @@ impl Scheduler {
                     s
                 }
             };
+            // Scan memo: while `(head, version, shrink-epoch)` is unchanged
+            // the window's outcome cannot change (shadow-bound rejects are
+            // monotone in `now`, placement failures are version-memoized,
+            // started candidates left the queue) — a depth-limited scan is
+            // skipped outright, an exhausted one resumes at its cursor so
+            // only new arrivals are examined. FCFS-path only: the policy
+            // path's conservative-backfill refusals are not monotone.
+            let memo = self.bf_scan.filter(|m| {
+                m.head == head
+                    && m.version == self.state_version
+                    && m.shrink == self.queue_shrink_epoch
+            });
+            if let Some(m) = memo {
+                if !m.exhausted {
+                    self.obs.rec.incr(self.obs.c_bf_scan_skips);
+                    return;
+                }
+            }
             let bf_tok = self.obs.rec.span_start();
-            let mut scanned = 0;
-            let mut cursor = head_key;
+            let (mut scanned, mut cursor) = match memo {
+                Some(m) => {
+                    self.obs.rec.incr(self.obs.c_bf_scan_resumes);
+                    (m.scanned, m.cursor)
+                }
+                None => (0, head_key),
+            };
+            let scan_version = self.state_version;
+            let scan_shrink = self.queue_shrink_epoch;
+            let mut exhausted = false;
             while scanned < self.config.backfill_depth {
-                let Some((&key, &cand)) = self
-                    .queue
-                    .range((Bound::Excluded(cursor), Bound::Unbounded))
-                    .next()
-                else {
+                let Some((key, cand)) = self.queue.next_after(Some(cursor)) else {
+                    exhausted = true;
                     break;
                 };
                 scanned += 1;
@@ -1650,6 +2117,25 @@ impl Scheduler {
                     self.obs.rec.incr(self.obs.c_bf_shadow_rejects);
                 }
             }
+            // The memo is only stored when no candidate started during the
+            // scan. A mid-scan start dequeues the candidate, freeing a
+            // depth-budget slot: the window a fresh scan would cover then
+            // extends *past* `cursor`, and entries beyond it were never
+            // examined — `(scanned, cursor)` no longer describe the window.
+            self.bf_scan = if self.state_version == scan_version
+                && self.queue_shrink_epoch == scan_shrink
+            {
+                Some(BfScan {
+                    head,
+                    version: scan_version,
+                    shrink: scan_shrink,
+                    cursor,
+                    scanned,
+                    exhausted,
+                })
+            } else {
+                None
+            };
             self.obs.rec.span_end(self.obs.sp_backfill, bf_tok);
             return;
         }
@@ -1667,12 +2153,113 @@ impl Scheduler {
     fn try_schedule_policy(&mut self) {
         if self.config.fair_share {
             let classes: Vec<String> = self.part_fifo.keys().cloned().collect();
+            if self.shard_threads > 1 && classes.len() > 1 {
+                self.plan_shards(&classes);
+            }
             for class in classes {
                 self.schedule_class(Some(class));
             }
         } else {
             self.schedule_class(None);
         }
+    }
+
+    /// Fan the per-class head *planning* out over the rayon shim: for each
+    /// class whose head is neither memo-blocked nor fit-gated, run the
+    /// candidate walk against that class's capacity mirror on a worker
+    /// thread and stash the result as a [`ShardSeed`]. Pure precomputation
+    /// against the frozen `state_version` — consumption happens in the
+    /// sequential class merge ([`Scheduler::schedule_class`]), which
+    /// re-validates `(head, version)` and falls back to the inline walk on
+    /// any staleness, so schedules are bit-identical at every width. Only
+    /// the `sched.shard.*` counters record here (they are the counters
+    /// allowed to vary with thread count — see [`crate::obs`]).
+    fn plan_shards(&mut self, classes: &[String]) {
+        self.shard_seeds.clear();
+        let version = self.state_version;
+        let policy = self.config.policy;
+        // Sequential, cheap phase: select each class's head, apply the
+        // same memo/gate skips the merge will apply, and pin its mirror.
+        let mut picked: Vec<(String, JobId, Arc<JobSpec>)> = Vec::new();
+        for class in classes {
+            let Some(head) = self.select_head(Some(class)) else {
+                continue;
+            };
+            let known_blocked = self
+                .policy_head_cache
+                .get(class)
+                .is_some_and(|&(j, v)| j == head && v == version);
+            if known_blocked {
+                continue;
+            }
+            let spec = Arc::clone(&self.jobs[&head].spec);
+            let part = (!class.is_empty()).then(|| class.clone());
+            let gated = matches!(
+                &self.head_fit,
+                Some(hf) if hf.job == head && hf.part == part
+                    && hf.total < spec.tasks as u64
+            );
+            if gated {
+                continue; // the merge will gate it in O(1) too
+            }
+            if !class.is_empty() {
+                self.part_mirror(class); // build before borrowing below
+            }
+            picked.push((class.clone(), head, spec));
+        }
+        if picked.is_empty() {
+            return;
+        }
+        // analyze:hot-path-begin(sched-shard-plan)
+        let planned = picked.len() as u64;
+        let work: Vec<(String, JobId, Arc<JobSpec>, &[ShadowNode])> = picked
+            .into_iter()
+            .map(|(class, head, spec)| {
+                let mirror: &[ShadowNode] = if class.is_empty() {
+                    &self.shadow_mirror
+                } else {
+                    self.part_mirrors
+                        .get(&class)
+                        .map(|m| m.as_slice())
+                        .unwrap_or(&[])
+                };
+                (class, head, spec, mirror)
+            })
+            .collect();
+        let seeds = rayon::with_threads(self.shard_threads, work, |(class, head, spec, mirror)| {
+            let (plan, fit_total) = plan_from_mirror(mirror, &spec, policy);
+            (
+                class,
+                ShardSeed {
+                    head,
+                    version,
+                    fit_total,
+                    plan,
+                },
+            )
+        });
+        for (class, seed) in seeds {
+            self.shard_seeds.insert(class, seed);
+        }
+        self.obs.rec.add(self.obs.c_shard_plans, planned);
+        // analyze:hot-path-end
+    }
+
+    /// Materialize a shard plan's `(node, tasks)` pairs into real
+    /// allocations from the live node table (mirrors carry no capacity
+    /// totals, which `alloc_for` needs for whole-node charging).
+    fn materialize_plan(&self, spec: &JobSpec, pairs: Vec<(NodeId, u32)>) -> Vec<(NodeId, TaskAlloc)> {
+        // analyze:hot-path-begin(sched-shard-merge)
+        let policy = self.config.policy;
+        pairs
+            .into_iter()
+            .filter_map(|(nid, fit)| {
+                self.nodes
+                    .get(&nid)
+                    .map(|n| (nid, Self::alloc_for(n, spec, policy, fit)))
+            })
+            .collect()
+        // analyze:hot-path-end
     }
 
     /// The head of a scheduling class.
@@ -1691,7 +2278,7 @@ impl Scheduler {
             return self.part_qos.get(ckey)?.values().next().copied();
         }
         match class {
-            None => self.queue.values().next().copied(),
+            None => self.queue.first().map(|(_, id)| id),
             Some(part) => {
                 // Fair-share: lowest-usage user's earliest job — restricted
                 // to the top QoS band when preemption is also on (the
@@ -1745,13 +2332,78 @@ impl Scheduler {
                 .is_some_and(|&(j, v)| j == head && v == self.state_version);
             if !known_blocked {
                 self.obs.rec.incr(self.obs.c_head_memo_miss);
-                let tok = self.obs.rec.span_start();
-                let eligible = self
+                let part: Option<String> = self
                     .partitions
-                    .eligible_nodes(head_spec.partition.as_deref())
-                    .expect("validated at submit");
-                let placed = self.placement_for(&head_spec, eligible);
-                self.obs.rec.span_end(self.obs.sp_dispatch, tok);
+                    .resolve(head_spec.partition.as_deref())
+                    .expect("validated at submit")
+                    .map(str::to_string);
+                // O(1) certain-fail gate (same proof as the FCFS path).
+                let gated = matches!(
+                    &self.head_fit,
+                    Some(hf) if hf.job == head && hf.part == part
+                        && hf.total < head_spec.tasks as u64
+                );
+                let placed = if gated {
+                    self.obs.rec.incr(self.obs.c_fit_gate);
+                    None
+                } else {
+                    let tok = self.obs.rec.span_start();
+                    // A shard seed planned for exactly this (head, version)
+                    // replaces the inline walk; anything stale falls back.
+                    // analyze:hot-path-begin(sched-shard-merge)
+                    let seed = self
+                        .shard_seeds
+                        .remove(&ckey)
+                        .filter(|s| {
+                            let fresh = s.head == head && s.version == self.state_version;
+                            if !fresh {
+                                self.obs.rec.incr(self.obs.c_shard_seed_stale);
+                            }
+                            fresh
+                        });
+                    // analyze:hot-path-end
+                    let (p, fit_sum) = match seed {
+                        Some(s) => {
+                            self.obs.rec.incr(self.obs.c_shard_seed_hits);
+                            let p = s.plan.map(|pairs| self.materialize_plan(&head_spec, pairs));
+                            #[cfg(debug_assertions)]
+                            {
+                                // Differential guard: a consumed seed must
+                                // be indistinguishable from the inline walk.
+                                let eligible = self
+                                    .partitions
+                                    .eligible_nodes(head_spec.partition.as_deref())
+                                    .expect("validated at submit");
+                                let (q, qsum) = self.placement_walk(&head_spec, eligible);
+                                debug_assert_eq!(p, q, "shard plan diverged from inline walk");
+                                if q.is_none() {
+                                    debug_assert_eq!(
+                                        s.fit_total, qsum,
+                                        "shard fit sum diverged from inline walk"
+                                    );
+                                }
+                            }
+                            (p, s.fit_total)
+                        }
+                        None => {
+                            let eligible = self
+                                .partitions
+                                .eligible_nodes(head_spec.partition.as_deref())
+                                .expect("validated at submit");
+                            self.placement_walk(&head_spec, eligible)
+                        }
+                    };
+                    self.obs.rec.span_end(self.obs.sp_dispatch, tok);
+                    if p.is_none() {
+                        self.head_fit = Some(HeadFit {
+                            job: head,
+                            spec: Arc::clone(&head_spec),
+                            part,
+                            total: fit_sum,
+                        });
+                    }
+                    p
+                };
                 if let Some(p) = placed {
                     self.dequeue(head);
                     self.start_job(head, p);
@@ -1831,27 +2483,29 @@ impl Scheduler {
         } else {
             Vec::new()
         };
-        let head_seq = self.queue_pos[&head];
+        let head_seq = self.queue_pos[head.0 as usize];
         let mut scanned = 0;
         let mut cursor: Option<u64> = None;
         while scanned < self.config.backfill_depth {
-            let next = {
-                let fifo: &BTreeMap<u64, JobId> = match class {
-                    None => &self.queue,
+            // First queued entry after the cursor that isn't the head
+            // itself (the head's key is a single point, so at most one
+            // extra step skips it).
+            let mut next = match class {
+                None => self.queue.next_after(cursor),
+                Some(part) => match self.part_fifo.get(part) {
+                    Some(f) => next_in_fifo(f, cursor),
+                    None => return, // class drained entirely
+                },
+            };
+            if next.is_some_and(|(k, _)| k == head_seq) {
+                next = match class {
+                    None => self.queue.next_after(Some(head_seq)),
                     Some(part) => match self.part_fifo.get(part) {
-                        Some(f) => f,
-                        None => return, // class drained entirely
+                        Some(f) => next_in_fifo(f, Some(head_seq)),
+                        None => return,
                     },
                 };
-                let range = match cursor {
-                    None => fifo.range(..),
-                    Some(c) => fifo.range((Bound::Excluded(c), Bound::Unbounded)),
-                };
-                range
-                    .filter(|(&k, _)| k != head_seq)
-                    .map(|(&k, &j)| (k, j))
-                    .next()
-            };
+            }
             let Some((key, cand)) = next else {
                 return;
             };
@@ -1934,7 +2588,7 @@ impl Scheduler {
         // Candidate victims: running, strictly lower class, holding at
         // least one eligible node. Cost-sorted ascending.
         let mut victims: Vec<(u64, JobId)> = Vec::new();
-        for &(end_t, jid) in &self.running_ends {
+        for (&(end_t, jid), _) in &self.running_ends {
             let vj = &self.jobs[&jid];
             if !qos.may_preempt(vj.spec.qos) {
                 continue;
@@ -1952,15 +2606,18 @@ impl Scheduler {
             return None;
         }
         victims.sort_unstable();
-        // Simulate releases over a scratch capacity copy until the head's
-        // fit-sum clears its task count.
+        // Simulate releases over the reusable scratch capacity copy until
+        // the head's fit-sum clears its task count (allocation-free in
+        // steady state — the buffer persists across calls).
         if let Some(p) = &part {
             self.part_mirror(p);
         }
-        let mut snodes: Vec<ShadowNode> = match &part {
-            Some(p) => self.part_mirrors[p].clone(),
-            None => self.shadow_mirror.clone(),
-        };
+        let mut snodes = std::mem::take(&mut self.scan_scratch);
+        snodes.clear();
+        match &part {
+            Some(p) => snodes.extend_from_slice(&self.part_mirrors[p]),
+            None => snodes.extend_from_slice(&self.shadow_mirror),
+        }
         let needed = spec.tasks as u64;
         let mut total: u64 = snodes.iter().map(|sn| sn.fit(spec, policy)).sum();
         let mut chosen: Vec<JobId> = Vec::new();
@@ -1972,11 +2629,15 @@ impl Scheduler {
                 let Ok(i) = snodes.binary_search_by_key(&nid, |sn| sn.id) else {
                     continue;
                 };
-                snodes[i].fold_release(alloc, spec, policy, &mut total);
+                if let Some(sn) = snodes.get_mut(i) {
+                    sn.fold_release(alloc, spec, policy, &mut total);
+                }
             }
             chosen.push(v);
         }
-        if total < needed {
+        let feasible = total >= needed;
+        self.scan_scratch = snodes;
+        if !feasible {
             return None; // even killing every eligible victim won't fit it
         }
         for v in &chosen {
@@ -2140,10 +2801,10 @@ impl Scheduler {
             None => {
                 order.extend(
                     self.queue
-                        .values()
-                        .filter(|&&j| j != head)
-                        .take(k.saturating_sub(1))
-                        .copied(),
+                        .iter()
+                        .map(|(_, j)| j)
+                        .filter(|&j| j != head)
+                        .take(k.saturating_sub(1)),
                 );
             }
         }
@@ -2192,8 +2853,8 @@ impl Scheduler {
         // Capacity deltas over time: running releases (+), reservation
         // claims (−) and releases (+). Kept time-sorted.
         let mut deltas: Vec<CapDelta> = Vec::new();
-        for &(end_t, jid) in &self.running_ends {
-            for (&nid, alloc) in &self.jobs[&jid].allocations {
+        for (&(end_t, _jid), allocs) in &self.running_ends {
+            for &(nid, alloc) in allocs.iter() {
                 deltas.push(CapDelta {
                     at: end_t,
                     node: nid,

@@ -282,7 +282,10 @@ pub struct Job {
     pub started: Option<SimTime>,
     /// Completion/failure time.
     pub ended: Option<SimTime>,
-    /// Per-node resource holdings while running.
+    /// Per-node resource holdings while running. Set exactly once at
+    /// dispatch and never mutated while the job is running — the engine's
+    /// `running_ends` index snapshots it at start time, and the shadow
+    /// replay and calendar profile read that snapshot instead of this map.
     pub allocations: BTreeMap<NodeId, TaskAlloc>,
 }
 

@@ -76,6 +76,7 @@ pub mod partition;
 pub mod policy;
 pub mod privatedata;
 pub mod reference;
+pub mod table;
 
 pub use accounting::{AcctRecord, FairShareLedger, UserUsage, FAIR_SHARE_HALF_LIFE};
 pub use calendar::{Reservation, ReservationCalendar};
@@ -90,3 +91,4 @@ pub use partition::{Partition, PartitionError, PartitionTable};
 pub use policy::{tasks_that_fit, NodeSharing};
 pub use privatedata::{may_view, JobView, PrivateData};
 pub use reference::ReferenceScheduler;
+pub use table::{NodeCols, NodeSet, NodeTable};

@@ -3,7 +3,11 @@
 //! Free capacity and ownership are *cached* on the node and maintained on
 //! every claim/release, so the placement hot path asks O(1) questions
 //! instead of summing the running-allocation map per query (the scan this
-//! module did before the scheduler-scale overhaul).
+//! module did before the scheduler-scale overhaul). The same cached
+//! getters feed the struct-of-arrays columns in [`crate::table::NodeTable`]
+//! through its `sync` funnel — a claim or release here is invisible to
+//! column scans until the engine syncs the slot, which is why every
+//! mutation routes through the engine's mirror-update funnel.
 
 use crate::job::{JobId, TaskAlloc};
 use eus_simos::{NodeId, Uid};
@@ -63,26 +67,31 @@ impl SchedNode {
     }
 
     /// Cores not currently claimed. O(1).
+    #[inline]
     pub fn free_cores(&self) -> u32 {
         self.free_cores
     }
 
     /// Memory not currently claimed (MiB). O(1).
+    #[inline]
     pub fn free_mem_mib(&self) -> u64 {
         self.free_mem_mib
     }
 
     /// GPUs not currently claimed. O(1).
+    #[inline]
     pub fn free_gpus(&self) -> u32 {
         self.free_gpus
     }
 
     /// True when no job holds anything here.
+    #[inline]
     pub fn is_idle(&self) -> bool {
         self.running.is_empty()
     }
 
     /// Cores currently claimed.
+    #[inline]
     pub fn busy_cores(&self) -> u32 {
         self.cores - self.free_cores
     }
@@ -91,6 +100,7 @@ impl SchedNode {
     /// the quantity the whole-node user-based policy gates on. `None` when
     /// idle, and also `None` when a shared-policy run has mixed users here.
     /// O(1) via the per-user job counts.
+    #[inline]
     pub fn owner(&self) -> Option<Uid> {
         if self.user_jobs.len() == 1 {
             self.user_jobs.keys().next().copied()
@@ -100,6 +110,7 @@ impl SchedNode {
     }
 
     /// Does `user` hold at least one running allocation here? O(log users).
+    #[inline]
     pub fn has_user(&self, user: Uid) -> bool {
         self.user_jobs.contains_key(&user)
     }

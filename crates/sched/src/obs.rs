@@ -17,6 +17,31 @@
 //! | `sched.cycle.backfill` | the backfill candidate scan                   |
 //! | `sched.cycle.preempt`  | preemption victim search + feasibility proof  |
 //! | `sched.calendar.plan`  | reservation-calendar planning (+ probes)      |
+//!
+//! # Thread invariance
+//!
+//! Sharded dispatch ([`crate::engine::Scheduler::set_shard_threads`])
+//! produces bit-identical schedules at every width, and — because shard
+//! *planning* records only the `sched.shard.*` counters, while every
+//! decision on the merge path fires exactly as it would inline — every
+//! **decision counter** is thread-invariant too. The split, asserted by
+//! the seed-replay test in `tests/sched_parallel_equivalence.rs` and
+//! cross-checked against ARCHITECTURE.md by eus-analyze R4:
+//!
+//! | counter family              | thread-invariant? | why                                        |
+//! |-----------------------------|-------------------|--------------------------------------------|
+//! | `sched.memo.*`              | yes               | memo checks run on the sequential merge    |
+//! | `sched.shadow.*`            | yes               | shadows never run on shard workers         |
+//! | `sched.backfill.*`          | yes               | backfill is sequential per class           |
+//! | `sched.preempt.*`           | yes               | preemption runs on the merge path          |
+//! | `sched.calendar.*`          | yes               | calendars rebuild on the merge path        |
+//! | `sched.jobs.*`              | yes               | starts/finishes are schedule facts         |
+//! | `sched.interactive.*`       | yes               | derived from starts                        |
+//! | `sched.shard.*`             | no                | records planning fan-out, width-dependent  |
+//!
+//! (`sched.shard.plans` counts planned classes — width-dependent only in
+//! that `shard_threads = 1` skips planning entirely; `seed_hits` /
+//! `seed_stale` depend on how many seeds the merge could consume.)
 
 use eus_obs::{CounterId, ObsConfig, ObsSnapshot, Recorder, SpanId, TraceBuffer};
 
@@ -60,6 +85,13 @@ pub struct SchedObs {
     pub c_bf_shadow_rejects: CounterId,
     /// Candidates skipped via the per-version failure memo.
     pub c_bf_memo_rejects: CounterId,
+    /// Whole backfill scans skipped by the window memo (unchanged
+    /// `(head, version, shrink-epoch)` with the depth budget unspent).
+    pub c_bf_scan_skips: CounterId,
+    /// Exhausted scans resumed at their cursor (new arrivals only).
+    pub c_bf_scan_resumes: CounterId,
+    /// Head placement attempts skipped by the O(1) certain-fail fit gate.
+    pub c_fit_gate: CounterId,
     /// Placeable candidates refused for colliding with a held reservation.
     pub c_bf_rsv_refusals: CounterId,
     /// Preemption victim searches (blocked latency-sensitive heads).
@@ -84,6 +116,16 @@ pub struct SchedObs {
     pub c_interactive_wait_us: CounterId,
     /// Interactive-QoS jobs started (the denominator for the wait SLO).
     pub c_interactive_waits: CounterId,
+    /// Classes whose head plan was fanned out to shard workers. The
+    /// `sched.shard.*` family is the only one allowed to vary with
+    /// [`crate::engine::Scheduler::set_shard_threads`] (see the module
+    /// docs' thread-invariance table).
+    pub c_shard_plans: CounterId,
+    /// Shard seeds consumed by the merge at their exact `(head, version)`.
+    pub c_shard_seed_hits: CounterId,
+    /// Shard seeds discarded as stale (head or version moved since
+    /// planning); the merge fell back to the inline walk.
+    pub c_shard_seed_stale: CounterId,
     /// Causal trace ring: `sched.job.dispatch` spans stitched to the
     /// submission context recorded at `try_submit`.
     pub trace: TraceBuffer,
@@ -110,6 +152,9 @@ impl SchedObs {
             c_bf_accepts: rec.counter("sched.backfill.accepts"),
             c_bf_shadow_rejects: rec.counter("sched.backfill.shadow_rejects"),
             c_bf_memo_rejects: rec.counter("sched.backfill.memo_rejects"),
+            c_bf_scan_skips: rec.counter("sched.backfill.scan_skips"),
+            c_bf_scan_resumes: rec.counter("sched.backfill.scan_resumes"),
+            c_fit_gate: rec.counter("sched.memo.fit_gate"),
             c_bf_rsv_refusals: rec.counter("sched.backfill.rsv_refusals"),
             c_preempt_searches: rec.counter("sched.preempt.searches"),
             c_preempt_kills: rec.counter("sched.preempt.kills"),
@@ -121,6 +166,9 @@ impl SchedObs {
             c_finishes: rec.counter("sched.jobs.finishes"),
             c_interactive_wait_us: rec.counter("sched.interactive.wait_us"),
             c_interactive_waits: rec.counter("sched.interactive.waits"),
+            c_shard_plans: rec.counter("sched.shard.plans"),
+            c_shard_seed_hits: rec.counter("sched.shard.seed_hits"),
+            c_shard_seed_stale: rec.counter("sched.shard.seed_stale"),
             trace: TraceBuffer::new("sched", SCHED_TRACE_CODE, 4096, cfg.enabled),
             rec,
         }

@@ -69,6 +69,12 @@ impl std::error::Error for PartitionError {}
 #[derive(Debug, Clone, Default)]
 pub struct PartitionTable {
     partitions: BTreeMap<String, Partition>,
+    /// Cached name of the default partition (lexicographically smallest
+    /// when several are flagged, matching the scan order the lookups used
+    /// before the cache). `resolve(None)` / `eligible_nodes(None)` run on
+    /// every unpartitioned head attempt and shard plan, so the default
+    /// lookup must be O(1), not a table scan.
+    default_name: Option<String>,
 }
 
 impl PartitionTable {
@@ -96,6 +102,14 @@ impl PartitionTable {
     ) -> Result<(), PartitionError> {
         if self.partitions.contains_key(name) {
             return Err(PartitionError::Duplicate(name.to_string()));
+        }
+        if is_default
+            && self
+                .default_name
+                .as_deref()
+                .map_or(true, |cur| name < cur)
+        {
+            self.default_name = Some(name.to_string());
         }
         self.partitions.insert(
             name.to_string(),
@@ -130,9 +144,9 @@ impl PartitionTable {
                 .map(|p| Some(&p.nodes))
                 .ok_or_else(|| PartitionError::Unknown(name.to_string())),
             None => self
-                .partitions
-                .values()
-                .find(|p| p.is_default)
+                .default_name
+                .as_deref()
+                .and_then(|n| self.partitions.get(n))
                 .map(|p| Some(&p.nodes))
                 .ok_or(PartitionError::NoDefault),
         }
@@ -154,9 +168,9 @@ impl PartitionTable {
                 .map(|p| Some(p.name.as_str()))
                 .ok_or_else(|| PartitionError::Unknown(name.to_string())),
             None => self
-                .partitions
-                .values()
-                .find(|p| p.is_default)
+                .default_name
+                .as_deref()
+                .and_then(|n| self.partitions.get(n))
                 .map(|p| Some(p.name.as_str()))
                 .ok_or(PartitionError::NoDefault),
         }
@@ -212,6 +226,24 @@ mod tests {
             t.resolve(Some("nope")),
             Err(PartitionError::Unknown(_))
         ));
+    }
+
+    #[test]
+    fn cached_default_matches_the_scan_order_it_replaced() {
+        // Several partitions flagged default: the cache must answer what
+        // the old `values().find(is_default)` scan answered — the
+        // lexicographically smallest — regardless of insertion order.
+        let mut t = PartitionTable::new();
+        t.add("zeta", [NodeId(1)], true).unwrap();
+        assert_eq!(t.resolve(None).unwrap(), Some("zeta"));
+        t.add("alpha", [NodeId(2)], true).unwrap();
+        assert_eq!(t.resolve(None).unwrap(), Some("alpha"));
+        t.add("mid", [NodeId(3)], true).unwrap();
+        assert_eq!(t.resolve(None).unwrap(), Some("alpha"));
+        assert_eq!(
+            t.eligible_nodes(None).unwrap().unwrap(),
+            &BTreeSet::from([NodeId(2)])
+        );
     }
 
     #[test]

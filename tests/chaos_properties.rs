@@ -61,6 +61,9 @@ struct ChaosRun {
     /// The observable decision stream — quiet and loud must agree.
     outcomes: Vec<String>,
     submitted: usize,
+    /// Route submissions across the two fair-share partitions (policy
+    /// plane runs only) so sharded dispatch has multiple classes to fan.
+    partitioned: bool,
 }
 
 /// Collapse a credential outcome to its observable shape.
@@ -74,8 +77,36 @@ fn shape<T>(r: &Result<T, CredError>) -> String {
 impl ChaosRun {
     /// `faults == 0` builds a clean (fault-free) control run.
     fn new(seed: u64, faults: usize, loud: bool) -> Self {
-        let cfg = SeparationConfig::llsc().with_trusted_realms([2u32]);
+        Self::build(seed, faults, loud, None)
+    }
+
+    /// A soak twin with the scheduler's policy plane on: fair-share over
+    /// two single-node partitions, dispatch sharded over `threads` workers
+    /// (`Some(1)` is the sequential control — same plane, no fan-out).
+    fn new_sharded(seed: u64, faults: usize, threads: usize) -> Self {
+        Self::build(seed, faults, false, Some(threads))
+    }
+
+    fn build(seed: u64, faults: usize, loud: bool, plane: Option<usize>) -> Self {
+        let mut cfg = SeparationConfig::llsc().with_trusted_realms([2u32]);
+        if plane.is_some() {
+            cfg = cfg.with_fair_share();
+        }
         let mut c = SecureCluster::new(cfg, ClusterSpec::tiny());
+        if let Some(threads) = plane {
+            let ids = c.compute_ids.clone();
+            let half = ids.len() / 2;
+            let mut sched = c.sched.write();
+            sched.set_shard_threads(threads);
+            sched
+                .partitions_mut()
+                .add("batch", ids[..half].to_vec(), true)
+                .unwrap();
+            sched
+                .partitions_mut()
+                .add("debug", ids[half..].to_vec(), false)
+                .unwrap();
+        }
         if loud {
             c.enable_obs(ObsConfig::enabled());
         }
@@ -108,6 +139,7 @@ impl ChaosRun {
             clock: SimTime::ZERO,
             outcomes: Vec::new(),
             submitted: 0,
+            partitioned: plane.is_some(),
         }
     }
 
@@ -115,7 +147,11 @@ impl ChaosRun {
         let (action, subject) = op;
         let out = match action % 6 {
             0 => {
-                let spec = JobSpec::new(alice, "job", SimDuration::from_secs(10 + subject as u64));
+                let mut spec =
+                    JobSpec::new(alice, "job", SimDuration::from_secs(10 + subject as u64));
+                if self.partitioned {
+                    spec = spec.with_partition(if subject % 2 == 0 { "batch" } else { "debug" });
+                }
                 let r = self.c.try_submit(spec);
                 if r.is_ok() {
                     self.submitted += 1;
@@ -234,6 +270,57 @@ proptest! {
         let recorded: usize = sched.failures.iter().map(|r| r.failed_jobs.len()).sum();
         prop_assert_eq!(nonterminal, 0, "no job left in limbo");
         prop_assert_eq!(completed + failed, run.submitted, "all work accounted for");
+        prop_assert_eq!(failed, recorded, "every casualty traces to a crash record");
+    }
+
+    /// Sharded-dispatch soak: a random fault plan over the policy-plane
+    /// scheduler with dispatch fanned over 4 shard workers. The parallel
+    /// engine under chaos must (a) take decisions identical to its
+    /// sequential twin — same outcome stream, same job states, starts and
+    /// placements — and (b) leave the separation posture exactly where a
+    /// sequential run leaves it: expected audit residuals only, every
+    /// ladder healed, every job accounted for.
+    #[test]
+    fn sharded_dispatch_under_chaos_matches_sequential_and_never_breaches(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u8..6, 0u8..8), 1..40),
+    ) {
+        let mut seq = ChaosRun::new_sharded(seed, 5, 1);
+        let mut par = ChaosRun::new_sharded(seed, 5, 4);
+        let alice_s = seq.c.add_user("alice").unwrap();
+        let alice_p = par.c.add_user("alice").unwrap();
+        for &op in &ops {
+            seq.step(alice_s, op);
+            par.step(alice_p, op);
+        }
+        seq.settle();
+        par.settle();
+        prop_assert_eq!(&seq.outcomes, &par.outcomes, "width must not steer decisions");
+        prop_assert!(par.ctrl.done(), "plan must be fully delivered");
+        prop_assert!(
+            run_audit(&par.c.config, &ClusterSpec::tiny()).only_expected_residuals(),
+            "sharded dispatch must not open a separation channel"
+        );
+        for dep in [Dependency::Idp, Dependency::Ca, Dependency::Feed] {
+            prop_assert_eq!(par.ladder(dep), DepHealth::Healthy, "{:?} ladder", dep);
+        }
+        seq.c.run_to_completion();
+        par.c.run_to_completion();
+        let ssched = seq.c.sched.read();
+        let psched = par.c.sched.read();
+        prop_assert_eq!(ssched.jobs.len(), psched.jobs.len());
+        for (id, a) in &ssched.jobs {
+            let b = &psched.jobs[id];
+            prop_assert_eq!(a.state, b.state, "state of {} diverged at width 4", id);
+            prop_assert_eq!(a.started, b.started, "start of {} diverged at width 4", id);
+            prop_assert_eq!(&a.allocations, &b.allocations, "placement of {}", id);
+        }
+        let nonterminal = psched.jobs.values().filter(|j| !j.state.is_terminal()).count();
+        let completed = psched.jobs.values().filter(|j| j.state == JobState::Completed).count();
+        let failed = psched.jobs.values().filter(|j| j.state == JobState::Failed).count();
+        let recorded: usize = psched.failures.iter().map(|r| r.failed_jobs.len()).sum();
+        prop_assert_eq!(nonterminal, 0, "no job left in limbo");
+        prop_assert_eq!(completed + failed, par.submitted, "all work accounted for");
         prop_assert_eq!(failed, recorded, "every casualty traces to a crash record");
     }
 
